@@ -1,0 +1,143 @@
+//! The bare-metal dedicated baseline (paper §6.2).
+//!
+//! The evaluation's baseline "dedicates TPUs for each camera stream" and
+//! "cannot exploit fractional TPU resources": a camera needing *u* TPU
+//! units receives ⌈u⌉ whole TPUs for itself (Coral-Pie: one TPU per
+//! camera; BodyPix: two TPUs, alternating frames between them). The
+//! baseline is expressed as an [`AdmissionPolicy`] so it drives exactly the
+//! same data plane as MicroEdge — only the allocation discipline differs —
+//! and its streams are marked *collocated* (the TPU hangs off the camera's
+//! own host, so there is no network hop, matching Fig. 7b).
+
+use microedge_core::admission::AdmissionPolicy;
+use microedge_core::config::Features;
+use microedge_core::pool::{Allocation, TpuPool};
+use microedge_core::units::TpuUnits;
+use microedge_models::profile::ModelProfile;
+
+/// Integral, exclusive TPU allocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DedicatedBaseline;
+
+impl DedicatedBaseline {
+    /// Creates the baseline policy.
+    #[must_use]
+    pub fn new() -> Self {
+        DedicatedBaseline
+    }
+}
+
+impl AdmissionPolicy for DedicatedBaseline {
+    /// Grants ⌈units⌉ completely idle TPUs, each marked fully loaded
+    /// (1 TPU unit) so no other camera can ever share them. The equal
+    /// full-unit weights make the pod's LBS alternate frames across its
+    /// TPUs — the paper's "sending alternate frames to each TPU".
+    fn plan(
+        &mut self,
+        pool: &TpuPool,
+        _model: &ModelProfile,
+        units: TpuUnits,
+        _features: Features,
+    ) -> Option<Vec<Allocation>> {
+        let needed = units.whole_tpus_needed();
+        if needed == 0 {
+            return Some(Vec::new());
+        }
+        let chosen: Vec<Allocation> = pool
+            .accounts()
+            .iter()
+            .filter(|a| a.is_available() && a.load().is_zero())
+            .take(needed as usize)
+            .map(|a| Allocation::new(a.id(), TpuUnits::ONE))
+            .collect();
+        (chosen.len() == needed as usize).then_some(chosen)
+    }
+
+    fn name(&self) -> &'static str {
+        "dedicated-baseline"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microedge_cluster::topology::ClusterBuilder;
+    use microedge_models::catalog::{bodypix_mobilenet_v1, ssd_mobilenet_v2};
+    use microedge_tpu::device::TpuId;
+    use microedge_tpu::spec::TpuSpec;
+
+    fn pool(trpis: u32) -> TpuPool {
+        let cluster = ClusterBuilder::new().trpis(trpis).vrpis(1).build();
+        TpuPool::from_cluster(&cluster, TpuSpec::coral_usb())
+    }
+
+    #[test]
+    fn coral_pie_takes_one_whole_tpu() {
+        let mut pool = pool(2);
+        let mut policy = DedicatedBaseline::new();
+        let m = ssd_mobilenet_v2();
+        let plan = policy
+            .plan(&pool, &m, TpuUnits::from_f64(0.35), Features::all())
+            .unwrap();
+        assert_eq!(plan, vec![Allocation::new(TpuId(0), TpuUnits::ONE)]);
+        pool.commit(&m, &plan);
+        // Second camera gets the second TPU, not the leftover 0.65.
+        let plan2 = policy
+            .plan(&pool, &m, TpuUnits::from_f64(0.35), Features::all())
+            .unwrap();
+        assert_eq!(plan2[0].tpu(), TpuId(1));
+        pool.commit(&m, &plan2);
+        // Cluster exhausted after two cameras on two TPUs.
+        assert!(policy
+            .plan(&pool, &m, TpuUnits::from_f64(0.35), Features::all())
+            .is_none());
+    }
+
+    #[test]
+    fn bodypix_takes_two_tpus_with_equal_weights() {
+        let pool = pool(3);
+        let mut policy = DedicatedBaseline::new();
+        let plan = policy
+            .plan(
+                &pool,
+                &bodypix_mobilenet_v1(),
+                TpuUnits::from_f64(1.2),
+                Features::all(),
+            )
+            .unwrap();
+        assert_eq!(plan.len(), 2);
+        assert!(plan.iter().all(|a| a.units() == TpuUnits::ONE));
+    }
+
+    #[test]
+    fn partially_loaded_tpus_are_never_reused() {
+        let mut pool = pool(1);
+        let m = ssd_mobilenet_v2();
+        pool.commit(&m, &[Allocation::new(TpuId(0), TpuUnits::from_f64(0.01))]);
+        let mut policy = DedicatedBaseline::new();
+        assert!(policy
+            .plan(&pool, &m, TpuUnits::from_f64(0.35), Features::all())
+            .is_none());
+    }
+
+    #[test]
+    fn failed_tpus_are_skipped() {
+        let mut pool = pool(2);
+        pool.fail(TpuId(0));
+        let mut policy = DedicatedBaseline::new();
+        let plan = policy
+            .plan(
+                &pool,
+                &ssd_mobilenet_v2(),
+                TpuUnits::from_f64(0.35),
+                Features::all(),
+            )
+            .unwrap();
+        assert_eq!(plan[0].tpu(), TpuId(1));
+    }
+
+    #[test]
+    fn policy_name() {
+        assert_eq!(DedicatedBaseline::new().name(), "dedicated-baseline");
+    }
+}

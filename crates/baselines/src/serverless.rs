@@ -1,0 +1,203 @@
+//! The serverless-design comparator (paper §1, §2, §6.4.2).
+//!
+//! Cloud inference systems (Clipper, Clockwork, INFaaS, Triton) route every
+//! request through a **per-model shared queue** on a scheduler node and make
+//! a placement decision *per invocation*. The paper argues this is the wrong
+//! design for a low-cost edge cluster because the extra data movement and
+//! runtime scheduling are "detrimental to meeting application SLOs" on
+//! RPi-class hardware. This module quantifies that argument with an
+//! analytic per-invoke path model:
+//!
+//! ```text
+//! MicroEdge  : client ──frame──► TPU Service                (1 data hop)
+//! serverless : client ──frame──► queue node ──frame──► TPU  (2 data hops
+//!                                + per-request scheduling decision)
+//! ```
+//!
+//! Both paths share the same pre-processing, inference, and post-processing
+//! costs; the comparator differs only where the designs differ.
+
+use serde::{Deserialize, Serialize};
+
+use microedge_cluster::network::NetworkModel;
+use microedge_core::config::DataPlaneConfig;
+use microedge_metrics::latency::LatencyBreakdown;
+use microedge_models::profile::ModelProfile;
+use microedge_sim::time::SimDuration;
+
+/// Cost parameters of the serverless data path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerlessPath {
+    scheduling_decision: SimDuration,
+    queue_hops: u32,
+}
+
+impl ServerlessPath {
+    /// Creates a path model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_hops` is zero — a serverless design has at least
+    /// the client→queue hop in addition to queue→worker.
+    #[must_use]
+    pub fn new(scheduling_decision: SimDuration, queue_hops: u32) -> Self {
+        assert!(
+            queue_hops >= 1,
+            "serverless path has at least one extra hop"
+        );
+        ServerlessPath {
+            scheduling_decision,
+            queue_hops,
+        }
+    }
+
+    /// Calibrated for an RPi-class scheduler node: a 2 ms deadline-driven
+    /// dispatch decision per request and one extra store-and-forward data
+    /// hop through the shared queue.
+    #[must_use]
+    pub fn rpi_calibrated() -> Self {
+        ServerlessPath::new(SimDuration::from_millis(2), 1)
+    }
+
+    /// Per-request scheduling cost.
+    #[must_use]
+    pub fn scheduling_decision(&self) -> SimDuration {
+        self.scheduling_decision
+    }
+
+    /// The per-invoke latency breakdown along the serverless path. The
+    /// extra hop and the dispatch decision are charged to the transmission
+    /// phase (they happen between client and TPU).
+    #[must_use]
+    pub fn invoke_breakdown(
+        &self,
+        profile: &ModelProfile,
+        net: &NetworkModel,
+        dp: &DataPlaneConfig,
+    ) -> LatencyBreakdown {
+        let single_hop = net.transfer_time(profile.input_bytes());
+        let transmission = single_hop * u64::from(self.queue_hops + 1) + self.scheduling_decision;
+        LatencyBreakdown::new(
+            dp.preprocess,
+            transmission,
+            dp.service_time(profile),
+            dp.postprocess,
+        )
+    }
+
+    /// The per-invoke latency penalty over MicroEdge's direct path.
+    #[must_use]
+    pub fn penalty_over_microedge(
+        &self,
+        profile: &ModelProfile,
+        net: &NetworkModel,
+        dp: &DataPlaneConfig,
+    ) -> SimDuration {
+        let serverless = self.invoke_breakdown(profile, net, dp).total();
+        let microedge = microedge_invoke_breakdown(profile, net, dp).total();
+        serverless.saturating_sub(microedge)
+    }
+}
+
+impl Default for ServerlessPath {
+    /// The calibrated RPi path.
+    fn default() -> Self {
+        ServerlessPath::rpi_calibrated()
+    }
+}
+
+/// MicroEdge's per-invoke breakdown on the same cost model (one direct
+/// data hop, no runtime scheduling) — the uncongested Fig. 7b path.
+#[must_use]
+pub fn microedge_invoke_breakdown(
+    profile: &ModelProfile,
+    net: &NetworkModel,
+    dp: &DataPlaneConfig,
+) -> LatencyBreakdown {
+    LatencyBreakdown::new(
+        dp.preprocess,
+        net.transfer_time(profile.input_bytes()),
+        dp.service_time(profile),
+        dp.postprocess,
+    )
+}
+
+/// The bare-metal baseline's per-invoke breakdown (collocated TPU — no
+/// transmission at all).
+#[must_use]
+pub fn baremetal_invoke_breakdown(
+    profile: &ModelProfile,
+    dp: &DataPlaneConfig,
+) -> LatencyBreakdown {
+    LatencyBreakdown::new(
+        dp.preprocess,
+        SimDuration::ZERO,
+        dp.service_time(profile),
+        dp.postprocess,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microedge_models::catalog::ssd_mobilenet_v2;
+
+    fn fixtures() -> (ModelProfile, NetworkModel, DataPlaneConfig) {
+        (
+            ssd_mobilenet_v2(),
+            NetworkModel::rpi_gigabit(),
+            DataPlaneConfig::calibrated(),
+        )
+    }
+
+    #[test]
+    fn serverless_pays_double_transmission_plus_dispatch() {
+        let (m, net, dp) = fixtures();
+        let path = ServerlessPath::rpi_calibrated();
+        let sl = path.invoke_breakdown(&m, &net, &dp);
+        let me = microedge_invoke_breakdown(&m, &net, &dp);
+        let hop = net.transfer_time(m.input_bytes());
+        let expected_extra = hop + SimDuration::from_millis(2);
+        assert_eq!(sl.total() - me.total(), expected_extra);
+    }
+
+    #[test]
+    fn penalty_is_about_10ms_for_coral_pie() {
+        let (m, net, dp) = fixtures();
+        let penalty = ServerlessPath::rpi_calibrated().penalty_over_microedge(&m, &net, &dp);
+        // One extra ~8 ms hop + 2 ms dispatch ≈ 10 ms — a large share of
+        // the 66.7 ms frame budget on RPi-class hardware.
+        assert!(
+            (penalty.as_millis_f64() - 10.0).abs() < 0.2,
+            "got {penalty}"
+        );
+    }
+
+    #[test]
+    fn microedge_total_matches_fig7b_story() {
+        let (m, net, dp) = fixtures();
+        let me = microedge_invoke_breakdown(&m, &net, &dp);
+        let bm = baremetal_invoke_breakdown(&m, &dp);
+        // The only difference between baseline and MicroEdge is the ~8 ms
+        // transmission (paper Fig. 7b).
+        let delta = me.total() - bm.total();
+        assert!((delta.as_millis_f64() - 8.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn inference_phase_identical_across_designs() {
+        let (m, net, dp) = fixtures();
+        use microedge_metrics::latency::Phase;
+        let sl = ServerlessPath::rpi_calibrated().invoke_breakdown(&m, &net, &dp);
+        let me = microedge_invoke_breakdown(&m, &net, &dp);
+        let bm = baremetal_invoke_breakdown(&m, &dp);
+        assert_eq!(sl.phase(Phase::Inference), me.phase(Phase::Inference));
+        assert_eq!(bm.phase(Phase::Inference), me.phase(Phase::Inference));
+    }
+
+    #[test]
+    #[should_panic(expected = "extra hop")]
+    fn zero_hop_path_rejected() {
+        let _ = ServerlessPath::new(SimDuration::ZERO, 0);
+    }
+}

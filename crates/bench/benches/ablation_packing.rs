@@ -1,0 +1,19 @@
+//! Ablation (DESIGN.md ◊3): packing heuristics for admission control.
+
+use criterion::{criterion_group, Criterion};
+use microedge_bench::packing::{render_packing, run_packing_ablation};
+use microedge_core::config::Features;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("ablation/packing_60req_6tpus_all_policies", |b| {
+        b.iter(|| run_packing_ablation(60, 6, Features::all(), 7))
+    });
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    println!("{}", render_packing(60, 6, 10));
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,21 @@
+//! Ablation (paper §8 extension): multi-model pipeline hop optimization.
+
+use criterion::{criterion_group, Criterion};
+use microedge_bench::pipeline_ablation::{render_pipeline_ablation, run_pipeline_ablation};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_pipeline");
+    g.sample_size(10);
+    g.bench_function("two_stage_pipeline_60frames", |b| {
+        b.iter(|| run_pipeline_ablation(60))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    println!("{}", render_pipeline_ablation(300));
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

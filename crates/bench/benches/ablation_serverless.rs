@@ -1,0 +1,62 @@
+//! Ablation (paper §2, §6.4.2): MicroEdge's deployment-time design vs the
+//! serverless shared-queue design, per-invoke, across the model catalog.
+
+use criterion::{criterion_group, Criterion};
+use microedge_baselines::serverless::{
+    baremetal_invoke_breakdown, microedge_invoke_breakdown, ServerlessPath,
+};
+use microedge_cluster::network::NetworkModel;
+use microedge_core::config::DataPlaneConfig;
+use microedge_metrics::report::{fmt_f64, Table};
+use microedge_models::catalog::fig1_models;
+
+fn render() -> String {
+    let net = NetworkModel::rpi_gigabit();
+    let dp = DataPlaneConfig::calibrated();
+    let path = ServerlessPath::rpi_calibrated();
+    let mut table = Table::new(&[
+        "model",
+        "bare-metal (ms)",
+        "microedge (ms)",
+        "serverless (ms)",
+        "serverless penalty (ms)",
+    ]);
+    for m in fig1_models() {
+        let bm = baremetal_invoke_breakdown(&m, &dp).total().as_millis_f64();
+        let me = microedge_invoke_breakdown(&m, &net, &dp)
+            .total()
+            .as_millis_f64();
+        let sl = path.invoke_breakdown(&m, &net, &dp).total().as_millis_f64();
+        table.row_owned(vec![
+            m.id().to_string(),
+            fmt_f64(bm, 2),
+            fmt_f64(me, 2),
+            fmt_f64(sl, 2),
+            fmt_f64(sl - me, 2),
+        ]);
+    }
+    format!("### Ablation — per-invoke latency by design\n{table}")
+}
+
+fn bench(c: &mut Criterion) {
+    let net = NetworkModel::rpi_gigabit();
+    let dp = DataPlaneConfig::calibrated();
+    let path = ServerlessPath::rpi_calibrated();
+    let models = fig1_models();
+    c.bench_function("ablation/serverless_penalty_catalog", |b| {
+        b.iter(|| {
+            models
+                .iter()
+                .map(|m| path.penalty_over_microedge(m, &net, &dp).as_nanos())
+                .sum::<u64>()
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    println!("{}", render());
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

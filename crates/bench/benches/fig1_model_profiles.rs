@@ -1,0 +1,16 @@
+//! Fig. 1 — model processing times on the TPU.
+
+use criterion::{criterion_group, Criterion};
+use microedge_bench::fig1::{fig1_rows, render_fig1};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig1/build_rows", |b| b.iter(fig1_rows));
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    println!("{}", render_fig1());
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,33 @@
+//! Fig. 5a–5d — scalability of MicroEdge vs the dedicated baseline.
+
+use criterion::{criterion_group, Criterion};
+use microedge_bench::runner::SystemConfig;
+use microedge_bench::scalability::{fig5_sweep, max_cameras, render_sweep, run_point};
+use microedge_workloads::apps::CameraApp;
+
+fn bench(c: &mut Criterion) {
+    let app = CameraApp::coral_pie();
+    c.bench_function("fig5/admission_capacity_6tpus", |b| {
+        b.iter(|| max_cameras(&app, SystemConfig::microedge_full(), 6))
+    });
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("data_plane_point_2tpus_100frames", |b| {
+        b.iter(|| run_point(&app, SystemConfig::microedge_full(), 2, 100))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    let coral = CameraApp::coral_pie();
+    let points = fig5_sweep(&coral, &SystemConfig::fig5_configs(), 6, 300);
+    println!("{}", render_sweep(&coral, &points));
+    let bodypix = CameraApp::bodypix();
+    let bp = [SystemConfig::Baseline, SystemConfig::microedge_full()];
+    let points = fig5_sweep(&bodypix, &bp, 6, 300);
+    println!("{}", render_sweep(&bodypix, &points));
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

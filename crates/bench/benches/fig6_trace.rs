@@ -1,0 +1,31 @@
+//! Fig. 6a/6b — MicroEdge performance under the trace workload.
+
+use criterion::{criterion_group, Criterion};
+use microedge_bench::runner::SystemConfig;
+use microedge_bench::trace_study::{render_fig6, run_fig6, run_trace};
+use microedge_sim::time::SimDuration;
+use microedge_workloads::trace::{synthesize, TraceConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut cfg = TraceConfig::microedge_downsized();
+    cfg.duration = SimDuration::from_secs(120);
+    let trace = synthesize(&cfg, 42);
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("replay_2min_full_microedge", |b| {
+        b.iter(|| run_trace(SystemConfig::microedge_full(), &trace, &cfg, 6))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    let mut cfg = TraceConfig::microedge_downsized();
+    cfg.duration = SimDuration::from_secs(10 * 60);
+    let trace = synthesize(&cfg, 42);
+    let outcomes = run_fig6(&trace, &cfg, 6);
+    println!("{}", render_fig6(&outcomes));
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,32 @@
+//! Fig. 7a — one-time admission-control overhead.
+
+use criterion::{criterion_group, Criterion};
+use microedge_bench::admission_overhead::{render_fig7a, run_overhead};
+use microedge_bench::runner::experiment_cluster;
+use microedge_core::admission::{AdmissionPolicy, FirstFit};
+use microedge_core::config::Features;
+use microedge_core::pool::TpuPool;
+use microedge_core::units::TpuUnits;
+use microedge_models::catalog::ssd_mobilenet_v2;
+use microedge_tpu::spec::TpuSpec;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig7a/launch_model_2000_samples", |b| {
+        b.iter(|| run_overhead(2000, 42))
+    });
+    // The admission decision itself, at the paper's 100-node ceiling.
+    let pool = TpuPool::from_cluster(&experiment_cluster(100), TpuSpec::coral_usb());
+    let model = ssd_mobilenet_v2();
+    let mut policy = FirstFit::new();
+    c.bench_function("fig7a/admission_decision_100_tpus", |b| {
+        b.iter(|| policy.plan(&pool, &model, TpuUnits::from_f64(0.35), Features::all()))
+    });
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    println!("{}", render_fig7a(5000, 42));
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

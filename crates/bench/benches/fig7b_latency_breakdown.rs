@@ -1,0 +1,22 @@
+//! Fig. 7b — Invoke latency breakdown.
+
+use criterion::{criterion_group, Criterion};
+use microedge_bench::latency_breakdown::{measure_breakdown, render_fig7b};
+use microedge_bench::runner::SystemConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7b");
+    g.sample_size(10);
+    g.bench_function("measure_microedge_50frames", |b| {
+        b.iter(|| measure_breakdown(SystemConfig::microedge_full(), 50))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    println!("{}", render_fig7b(300));
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

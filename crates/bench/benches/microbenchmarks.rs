@@ -1,0 +1,79 @@
+//! Core-operation micro-benchmarks: the per-operation costs that bound the
+//! simulator's and the control plane's throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use microedge_bench::runner::experiment_cluster;
+use microedge_core::admission::{AdmissionPolicy, FirstFit};
+use microedge_core::config::Features;
+use microedge_core::lbs::LbService;
+use microedge_core::pool::{Allocation, TpuPool};
+use microedge_core::units::TpuUnits;
+use microedge_models::catalog::ssd_mobilenet_v2;
+use microedge_sim::event::EventQueue;
+use microedge_sim::rng::DetRng;
+use microedge_sim::time::{SimDuration, SimTime};
+use microedge_tpu::device::TpuId;
+use microedge_tpu::spec::TpuSpec;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("micro/event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1_000u64 {
+                q.schedule_at(SimTime::from_nanos((i * 7919) % 100_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            sum
+        })
+    });
+}
+
+fn bench_units(c: &mut Criterion) {
+    c.bench_function("micro/tpu_units_duty_cycle", |b| {
+        let service = SimDuration::from_nanos(23_333_333);
+        let period = SimDuration::from_nanos(66_666_667);
+        b.iter(|| TpuUnits::from_duty_cycle(service, period))
+    });
+}
+
+fn bench_lbs(c: &mut Criterion) {
+    let allocations: Vec<Allocation> = (0..6)
+        .map(|i| {
+            Allocation::new(
+                TpuId(i),
+                TpuUnits::from_micro(100_000 + u64::from(i) * 37_000),
+            )
+        })
+        .collect();
+    let mut lbs = LbService::from_allocations(&allocations);
+    c.bench_function("micro/lbs_next_6_targets", |b| b.iter(|| lbs.next()));
+}
+
+fn bench_admission(c: &mut Criterion) {
+    for tpus in [6u32, 100] {
+        let pool = TpuPool::from_cluster(&experiment_cluster(tpus), TpuSpec::coral_usb());
+        let model = ssd_mobilenet_v2();
+        let mut policy = FirstFit::new();
+        c.bench_function(&format!("micro/admission_plan_{tpus}_tpus"), |b| {
+            b.iter(|| policy.plan(&pool, &model, TpuUnits::from_f64(0.35), Features::all()))
+        });
+    }
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut rng = DetRng::seed_from(1);
+    c.bench_function("micro/rng_exponential", |b| b.iter(|| rng.exponential(0.5)));
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_units,
+    bench_lbs,
+    bench_admission,
+    bench_rng
+);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Table 1 — cost of ownership for 17 Coral-Pie cameras.
+
+use criterion::{criterion_group, Criterion};
+use microedge_bench::cost::{render_table1, table1_rows};
+use microedge_cluster::cost::CostModel;
+use microedge_workloads::apps::CameraApp;
+
+fn bench(c: &mut Criterion) {
+    let app = CameraApp::coral_pie();
+    c.bench_function("table1/compute_rows", |b| {
+        b.iter(|| table1_rows(&app, 17, CostModel::paper_prices()))
+    });
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    println!("{}", render_table1(&CameraApp::coral_pie(), 17));
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,159 @@
+//! Cost-of-ownership comparison (paper Table 1).
+//!
+//! "How much hardware does each configuration need to support 17 Coral-Pie
+//! camera instances?" The TPU count comes from the actual admission-control
+//! capacity (not a closed-form guess), the RPi count is one host per camera
+//! instance as in the paper, and prices come from the Table 1 cost model.
+//!
+//! Note one deliberate divergence, recorded in `EXPERIMENTS.md`: 17 cameras
+//! of 0.35 TPU units at two-per-TPU need **9** TPUs without workload
+//! partitioning (⌈17 / 2⌉); the paper's table lists 8, which only covers 16
+//! cameras under its own scheme. We report what admission control actually
+//! requires.
+
+use microedge_cluster::cost::CostModel;
+use microedge_metrics::report::Table;
+use microedge_workloads::apps::CameraApp;
+
+use crate::runner::SystemConfig;
+use crate::scalability::max_cameras;
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostRow {
+    config: SystemConfig,
+    tpus: u32,
+    rpis: u32,
+    total_usd: u32,
+}
+
+impl CostRow {
+    /// The configuration priced.
+    #[must_use]
+    pub fn config(&self) -> SystemConfig {
+        self.config
+    }
+
+    /// TPUs required.
+    #[must_use]
+    pub fn tpus(&self) -> u32 {
+        self.tpus
+    }
+
+    /// RPis required.
+    #[must_use]
+    pub fn rpis(&self) -> u32 {
+        self.rpis
+    }
+
+    /// Total hardware cost in US dollars.
+    #[must_use]
+    pub fn total_usd(&self) -> u32 {
+        self.total_usd
+    }
+}
+
+/// The smallest TPU count whose admission capacity covers `cameras`
+/// instances of `app` under `config`.
+///
+/// # Panics
+///
+/// Panics if even 10 × `cameras` TPUs cannot cover the demand (the
+/// configuration cannot run this app at all).
+#[must_use]
+pub fn tpus_needed(app: &CameraApp, config: SystemConfig, cameras: u32) -> u32 {
+    (1..=cameras * 10)
+        .find(|&tpus| max_cameras(app, config, tpus) >= cameras)
+        .unwrap_or_else(|| panic!("{} cannot support {cameras} cameras", config.label()))
+}
+
+/// Computes Table 1 for `cameras` instances of `app`.
+#[must_use]
+pub fn table1_rows(app: &CameraApp, cameras: u32, prices: CostModel) -> Vec<CostRow> {
+    [
+        SystemConfig::Baseline,
+        SystemConfig::microedge_no_wp(),
+        SystemConfig::microedge_full(),
+    ]
+    .into_iter()
+    .map(|config| {
+        let tpus = tpus_needed(app, config, cameras);
+        let rpis = cameras;
+        CostRow {
+            config,
+            tpus,
+            rpis,
+            total_usd: prices.total_usd(rpis, tpus),
+        }
+    })
+    .collect()
+}
+
+/// Renders Table 1.
+#[must_use]
+pub fn render_table1(app: &CameraApp, cameras: u32) -> String {
+    let prices = CostModel::paper_prices();
+    let rows = table1_rows(app, cameras, prices);
+    let baseline_cost = rows[0].total_usd();
+    let mut table = Table::new(&["config", "#TPUs", "#RPis", "total cost", "saving"]);
+    for row in &rows {
+        let saving = prices.saving(baseline_cost, row.total_usd());
+        table.row_owned(vec![
+            row.config().label(),
+            row.tpus().to_string(),
+            row.rpis().to_string(),
+            format!("${}", row.total_usd()),
+            format!("{:.0}%", saving * 100.0),
+        ]);
+    }
+    format!(
+        "### Table 1 — cost to support {cameras} {} camera instances\n{table}",
+        app.name()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape_holds() {
+        let rows = table1_rows(&CameraApp::coral_pie(), 17, CostModel::paper_prices());
+        assert_eq!(rows.len(), 3);
+        // Baseline: one TPU per camera.
+        assert_eq!(rows[0].tpus(), 17);
+        assert_eq!(rows[0].total_usd(), 2550);
+        // w/o W.P.: ⌈17/2⌉ = 9 TPUs (the paper's 8 covers only 16 cameras).
+        assert_eq!(rows[1].tpus(), 9);
+        assert_eq!(rows[1].total_usd(), 1950);
+        // w/ W.P.: ⌈17 × 0.35⌉ = 6 TPUs, $1725 exactly as in the paper.
+        assert_eq!(rows[2].tpus(), 6);
+        assert_eq!(rows[2].total_usd(), 1725);
+        // Monotone cost ordering.
+        assert!(rows[0].total_usd() > rows[1].total_usd());
+        assert!(rows[1].total_usd() > rows[2].total_usd());
+    }
+
+    #[test]
+    fn full_microedge_saves_about_a_third() {
+        let prices = CostModel::paper_prices();
+        let rows = table1_rows(&CameraApp::coral_pie(), 17, prices);
+        let saving = prices.saving(rows[0].total_usd(), rows[2].total_usd());
+        assert!((saving - 0.324).abs() < 0.01, "≈ 33 %, got {saving}");
+    }
+
+    #[test]
+    fn bodypix_needs_double_tpus_on_baseline() {
+        let app = CameraApp::bodypix();
+        assert_eq!(tpus_needed(&app, SystemConfig::Baseline, 3), 6);
+        assert_eq!(tpus_needed(&app, SystemConfig::microedge_full(), 3), 4);
+    }
+
+    #[test]
+    fn render_includes_dollar_rows() {
+        let text = render_table1(&CameraApp::coral_pie(), 17);
+        assert!(text.contains("$2550"));
+        assert!(text.contains("$1725"));
+        assert!(text.contains("Table 1"));
+    }
+}

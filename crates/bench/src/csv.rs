@@ -1,0 +1,73 @@
+//! Minimal CSV export for the `repro` binary (`--csv <dir>`), so every
+//! figure's series can be re-plotted outside this crate.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Quotes a field if it contains a comma, quote, or newline.
+fn quote(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Writes one CSV file `<dir>/<name>.csv` with a header row.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (directory creation, write).
+pub fn write_csv(
+    dir: &Path,
+    name: &str,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut out = String::new();
+    out.push_str(
+        &headers
+            .iter()
+            .map(|h| quote(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for row in rows {
+        debug_assert_eq!(row.len(), headers.len(), "ragged CSV row");
+        out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    fs::write(&path, out)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_quoted_csv() {
+        let dir = std::env::temp_dir().join(format!("microedge-csv-{}", std::process::id()));
+        let path = write_csv(
+            &dir,
+            "test",
+            &["a", "b"],
+            &[
+                vec!["1".into(), "plain".into()],
+                vec!["2".into(), "with,comma".into()],
+                vec!["3".into(), "with\"quote".into()],
+            ],
+        )
+        .unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            text,
+            "a,b\n1,plain\n2,\"with,comma\"\n3,\"with\"\"quote\"\n"
+        );
+        fs::remove_dir_all(dir).unwrap();
+    }
+}

@@ -1,0 +1,170 @@
+//! Difference-detector ablation (paper §1).
+//!
+//! The paper motivates fine-grained sharing with the observation that
+//! adding NoScope's difference detector to Coral-Pie drops TPU utilization
+//! from ~30 % to ~20 % — i.e. frame filtering makes dedicated TPUs *even
+//! more* wasteful, and fractional sharing *even more* valuable. This
+//! ablation quantifies that: capacity and measured utilization on 6 TPUs,
+//! with and without the filter, under MicroEdge and the baseline.
+
+use microedge_core::runtime::{RunResults, StreamSpec};
+use microedge_metrics::report::{fmt_f64, Table};
+use microedge_sim::time::{SimDuration, SimTime};
+use microedge_workloads::apps::{CameraApp, DiffDetector};
+
+use crate::runner::{build_world, experiment_cluster, SystemConfig};
+
+/// One row of the ablation.
+#[derive(Debug, Clone)]
+pub struct DiffDetectorOutcome {
+    label: String,
+    cameras: u32,
+    avg_utilization: f64,
+    all_slo_met: bool,
+}
+
+impl DiffDetectorOutcome {
+    /// Row label.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Cameras admitted at capacity.
+    #[must_use]
+    pub fn cameras(&self) -> u32 {
+        self.cameras
+    }
+
+    /// Fleet utilization at capacity.
+    #[must_use]
+    pub fn avg_utilization(&self) -> f64 {
+        self.avg_utilization
+    }
+
+    /// Whether every camera held 15 FPS.
+    #[must_use]
+    pub fn all_slo_met(&self) -> bool {
+        self.all_slo_met
+    }
+}
+
+fn spec(
+    app: &CameraApp,
+    detector: Option<DiffDetector>,
+    index: u32,
+    frames: u64,
+    config: SystemConfig,
+) -> StreamSpec {
+    let fraction = (f64::from(index) * 0.618_033_988_749_895) % 1.0;
+    let mut builder = StreamSpec::builder(&format!("cam-{index}"), app.model().as_str())
+        .fps(app.fps())
+        .frame_limit(frames)
+        .start_offset(app.frame_interval().mul_f64(fraction))
+        .collocated(config.collocated());
+    builder = match detector {
+        Some(dd) => builder
+            .units(dd.effective_units(app.units()))
+            .frame_filter(dd.pass_rate(), u64::from(index)),
+        None => builder.units(app.units()),
+    };
+    builder.build()
+}
+
+fn run(
+    config: SystemConfig,
+    detector: Option<DiffDetector>,
+    tpus: u32,
+    frames: u64,
+) -> DiffDetectorOutcome {
+    let app = CameraApp::coral_pie();
+    let mut world = build_world(experiment_cluster(tpus), config);
+    let mut admitted = 0;
+    while world
+        .admit_stream(spec(&app, detector, admitted, frames, config))
+        .is_ok()
+    {
+        admitted += 1;
+    }
+    let horizon = SimTime::ZERO + app.frame_interval() * (frames + 20) + SimDuration::from_secs(5);
+    let results: RunResults = world.run_to_completion(horizon);
+    DiffDetectorOutcome {
+        label: format!(
+            "{}, {}",
+            config.label(),
+            if detector.is_some() {
+                "with diff detector"
+            } else {
+                "raw frames"
+            }
+        ),
+        cameras: admitted,
+        avg_utilization: results.average_utilization(),
+        all_slo_met: results.all_met_fps(),
+    }
+}
+
+/// The four (system × filter) combinations on `tpus` TPUs.
+#[must_use]
+pub fn run_diff_detector_ablation(tpus: u32, frames: u64) -> Vec<DiffDetectorOutcome> {
+    let dd = DiffDetector::coral_pie_calibrated();
+    vec![
+        run(SystemConfig::Baseline, None, tpus, frames),
+        run(SystemConfig::Baseline, Some(dd), tpus, frames),
+        run(SystemConfig::microedge_full(), None, tpus, frames),
+        run(SystemConfig::microedge_full(), Some(dd), tpus, frames),
+    ]
+}
+
+/// Renders the ablation.
+#[must_use]
+pub fn render_diff_detector(tpus: u32, frames: u64) -> String {
+    let rows = run_diff_detector_ablation(tpus, frames);
+    let mut table = Table::new(&["config", "cameras", "avg TPU utilization", "SLO"]);
+    for r in &rows {
+        table.row_owned(vec![
+            r.label().to_owned(),
+            r.cameras().to_string(),
+            fmt_f64(r.avg_utilization(), 3),
+            if r.all_slo_met() { "met" } else { "VIOLATED" }.to_owned(),
+        ]);
+    }
+    format!("### Ablation — NoScope difference detector on Coral-Pie ({tpus} TPUs)\n{table}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_wastes_dedicated_tpus_and_grows_microedge_capacity() {
+        let rows = run_diff_detector_ablation(3, 200);
+        let (bl_raw, bl_dd, me_raw, me_dd) = (&rows[0], &rows[1], &rows[2], &rows[3]);
+
+        // Baseline capacity is TPU-bound either way; the filter only drops
+        // its utilization (the paper's 30 % → 20 % observation).
+        assert_eq!(bl_raw.cameras(), 3);
+        assert_eq!(bl_dd.cameras(), 3);
+        assert!((bl_raw.avg_utilization() - 0.35).abs() < 0.02);
+        assert!(
+            (bl_dd.avg_utilization() - 0.233).abs() < 0.03,
+            "got {}",
+            bl_dd.avg_utilization()
+        );
+
+        // MicroEdge converts the freed duty cycle into capacity:
+        // ⌊3 / 0.2333⌋ = 12 filtered cameras vs ⌊3 / 0.35⌋ = 8 raw.
+        assert_eq!(me_raw.cameras(), 8);
+        assert_eq!(me_dd.cameras(), 12);
+        for r in &rows {
+            assert!(r.all_slo_met(), "{}", r.label());
+        }
+    }
+
+    #[test]
+    fn render_lists_all_rows() {
+        let text = render_diff_detector(2, 60);
+        assert!(text.contains("with diff detector"));
+        assert!(text.contains("raw frames"));
+    }
+}

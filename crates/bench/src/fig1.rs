@@ -1,0 +1,131 @@
+//! Model processing times on the TPU (paper Fig. 1).
+//!
+//! For each catalog model: its inference time, and the frame rate that
+//! would be needed to drive a dedicated TPU to 100 % utilization (the
+//! orange line in the figure). The figure's takeaways are asserted by the
+//! accompanying tests: most models need impractical frame rates to
+//! saturate a TPU, while a few cannot even sustain 15 FPS alone.
+
+use microedge_metrics::report::{fmt_f64, Table};
+use microedge_models::catalog::fig1_models;
+use microedge_models::profile::ModelProfile;
+use microedge_sim::time::SimDuration;
+
+/// One bar of Fig. 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig1Row {
+    model: String,
+    kind: String,
+    inference_ms: f64,
+    fps_for_full_util: f64,
+    sustains_15fps: bool,
+}
+
+impl Fig1Row {
+    /// Model name.
+    #[must_use]
+    pub fn model(&self) -> &str {
+        &self.model
+    }
+
+    /// Inference time in milliseconds.
+    #[must_use]
+    pub fn inference_ms(&self) -> f64 {
+        self.inference_ms
+    }
+
+    /// Frame rate for 100 % utilization (the orange line).
+    #[must_use]
+    pub fn fps_for_full_util(&self) -> f64 {
+        self.fps_for_full_util
+    }
+
+    /// `true` when a single TPU sustains the model at 15 FPS.
+    #[must_use]
+    pub fn sustains_15fps(&self) -> bool {
+        self.sustains_15fps
+    }
+}
+
+fn row(m: &ModelProfile) -> Fig1Row {
+    let interarrival_15fps = SimDuration::from_millis_f64(1000.0 / 15.0);
+    Fig1Row {
+        model: m.id().to_string(),
+        kind: m.kind().to_string(),
+        inference_ms: m.inference_time().as_millis_f64(),
+        fps_for_full_util: m.fps_for_full_utilization(),
+        sustains_15fps: m.inference_time() <= interarrival_15fps,
+    }
+}
+
+/// The eight Fig. 1 rows in figure order.
+#[must_use]
+pub fn fig1_rows() -> Vec<Fig1Row> {
+    fig1_models().iter().map(row).collect()
+}
+
+/// Renders the Fig. 1 table.
+#[must_use]
+pub fn render_fig1() -> String {
+    let mut table = Table::new(&[
+        "model",
+        "task",
+        "inference (ms)",
+        "FPS for 100% util",
+        "sustains 15 FPS alone",
+    ]);
+    for r in fig1_rows() {
+        table.row_owned(vec![
+            r.model.clone(),
+            r.kind.clone(),
+            fmt_f64(r.inference_ms, 1),
+            fmt_f64(r.fps_for_full_util, 1),
+            if r.sustains_15fps { "yes" } else { "no" }.to_owned(),
+        ]);
+    }
+    format!("### Fig. 1 — model processing times on the TPU\n{table}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_models_four_detection_four_classification() {
+        let rows = fig1_rows();
+        assert_eq!(rows.len(), 8);
+        let det = rows.iter().filter(|r| r.kind == "detection").count();
+        let cls = rows.iter().filter(|r| r.kind == "classification").count();
+        assert_eq!((det, cls), (4, 4));
+    }
+
+    #[test]
+    fn five_of_eight_need_over_50fps() {
+        let over = fig1_rows()
+            .iter()
+            .filter(|r| r.fps_for_full_util > 50.0)
+            .count();
+        assert_eq!(over, 5);
+    }
+
+    #[test]
+    fn three_models_cannot_sustain_15fps() {
+        let cannot: Vec<String> = fig1_rows()
+            .iter()
+            .filter(|r| !r.sustains_15fps)
+            .map(|r| r.model.clone())
+            .collect();
+        assert_eq!(
+            cannot,
+            vec!["efficientdet-lite0", "efficientnet-lite0", "resnet-50"]
+        );
+    }
+
+    #[test]
+    fn render_mentions_every_model() {
+        let text = render_fig1();
+        for r in fig1_rows() {
+            assert!(text.contains(r.model()), "{}", r.model());
+        }
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # microedge-bench — the evaluation harness
+//!
+//! One module per paper artifact, each with a `run_*` entry point returning
+//! structured results and a `render_*` function printing the table the
+//! paper's figure reports:
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`fig1`] | Fig. 1 — model processing times |
+//! | [`scalability`] | Fig. 5a–5d — cameras supported & TPU utilization |
+//! | [`cost`] | Table 1 — cost of ownership |
+//! | [`trace_study`] | Fig. 6a/6b — trace-driven utilization & cameras served |
+//! | [`admission_overhead`] | Fig. 7a — one-time admission overhead |
+//! | [`latency_breakdown`] | Fig. 7b — Invoke latency breakdown (+ serverless ablation) |
+//! | [`packing`] | packing-heuristic ablation (DESIGN.md ◊3) |
+//! | [`pipeline_ablation`] | multi-model pipeline hop optimization (§8 extension) |
+//! | [`diff_detector`] | NoScope frame-filter ablation (§1 motivation) |
+//! | [`tail_latency`] | per-frame latency vs load curve (queueing behaviour) |
+//!
+//! The `repro` binary prints every artifact; the Criterion benches under
+//! `benches/` time the underlying computations.
+
+pub mod admission_overhead;
+pub mod cost;
+pub mod csv;
+pub mod diff_detector;
+pub mod fig1;
+pub mod latency_breakdown;
+pub mod packing;
+pub mod pipeline_ablation;
+pub mod runner;
+pub mod scalability;
+pub mod tail_latency;
+pub mod trace_study;
+
+pub use runner::{build_world, experiment_cluster, SystemConfig};

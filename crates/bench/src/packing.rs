@@ -1,0 +1,476 @@
+//! Packing-heuristic ablation (DESIGN.md ◊3).
+//!
+//! The paper chooses First-Fit for its 1.7 asymptotic approximation ratio.
+//! This ablation feeds identical random request sequences to First-Fit,
+//! Best-Fit, Worst-Fit, and Next-Fit and compares TPUs used and requests
+//! rejected.
+
+use microedge_core::admission::{AdmissionPolicy, BestFit, FirstFit, NextFit, NextKFit, WorstFit};
+use microedge_core::config::Features;
+use microedge_core::pool::TpuPool;
+use microedge_core::units::TpuUnits;
+use microedge_metrics::report::{fmt_f64, Table};
+use microedge_models::catalog::{fig1_models, Catalog};
+use microedge_models::profile::ModelProfile;
+use microedge_sim::rng::DetRng;
+use microedge_tpu::spec::TpuSpec;
+
+use crate::runner::experiment_cluster;
+
+/// Outcome of one policy on one request sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackingOutcome {
+    policy: &'static str,
+    admitted: u32,
+    rejected: u32,
+    tpus_used: usize,
+}
+
+impl PackingOutcome {
+    /// Policy name.
+    #[must_use]
+    pub fn policy(&self) -> &'static str {
+        self.policy
+    }
+
+    /// Requests admitted.
+    #[must_use]
+    pub fn admitted(&self) -> u32 {
+        self.admitted
+    }
+
+    /// Requests rejected.
+    #[must_use]
+    pub fn rejected(&self) -> u32 {
+        self.rejected
+    }
+
+    /// TPUs carrying load after the sequence.
+    #[must_use]
+    pub fn tpus_used(&self) -> usize {
+        self.tpus_used
+    }
+}
+
+/// A random request: a Fig. 1 model (small ones, so the Model Size Rule is
+/// exercised but not degenerate) and a unit demand in `[0.1, 0.7]`.
+fn random_requests(count: u32, seed: u64) -> Vec<(ModelProfile, TpuUnits)> {
+    let small_models: Vec<ModelProfile> = fig1_models()
+        .into_iter()
+        .filter(|m| m.param_bytes() <= 4 * 1024 * 1024)
+        .collect();
+    let mut rng = DetRng::seed_from(seed);
+    (0..count)
+        .map(|_| {
+            let model = small_models[rng.index(small_models.len())].clone();
+            let units = TpuUnits::from_micro(rng.uniform_range(100_000, 700_001));
+            (model, units)
+        })
+        .collect()
+}
+
+/// The §4.2 heuristic list: First-, Best-, Worst-, Next-, and Next-k-Fit.
+fn policy_set() -> Vec<Box<dyn AdmissionPolicy>> {
+    vec![
+        Box::new(FirstFit::new()),
+        Box::new(BestFit::new()),
+        Box::new(WorstFit::new()),
+        Box::new(NextFit::new()),
+        Box::new(NextKFit::new(2)),
+    ]
+}
+
+fn run_policy(
+    mut policy: Box<dyn AdmissionPolicy>,
+    requests: &[(ModelProfile, TpuUnits)],
+    tpus: u32,
+    features: Features,
+) -> PackingOutcome {
+    let cluster = experiment_cluster(tpus);
+    let mut pool = TpuPool::from_cluster(&cluster, TpuSpec::coral_usb());
+    let mut admitted = 0;
+    let mut rejected = 0;
+    for (model, units) in requests {
+        match policy.plan(&pool, model, *units, features) {
+            Some(plan) => {
+                pool.commit(model, &plan);
+                admitted += 1;
+            }
+            None => rejected += 1,
+        }
+    }
+    PackingOutcome {
+        policy: policy.name(),
+        admitted,
+        rejected,
+        tpus_used: pool.used_tpus(),
+    }
+}
+
+/// One step of a churn workload: a camera arrives, or a previously
+/// admitted camera departs.
+#[derive(Debug, Clone)]
+enum ChurnOp {
+    Arrive(ModelProfile, TpuUnits),
+    /// Departs the `n`-th *successfully admitted* camera, if still live.
+    Depart(usize),
+}
+
+/// A random arrive/depart sequence. Departures create the fragmentation
+/// holes that make the packing heuristics diverge.
+fn churn_ops(count: u32, seed: u64) -> Vec<ChurnOp> {
+    let requests = random_requests(count, seed);
+    let mut rng = DetRng::seed_from(seed ^ 0xC0FF_EE00);
+    let mut ops = Vec::with_capacity(count as usize);
+    let mut arrivals = 0usize;
+    for (model, units) in requests {
+        if arrivals > 2 && rng.chance(0.4) {
+            ops.push(ChurnOp::Depart(rng.index(arrivals)));
+        } else {
+            ops.push(ChurnOp::Arrive(model, units));
+            arrivals += 1;
+        }
+    }
+    ops
+}
+
+fn run_policy_churn(
+    mut policy: Box<dyn AdmissionPolicy>,
+    ops: &[ChurnOp],
+    tpus: u32,
+    features: Features,
+) -> PackingOutcome {
+    let cluster = experiment_cluster(tpus);
+    let mut pool = TpuPool::from_cluster(&cluster, TpuSpec::coral_usb());
+    // One slot per arrival op (policy-independent indexing): holds the
+    // committed assignment if this policy admitted that arrival and it has
+    // not yet departed.
+    let mut slots: Vec<Option<(ModelProfile, Vec<microedge_core::pool::Allocation>)>> = Vec::new();
+    let mut admitted = 0;
+    let mut rejected = 0;
+    for op in ops {
+        match op {
+            ChurnOp::Arrive(model, units) => match policy.plan(&pool, model, *units, features) {
+                Some(plan) => {
+                    pool.commit(model, &plan);
+                    slots.push(Some((model.clone(), plan)));
+                    admitted += 1;
+                }
+                None => {
+                    slots.push(None);
+                    rejected += 1;
+                }
+            },
+            ChurnOp::Depart(idx) => {
+                if let Some(Some((model, plan))) = slots.get_mut(*idx).map(Option::take) {
+                    pool.release(model.id(), &plan);
+                }
+            }
+        }
+    }
+    PackingOutcome {
+        policy: policy.name(),
+        admitted,
+        rejected,
+        tpus_used: pool.used_tpus(),
+    }
+}
+
+/// Runs all four heuristics on the same arrive/depart sequence. Departures
+/// leave fragmentation holes, which is where scan order starts to matter —
+/// especially with workload partitioning disabled.
+#[must_use]
+pub fn run_churn_ablation(
+    ops_count: u32,
+    tpus: u32,
+    features: Features,
+    seed: u64,
+) -> Vec<PackingOutcome> {
+    let ops = churn_ops(ops_count, seed);
+    policy_set()
+        .into_iter()
+        .map(|p| run_policy_churn(p, &ops, tpus, features))
+        .collect()
+}
+
+/// Runs all four heuristics on the same sequence.
+#[must_use]
+pub fn run_packing_ablation(
+    requests: u32,
+    tpus: u32,
+    features: Features,
+    seed: u64,
+) -> Vec<PackingOutcome> {
+    let sequence = random_requests(requests, seed);
+    policy_set()
+        .into_iter()
+        .map(|p| run_policy(p, &sequence, tpus, features))
+        .collect()
+}
+
+/// Renders the ablation averaged over `seeds` sequences, in two regimes:
+/// arrival-only with workload partitioning (where the heuristics tie —
+/// partitioning eliminates fragmentation), and churn without partitioning
+/// (where scan order matters).
+#[must_use]
+pub fn render_packing(requests: u32, tpus: u32, seeds: u64) -> String {
+    let regimes: [(&str, Features, bool); 2] = [
+        ("arrivals only, w/ partitioning", Features::all(), false),
+        (
+            "churn, w/o partitioning",
+            Features::co_compiling_only(),
+            true,
+        ),
+    ];
+    let mut out = String::new();
+    for (label, features, churn) in regimes {
+        let mut admitted = [0u32; 5];
+        let mut used = [0usize; 5];
+        let mut names = ["", "", "", "", ""];
+        for seed in 0..seeds {
+            let outcomes = if churn {
+                run_churn_ablation(requests, tpus, features, seed)
+            } else {
+                run_packing_ablation(requests, tpus, features, seed)
+            };
+            for (i, o) in outcomes.iter().enumerate() {
+                admitted[i] += o.admitted();
+                used[i] += o.tpus_used();
+                names[i] = o.policy();
+            }
+        }
+        let mut table = Table::new(&["policy", "avg admitted", "avg TPUs used"]);
+        for i in 0..5 {
+            table.row_owned(vec![
+                names[i].to_owned(),
+                fmt_f64(f64::from(admitted[i]) / seeds as f64, 1),
+                fmt_f64(used[i] as f64 / seeds as f64, 1),
+            ]);
+        }
+        out.push_str(&format!(
+            "### Ablation — packing heuristics, {label} ({requests} ops, {tpus} TPUs, {seeds} seeds)\n{table}\n"
+        ));
+    }
+
+    // First-Fit against the exact optimum (classic bin packing, ≤ 10 items
+    // per instance so the branch-and-bound solver is instant).
+    let mut ff_total = 0u32;
+    let mut opt_total = 0u32;
+    let mut worst_ratio = 1.0f64;
+    for seed in 0..seeds {
+        let items: Vec<TpuUnits> = random_requests(10, seed ^ 0xBEEF)
+            .into_iter()
+            .map(|(_, u)| TpuUnits::from_micro(u.as_micro().min(1_000_000)))
+            .collect();
+        let ff = first_fit_bins(&items);
+        let opt = optimal_bins(&items);
+        ff_total += ff;
+        opt_total += opt;
+        worst_ratio = worst_ratio.max(f64::from(ff) / f64::from(opt.max(1)));
+    }
+    out.push_str(&format!(
+        "### Ablation — First-Fit vs exact optimum ({seeds} random 10-item instances)\navg bins: first-fit {:.1} vs optimal {:.1}; worst observed ratio {:.2} (paper's asymptotic bound: 1.7)\n",
+        f64::from(ff_total) / seeds as f64,
+        f64::from(opt_total) / seeds as f64,
+        worst_ratio,
+    ));
+    out
+}
+
+/// Exact minimal bin count for classic bin packing (bins of capacity
+/// [`TpuUnits::ONE`]), by branch and bound with sum lower-bounding —
+/// tractable for the ≤ ~14 items the optimality tests use. Validates the
+/// paper's choice of First-Fit (asymptotic approximation ratio 1.7,
+/// §4.2) against the true optimum.
+///
+/// # Panics
+///
+/// Panics if any item exceeds one whole TPU (classic bin packing only —
+/// that is exactly the regime without workload partitioning).
+#[must_use]
+pub fn optimal_bins(items: &[TpuUnits]) -> u32 {
+    const CAP: u64 = 1_000_000;
+    let mut sizes: Vec<u64> = items.iter().map(|u| u.as_micro()).collect();
+    assert!(
+        sizes.iter().all(|&s| s <= CAP),
+        "classic bin packing requires items ≤ 1 TPU"
+    );
+    sizes.retain(|&s| s > 0);
+    // Largest first tightens the bound quickly.
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    let total: u64 = sizes.iter().sum();
+    let lower = total.div_ceil(CAP) as u32;
+
+    fn search(items: &[u64], bins: &mut Vec<u64>, best: &mut u32, lower: u32) {
+        if *best == lower {
+            return; // cannot beat the volume bound
+        }
+        let Some((&first, rest)) = items.split_first() else {
+            *best = (*best).min(bins.len() as u32);
+            return;
+        };
+        if bins.len() as u32 + 1 > *best {
+            return;
+        }
+        // Try existing bins, skipping symmetric (equal-load) duplicates.
+        let mut tried = std::collections::BTreeSet::new();
+        for i in 0..bins.len() {
+            if bins[i] + first <= CAP && tried.insert(bins[i]) {
+                bins[i] += first;
+                search(rest, bins, best, lower);
+                bins[i] -= first;
+            }
+        }
+        // Or open a new bin.
+        if (bins.len() as u32) < *best {
+            bins.push(first);
+            search(rest, bins, best, lower);
+            bins.pop();
+        }
+    }
+
+    if sizes.is_empty() {
+        return 0;
+    }
+    let mut best = sizes.len() as u32; // one bin per item always works
+    search(&sizes, &mut Vec::new(), &mut best, lower.max(1));
+    best
+}
+
+/// Bins used by classic First-Fit (no splitting) on the same items, in
+/// arrival order — the paper's admission discipline without workload
+/// partitioning.
+///
+/// # Panics
+///
+/// Panics if any item exceeds one whole TPU.
+#[must_use]
+pub fn first_fit_bins(items: &[TpuUnits]) -> u32 {
+    const CAP: u64 = 1_000_000;
+    let mut bins: Vec<u64> = Vec::new();
+    for item in items {
+        let size = item.as_micro();
+        assert!(size <= CAP, "classic bin packing requires items ≤ 1 TPU");
+        if size == 0 {
+            continue;
+        }
+        match bins.iter_mut().find(|b| **b + size <= CAP) {
+            Some(bin) => *bin += size,
+            None => bins.push(size),
+        }
+    }
+    bins.len() as u32
+}
+
+/// Verifies the paper's First-Fit invariants hold across a request
+/// sequence: every TPU's load ≤ 1 and every TPU's live model bytes fit the
+/// budget. Used by integration/property tests.
+#[must_use]
+pub fn first_fit_invariants_hold(requests: u32, tpus: u32, seed: u64) -> bool {
+    let sequence = random_requests(requests, seed);
+    let cluster = experiment_cluster(tpus);
+    let mut pool = TpuPool::from_cluster(&cluster, TpuSpec::coral_usb());
+    let mut policy = FirstFit::new();
+    let catalog = Catalog::builtin();
+    for (model, units) in &sequence {
+        if let Some(plan) = policy.plan(&pool, model, *units, Features::all()) {
+            pool.commit(model, &plan);
+        }
+    }
+    pool.accounts().iter().all(|a| {
+        let live_bytes: u64 = a
+            .live_models()
+            .iter()
+            .map(|m| catalog.expect(m).param_bytes())
+            .sum();
+        a.load() <= TpuUnits::ONE && live_bytes <= pool.param_budget()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_policies_respect_capacity() {
+        for seed in 0..5 {
+            for o in run_packing_ablation(60, 8, Features::all(), seed) {
+                assert!(o.admitted() + o.rejected() == 60);
+                assert!(o.tpus_used() <= 8);
+            }
+        }
+    }
+
+    #[test]
+    fn same_sequence_same_outcome() {
+        let a = run_packing_ablation(40, 6, Features::all(), 3);
+        let b = run_packing_ablation(40, 6, Features::all(), 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn first_fit_is_competitive() {
+        // Averaged over seeds, First-Fit admits at least as much as
+        // Next-Fit (it dominates by construction: it scans strictly more
+        // TPUs from a fixed origin).
+        let seeds = 10;
+        let mut ff = 0;
+        let mut nf = 0;
+        for seed in 0..seeds {
+            let outcomes = run_packing_ablation(60, 6, Features::all(), seed);
+            ff += outcomes[0].admitted();
+            nf += outcomes[3].admitted();
+        }
+        assert!(ff >= nf, "first-fit {ff} vs next-fit {nf}");
+    }
+
+    #[test]
+    fn invariants_hold_for_many_seeds() {
+        for seed in 0..20 {
+            assert!(first_fit_invariants_hold(80, 6, seed), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn render_lists_four_policies_and_both_regimes() {
+        let text = render_packing(30, 6, 3);
+        for name in [
+            "first-fit",
+            "best-fit",
+            "worst-fit",
+            "next-fit",
+            "next-k-fit",
+        ] {
+            assert!(text.contains(name));
+        }
+        assert!(text.contains("arrivals only"));
+        assert!(text.contains("churn"));
+    }
+
+    #[test]
+    fn churn_ablation_is_deterministic_and_capacity_safe() {
+        let a = run_churn_ablation(80, 6, Features::co_compiling_only(), 5);
+        let b = run_churn_ablation(80, 6, Features::co_compiling_only(), 5);
+        assert_eq!(a, b);
+        for o in &a {
+            assert!(o.tpus_used() <= 6);
+            assert!(o.admitted() > 0);
+        }
+    }
+
+    #[test]
+    fn churn_without_partitioning_differentiates_policies() {
+        // Aggregated over seeds, the four heuristics should not all admit
+        // identical counts once departures fragment the pool.
+        let mut distinct = false;
+        for seed in 0..8 {
+            let outcomes = run_churn_ablation(100, 5, Features::co_compiling_only(), seed);
+            let first = outcomes[0].admitted();
+            if outcomes.iter().any(|o| o.admitted() != first) {
+                distinct = true;
+                break;
+            }
+        }
+        assert!(distinct, "expected at least one seed to separate policies");
+    }
+}

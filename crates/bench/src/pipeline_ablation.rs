@@ -1,0 +1,115 @@
+//! Pipeline data-plane ablation (paper §8 extension).
+//!
+//! Quantifies the benefit of the same-TPU hop optimization for multi-model
+//! pipelines: when consecutive stages of a pipeline land on one TPU, the
+//! inter-stage frame transfer is host-local and free; without the
+//! optimization every stage boundary crosses the cluster network.
+
+use microedge_core::config::{DataPlaneConfig, Features};
+use microedge_core::runtime::{StreamSpec, World};
+use microedge_metrics::latency::Phase;
+use microedge_metrics::report::{fmt_f64, Table};
+use microedge_sim::time::SimTime;
+
+use crate::runner::experiment_cluster;
+
+/// Measured outcome of one pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineOutcome {
+    label: &'static str,
+    transmission_ms: f64,
+    total_ms: f64,
+    met_fps: bool,
+}
+
+impl PipelineOutcome {
+    /// Configuration label.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    /// Mean per-frame transmission cost.
+    #[must_use]
+    pub fn transmission_ms(&self) -> f64 {
+        self.transmission_ms
+    }
+
+    /// Mean per-frame end-to-end latency.
+    #[must_use]
+    pub fn total_ms(&self) -> f64 {
+        self.total_ms
+    }
+
+    /// Whether the stream held its FPS SLO.
+    #[must_use]
+    pub fn met_fps(&self) -> bool {
+        self.met_fps
+    }
+}
+
+fn run(label: &'static str, local_hop: bool, frames: u64) -> PipelineOutcome {
+    let mut world = World::new(experiment_cluster(1), Features::all());
+    let mut dp = DataPlaneConfig::calibrated();
+    dp.pipeline_local_hop = local_hop;
+    world.set_data_plane(dp);
+    let cam = world
+        .admit_stream(
+            StreamSpec::builder("pipeline", "unet-v2")
+                .then("mobilenet-v1")
+                .frame_limit(frames)
+                .build(),
+        )
+        .expect("0.89 units fit one TPU");
+    let results = world.run_to_completion(SimTime::from_secs(600));
+    PipelineOutcome {
+        label,
+        transmission_ms: results.breakdowns().mean_ms(Phase::Transmission),
+        total_ms: results.breakdowns().mean_total_ms(),
+        met_fps: results.report(cam).expect("stream exists").met_fps(),
+    }
+}
+
+/// Runs the two-stage UNet→MobileNet pipeline with and without the
+/// optimization.
+#[must_use]
+pub fn run_pipeline_ablation(frames: u64) -> Vec<PipelineOutcome> {
+    vec![
+        run("same-TPU hop free (shipped)", true, frames),
+        run("every hop crosses the network", false, frames),
+    ]
+}
+
+/// Renders the ablation table.
+#[must_use]
+pub fn render_pipeline_ablation(frames: u64) -> String {
+    let rows = run_pipeline_ablation(frames);
+    let mut table = Table::new(&["data plane", "transmission (ms)", "total (ms)", "SLO"]);
+    for r in &rows {
+        table.row_owned(vec![
+            r.label().to_owned(),
+            fmt_f64(r.transmission_ms(), 2),
+            fmt_f64(r.total_ms(), 2),
+            if r.met_fps() { "met" } else { "VIOLATED" }.to_owned(),
+        ]);
+    }
+    format!("### Ablation — pipeline same-TPU hop optimization (UNet→MobileNet, one TPU)\n{table}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimization_removes_the_second_hop() {
+        let rows = run_pipeline_ablation(80);
+        let with = &rows[0];
+        let without = &rows[1];
+        // Without the optimization the classification stage's 224×224
+        // input crosses the network (≈ 4.9 ms extra per frame).
+        let extra = without.transmission_ms() - with.transmission_ms();
+        assert!((extra - 4.9).abs() < 0.3, "extra hop ≈ 4.9 ms, got {extra}");
+        assert!((without.total_ms() - with.total_ms() - extra).abs() < 0.1);
+        assert!(with.met_fps() && without.met_fps());
+    }
+}

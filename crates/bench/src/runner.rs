@@ -1,0 +1,132 @@
+//! Shared experiment plumbing: system configurations and world builders.
+
+use std::fmt;
+
+use microedge_baselines::dedicated::DedicatedBaseline;
+use microedge_cluster::topology::{Cluster, ClusterBuilder};
+use microedge_core::config::Features;
+use microedge_core::runtime::World;
+use microedge_core::scheduler::ExtendedScheduler;
+use microedge_models::catalog::Catalog;
+
+/// The deployment disciplines compared throughout the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemConfig {
+    /// Bare-metal dedicated TPUs (the paper's baseline).
+    Baseline,
+    /// MicroEdge with a feature subset (Fig. 5's "w/o W.P." is
+    /// `Features::co_compiling_only()`, "w/ W.P." is `Features::all()`).
+    MicroEdge(Features),
+}
+
+impl SystemConfig {
+    /// MicroEdge with both mechanisms (the headline configuration).
+    #[must_use]
+    pub fn microedge_full() -> Self {
+        SystemConfig::MicroEdge(Features::all())
+    }
+
+    /// MicroEdge without workload partitioning.
+    #[must_use]
+    pub fn microedge_no_wp() -> Self {
+        SystemConfig::MicroEdge(Features::co_compiling_only())
+    }
+
+    /// The three Fig. 5 configurations in plot order.
+    #[must_use]
+    pub fn fig5_configs() -> [SystemConfig; 3] {
+        [
+            SystemConfig::Baseline,
+            SystemConfig::microedge_no_wp(),
+            SystemConfig::microedge_full(),
+        ]
+    }
+
+    /// `true` when streams under this config run with a host-local TPU
+    /// (no network hop).
+    #[must_use]
+    pub fn collocated(self) -> bool {
+        matches!(self, SystemConfig::Baseline)
+    }
+
+    /// Short label for tables.
+    #[must_use]
+    pub fn label(self) -> String {
+        match self {
+            SystemConfig::Baseline => "baseline".to_owned(),
+            SystemConfig::MicroEdge(f) => match (f.workload_partitioning, f.co_compiling) {
+                (true, true) => "microedge w/ w.p.".to_owned(),
+                (false, true) => "microedge w/o w.p.".to_owned(),
+                (true, false) => "microedge w.p. only".to_owned(),
+                (false, false) => "microedge neither".to_owned(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for SystemConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Builds a cluster with `tpus` tRPis and enough vRPis to host any fleet
+/// the experiments create.
+#[must_use]
+pub fn experiment_cluster(tpus: u32) -> Cluster {
+    ClusterBuilder::new().trpis(tpus).vrpis(64).build()
+}
+
+/// Builds a world over `cluster` under the given system configuration.
+#[must_use]
+pub fn build_world(cluster: Cluster, config: SystemConfig) -> World {
+    match config {
+        SystemConfig::Baseline => {
+            let sched = ExtendedScheduler::with_policy(
+                &cluster,
+                Catalog::builtin(),
+                Features::none(),
+                Box::new(DedicatedBaseline::new()),
+            );
+            World::with_scheduler(cluster, sched)
+        }
+        SystemConfig::MicroEdge(features) => World::new(cluster, features),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<String> = [
+            SystemConfig::Baseline,
+            SystemConfig::microedge_no_wp(),
+            SystemConfig::microedge_full(),
+            SystemConfig::MicroEdge(Features::partitioning_only()),
+            SystemConfig::MicroEdge(Features::none()),
+        ]
+        .iter()
+        .map(|c| c.label())
+        .collect();
+        let mut unique = labels.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), labels.len());
+    }
+
+    #[test]
+    fn baseline_is_collocated() {
+        assert!(SystemConfig::Baseline.collocated());
+        assert!(!SystemConfig::microedge_full().collocated());
+    }
+
+    #[test]
+    fn build_world_honours_config() {
+        let w = build_world(experiment_cluster(2), SystemConfig::microedge_full());
+        assert_eq!(w.scheduler().pool().len(), 2);
+        let b = build_world(experiment_cluster(3), SystemConfig::Baseline);
+        assert_eq!(b.scheduler().pool().len(), 3);
+    }
+}

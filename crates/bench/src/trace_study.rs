@@ -1,0 +1,305 @@
+//! The real-world trace study (paper §6.3, Fig. 6a/6b).
+//!
+//! Replays a synthesised Azure-Functions-style camera trace against five
+//! deployment disciplines — the four MicroEdge feature combinations plus
+//! the dedicated baseline — and reports per-minute TPU utilization
+//! (Fig. 6a) and cameras served (Fig. 6b).
+
+use std::collections::BTreeMap;
+
+use microedge_core::config::Features;
+use microedge_core::runtime::{StreamId, StreamSpec};
+use microedge_metrics::report::{fmt_f64, Table};
+use microedge_sim::time::SimTime;
+use microedge_workloads::apps::CameraApp;
+use microedge_workloads::trace::{TraceConfig, TraceEvent};
+
+use crate::runner::{build_world, experiment_cluster, SystemConfig};
+
+/// The outcome of replaying one configuration.
+#[derive(Debug, Clone)]
+pub struct TraceOutcome {
+    config: SystemConfig,
+    windowed_utilization: Vec<f64>,
+    served_series: Vec<f64>,
+    admitted: u32,
+    rejected: u32,
+}
+
+impl TraceOutcome {
+    /// The configuration replayed.
+    #[must_use]
+    pub fn config(&self) -> SystemConfig {
+        self.config
+    }
+
+    /// Fleet-average TPU utilization per minute (Fig. 6a).
+    #[must_use]
+    pub fn windowed_utilization(&self) -> &[f64] {
+        &self.windowed_utilization
+    }
+
+    /// Average cameras served per minute (Fig. 6b).
+    #[must_use]
+    pub fn served_series(&self) -> &[f64] {
+        &self.served_series
+    }
+
+    /// Arrivals admitted.
+    #[must_use]
+    pub fn admitted(&self) -> u32 {
+        self.admitted
+    }
+
+    /// Arrivals refused by admission control.
+    #[must_use]
+    pub fn rejected(&self) -> u32 {
+        self.rejected
+    }
+
+    /// Mean utilization across the whole trace.
+    #[must_use]
+    pub fn mean_utilization(&self) -> f64 {
+        if self.windowed_utilization.is_empty() {
+            0.0
+        } else {
+            self.windowed_utilization.iter().sum::<f64>() / self.windowed_utilization.len() as f64
+        }
+    }
+
+    /// Mean cameras served across the whole trace.
+    #[must_use]
+    pub fn mean_served(&self) -> f64 {
+        if self.served_series.is_empty() {
+            0.0
+        } else {
+            self.served_series.iter().sum::<f64>() / self.served_series.len() as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Action {
+    Arrive(u32),
+    Depart(u32),
+}
+
+/// Replays `trace` against `config` on a `tpus`-TPU cluster.
+///
+/// Arrivals that admission control refuses are counted and dropped (the
+/// camera "goes unserved", as in the paper's capacity-limited runs).
+#[must_use]
+pub fn run_trace(
+    config: SystemConfig,
+    trace: &[TraceEvent],
+    trace_config: &TraceConfig,
+    tpus: u32,
+) -> TraceOutcome {
+    let apps = CameraApp::trace_apps();
+    let mut world = build_world(experiment_cluster(tpus), config);
+
+    // Merge arrivals and (pre-computable) departures into one timeline.
+    let mut actions: Vec<(SimTime, Action)> = Vec::new();
+    for ev in trace {
+        actions.push((ev.at, Action::Arrive(ev.seq)));
+        if let Some(lifetime) = ev.lifetime {
+            actions.push((ev.at + lifetime, Action::Depart(ev.seq)));
+        }
+    }
+    actions.sort_by_key(|&(at, action)| (at, matches!(action, Action::Arrive(_))));
+
+    let end = SimTime::ZERO + trace_config.duration;
+    let by_seq: BTreeMap<u32, &TraceEvent> = trace.iter().map(|e| (e.seq, e)).collect();
+    let mut live: BTreeMap<u32, StreamId> = BTreeMap::new();
+    let mut admitted = 0;
+    let mut rejected = 0;
+
+    for (at, action) in actions {
+        if at >= end {
+            break;
+        }
+        world.run_until(at);
+        match action {
+            Action::Arrive(seq) => {
+                let ev = by_seq[&seq];
+                let app = &apps[ev.class.app_index()];
+                let spec = StreamSpec::builder(&format!("trace-{seq}"), app.model().as_str())
+                    .fps(app.fps())
+                    .units(app.units())
+                    .collocated(config.collocated())
+                    .build();
+                match world.admit_stream(spec) {
+                    Ok(id) => {
+                        live.insert(seq, id);
+                        admitted += 1;
+                    }
+                    Err(_) => rejected += 1,
+                }
+            }
+            Action::Depart(seq) => {
+                if let Some(id) = live.remove(&seq) {
+                    world.remove_stream(id).expect("live stream can be removed");
+                }
+            }
+        }
+    }
+
+    world.run_until(end);
+    let (results, served_series) = world.finish_with_served_series(end);
+    TraceOutcome {
+        config,
+        windowed_utilization: results.windowed_utilization().to_vec(),
+        served_series,
+        admitted,
+        rejected,
+    }
+}
+
+/// The five Fig. 6 configurations, strongest first.
+#[must_use]
+pub fn fig6_configs() -> [SystemConfig; 5] {
+    [
+        SystemConfig::MicroEdge(Features::all()),
+        SystemConfig::MicroEdge(Features::co_compiling_only()),
+        SystemConfig::MicroEdge(Features::partitioning_only()),
+        SystemConfig::MicroEdge(Features::none()),
+        SystemConfig::Baseline,
+    ]
+}
+
+/// Replays the trace against all five configurations.
+#[must_use]
+pub fn run_fig6(trace: &[TraceEvent], trace_config: &TraceConfig, tpus: u32) -> Vec<TraceOutcome> {
+    fig6_configs()
+        .into_iter()
+        .map(|config| run_trace(config, trace, trace_config, tpus))
+        .collect()
+}
+
+/// Renders only the Fig. 6 summary table (used for the scaled-up run the
+/// paper predicts would show "a stronger separation in the results").
+#[must_use]
+pub fn render_fig6_summary(title: &str, outcomes: &[TraceOutcome]) -> String {
+    let mut summary = Table::new(&["config", "mean util", "mean served", "admitted", "rejected"]);
+    for o in outcomes {
+        summary.row_owned(vec![
+            o.config().label(),
+            fmt_f64(o.mean_utilization(), 3),
+            fmt_f64(o.mean_served(), 2),
+            o.admitted().to_string(),
+            o.rejected().to_string(),
+        ]);
+    }
+    format!(
+        "### {title}
+{summary}"
+    )
+}
+
+/// Renders the Fig. 6a/6b series as minute-by-minute tables plus a summary.
+#[must_use]
+pub fn render_fig6(outcomes: &[TraceOutcome]) -> String {
+    let minutes = outcomes
+        .iter()
+        .map(|o| o.windowed_utilization().len())
+        .max()
+        .unwrap_or(0);
+    let labels: Vec<String> = outcomes.iter().map(|o| o.config().label()).collect();
+    let mut headers: Vec<&str> = vec!["minute"];
+    headers.extend(labels.iter().map(String::as_str));
+
+    let mut util = Table::new(&headers);
+    let mut served = Table::new(&headers);
+    for minute in 0..minutes {
+        let mut u_row = vec![minute.to_string()];
+        let mut s_row = vec![minute.to_string()];
+        for o in outcomes {
+            u_row.push(fmt_f64(
+                o.windowed_utilization().get(minute).copied().unwrap_or(0.0),
+                3,
+            ));
+            s_row.push(fmt_f64(
+                o.served_series().get(minute).copied().unwrap_or(0.0),
+                2,
+            ));
+        }
+        util.row_owned(u_row);
+        served.row_owned(s_row);
+    }
+
+    let mut summary = Table::new(&["config", "mean util", "mean served", "admitted", "rejected"]);
+    for o in outcomes {
+        summary.row_owned(vec![
+            o.config().label(),
+            fmt_f64(o.mean_utilization(), 3),
+            fmt_f64(o.mean_served(), 2),
+            o.admitted().to_string(),
+            o.rejected().to_string(),
+        ]);
+    }
+    format!(
+        "### Fig. 6a — per-minute avg TPU utilization\n{util}\n### Fig. 6b — cameras served per minute\n{served}\n### Trace summary\n{summary}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microedge_sim::time::SimDuration;
+    use microedge_workloads::trace::synthesize;
+
+    fn short_trace() -> (Vec<TraceEvent>, TraceConfig) {
+        let mut cfg = TraceConfig::microedge_downsized();
+        cfg.duration = SimDuration::from_secs(5 * 60);
+        (synthesize(&cfg, 7), cfg)
+    }
+
+    #[test]
+    fn full_microedge_beats_baseline_on_both_axes() {
+        let (trace, cfg) = short_trace();
+        let full = run_trace(SystemConfig::microedge_full(), &trace, &cfg, 6);
+        let baseline = run_trace(SystemConfig::Baseline, &trace, &cfg, 6);
+        assert!(
+            full.mean_served() > baseline.mean_served(),
+            "microedge {} vs baseline {}",
+            full.mean_served(),
+            baseline.mean_served()
+        );
+        assert!(full.rejected() <= baseline.rejected());
+    }
+
+    #[test]
+    fn feature_ordering_matches_fig6() {
+        let (trace, cfg) = short_trace();
+        let outcomes = run_fig6(&trace, &cfg, 6);
+        let served: Vec<f64> = outcomes.iter().map(TraceOutcome::mean_served).collect();
+        // Strongest configuration serves at least as many as the weakest,
+        // and the baseline is last.
+        assert!(served[0] >= served[3], "{served:?}");
+        assert!(served[3] >= served[4], "{served:?}");
+    }
+
+    #[test]
+    fn departures_release_capacity() {
+        let (trace, cfg) = short_trace();
+        let o = run_trace(SystemConfig::microedge_full(), &trace, &cfg, 6);
+        assert!(o.admitted() > 0);
+        // The served series fluctuates with the workload rather than only
+        // growing (paper: "clients coming and going").
+        let s = o.served_series();
+        let max = s.iter().cloned().fold(0.0, f64::max);
+        assert!(s.last().copied().unwrap_or(0.0) < max + 1e-9);
+    }
+
+    #[test]
+    fn render_mentions_every_config() {
+        let (trace, cfg) = short_trace();
+        let outcomes = run_fig6(&trace, &cfg, 3);
+        let text = render_fig6(&outcomes);
+        for o in &outcomes {
+            assert!(text.contains(&o.config().label()));
+        }
+        assert!(text.contains("Fig. 6a"));
+        assert!(text.contains("Fig. 6b"));
+    }
+}

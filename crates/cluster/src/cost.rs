@@ -1,0 +1,117 @@
+//! Cost-of-ownership model (paper Table 1).
+//!
+//! Table 1 prices three configurations that all serve 17 Coral-Pie cameras:
+//!
+//! | configuration        | #TPUs | #RPis | total  |
+//! |----------------------|-------|-------|--------|
+//! | Baseline             | 17    | 17    | $2550  |
+//! | MicroEdge w/o W.P.   | 8     | 17    | $1875  |
+//! | MicroEdge w/ W.P.    | 6     | 17    | $1725  |
+//!
+//! Those three rows uniquely determine the unit prices: $75 per RPi and $75
+//! per TPU. (The paper excludes the remote control-plane server, amortised
+//! across many clusters; so do we.)
+//!
+//! # Examples
+//!
+//! ```
+//! use microedge_cluster::cost::CostModel;
+//!
+//! let cost = CostModel::paper_prices();
+//! assert_eq!(cost.total_usd(17, 17), 2550);
+//! assert_eq!(cost.total_usd(17, 6), 1725);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// Unit prices for cluster hardware, in whole US dollars.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostModel {
+    rpi_usd: u32,
+    tpu_usd: u32,
+}
+
+impl CostModel {
+    /// Creates a model from explicit unit prices.
+    #[must_use]
+    pub fn new(rpi_usd: u32, tpu_usd: u32) -> Self {
+        CostModel { rpi_usd, tpu_usd }
+    }
+
+    /// The unit prices implied by the paper's Table 1 ($75 / $75).
+    #[must_use]
+    pub fn paper_prices() -> Self {
+        CostModel::new(75, 75)
+    }
+
+    /// Price of one Raspberry Pi.
+    #[must_use]
+    pub fn rpi_usd(&self) -> u32 {
+        self.rpi_usd
+    }
+
+    /// Price of one Coral TPU.
+    #[must_use]
+    pub fn tpu_usd(&self) -> u32 {
+        self.tpu_usd
+    }
+
+    /// Total hardware cost of a configuration.
+    #[must_use]
+    pub fn total_usd(&self, rpis: u32, tpus: u32) -> u32 {
+        self.rpi_usd * rpis + self.tpu_usd * tpus
+    }
+
+    /// Relative saving of `alternative` over `baseline`, as a fraction in
+    /// `[0, 1]`. Returns 0.0 when the baseline is free.
+    #[must_use]
+    pub fn saving(&self, baseline: u32, alternative: u32) -> f64 {
+        if baseline == 0 {
+            0.0
+        } else {
+            1.0 - alternative as f64 / baseline as f64
+        }
+    }
+}
+
+impl Default for CostModel {
+    /// The paper's prices.
+    fn default() -> Self {
+        CostModel::paper_prices()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_rows_reproduce_exactly() {
+        let m = CostModel::paper_prices();
+        assert_eq!(m.total_usd(17, 17), 2550, "baseline row");
+        assert_eq!(m.total_usd(17, 8), 1875, "w/o workload partitioning row");
+        assert_eq!(m.total_usd(17, 6), 1725, "w/ workload partitioning row");
+    }
+
+    #[test]
+    fn table1_saving_is_about_33_percent() {
+        let m = CostModel::paper_prices();
+        let saving = m.saving(m.total_usd(17, 17), m.total_usd(17, 6));
+        assert!((saving - 0.3235).abs() < 0.001, "got {saving}");
+    }
+
+    #[test]
+    fn saving_handles_zero_baseline() {
+        let m = CostModel::paper_prices();
+        assert_eq!(m.saving(0, 100), 0.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let m = CostModel::new(10, 20);
+        assert_eq!(m.rpi_usd(), 10);
+        assert_eq!(m.tpu_usd(), 20);
+        assert_eq!(m.total_usd(2, 3), 80);
+        assert_eq!(CostModel::default(), CostModel::paper_prices());
+    }
+}

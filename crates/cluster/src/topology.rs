@@ -1,0 +1,192 @@
+//! Cluster topology: a set of nodes plus the interconnect model.
+//!
+//! The paper's MicroEdge installation is 25 Raspberry Pi 4 boards, six of
+//! which carry a Coral TPU (19 `vRPi` + 6 `tRPi`), joined by two 16-port
+//! gigabit switches. [`Cluster::microedge_default`] builds exactly that;
+//! [`ClusterBuilder`] builds arbitrary configurations for the sweeps in the
+//! scalability study.
+//!
+//! # Examples
+//!
+//! ```
+//! use microedge_cluster::topology::Cluster;
+//!
+//! let cluster = Cluster::microedge_default();
+//! assert_eq!(cluster.nodes().len(), 25);
+//! assert_eq!(cluster.trpis().count(), 6);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::network::NetworkModel;
+use crate::node::{Node, NodeId, NodeKind};
+
+/// A fixed inventory of nodes and the network joining them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    nodes: Vec<Node>,
+    network: NetworkModel,
+}
+
+impl Cluster {
+    /// The paper's hardware: 19 vRPis and 6 tRPis on the calibrated gigabit
+    /// interconnect.
+    #[must_use]
+    pub fn microedge_default() -> Self {
+        ClusterBuilder::new().vrpis(19).trpis(6).build()
+    }
+
+    /// All nodes, ordered by id.
+    #[must_use]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Looks up a node by id.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.iter().find(|n| n.id() == id)
+    }
+
+    /// Iterates over TPU-endowed nodes.
+    pub fn trpis(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter().filter(|n| n.has_tpu())
+    }
+
+    /// Iterates over vanilla nodes.
+    pub fn vrpis(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter().filter(|n| !n.has_tpu())
+    }
+
+    /// The interconnect model.
+    #[must_use]
+    pub fn network(&self) -> &NetworkModel {
+        &self.network
+    }
+
+    /// Number of TPUs in the cluster (one per tRPi).
+    #[must_use]
+    pub fn tpu_count(&self) -> usize {
+        self.trpis().count()
+    }
+}
+
+/// Incrementally configures a [`Cluster`].
+///
+/// # Examples
+///
+/// ```
+/// use microedge_cluster::topology::ClusterBuilder;
+///
+/// let cluster = ClusterBuilder::new().vrpis(4).trpis(2).build();
+/// assert_eq!(cluster.tpu_count(), 2);
+/// assert_eq!(cluster.nodes().len(), 6);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ClusterBuilder {
+    vrpis: u32,
+    trpis: u32,
+    network: Option<NetworkModel>,
+}
+
+impl ClusterBuilder {
+    /// Starts an empty configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        ClusterBuilder::default()
+    }
+
+    /// Sets the number of vanilla RPis.
+    #[must_use]
+    pub fn vrpis(mut self, count: u32) -> Self {
+        self.vrpis = count;
+        self
+    }
+
+    /// Sets the number of TPU-endowed RPis.
+    #[must_use]
+    pub fn trpis(mut self, count: u32) -> Self {
+        self.trpis = count;
+        self
+    }
+
+    /// Overrides the interconnect model (default: calibrated gigabit).
+    #[must_use]
+    pub fn network(mut self, network: NetworkModel) -> Self {
+        self.network = Some(network);
+        self
+    }
+
+    /// Builds the cluster. tRPis receive the lowest node ids so that TPU
+    /// indices are stable across configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster would have no nodes at all.
+    #[must_use]
+    pub fn build(self) -> Cluster {
+        assert!(
+            self.vrpis + self.trpis > 0,
+            "a cluster must contain at least one node"
+        );
+        let mut nodes = Vec::with_capacity((self.vrpis + self.trpis) as usize);
+        let mut next = 0u32;
+        for _ in 0..self.trpis {
+            nodes.push(Node::rpi4(NodeId(next), NodeKind::TRpi));
+            next += 1;
+        }
+        for _ in 0..self.vrpis {
+            nodes.push(Node::rpi4(NodeId(next), NodeKind::VRpi));
+            next += 1;
+        }
+        Cluster {
+            nodes,
+            network: self.network.unwrap_or_default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_cluster_matches_paper() {
+        let c = Cluster::microedge_default();
+        assert_eq!(c.nodes().len(), 25);
+        assert_eq!(c.trpis().count(), 6);
+        assert_eq!(c.vrpis().count(), 19);
+        assert_eq!(c.tpu_count(), 6);
+    }
+
+    #[test]
+    fn trpis_get_lowest_ids() {
+        let c = ClusterBuilder::new().vrpis(2).trpis(3).build();
+        for id in 0..3 {
+            assert!(c.node(NodeId(id)).unwrap().has_tpu());
+        }
+        for id in 3..5 {
+            assert!(!c.node(NodeId(id)).unwrap().has_tpu());
+        }
+    }
+
+    #[test]
+    fn node_lookup() {
+        let c = ClusterBuilder::new().trpis(1).build();
+        assert!(c.node(NodeId(0)).is_some());
+        assert!(c.node(NodeId(99)).is_none());
+    }
+
+    #[test]
+    fn custom_network_is_kept() {
+        let net = NetworkModel::local();
+        let c = ClusterBuilder::new().vrpis(1).network(net).build();
+        assert_eq!(*c.network(), net);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_cluster_rejected() {
+        let _ = ClusterBuilder::new().build();
+    }
+}

@@ -1,0 +1,598 @@
+//! Admission control (paper §4.2 and §4.3 — Algorithm 1).
+//!
+//! The extended scheduler treats TPU placement as **online bin packing**:
+//! TPUs are bins of capacity 1 TPU unit, requests are items sized by their
+//! requested units, with the extra *Model Size Rule* constraint that the
+//! distinct models on one TPU must fit its parameter memory. MicroEdge uses
+//! First-Fit (asymptotic approximation ratio 1.7); the other classic
+//! heuristics are provided for the packing ablation.
+//!
+//! Two decision procedures mirror Algorithm 1 exactly:
+//!
+//! - `AdmissionControl` (lines 1–8): place the whole request on the first
+//!   TPU that passes both the TPU Units Rule and the Model Size Rule;
+//! - `AdmissionControlWithWorkloadPartitioning` (lines 9–28): if that fails,
+//!   split the requested units across several TPUs, taking
+//!   `min(remaining, 1 − CurrentLoad)` from each eligible TPU in scan order.
+//!
+//! # Examples
+//!
+//! ```
+//! use microedge_cluster::topology::ClusterBuilder;
+//! use microedge_core::admission::{AdmissionPolicy, FirstFit};
+//! use microedge_core::config::Features;
+//! use microedge_core::pool::TpuPool;
+//! use microedge_core::units::TpuUnits;
+//! use microedge_models::catalog::ssd_mobilenet_v2;
+//! use microedge_tpu::spec::TpuSpec;
+//!
+//! let cluster = ClusterBuilder::new().trpis(2).vrpis(1).build();
+//! let pool = TpuPool::from_cluster(&cluster, TpuSpec::coral_usb());
+//! let mut policy = FirstFit::new();
+//! let plan = policy
+//!     .plan(&pool, &ssd_mobilenet_v2(), TpuUnits::from_f64(0.35), Features::all())
+//!     .unwrap();
+//! assert_eq!(plan.len(), 1);
+//! ```
+
+use microedge_models::profile::ModelProfile;
+
+use crate::config::Features;
+use crate::pool::{Allocation, TpuAccount, TpuPool};
+use crate::units::TpuUnits;
+
+/// Decides where a TPU request goes. Implementations are the packing
+/// heuristics; [`FirstFit`] is the one MicroEdge ships.
+pub trait AdmissionPolicy: std::fmt::Debug {
+    /// Plans allocations for a request of `units` of `model`, or `None`
+    /// when the request must be rejected. The plan is **not** committed —
+    /// callers apply it with [`TpuPool::commit`].
+    fn plan(
+        &mut self,
+        pool: &TpuPool,
+        model: &ModelProfile,
+        units: TpuUnits,
+        features: Features,
+    ) -> Option<Vec<Allocation>>;
+
+    /// Human-readable policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The Model Size Rule plus the co-compiling feature flag: can `model` be
+/// (or is it already) loaded on this TPU?
+///
+/// With co-compiling enabled this is Algorithm 1 line 4/14: the model is
+/// already resident, or its parameter data fits the TPU's free memory. With
+/// co-compiling *disabled* a TPU cannot space-share distinct models, so the
+/// TPU must either already serve this model or serve no model at all.
+fn model_admissible(
+    account: &TpuAccount,
+    model: &ModelProfile,
+    budget: u64,
+    features: Features,
+) -> bool {
+    if account.has_live_model(model.id()) {
+        return true;
+    }
+    if features.co_compiling {
+        model.param_bytes() <= account.free_mem(budget)
+    } else {
+        account.live_model_count() == 0
+    }
+}
+
+fn eligible(account: &TpuAccount) -> bool {
+    account.is_available()
+}
+
+/// Places the whole request on one TPU chosen from `ordered`, or splits it
+/// across them when `features.workload_partitioning` allows — the shared
+/// body of every heuristic, parameterised only by scan order.
+fn plan_in_order(
+    ordered: &[&TpuAccount],
+    budget: u64,
+    model: &ModelProfile,
+    units: TpuUnits,
+    features: Features,
+) -> Option<Vec<Allocation>> {
+    if units.is_zero() {
+        return Some(Vec::new());
+    }
+    // Procedure AdmissionControl (Algorithm 1, lines 1–8).
+    for account in ordered {
+        let fits_units = account
+            .load()
+            .checked_add(units)
+            .is_some_and(|total| total <= TpuUnits::ONE);
+        if fits_units && model_admissible(account, model, budget, features) {
+            return Some(vec![Allocation::new(account.id(), units)]);
+        }
+    }
+    if !features.workload_partitioning {
+        return None;
+    }
+    // Procedure AdmissionControlWithWorkloadPartitioning (lines 9–28).
+    let mut remaining = units;
+    let mut allocations = Vec::new();
+    for account in ordered {
+        if !model_admissible(account, model, budget, features) {
+            continue;
+        }
+        let wp = remaining.min(account.free_units());
+        if !wp.is_zero() {
+            allocations.push(Allocation::new(account.id(), wp));
+            remaining -= wp;
+            if remaining.is_zero() {
+                break;
+            }
+        }
+    }
+    if remaining.is_zero() {
+        Some(allocations)
+    } else {
+        None
+    }
+}
+
+/// First-Fit: scan TPUs in fixed id order — MicroEdge's shipped policy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FirstFit;
+
+impl FirstFit {
+    /// Creates the policy.
+    #[must_use]
+    pub fn new() -> Self {
+        FirstFit
+    }
+}
+
+impl AdmissionPolicy for FirstFit {
+    fn plan(
+        &mut self,
+        pool: &TpuPool,
+        model: &ModelProfile,
+        units: TpuUnits,
+        features: Features,
+    ) -> Option<Vec<Allocation>> {
+        let ordered: Vec<&TpuAccount> = pool.accounts().iter().filter(|a| eligible(a)).collect();
+        plan_in_order(&ordered, pool.param_budget(), model, units, features)
+    }
+
+    fn name(&self) -> &'static str {
+        "first-fit"
+    }
+}
+
+/// Best-Fit: prefer the most-loaded TPU that can still take the request,
+/// keeping large holes open for future big requests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BestFit;
+
+impl BestFit {
+    /// Creates the policy.
+    #[must_use]
+    pub fn new() -> Self {
+        BestFit
+    }
+}
+
+impl AdmissionPolicy for BestFit {
+    fn plan(
+        &mut self,
+        pool: &TpuPool,
+        model: &ModelProfile,
+        units: TpuUnits,
+        features: Features,
+    ) -> Option<Vec<Allocation>> {
+        let mut ordered: Vec<&TpuAccount> =
+            pool.accounts().iter().filter(|a| eligible(a)).collect();
+        // Least free units first; ties by id for determinism.
+        ordered.sort_by_key(|a| (a.free_units(), a.id()));
+        plan_in_order(&ordered, pool.param_budget(), model, units, features)
+    }
+
+    fn name(&self) -> &'static str {
+        "best-fit"
+    }
+}
+
+/// Worst-Fit: prefer the emptiest TPU, spreading load.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorstFit;
+
+impl WorstFit {
+    /// Creates the policy.
+    #[must_use]
+    pub fn new() -> Self {
+        WorstFit
+    }
+}
+
+impl AdmissionPolicy for WorstFit {
+    fn plan(
+        &mut self,
+        pool: &TpuPool,
+        model: &ModelProfile,
+        units: TpuUnits,
+        features: Features,
+    ) -> Option<Vec<Allocation>> {
+        let mut ordered: Vec<&TpuAccount> =
+            pool.accounts().iter().filter(|a| eligible(a)).collect();
+        ordered.sort_by_key(|a| (std::cmp::Reverse(a.free_units()), a.id()));
+        plan_in_order(&ordered, pool.param_budget(), model, units, features)
+    }
+
+    fn name(&self) -> &'static str {
+        "worst-fit"
+    }
+}
+
+/// Next-k-Fit: like Next-Fit but keeps the last `k` opened TPUs active —
+/// the middle ground the paper's §4.2 heuristic list includes between
+/// Next-Fit (k = 1) and First-Fit (k = ∞).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NextKFit {
+    k: usize,
+    cursor: usize,
+}
+
+impl NextKFit {
+    /// Creates the policy keeping the last `k` TPUs active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "Next-k-Fit requires k ≥ 1");
+        NextKFit { k, cursor: 0 }
+    }
+}
+
+impl AdmissionPolicy for NextKFit {
+    fn plan(
+        &mut self,
+        pool: &TpuPool,
+        model: &ModelProfile,
+        units: TpuUnits,
+        features: Features,
+    ) -> Option<Vec<Allocation>> {
+        let accounts = pool.accounts();
+        if accounts.is_empty() {
+            return None;
+        }
+        // The active window: the k TPUs ending at the cursor, then the
+        // rest in id order (candidates for opening).
+        let window_start = self.cursor.saturating_sub(self.k - 1);
+        let ordered: Vec<&TpuAccount> = accounts
+            [window_start..=self.cursor.min(accounts.len() - 1)]
+            .iter()
+            .chain(&accounts[(self.cursor + 1).min(accounts.len())..])
+            .filter(|a| eligible(a))
+            .collect();
+        let plan = plan_in_order(&ordered, pool.param_budget(), model, units, features)?;
+        if let Some(last) = plan.last() {
+            self.cursor = accounts
+                .iter()
+                .position(|a| a.id() == last.tpu())
+                .unwrap_or(0)
+                .max(self.cursor);
+        }
+        Some(plan)
+    }
+
+    fn name(&self) -> &'static str {
+        "next-k-fit"
+    }
+}
+
+/// Next-Fit: resume scanning where the previous request left off.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NextFit {
+    cursor: usize,
+}
+
+impl NextFit {
+    /// Creates the policy with the cursor at the first TPU.
+    #[must_use]
+    pub fn new() -> Self {
+        NextFit { cursor: 0 }
+    }
+}
+
+impl AdmissionPolicy for NextFit {
+    fn plan(
+        &mut self,
+        pool: &TpuPool,
+        model: &ModelProfile,
+        units: TpuUnits,
+        features: Features,
+    ) -> Option<Vec<Allocation>> {
+        let accounts = pool.accounts();
+        if accounts.is_empty() {
+            return None;
+        }
+        let start = self.cursor % accounts.len();
+        let ordered: Vec<&TpuAccount> = accounts[start..]
+            .iter()
+            .chain(&accounts[..start])
+            .filter(|a| eligible(a))
+            .collect();
+        let plan = plan_in_order(&ordered, pool.param_budget(), model, units, features)?;
+        if let Some(last) = plan.last() {
+            self.cursor = accounts
+                .iter()
+                .position(|a| a.id() == last.tpu())
+                .unwrap_or(0);
+        }
+        Some(plan)
+    }
+
+    fn name(&self) -> &'static str {
+        "next-fit"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microedge_cluster::topology::ClusterBuilder;
+    use microedge_models::catalog::{
+        bodypix_mobilenet_v1, mobilenet_v1, resnet_50, ssd_mobilenet_v2, unet_v2,
+    };
+    use microedge_tpu::device::TpuId;
+    use microedge_tpu::spec::TpuSpec;
+
+    fn pool(trpis: u32) -> TpuPool {
+        let cluster = ClusterBuilder::new().trpis(trpis).vrpis(1).build();
+        TpuPool::from_cluster(&cluster, TpuSpec::coral_usb())
+    }
+
+    fn u(f: f64) -> TpuUnits {
+        TpuUnits::from_f64(f)
+    }
+
+    #[test]
+    fn first_fit_fills_first_tpu_first() {
+        let mut pool = pool(3);
+        let mut ff = FirstFit::new();
+        let m = ssd_mobilenet_v2();
+        for _ in 0..2 {
+            let plan = ff.plan(&pool, &m, u(0.35), Features::all()).unwrap();
+            assert_eq!(plan.len(), 1);
+            assert_eq!(plan[0].tpu(), TpuId(0));
+            pool.commit(&m, &plan);
+        }
+        // Third 0.35 no longer fits TPU 0 (0.70 + 0.35 > 1): basic pass
+        // moves to TPU 1... unless partitioning splits it first? Algorithm 1
+        // tries the whole request on each TPU first, so TPU 1 takes it.
+        let plan = ff.plan(&pool, &m, u(0.35), Features::all()).unwrap();
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].tpu(), TpuId(1));
+    }
+
+    #[test]
+    fn partitioning_splits_the_paper_example() {
+        // Three pods of 0.6 units fit on two TPUs only with partitioning
+        // (paper §4.3's worked example).
+        let mut pool = pool(2);
+        let mut ff = FirstFit::new();
+        let m = ssd_mobilenet_v2();
+
+        let p1 = ff.plan(&pool, &m, u(0.6), Features::all()).unwrap();
+        assert_eq!(p1, vec![Allocation::new(TpuId(0), u(0.6))]);
+        pool.commit(&m, &p1);
+
+        // Algorithm 1 always tries the unsplit placement first (line 11), so
+        // the second pod lands whole on the still-empty TPU 1.
+        let p2 = ff.plan(&pool, &m, u(0.6), Features::all()).unwrap();
+        assert_eq!(p2, vec![Allocation::new(TpuId(1), u(0.6))]);
+        pool.commit(&m, &p2);
+
+        // The third pod cannot fit unsplit anywhere; partitioning takes
+        // 0.4 from TPU 0 (66 % of its requests) and 0.2 from TPU 1.
+        let p3 = ff.plan(&pool, &m, u(0.6), Features::all()).unwrap();
+        assert_eq!(
+            p3,
+            vec![
+                Allocation::new(TpuId(0), u(0.4)),
+                Allocation::new(TpuId(1), u(0.2)),
+            ]
+        );
+        pool.commit(&m, &p3);
+
+        // Two TPUs suffice for the three 0.6-unit pods, as in the paper.
+        assert_eq!(pool.account(TpuId(0)).load(), TpuUnits::ONE);
+        assert_eq!(pool.account(TpuId(1)).load(), u(0.8));
+    }
+
+    #[test]
+    fn without_partitioning_the_example_needs_three_tpus() {
+        let mut pool = pool(3);
+        let mut ff = FirstFit::new();
+        let m = ssd_mobilenet_v2();
+        let features = Features::co_compiling_only();
+        for i in 0..3 {
+            let plan = ff.plan(&pool, &m, u(0.6), features).unwrap();
+            assert_eq!(plan.len(), 1, "no partitioning allowed");
+            assert_eq!(plan[0].tpu(), TpuId(i));
+            pool.commit(&m, &plan);
+        }
+    }
+
+    #[test]
+    fn requests_over_one_unit_need_partitioning() {
+        let pool = pool(2);
+        let mut ff = FirstFit::new();
+        let m = bodypix_mobilenet_v1();
+        assert!(
+            ff.plan(&pool, &m, u(1.2), Features::co_compiling_only())
+                .is_none(),
+            "1.2 units cannot fit one TPU"
+        );
+        let plan = ff.plan(&pool, &m, u(1.2), Features::all()).unwrap();
+        assert_eq!(
+            plan,
+            vec![
+                Allocation::new(TpuId(0), u(1.0)),
+                Allocation::new(TpuId(1), u(0.2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_when_cumulative_capacity_insufficient() {
+        let mut pool = pool(1);
+        let mut ff = FirstFit::new();
+        let m = ssd_mobilenet_v2();
+        pool.commit(&m, &[Allocation::new(TpuId(0), u(0.9))]);
+        assert!(ff.plan(&pool, &m, u(0.2), Features::all()).is_none());
+    }
+
+    #[test]
+    fn model_size_rule_blocks_overflowing_model() {
+        let mut pool = pool(1);
+        let mut ff = FirstFit::new();
+        // ResNet-50 alone exceeds the budget; another model resident means
+        // ResNet cannot be admitted at all on that TPU.
+        pool.commit(&mobilenet_v1(), &[Allocation::new(TpuId(0), u(0.2))]);
+        assert!(
+            ff.plan(&pool, &resnet_50(), u(0.3), Features::all())
+                .is_none(),
+            "no TPU satisfies the Model Size Rule"
+        );
+    }
+
+    #[test]
+    fn resident_model_bypasses_size_check() {
+        let mut pool = pool(1);
+        let mut ff = FirstFit::new();
+        let big = resnet_50();
+        // An empty TPU: free_mem is the whole budget, which ResNet exceeds.
+        assert!(
+            ff.plan(&pool, &big, u(0.3), Features::all()).is_none(),
+            "ResNet-50 never fits the parameter budget"
+        );
+        // But if it is somehow already resident (committed by an operator
+        // override), further pods of the same model are admissible.
+        pool.commit(&big, &[Allocation::new(TpuId(0), u(0.3))]);
+        assert!(ff.plan(&pool, &big, u(0.3), Features::all()).is_some());
+    }
+
+    #[test]
+    fn no_cocompiling_forbids_mixing_models() {
+        let mut pool = pool(1);
+        let mut ff = FirstFit::new();
+        let features = Features::partitioning_only();
+        pool.commit(&mobilenet_v1(), &[Allocation::new(TpuId(0), u(0.2))]);
+        assert!(
+            ff.plan(&pool, &unet_v2(), u(0.2), features).is_none(),
+            "distinct model may not share a TPU without co-compiling"
+        );
+        assert!(
+            ff.plan(&pool, &mobilenet_v1(), u(0.2), features).is_some(),
+            "same model may time-share"
+        );
+    }
+
+    #[test]
+    fn cocompiling_allows_mixing_within_budget() {
+        let mut pool = pool(1);
+        let mut ff = FirstFit::new();
+        pool.commit(&mobilenet_v1(), &[Allocation::new(TpuId(0), u(0.2))]);
+        assert!(ff
+            .plan(&pool, &unet_v2(), u(0.2), Features::all())
+            .is_some());
+        // A third model that would overflow the budget is rejected.
+        pool.commit(&unet_v2(), &[Allocation::new(TpuId(0), u(0.2))]);
+        assert!(ff
+            .plan(&pool, &ssd_mobilenet_v2(), u(0.2), Features::all())
+            .is_none());
+    }
+
+    #[test]
+    fn failed_tpus_are_skipped() {
+        let mut pool = pool(2);
+        let mut ff = FirstFit::new();
+        pool.fail(TpuId(0));
+        let plan = ff.plan(&pool, &unet_v2(), u(0.5), Features::all()).unwrap();
+        assert_eq!(plan[0].tpu(), TpuId(1));
+    }
+
+    #[test]
+    fn zero_unit_request_is_trivially_admitted() {
+        let pool = pool(1);
+        let mut ff = FirstFit::new();
+        let plan = ff
+            .plan(&pool, &unet_v2(), TpuUnits::ZERO, Features::all())
+            .unwrap();
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn best_fit_prefers_fuller_tpu() {
+        let mut pool = pool(2);
+        let m = unet_v2();
+        pool.commit(&m, &[Allocation::new(TpuId(1), u(0.5))]);
+        let mut bf = BestFit::new();
+        let plan = bf.plan(&pool, &m, u(0.3), Features::all()).unwrap();
+        assert_eq!(plan[0].tpu(), TpuId(1), "best-fit picks the fuller TPU");
+        let mut wf = WorstFit::new();
+        let plan = wf.plan(&pool, &m, u(0.3), Features::all()).unwrap();
+        assert_eq!(plan[0].tpu(), TpuId(0), "worst-fit picks the emptier TPU");
+    }
+
+    #[test]
+    fn next_fit_advances_cursor() {
+        let mut pool = pool(3);
+        let mut nf = NextFit::new();
+        let m = mobilenet_v1();
+        let p1 = nf.plan(&pool, &m, u(0.9), Features::all()).unwrap();
+        pool.commit(&m, &p1);
+        assert_eq!(p1[0].tpu(), TpuId(0));
+        // Cursor stays at TPU 0; 0.9 no longer fits there, so scanning
+        // resumes from 0 and lands on TPU 1.
+        let p2 = nf.plan(&pool, &m, u(0.9), Features::all()).unwrap();
+        pool.commit(&m, &p2);
+        assert_eq!(p2[0].tpu(), TpuId(1));
+        // A small request now starts scanning at TPU 1 (cursor), not TPU 0.
+        let p3 = nf.plan(&pool, &m, u(0.05), Features::all()).unwrap();
+        assert_eq!(p3[0].tpu(), TpuId(1));
+    }
+
+    #[test]
+    fn policy_names() {
+        assert_eq!(FirstFit::new().name(), "first-fit");
+        assert_eq!(BestFit::new().name(), "best-fit");
+        assert_eq!(WorstFit::new().name(), "worst-fit");
+        assert_eq!(NextFit::new().name(), "next-fit");
+        assert_eq!(NextKFit::new(2).name(), "next-k-fit");
+    }
+
+    #[test]
+    fn next_k_fit_keeps_a_window_of_open_tpus() {
+        let mut pool = pool(4);
+        let m = mobilenet_v1();
+        let mut nkf = NextKFit::new(2);
+        // Fill TPU 0 and TPU 1 partially, advancing the cursor to 1.
+        for expected in [0u32, 0, 1] {
+            let plan = nkf.plan(&pool, &m, u(0.5), Features::all()).unwrap();
+            assert_eq!(plan[0].tpu(), TpuId(expected));
+            pool.commit(&m, &plan);
+        }
+        // k = 2 window is {TPU 0, TPU 1}: a 0.5 request fits TPU 1.
+        let plan = nkf.plan(&pool, &m, u(0.5), Features::all()).unwrap();
+        assert_eq!(plan[0].tpu(), TpuId(1));
+        pool.commit(&m, &plan);
+        // Window exhausted → opens TPU 2.
+        let plan = nkf.plan(&pool, &m, u(0.5), Features::all()).unwrap();
+        assert_eq!(plan[0].tpu(), TpuId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "k ≥ 1")]
+    fn next_k_fit_rejects_zero_k() {
+        let _ = NextKFit::new(0);
+    }
+}

@@ -1,0 +1,172 @@
+//! The TPU Client's host-side cost model (paper §5.2).
+//!
+//! The TPU Client is the library baked into every application pod. Its
+//! scheduling-relevant job is **pre-processing**: resizing the raw camera
+//! frame to the model's input resolution *before* transmission, "critical
+//! since the data movement overhead is significant on low-cost devices".
+//! Resizing cost on an RPi scales with the number of *source* pixels
+//! walked, plus a fixed per-frame overhead (format conversion, buffer
+//! management in the Python client).
+//!
+//! The calibrated model reproduces the 5 ms pre-processing cost used in
+//! Fig. 7b for a 1080p source camera; lower-resolution sources pre-process
+//! proportionally faster.
+//!
+//! # Examples
+//!
+//! ```
+//! use microedge_core::client::{SourceResolution, TpuClientModel};
+//!
+//! let client = TpuClientModel::calibrated();
+//! let full_hd = client.preprocess_time(SourceResolution::FULL_HD);
+//! assert!((full_hd.as_millis_f64() - 5.0).abs() < 0.01);
+//! let vga = client.preprocess_time(SourceResolution::new(640, 480));
+//! assert!(vga < full_hd);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use microedge_sim::time::SimDuration;
+
+/// A camera's native frame resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SourceResolution {
+    width: u32,
+    height: u32,
+}
+
+impl SourceResolution {
+    /// 1920 × 1080 — the resolution the paper's cost figures assume.
+    pub const FULL_HD: SourceResolution = SourceResolution {
+        width: 1920,
+        height: 1080,
+    };
+
+    /// 1280 × 720.
+    pub const HD: SourceResolution = SourceResolution {
+        width: 1280,
+        height: 720,
+    };
+
+    /// Creates a resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "resolution must be non-zero");
+        SourceResolution { width, height }
+    }
+
+    /// Frame width in pixels.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Frame height in pixels.
+    #[must_use]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Total pixels per frame.
+    #[must_use]
+    pub fn pixels(&self) -> u64 {
+        u64::from(self.width) * u64::from(self.height)
+    }
+}
+
+impl Default for SourceResolution {
+    /// 1080p.
+    fn default() -> Self {
+        SourceResolution::FULL_HD
+    }
+}
+
+/// Host-side per-frame costs of the TPU Client library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TpuClientModel {
+    resize_base: SimDuration,
+    pixels_per_sec: u64,
+}
+
+impl TpuClientModel {
+    /// Creates a model from a fixed per-frame cost and a resize throughput.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixels_per_sec` is zero.
+    #[must_use]
+    pub fn new(resize_base: SimDuration, pixels_per_sec: u64) -> Self {
+        assert!(pixels_per_sec > 0, "resize throughput must be non-zero");
+        TpuClientModel {
+            resize_base,
+            pixels_per_sec,
+        }
+    }
+
+    /// Calibrated for the RPi 4 Python client: 1.5 ms fixed + ≈ 592 M
+    /// source pixels per second, giving exactly 5 ms for a 1080p frame
+    /// (the Fig. 7b pre-processing cost).
+    #[must_use]
+    pub fn calibrated() -> Self {
+        TpuClientModel::new(SimDuration::from_micros(1_500), 592_457_143)
+    }
+
+    /// Pre-processing time for a frame from `source`.
+    #[must_use]
+    pub fn preprocess_time(&self, source: SourceResolution) -> SimDuration {
+        self.resize_base
+            + SimDuration::from_secs_f64(source.pixels() as f64 / self.pixels_per_sec as f64)
+    }
+}
+
+impl Default for TpuClientModel {
+    /// The calibrated RPi client.
+    fn default() -> Self {
+        TpuClientModel::calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_hd_costs_exactly_the_calibrated_5ms() {
+        let t = TpuClientModel::calibrated().preprocess_time(SourceResolution::FULL_HD);
+        assert!((t.as_millis_f64() - 5.0).abs() < 0.001, "got {t}");
+    }
+
+    #[test]
+    fn cost_scales_with_source_pixels() {
+        let c = TpuClientModel::calibrated();
+        let hd = c.preprocess_time(SourceResolution::HD);
+        let full = c.preprocess_time(SourceResolution::FULL_HD);
+        let vga = c.preprocess_time(SourceResolution::new(640, 480));
+        assert!(vga < hd && hd < full);
+        // HD is 4/9 the pixels of Full HD; the variable part scales exactly.
+        let var_full = full - SimDuration::from_micros(1_500);
+        let var_hd = hd - SimDuration::from_micros(1_500);
+        let ratio = var_hd.as_nanos() as f64 / var_full.as_nanos() as f64;
+        assert!((ratio - 4.0 / 9.0).abs() < 1e-3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn resolution_accessors() {
+        let r = SourceResolution::new(300, 200);
+        assert_eq!(r.width(), 300);
+        assert_eq!(r.height(), 200);
+        assert_eq!(r.pixels(), 60_000);
+        assert_eq!(SourceResolution::default(), SourceResolution::FULL_HD);
+        assert_eq!(TpuClientModel::default(), TpuClientModel::calibrated());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_resolution_rejected() {
+        let _ = SourceResolution::new(0, 1);
+    }
+}

@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+
+//! # microedge-core — the MicroEdge system
+//!
+//! The paper's primary contribution: multi-tenant fractional sharing of
+//! Coral TPUs in a K3s-orchestrated edge cluster.
+//!
+//! **Control plane** (paper §4):
+//! - [`units`] — the *TPU units* resource metric, in exact fixed point;
+//! - [`pool`] — scheduler-side TPU fleet state with per-model reference
+//!   counts and lazy reclamation;
+//! - [`admission`] — Algorithm 1: First-Fit admission control with and
+//!   without fine-grained workload partitioning (plus Best/Worst/Next-Fit
+//!   for the packing ablation);
+//! - [`scheduler`] — the extended scheduler: deploy, teardown, reclamation
+//!   polling, and TPU failure recovery;
+//! - [`config`] — feature flags (workload partitioning, co-compiling) and
+//!   the calibrated data-plane cost model.
+//!
+//! **Data plane** (paper §5):
+//! - [`lbs`] — the per-pod load-balancing service (smooth weighted round
+//!   robin with WFQ spread);
+//! - [`runtime`] — the discrete-event world: TPU Services (FIFO,
+//!   run-to-completion), TPU Clients (pre-process → transmit → invoke →
+//!   post-process), live stream admission/removal, and metric collection.
+//!
+//! # Examples
+//!
+//! Deploy three Coral-Pie cameras that share one TPU (each needs 0.35 TPU
+//! units, so two fit whole and the admission of a third is refused without
+//! a second TPU):
+//!
+//! ```
+//! use microedge_cluster::topology::ClusterBuilder;
+//! use microedge_core::config::Features;
+//! use microedge_core::runtime::{StreamSpec, World};
+//!
+//! let cluster = ClusterBuilder::new().trpis(1).vrpis(2).build();
+//! let mut world = World::new(cluster, Features::all());
+//! assert!(world.admit_stream(StreamSpec::builder("cam-0", "ssd-mobilenet-v2").build()).is_ok());
+//! assert!(world.admit_stream(StreamSpec::builder("cam-1", "ssd-mobilenet-v2").build()).is_ok());
+//! assert!(world.admit_stream(StreamSpec::builder("cam-2", "ssd-mobilenet-v2").build()).is_err());
+//! ```
+
+pub mod admission;
+pub mod client;
+pub mod config;
+pub mod lbs;
+pub mod pool;
+pub mod runtime;
+pub mod scheduler;
+pub mod units;
+
+pub use admission::{AdmissionPolicy, BestFit, FirstFit, NextFit, NextKFit, WorstFit};
+pub use client::{SourceResolution, TpuClientModel};
+pub use config::{DataPlaneConfig, Features};
+pub use lbs::LbService;
+pub use pool::{render_pool, Allocation, TpuAccount, TpuPool};
+pub use runtime::{RunResults, StreamId, StreamSpec, World, METRIC_WINDOW};
+pub use scheduler::{
+    DeployError, Deployment, ExtendedScheduler, FailureRecovery, StageGrant, StagePlacement,
+    TpuRequest,
+};
+pub use units::TpuUnits;

@@ -1,0 +1,562 @@
+//! The extended scheduler's book-keeping view of the TPU fleet.
+//!
+//! For every TPU Service the control plane tracks its *current load* in TPU
+//! units and the set of models loaded on it with reference counts
+//! (paper §4.2). Model reclamation is **lazy**: when a pod terminates its
+//! model's reference count drops, but the model stays resident until the
+//! next co-compilation on that TPU excludes dead models — exactly the
+//! behaviour the paper describes under "Resource Reclamation".
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use microedge_cluster::node::NodeId;
+use microedge_cluster::topology::Cluster;
+use microedge_models::profile::{ModelId, ModelProfile};
+use microedge_tpu::device::TpuId;
+use microedge_tpu::spec::TpuSpec;
+
+use crate::units::TpuUnits;
+
+/// A slice of one TPU granted to a pod: which TPU, and how many units on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Allocation {
+    tpu: TpuId,
+    units: TpuUnits,
+}
+
+impl Allocation {
+    /// Creates an allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units` is zero — zero-unit allocations are meaningless and
+    /// would corrupt load-balancer weights.
+    #[must_use]
+    pub fn new(tpu: TpuId, units: TpuUnits) -> Self {
+        assert!(!units.is_zero(), "allocation must carry non-zero units");
+        Allocation { tpu, units }
+    }
+
+    /// The TPU granted.
+    #[must_use]
+    pub fn tpu(&self) -> TpuId {
+        self.tpu
+    }
+
+    /// Units granted on that TPU.
+    #[must_use]
+    pub fn units(&self) -> TpuUnits {
+        self.units
+    }
+}
+
+/// One model resident on a TPU, from the scheduler's point of view.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct LoadedModel {
+    id: ModelId,
+    bytes: u64,
+    refs: u32,
+}
+
+/// Scheduler-side state of one TPU Service.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TpuAccount {
+    id: TpuId,
+    node: NodeId,
+    load: TpuUnits,
+    /// Residency list in load order — the co-compilation priority order.
+    models: Vec<LoadedModel>,
+    available: bool,
+}
+
+impl TpuAccount {
+    fn new(id: TpuId, node: NodeId) -> Self {
+        TpuAccount {
+            id,
+            node,
+            load: TpuUnits::ZERO,
+            models: Vec::new(),
+            available: true,
+        }
+    }
+
+    /// The TPU's identifier.
+    #[must_use]
+    pub fn id(&self) -> TpuId {
+        self.id
+    }
+
+    /// The tRPi hosting this TPU.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Cumulative TPU units currently assigned (`CurrentLoad` in
+    /// Algorithm 1).
+    #[must_use]
+    pub fn load(&self) -> TpuUnits {
+        self.load
+    }
+
+    /// Units still unassigned (`1 − CurrentLoad`).
+    #[must_use]
+    pub fn free_units(&self) -> TpuUnits {
+        TpuUnits::ONE.saturating_sub(self.load)
+    }
+
+    /// `false` after a failure injection removed this TPU from service.
+    #[must_use]
+    pub fn is_available(&self) -> bool {
+        self.available
+    }
+
+    /// `true` when `model` is resident with at least one live reference.
+    #[must_use]
+    pub fn has_live_model(&self, model: &ModelId) -> bool {
+        self.models.iter().any(|m| m.id == *model && m.refs > 0)
+    }
+
+    /// `true` when `model` is resident at all (live or awaiting lazy
+    /// eviction).
+    #[must_use]
+    pub fn has_model(&self, model: &ModelId) -> bool {
+        self.models.iter().any(|m| m.id == *model)
+    }
+
+    /// Ids of live models in co-compilation priority order.
+    #[must_use]
+    pub fn live_models(&self) -> Vec<ModelId> {
+        self.models
+            .iter()
+            .filter(|m| m.refs > 0)
+            .map(|m| m.id.clone())
+            .collect()
+    }
+
+    /// Every resident model with its liveness: dead entries are awaiting
+    /// lazy eviction at the next co-compile.
+    #[must_use]
+    pub fn resident_models(&self) -> Vec<(ModelId, bool)> {
+        self.models
+            .iter()
+            .map(|m| (m.id.clone(), m.refs > 0))
+            .collect()
+    }
+
+    /// Parameter bytes of live models.
+    #[must_use]
+    pub fn live_bytes(&self) -> u64 {
+        self.models
+            .iter()
+            .filter(|m| m.refs > 0)
+            .map(|m| m.bytes)
+            .sum()
+    }
+
+    /// Free parameter memory given `budget` (`FreeMem` in Algorithm 1).
+    /// Dead models do not count against the budget — loading a new model
+    /// triggers a co-compilation that excludes them.
+    #[must_use]
+    pub fn free_mem(&self, budget: u64) -> u64 {
+        budget.saturating_sub(self.live_bytes())
+    }
+
+    /// Number of distinct live models.
+    #[must_use]
+    pub fn live_model_count(&self) -> usize {
+        self.models.iter().filter(|m| m.refs > 0).count()
+    }
+
+    fn add_model_ref(&mut self, model: &ModelId, bytes: u64) -> bool {
+        if let Some(entry) = self.models.iter_mut().find(|m| m.id == *model) {
+            entry.refs += 1;
+            false
+        } else {
+            // A genuinely new model: this is the co-compile moment, which
+            // lazily evicts models whose reference count reached zero.
+            self.models.retain(|m| m.refs > 0);
+            self.models.push(LoadedModel {
+                id: model.clone(),
+                bytes,
+                refs: 1,
+            });
+            true
+        }
+    }
+
+    fn drop_model_ref(&mut self, model: &ModelId) {
+        let entry = self
+            .models
+            .iter_mut()
+            .find(|m| m.id == *model && m.refs > 0)
+            .unwrap_or_else(|| panic!("releasing model {model} with no live reference"));
+        entry.refs -= 1;
+    }
+}
+
+/// The fleet of TPU Services the extended scheduler allocates from.
+///
+/// # Examples
+///
+/// ```
+/// use microedge_cluster::topology::ClusterBuilder;
+/// use microedge_core::pool::TpuPool;
+/// use microedge_core::units::TpuUnits;
+/// use microedge_tpu::spec::TpuSpec;
+///
+/// let cluster = ClusterBuilder::new().trpis(3).vrpis(2).build();
+/// let pool = TpuPool::from_cluster(&cluster, TpuSpec::coral_usb());
+/// assert_eq!(pool.len(), 3);
+/// assert_eq!(pool.total_free_units(), TpuUnits::from_f64(3.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TpuPool {
+    accounts: Vec<TpuAccount>,
+    param_budget: u64,
+}
+
+impl TpuPool {
+    /// Builds a pool with one TPU per tRPi of `cluster`, indexed in node
+    /// order (TPU *i* lives on the *i*-th tRPi).
+    #[must_use]
+    pub fn from_cluster(cluster: &Cluster, spec: TpuSpec) -> Self {
+        let accounts = cluster
+            .trpis()
+            .enumerate()
+            .map(|(i, node)| TpuAccount::new(TpuId(i as u32), node.id()))
+            .collect();
+        TpuPool {
+            accounts,
+            param_budget: spec.param_budget_bytes(),
+        }
+    }
+
+    /// The parameter-memory budget used for the Model Size Rule.
+    #[must_use]
+    pub fn param_budget(&self) -> u64 {
+        self.param_budget
+    }
+
+    /// Number of TPUs (including failed ones).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// `true` when the pool has no TPUs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.accounts.is_empty()
+    }
+
+    /// Accounts in TPU-id order (the order First-Fit scans).
+    #[must_use]
+    pub fn accounts(&self) -> &[TpuAccount] {
+        &self.accounts
+    }
+
+    /// The account for `tpu`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tpu` is not in the pool.
+    #[must_use]
+    pub fn account(&self, tpu: TpuId) -> &TpuAccount {
+        self.accounts
+            .iter()
+            .find(|a| a.id == tpu)
+            .unwrap_or_else(|| panic!("unknown TPU {tpu}"))
+    }
+
+    fn account_mut(&mut self, tpu: TpuId) -> &mut TpuAccount {
+        self.accounts
+            .iter_mut()
+            .find(|a| a.id == tpu)
+            .unwrap_or_else(|| panic!("unknown TPU {tpu}"))
+    }
+
+    /// Sum of free units across available TPUs.
+    #[must_use]
+    pub fn total_free_units(&self) -> TpuUnits {
+        self.accounts
+            .iter()
+            .filter(|a| a.available)
+            .map(TpuAccount::free_units)
+            .sum()
+    }
+
+    /// Number of TPUs carrying any load.
+    #[must_use]
+    pub fn used_tpus(&self) -> usize {
+        self.accounts.iter().filter(|a| !a.load.is_zero()).count()
+    }
+
+    /// Applies an admission decision: adds load and a model reference on
+    /// every allocated TPU. Returns the ids of TPUs on which `model` was
+    /// newly loaded (i.e. where a co-compilation was triggered).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any allocation oversubscribes its TPU — decisions must come
+    /// from an admission policy that already validated the TPU Units Rule.
+    pub fn commit(&mut self, model: &ModelProfile, allocations: &[Allocation]) -> Vec<TpuId> {
+        // Validate everything before mutating anything, so a bad decision
+        // cannot leave the pool half-committed.
+        for alloc in allocations {
+            let account = self.account(alloc.tpu());
+            assert!(
+                account
+                    .load
+                    .checked_add(alloc.units())
+                    .is_some_and(|total| total <= TpuUnits::ONE),
+                "allocation of {units} on {tpu} violates the TPU Units Rule",
+                units = alloc.units(),
+                tpu = alloc.tpu(),
+            );
+        }
+        let mut newly_loaded = Vec::new();
+        for alloc in allocations {
+            let account = self.account_mut(alloc.tpu());
+            account.load += alloc.units();
+            if account.add_model_ref(model.id(), model.param_bytes()) {
+                newly_loaded.push(alloc.tpu());
+            }
+        }
+        newly_loaded
+    }
+
+    /// Reverses a previous commit: subtracts load and drops one model
+    /// reference per allocation. The model itself stays resident until the
+    /// next co-compilation (lazy reclamation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the allocations do not correspond to a previous commit.
+    pub fn release(&mut self, model: &ModelId, allocations: &[Allocation]) {
+        for alloc in allocations {
+            let account = self.account_mut(alloc.tpu());
+            assert!(
+                alloc.units() <= account.load,
+                "releasing more units than allocated on {tpu}",
+                tpu = alloc.tpu()
+            );
+            account.load -= alloc.units();
+            account.drop_model_ref(model);
+        }
+    }
+
+    /// Marks a TPU as failed: it keeps its state but no longer accepts new
+    /// allocations.
+    pub fn fail(&mut self, tpu: TpuId) {
+        self.account_mut(tpu).available = false;
+    }
+
+    /// Returns a failed TPU to service.
+    pub fn restore(&mut self, tpu: TpuId) {
+        self.account_mut(tpu).available = true;
+    }
+}
+
+/// A map from pods to their committed assignment, used by the reclamation
+/// component.
+pub type AssignmentTable = BTreeMap<u64, (ModelId, Vec<Allocation>)>;
+
+/// Renders the pool as an aligned status table (one row per TPU):
+/// load, free units, and resident models in co-compile priority order
+/// (dead models awaiting lazy eviction are marked `evictable`).
+///
+/// # Examples
+///
+/// ```
+/// use microedge_cluster::topology::ClusterBuilder;
+/// use microedge_core::pool::{render_pool, TpuPool};
+/// use microedge_tpu::spec::TpuSpec;
+///
+/// let cluster = ClusterBuilder::new().trpis(2).vrpis(1).build();
+/// let pool = TpuPool::from_cluster(&cluster, TpuSpec::coral_usb());
+/// let status = render_pool(&pool);
+/// assert!(status.contains("tpu-0"));
+/// ```
+#[must_use]
+pub fn render_pool(pool: &TpuPool) -> String {
+    let mut table = microedge_metrics::report::Table::new(&[
+        "tpu",
+        "node",
+        "load",
+        "free",
+        "state",
+        "live models",
+    ]);
+    for a in pool.accounts() {
+        let models: Vec<String> = a
+            .resident_models()
+            .iter()
+            .map(|(id, live)| {
+                if *live {
+                    id.to_string()
+                } else {
+                    format!("{id} (evictable)")
+                }
+            })
+            .collect();
+        table.row_owned(vec![
+            a.id().to_string(),
+            a.node().to_string(),
+            a.load().to_string(),
+            a.free_units().to_string(),
+            if a.is_available() { "up" } else { "FAILED" }.to_owned(),
+            models.join(", "),
+        ]);
+    }
+    table.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microedge_cluster::topology::ClusterBuilder;
+    use microedge_models::catalog::{mobilenet_v1, ssd_mobilenet_v2, unet_v2};
+
+    fn pool(trpis: u32) -> TpuPool {
+        let cluster = ClusterBuilder::new().trpis(trpis).vrpis(1).build();
+        TpuPool::from_cluster(&cluster, TpuSpec::coral_usb())
+    }
+
+    fn alloc(tpu: u32, units: f64) -> Allocation {
+        Allocation::new(TpuId(tpu), TpuUnits::from_f64(units))
+    }
+
+    #[test]
+    fn pool_indexes_tpus_in_node_order() {
+        let p = pool(3);
+        assert_eq!(p.len(), 3);
+        for (i, account) in p.accounts().iter().enumerate() {
+            assert_eq!(account.id(), TpuId(i as u32));
+            assert!(account.is_available());
+            assert_eq!(account.load(), TpuUnits::ZERO);
+        }
+    }
+
+    #[test]
+    fn commit_adds_load_and_loads_model_once() {
+        let mut p = pool(2);
+        let m = ssd_mobilenet_v2();
+        let first = p.commit(&m, &[alloc(0, 0.35)]);
+        assert_eq!(first, vec![TpuId(0)], "first commit loads the model");
+        let second = p.commit(&m, &[alloc(0, 0.35)]);
+        assert!(second.is_empty(), "model already resident");
+        let a = p.account(TpuId(0));
+        assert_eq!(a.load(), TpuUnits::from_f64(0.7));
+        assert!(a.has_live_model(m.id()));
+        assert_eq!(a.live_bytes(), m.param_bytes());
+    }
+
+    #[test]
+    fn release_is_lazy_about_model_memory() {
+        let mut p = pool(1);
+        let m = unet_v2();
+        p.commit(&m, &[alloc(0, 0.675)]);
+        p.release(m.id(), &[alloc(0, 0.675)]);
+        let a = p.account(TpuId(0));
+        assert_eq!(a.load(), TpuUnits::ZERO);
+        assert!(!a.has_live_model(m.id()), "no live reference");
+        assert!(a.has_model(m.id()), "still resident until next co-compile");
+        assert_eq!(a.live_bytes(), 0, "dead model frees budget");
+    }
+
+    #[test]
+    fn cocompile_evicts_dead_models() {
+        let mut p = pool(1);
+        let dead = unet_v2();
+        p.commit(&dead, &[alloc(0, 0.2)]);
+        p.release(dead.id(), &[alloc(0, 0.2)]);
+        // Loading a different model triggers the co-compile that evicts.
+        let live = mobilenet_v1();
+        p.commit(&live, &[alloc(0, 0.2)]);
+        let a = p.account(TpuId(0));
+        assert!(!a.has_model(dead.id()), "dead model evicted at co-compile");
+        assert!(a.has_live_model(live.id()));
+    }
+
+    #[test]
+    fn reusing_dead_model_revives_without_reload() {
+        let mut p = pool(1);
+        let m = unet_v2();
+        p.commit(&m, &[alloc(0, 0.2)]);
+        p.release(m.id(), &[alloc(0, 0.2)]);
+        let loaded = p.commit(&m, &[alloc(0, 0.2)]);
+        assert!(loaded.is_empty(), "model was still resident — no load RPC");
+        assert!(p.account(TpuId(0)).has_live_model(m.id()));
+    }
+
+    #[test]
+    #[should_panic(expected = "TPU Units Rule")]
+    fn oversubscription_panics() {
+        let mut p = pool(1);
+        let m = ssd_mobilenet_v2();
+        p.commit(&m, &[alloc(0, 0.7)]);
+        p.commit(&m, &[alloc(0, 0.4)]);
+    }
+
+    #[test]
+    fn failed_tpu_excluded_from_free_units() {
+        let mut p = pool(2);
+        assert_eq!(p.total_free_units(), TpuUnits::from_f64(2.0));
+        p.fail(TpuId(0));
+        assert!(!p.account(TpuId(0)).is_available());
+        assert_eq!(p.total_free_units(), TpuUnits::from_f64(1.0));
+        p.restore(TpuId(0));
+        assert_eq!(p.total_free_units(), TpuUnits::from_f64(2.0));
+    }
+
+    #[test]
+    fn free_mem_tracks_live_models_only() {
+        let mut p = pool(1);
+        let budget = p.param_budget();
+        let m = mobilenet_v1();
+        p.commit(&m, &[alloc(0, 0.2)]);
+        let a = p.account(TpuId(0));
+        assert_eq!(a.free_mem(budget), budget - m.param_bytes());
+        assert_eq!(a.live_model_count(), 1);
+        assert_eq!(a.live_models(), vec![m.id().clone()]);
+    }
+
+    #[test]
+    fn used_tpus_counts_loaded_only() {
+        let mut p = pool(3);
+        p.commit(&unet_v2(), &[alloc(1, 0.5)]);
+        assert_eq!(p.used_tpus(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero units")]
+    fn zero_unit_allocation_rejected() {
+        let _ = Allocation::new(TpuId(0), TpuUnits::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown TPU")]
+    fn unknown_tpu_panics() {
+        let p = pool(1);
+        let _ = p.account(TpuId(9));
+    }
+
+    #[test]
+    fn render_pool_lists_every_tpu() {
+        let mut p = pool(2);
+        p.commit(&ssd_mobilenet_v2(), &[alloc(0, 0.35)]);
+        p.fail(TpuId(1));
+        let text = render_pool(&p);
+        assert!(text.contains("tpu-0"));
+        assert!(text.contains("ssd-mobilenet-v2"));
+        assert!(text.contains("FAILED"));
+        assert!(text.contains("0.350u"));
+        // Lazy reclamation is visible: released models show as evictable.
+        p.release(ssd_mobilenet_v2().id(), &[alloc(0, 0.35)]);
+        let text = render_pool(&p);
+        assert!(text.contains("(evictable)"));
+    }
+}

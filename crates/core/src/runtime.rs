@@ -1,0 +1,1590 @@
+//! The end-to-end MicroEdge simulation: control plane + data plane.
+//!
+//! A [`World`] owns the K3s-like orchestrator, the extended scheduler, one
+//! data-plane [`TpuDevice`] per tRPi, and the camera streams. Camera frames
+//! flow exactly as in the paper's Fig. 3:
+//!
+//! ```text
+//! camera ─► TPU Client (pre-process) ─► LBS pick ─► network ─► TPU Service
+//!                                                               (FIFO, run
+//!                                                               to completion)
+//!        ◄───────────── post-process ◄───────────── result ◄───┘
+//! ```
+//!
+//! Streams can be admitted and removed while the simulation runs (the trace
+//! study), TPUs can be failed (the failure-recovery extension), and every
+//! run produces the metrics the paper's figures report: per-stream SLO
+//! audits, overall and per-minute TPU utilization, and per-phase latency
+//! breakdowns.
+//!
+//! ## Multi-model pipelines
+//!
+//! A stream may chain several inference stages per frame
+//! ([`StreamSpecBuilder::then`]): the frame visits each stage's TPU in
+//! order, each stage load-balanced by its own LBS. When consecutive stages
+//! land on the *same* TPU the inter-stage hop is free — the data-plane
+//! pipeline optimization the paper's §8 calls for.
+//!
+//! # Examples
+//!
+//! ```
+//! use microedge_cluster::topology::ClusterBuilder;
+//! use microedge_core::config::Features;
+//! use microedge_core::runtime::{StreamSpec, World};
+//! use microedge_sim::time::SimTime;
+//!
+//! # use microedge_core::scheduler::DeployError;
+//! # fn main() -> Result<(), DeployError> {
+//! let cluster = ClusterBuilder::new().trpis(1).vrpis(2).build();
+//! let mut world = World::new(cluster, Features::all());
+//! let cam = world
+//!     .admit_stream(StreamSpec::builder("cam-0", "ssd-mobilenet-v2").frame_limit(30).build())?;
+//! let results = world.run_to_completion(SimTime::from_secs(10));
+//! assert!(results.report(cam).is_some_and(|r| r.met_fps()));
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+use microedge_cluster::network::NetworkModel;
+use microedge_cluster::node::NodeId;
+use microedge_cluster::topology::Cluster;
+use microedge_metrics::latency::{BreakdownRecorder, LatencyBreakdown};
+use microedge_metrics::throughput::{SloReport, ThroughputAudit};
+use microedge_metrics::utilization::FleetUtilization;
+use microedge_models::catalog::Catalog;
+use microedge_models::profile::{ModelId, ModelProfile};
+use microedge_orch::lifecycle::Orchestrator;
+use microedge_orch::pod::{PodId, PodSpec, ResourceRequest, EXT_MODEL, EXT_TPU_UNITS};
+use microedge_sim::event::EventQueue;
+use microedge_sim::rng::DetRng;
+use microedge_sim::series::StepSeries;
+use microedge_sim::stats::OnlineStats;
+use microedge_sim::time::{SimDuration, SimTime};
+use microedge_tpu::cocompile::CoCompiler;
+use microedge_tpu::device::{DeviceStats, TpuDevice, TpuId};
+use microedge_tpu::spec::TpuSpec;
+
+use crate::client::SourceResolution;
+use crate::config::{DataPlaneConfig, Features};
+use crate::lbs::LbService;
+use crate::scheduler::{DeployError, ExtendedScheduler};
+use crate::units::TpuUnits;
+
+/// Identifies a camera stream for its lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamId(pub u64);
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stream-{}", self.0)
+    }
+}
+
+/// One inference stage of a stream's per-frame pipeline.
+#[derive(Debug, Clone, PartialEq)]
+struct StageSpec {
+    model: ModelId,
+    units: Option<TpuUnits>,
+}
+
+/// Describes one camera stream to admit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamSpec {
+    name: String,
+    stages: Vec<StageSpec>,
+    fps: f64,
+    frame_limit: Option<u64>,
+    start_offset: SimDuration,
+    collocated: bool,
+    frame_filter: Option<(f64, u64)>,
+    source: SourceResolution,
+}
+
+impl StreamSpec {
+    /// Starts building a stream whose first (often only) stage runs
+    /// `model`, at the industry-standard 15 FPS.
+    #[must_use]
+    pub fn builder(name: &str, model: &str) -> StreamSpecBuilder {
+        StreamSpecBuilder {
+            spec: StreamSpec {
+                name: name.to_owned(),
+                stages: vec![StageSpec {
+                    model: ModelId::new(model),
+                    units: None,
+                }],
+                fps: 15.0,
+                frame_limit: None,
+                start_offset: SimDuration::ZERO,
+                collocated: false,
+                frame_filter: None,
+                source: SourceResolution::FULL_HD,
+            },
+        }
+    }
+
+    /// Stream name (doubles as the pod name).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The first stage's model.
+    #[must_use]
+    pub fn model(&self) -> &ModelId {
+        &self.stages[0].model
+    }
+
+    /// All stage models, in pipeline order.
+    #[must_use]
+    pub fn stage_models(&self) -> Vec<&ModelId> {
+        self.stages.iter().map(|s| &s.model).collect()
+    }
+
+    /// Frame rate.
+    #[must_use]
+    pub fn fps(&self) -> f64 {
+        self.fps
+    }
+}
+
+/// Builder for [`StreamSpec`].
+#[derive(Debug, Clone)]
+pub struct StreamSpecBuilder {
+    spec: StreamSpec,
+}
+
+impl StreamSpecBuilder {
+    /// Sets the frame rate (default 15 FPS).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fps` is not strictly positive.
+    #[must_use]
+    pub fn fps(mut self, fps: f64) -> Self {
+        assert!(fps.is_finite() && fps > 0.0, "fps must be positive");
+        self.spec.fps = fps;
+        self
+    }
+
+    /// Overrides the *most recently added* stage's requested TPU units
+    /// (default: derived by the offline profiling service from the model
+    /// and frame rate).
+    #[must_use]
+    pub fn units(mut self, units: TpuUnits) -> Self {
+        self.spec
+            .stages
+            .last_mut()
+            .expect("builder always has a stage")
+            .units = Some(units);
+        self
+    }
+
+    /// Appends another inference stage to the per-frame pipeline.
+    #[must_use]
+    pub fn then(mut self, model: &str) -> Self {
+        self.spec.stages.push(StageSpec {
+            model: ModelId::new(model),
+            units: None,
+        });
+        self
+    }
+
+    /// Stops the stream after `frames` frames (default: runs until
+    /// removed).
+    #[must_use]
+    pub fn frame_limit(mut self, frames: u64) -> Self {
+        self.spec.frame_limit = Some(frames);
+        self
+    }
+
+    /// Delays the first frame — real cameras are not phase-aligned.
+    #[must_use]
+    pub fn start_offset(mut self, offset: SimDuration) -> Self {
+        self.spec.start_offset = offset;
+        self
+    }
+
+    /// Marks the stream's TPU as host-local (the bare-metal baseline):
+    /// frames skip the network hop.
+    #[must_use]
+    pub fn collocated(mut self, collocated: bool) -> Self {
+        self.spec.collocated = collocated;
+        self
+    }
+
+    /// Sets the camera's native resolution (default 1080p); pre-processing
+    /// cost scales with it.
+    #[must_use]
+    pub fn source_resolution(mut self, source: SourceResolution) -> Self {
+        self.spec.source = source;
+        self
+    }
+
+    /// Installs a NoScope-style difference detector (paper §1): only
+    /// `pass_rate` of frames reach the TPU; the rest complete client-side
+    /// after pre-processing. The caller should declare correspondingly
+    /// reduced TPU units (see `microedge-workloads`' `DiffDetector`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pass_rate` is outside `(0, 1]`.
+    #[must_use]
+    pub fn frame_filter(mut self, pass_rate: f64, seed: u64) -> Self {
+        assert!(
+            pass_rate > 0.0 && pass_rate <= 1.0,
+            "pass rate must be in (0, 1], got {pass_rate}"
+        );
+        self.spec.frame_filter = Some((pass_rate, seed));
+        self
+    }
+
+    /// Finalises the spec.
+    #[must_use]
+    pub fn build(self) -> StreamSpec {
+        self.spec
+    }
+}
+
+#[derive(Debug, Clone)]
+struct InFlight {
+    stream: StreamId,
+    stage: usize,
+    pre: SimDuration,
+    trans_acc: SimDuration,
+    infer_acc: SimDuration,
+    arrived: SimTime,
+}
+
+#[derive(Debug)]
+struct ServiceRuntime {
+    device: TpuDevice,
+    queue: VecDeque<InFlight>,
+    current: Option<InFlight>,
+    alive: bool,
+    max_depth: usize,
+}
+
+#[derive(Debug)]
+struct StageRuntime {
+    profile: ModelProfile,
+    lbs: LbService,
+}
+
+#[derive(Debug)]
+struct FrameFilter {
+    pass_rate: f64,
+    rng: DetRng,
+}
+
+#[derive(Debug)]
+struct StreamRuntime {
+    pod: PodId,
+    spec: StreamSpec,
+    stages: Vec<StageRuntime>,
+    audit: ThroughputAudit,
+    latency: OnlineStats,
+    interval: SimDuration,
+    frame_limit: Option<u64>,
+    emitted: u64,
+    collocated: bool,
+    active: bool,
+    filter: Option<FrameFilter>,
+    preprocess: SimDuration,
+}
+
+#[derive(Debug)]
+enum Ev {
+    Frame(StreamId),
+    Arrive(TpuId, InFlight),
+    Done(TpuId),
+    Complete(StreamId, Option<LatencyBreakdown>),
+}
+
+/// Aggregated outcome of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunResults {
+    reports: BTreeMap<StreamId, SloReport>,
+    latencies: BTreeMap<StreamId, OnlineStats>,
+    average_utilization: f64,
+    per_device_utilization: Vec<f64>,
+    windowed_utilization: Vec<f64>,
+    breakdowns: BreakdownRecorder,
+    device_stats: Vec<DeviceStats>,
+    max_queue_depths: Vec<usize>,
+    used_tpus: usize,
+    frames_dropped: u64,
+    end: SimTime,
+}
+
+impl RunResults {
+    /// The SLO report for one stream.
+    #[must_use]
+    pub fn report(&self, stream: StreamId) -> Option<&SloReport> {
+        self.reports.get(&stream)
+    }
+
+    /// All stream reports, in stream order.
+    #[must_use]
+    pub fn reports(&self) -> Vec<&SloReport> {
+        self.reports.values().collect()
+    }
+
+    /// Per-frame end-to-end latency statistics (milliseconds) of one
+    /// stream's TPU-served frames.
+    #[must_use]
+    pub fn latency(&self, stream: StreamId) -> Option<&OnlineStats> {
+        self.latencies.get(&stream)
+    }
+
+    /// `true` when every TPU-served frame of every stream finished within
+    /// `bound` — the per-frame latency SLO the paper's §2 motivates
+    /// (unbounded queue build-up would eventually violate it).
+    #[must_use]
+    pub fn all_within_latency(&self, bound: SimDuration) -> bool {
+        self.latencies
+            .values()
+            .all(|s| s.max().unwrap_or(0.0) <= bound.as_millis_f64())
+    }
+
+    /// `true` when every stream met its FPS SLO.
+    #[must_use]
+    pub fn all_met_fps(&self) -> bool {
+        self.reports.values().all(SloReport::met_fps)
+    }
+
+    /// Mean TPU utilization over the whole run (Fig. 5b/5d).
+    #[must_use]
+    pub fn average_utilization(&self) -> f64 {
+        self.average_utilization
+    }
+
+    /// Per-TPU utilization over the whole run.
+    #[must_use]
+    pub fn per_device_utilization(&self) -> &[f64] {
+        &self.per_device_utilization
+    }
+
+    /// Fleet-average utilization per window (Fig. 6a).
+    #[must_use]
+    pub fn windowed_utilization(&self) -> &[f64] {
+        &self.windowed_utilization
+    }
+
+    /// The per-phase latency statistics (Fig. 7b).
+    #[must_use]
+    pub fn breakdowns(&self) -> &BreakdownRecorder {
+        &self.breakdowns
+    }
+
+    /// Mutable access to the latency statistics (percentile queries sort
+    /// lazily and need it).
+    pub fn breakdowns_mut(&mut self) -> &mut BreakdownRecorder {
+        &mut self.breakdowns
+    }
+
+    /// Per-device execution counters.
+    #[must_use]
+    pub fn device_stats(&self) -> &[DeviceStats] {
+        &self.device_stats
+    }
+
+    /// Deepest request backlog each TPU Service ever saw (queued plus
+    /// executing). Admission control's job is to keep this small: a depth
+    /// that grows with run length is the §2 queue build-up that eventually
+    /// violates per-frame latency bounds.
+    #[must_use]
+    pub fn max_queue_depths(&self) -> &[usize] {
+        &self.max_queue_depths
+    }
+
+    /// TPUs that carried load at the end of the run.
+    #[must_use]
+    pub fn used_tpus(&self) -> usize {
+        self.used_tpus
+    }
+
+    /// Frames dropped by failed TPUs.
+    #[must_use]
+    pub fn frames_dropped(&self) -> u64 {
+        self.frames_dropped
+    }
+
+    /// The instant the run was finalised at.
+    #[must_use]
+    pub fn end(&self) -> SimTime {
+        self.end
+    }
+
+    /// Renders the whole run as an aligned report: one row per stream
+    /// (throughput, latency, SLO) plus a fleet footer (utilization, queue
+    /// depths, drops).
+    #[must_use]
+    pub fn render_summary(&self) -> String {
+        let mut table = microedge_metrics::report::Table::new(&[
+            "stream",
+            "frames",
+            "achieved FPS",
+            "mean e2e (ms)",
+            "max e2e (ms)",
+            "SLO",
+        ]);
+        for (id, report) in &self.reports {
+            let latency = self.latencies.get(id);
+            table.row_owned(vec![
+                report.stream().to_owned(),
+                report.completed().to_string(),
+                format!("{:.2}", report.achieved_fps()),
+                format!("{:.2}", latency.map_or(0.0, OnlineStats::mean)),
+                format!("{:.2}", latency.and_then(OnlineStats::max).unwrap_or(0.0)),
+                if report.met_fps() { "met" } else { "VIOLATED" }.to_owned(),
+            ]);
+        }
+        let depths: Vec<String> = self
+            .max_queue_depths
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        format!(
+            "{table}fleet: {:.1}% avg TPU utilization over {:.1}s | max queue depths [{}] | {} frames dropped\n",
+            self.average_utilization * 100.0,
+            self.end.as_secs_f64(),
+            depths.join(", "),
+            self.frames_dropped,
+        )
+    }
+}
+
+/// The complete simulated MicroEdge deployment.
+pub struct World {
+    queue: EventQueue<Ev>,
+    orch: Orchestrator,
+    sched: ExtendedScheduler,
+    dp: DataPlaneConfig,
+    net: NetworkModel,
+    services: Vec<ServiceRuntime>,
+    streams: BTreeMap<StreamId, StreamRuntime>,
+    pods_to_streams: BTreeMap<PodId, StreamId>,
+    fleet: FleetUtilization,
+    breakdowns: BreakdownRecorder,
+    served: StepSeries,
+    frames_dropped: u64,
+    next_stream: u64,
+}
+
+impl fmt::Debug for World {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("World")
+            .field("now", &self.queue.now())
+            .field("streams", &self.streams.len())
+            .field("tpus", &self.services.len())
+            .finish()
+    }
+}
+
+/// The window used for per-interval metrics (one minute, as in Fig. 6).
+pub const METRIC_WINDOW: SimDuration = SimDuration::from_secs(60);
+
+impl World {
+    /// Builds a world over `cluster` with the built-in catalog and the
+    /// shipped First-Fit policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster has no TPUs.
+    #[must_use]
+    pub fn new(cluster: Cluster, features: Features) -> Self {
+        Self::with_scheduler(
+            cluster.clone(),
+            ExtendedScheduler::new(&cluster, Catalog::builtin(), features),
+        )
+    }
+
+    /// Builds a world with a custom extended scheduler (e.g. a baseline
+    /// policy or a different catalog).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster has no TPUs.
+    #[must_use]
+    pub fn with_scheduler(cluster: Cluster, sched: ExtendedScheduler) -> Self {
+        let tpu_count = cluster.tpu_count();
+        assert!(tpu_count > 0, "a MicroEdge world needs at least one TPU");
+        let net = *cluster.network();
+        let services = (0..tpu_count)
+            .map(|_| ServiceRuntime {
+                device: TpuDevice::new(TpuSpec::coral_usb()),
+                queue: VecDeque::new(),
+                current: None,
+                alive: true,
+                max_depth: 0,
+            })
+            .collect();
+        World {
+            queue: EventQueue::new(),
+            orch: Orchestrator::new(cluster),
+            sched,
+            dp: DataPlaneConfig::calibrated(),
+            net,
+            services,
+            streams: BTreeMap::new(),
+            pods_to_streams: BTreeMap::new(),
+            fleet: FleetUtilization::new(tpu_count, METRIC_WINDOW),
+            breakdowns: BreakdownRecorder::new(),
+            served: StepSeries::new(METRIC_WINDOW),
+            frames_dropped: 0,
+            next_stream: 0,
+        }
+    }
+
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Overrides the data-plane calibration. Call before admitting streams
+    /// — already-admitted streams keep their cached pre-processing cost.
+    pub fn set_data_plane(&mut self, dp: DataPlaneConfig) {
+        self.dp = dp;
+    }
+
+    /// The extended scheduler (for inspecting pool state).
+    #[must_use]
+    pub fn scheduler(&self) -> &ExtendedScheduler {
+        &self.sched
+    }
+
+    /// The orchestrator (for inspecting pods).
+    #[must_use]
+    pub fn orchestrator(&self) -> &Orchestrator {
+        &self.orch
+    }
+
+    /// Number of active streams.
+    #[must_use]
+    pub fn active_streams(&self) -> usize {
+        self.streams.values().filter(|s| s.active).count()
+    }
+
+    /// The pod backing a stream, if the stream exists.
+    #[must_use]
+    pub fn pod_of(&self, stream: StreamId) -> Option<PodId> {
+        self.streams.get(&stream).map(|s| s.pod)
+    }
+
+    /// Admits a camera stream: TPU admission (all pipeline stages), pod
+    /// creation, LBS seeding, and scheduling of its first frame at the
+    /// current time plus the stream's start offset.
+    ///
+    /// # Errors
+    ///
+    /// See [`DeployError`]; on error nothing is changed.
+    pub fn admit_stream(&mut self, spec: StreamSpec) -> Result<StreamId, DeployError> {
+        let mut profiles = Vec::with_capacity(spec.stages.len());
+        let mut model_ext = Vec::with_capacity(spec.stages.len());
+        let mut units_ext = Vec::with_capacity(spec.stages.len());
+        for stage in &spec.stages {
+            let profile = self
+                .sched
+                .catalog()
+                .get(&stage.model)
+                .ok_or_else(|| DeployError::UnknownModel(stage.model.clone()))?
+                .clone();
+            let units = stage
+                .units
+                .unwrap_or_else(|| self.dp.profiled_units(&profile, spec.fps));
+            model_ext.push(stage.model.as_str().to_owned());
+            units_ext.push(format!("{}", units.as_f64()));
+            profiles.push(profile);
+        }
+        let pod_spec = PodSpec::builder(&spec.name, "microedge-camera:latest")
+            .resources(ResourceRequest::camera_default())
+            .extension(EXT_MODEL, &model_ext.join(","))
+            .extension(EXT_TPU_UNITS, &units_ext.join(","))
+            .build();
+        let deployment = self.sched.deploy(&mut self.orch, pod_spec)?;
+        let stages: Vec<StageRuntime> = deployment
+            .stages()
+            .iter()
+            .zip(profiles)
+            .map(|(grant, profile)| StageRuntime {
+                profile,
+                lbs: grant.lbs(),
+            })
+            .collect();
+        for grant in deployment.stages() {
+            for alloc in grant.allocations() {
+                self.sync_device(alloc.tpu());
+            }
+        }
+        let id = StreamId(self.next_stream);
+        self.next_stream += 1;
+        let now = self.queue.now();
+        let runtime = StreamRuntime {
+            pod: deployment.pod(),
+            spec: spec.clone(),
+            stages,
+            audit: ThroughputAudit::new(&spec.name, spec.fps),
+            latency: OnlineStats::new(),
+            interval: SimDuration::from_secs_f64(1.0 / spec.fps),
+            frame_limit: spec.frame_limit,
+            emitted: 0,
+            collocated: spec.collocated,
+            active: true,
+            filter: spec.frame_filter.map(|(pass_rate, seed)| FrameFilter {
+                pass_rate,
+                rng: DetRng::seed_from(seed),
+            }),
+            preprocess: self.dp.preprocess_for(spec.source),
+        };
+        self.pods_to_streams.insert(deployment.pod(), id);
+        self.streams.insert(id, runtime);
+        self.served.add(now, 1.0);
+        self.queue.schedule_after(spec.start_offset, Ev::Frame(id));
+        Ok(id)
+    }
+
+    /// Removes a stream: the pod is deleted and its TPU units return to the
+    /// pool. In-flight frames drain normally.
+    ///
+    /// # Errors
+    ///
+    /// Propagates orchestrator errors for unknown pods.
+    pub fn remove_stream(&mut self, id: StreamId) -> Result<(), DeployError> {
+        let stream = self
+            .streams
+            .get_mut(&id)
+            .filter(|s| s.active)
+            .ok_or(DeployError::Orch(
+                microedge_orch::lifecycle::OrchError::UnknownPod(PodId(u64::MAX)),
+            ))?;
+        stream.active = false;
+        let pod = stream.pod;
+        self.sched.teardown(&mut self.orch, pod)?;
+        self.served.add(self.queue.now(), -1.0);
+        Ok(())
+    }
+
+    /// Simulates the stream's pod crashing *without* notifying the
+    /// extended scheduler: the orchestrator marks the pod terminated and
+    /// frames stop, but the pod's TPU units remain held until the
+    /// reclamation component notices (paper §3.1 step ⑤ — exercised via
+    /// [`World::poll_reclamation`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates orchestrator errors for unknown/terminated pods.
+    pub fn crash_stream(&mut self, id: StreamId) -> Result<(), DeployError> {
+        let stream = self
+            .streams
+            .get_mut(&id)
+            .filter(|s| s.active)
+            .ok_or(DeployError::Orch(
+                microedge_orch::lifecycle::OrchError::UnknownPod(PodId(u64::MAX)),
+            ))?;
+        stream.active = false;
+        let pod = stream.pod;
+        self.orch.delete_pod(pod)?;
+        self.served.add(self.queue.now(), -1.0);
+        Ok(())
+    }
+
+    /// One poll of the reclamation component: returns the TPU units of
+    /// every terminated pod that still holds an assignment, and reports the
+    /// pods reclaimed.
+    pub fn poll_reclamation(&mut self) -> Vec<PodId> {
+        self.sched.reclaim_terminated(&self.orch)
+    }
+
+    /// Fails a TPU mid-run: queued and executing frames on it are dropped,
+    /// and affected pods are re-admitted on surviving TPUs where possible
+    /// (the paper's failure-recovery extension). Streams whose pods cannot
+    /// be re-placed are deactivated.
+    ///
+    /// Returns the streams that lost TPU service.
+    pub fn fail_tpu(&mut self, tpu: TpuId) -> Vec<StreamId> {
+        let now = self.queue.now();
+        let svc = &mut self.services[tpu.0 as usize];
+        svc.alive = false;
+        self.frames_dropped += svc.queue.len() as u64;
+        svc.queue.clear();
+        if svc.current.take().is_some() {
+            self.frames_dropped += 1;
+            self.fleet.tracker_mut(tpu.0 as usize).end_busy(now);
+        }
+        let outcome = self.sched.handle_tpu_failure(tpu);
+        for (pod, plans) in &outcome.recovered {
+            let stream_id = self.pods_to_streams[pod];
+            if let Some(stream) = self.streams.get_mut(&stream_id) {
+                for (stage, (_, allocations)) in stream.stages.iter_mut().zip(plans) {
+                    stage.lbs = LbService::from_allocations(allocations);
+                }
+            }
+            for (_, allocations) in plans {
+                for alloc in allocations {
+                    self.sync_device(alloc.tpu());
+                }
+            }
+        }
+        let mut lost_streams = Vec::new();
+        for pod in outcome.lost {
+            let stream_id = self.pods_to_streams[&pod];
+            if let Some(stream) = self.streams.get_mut(&stream_id) {
+                if stream.active {
+                    stream.active = false;
+                    self.served.add(now, -1.0);
+                }
+            }
+            lost_streams.push(stream_id);
+        }
+        lost_streams
+    }
+
+    /// Fails an entire node (tRPi or vRPi): the orchestrator terminates
+    /// every pod hosted on it, the node stops accepting pods, and — if a
+    /// TPU hangs off the node — that TPU fails too, with displaced streams
+    /// re-admitted on survivors where possible. Streams whose *application
+    /// container* lived on the dead node are deactivated outright (their
+    /// pod is gone) and their TPU units reclaimed.
+    ///
+    /// Returns the streams that stopped as a result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not part of the cluster.
+    pub fn fail_node(&mut self, node: NodeId) -> Vec<StreamId> {
+        let now = self.queue.now();
+        // The node's TPU (if any) dies with it.
+        let tpu = self
+            .sched
+            .pool()
+            .accounts()
+            .iter()
+            .find(|a| a.node() == node)
+            .map(|a| a.id());
+        let mut stopped = match tpu {
+            Some(tpu) => self.fail_tpu(tpu),
+            None => Vec::new(),
+        };
+        // Pods hosted on the node terminate; their streams stop emitting.
+        let displaced = self.orch.fail_node(node);
+        for pod in displaced {
+            if let Some(&stream_id) = self.pods_to_streams.get(&pod) {
+                if let Some(stream) = self.streams.get_mut(&stream_id) {
+                    if stream.active {
+                        stream.active = false;
+                        self.served.add(now, -1.0);
+                        stopped.push(stream_id);
+                    }
+                }
+            }
+        }
+        // The reclamation component returns the dead pods' TPU units.
+        self.sched.reclaim_terminated(&self.orch);
+        stopped.sort_unstable();
+        stopped.dedup();
+        stopped
+    }
+
+    /// Drains a TPU for maintenance: its load live-migrates to the rest of
+    /// the fleet (new frames route elsewhere; frames already queued on it
+    /// finish normally — zero frames are dropped). Returns the migrated
+    /// streams.
+    ///
+    /// # Errors
+    ///
+    /// [`DeployError::InsufficientTpu`] when the remaining fleet cannot
+    /// absorb the load; nothing changes in that case.
+    pub fn drain_tpu(&mut self, tpu: TpuId) -> Result<Vec<StreamId>, DeployError> {
+        let migrated = self.sched.drain_tpu(tpu)?;
+        let mut streams = Vec::with_capacity(migrated.len());
+        for (pod, plans) in &migrated {
+            let stream_id = self.pods_to_streams[pod];
+            if let Some(stream) = self.streams.get_mut(&stream_id) {
+                for (stage, (_, allocations)) in stream.stages.iter_mut().zip(plans) {
+                    stage.lbs = LbService::from_allocations(allocations);
+                }
+            }
+            for (_, allocations) in plans {
+                for alloc in allocations {
+                    self.sync_device(alloc.tpu());
+                }
+            }
+            streams.push(stream_id);
+        }
+        Ok(streams)
+    }
+
+    /// Attempts to restart a stream that lost service (pod crash, node or
+    /// TPU failure): a fresh admission of the original spec under a new
+    /// stream id — the controller loop a production deployment would run
+    /// on `PodTerminated` events. Frames resume at the current time.
+    ///
+    /// # Errors
+    ///
+    /// [`DeployError`] when the stream is unknown, still active, or no
+    /// longer fits the surviving capacity.
+    pub fn restart_stream(&mut self, id: StreamId) -> Result<StreamId, DeployError> {
+        let stream = self.streams.get(&id).ok_or(DeployError::Orch(
+            microedge_orch::lifecycle::OrchError::UnknownPod(PodId(u64::MAX)),
+        ))?;
+        if stream.active {
+            return Err(DeployError::MalformedRequest(format!(
+                "{id} is still active"
+            )));
+        }
+        let mut spec = stream.spec.clone();
+        spec.start_offset = SimDuration::ZERO;
+        self.admit_stream(spec)
+    }
+
+    /// Processes all events up to and including `until`.
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > until {
+                break;
+            }
+            let (now, ev) = self.queue.pop().expect("peeked event exists");
+            self.dispatch(now, ev);
+        }
+    }
+
+    /// Runs until the event queue drains or `deadline` is reached, then
+    /// finalises. Convenient for frame-limited runs.
+    #[must_use]
+    pub fn run_to_completion(mut self, deadline: SimTime) -> RunResults {
+        self.run_until(deadline);
+        let end = self.queue.now().max(SimTime::from_nanos(1));
+        self.finish(end)
+    }
+
+    /// Finalises the run at `end`, producing every metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end` precedes the last processed event.
+    #[must_use]
+    pub fn finish(self, end: SimTime) -> RunResults {
+        let reports = self
+            .streams
+            .iter()
+            .map(|(&id, s)| (id, s.audit.report(end)))
+            .collect();
+        let latencies = self
+            .streams
+            .iter()
+            .map(|(&id, s)| (id, s.latency.clone()))
+            .collect();
+        let average_utilization = self.fleet.average_utilization(end);
+        let per_device_utilization = self.fleet.per_device_utilization(end);
+        let windowed_utilization = self.fleet.into_windowed_average(end);
+        RunResults {
+            reports,
+            latencies,
+            average_utilization,
+            per_device_utilization,
+            windowed_utilization,
+            breakdowns: self.breakdowns,
+            device_stats: self.services.iter().map(|s| s.device.stats()).collect(),
+            max_queue_depths: self.services.iter().map(|s| s.max_depth).collect(),
+            used_tpus: self.sched.pool().used_tpus(),
+            frames_dropped: self.frames_dropped,
+            end,
+        }
+    }
+
+    /// Cameras-served step series finaliser (Fig. 6b): per-window average
+    /// number of active streams up to `end`, alongside the run results.
+    /// Consumes the world.
+    #[must_use]
+    pub fn finish_with_served_series(self, end: SimTime) -> (RunResults, Vec<f64>) {
+        let served = self.served.clone().finish(end);
+        (self.finish(end), served)
+    }
+
+    fn sync_device(&mut self, tpu: TpuId) {
+        let models = self.sched.resident_models(tpu);
+        let profiles: Vec<ModelProfile> = models
+            .iter()
+            .map(|m| self.sched.catalog().expect(m).clone())
+            .collect();
+        let device = &mut self.services[tpu.0 as usize].device;
+        let plan = CoCompiler::new(device.spec())
+            .plan(&profiles)
+            .expect("resident models are distinct");
+        device.load_plan(plan);
+    }
+
+    fn dispatch(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::Frame(id) => self.on_frame(now, id),
+            Ev::Arrive(tpu, inflight) => self.on_arrive(now, tpu, inflight),
+            Ev::Done(tpu) => self.on_done(now, tpu),
+            Ev::Complete(id, breakdown) => self.on_complete(now, id, breakdown),
+        }
+    }
+
+    fn on_frame(&mut self, now: SimTime, id: StreamId) {
+        let Some(stream) = self.streams.get_mut(&id) else {
+            return;
+        };
+        if !stream.active {
+            return;
+        }
+        stream.audit.frame_emitted(now);
+        stream.emitted += 1;
+        let pre = stream.preprocess;
+        let filtered = stream
+            .filter
+            .as_mut()
+            .is_some_and(|f| !f.rng.chance(f.pass_rate));
+        if filtered {
+            // The difference detector discards the frame client-side after
+            // pre-processing; it never reaches a TPU.
+            self.queue.schedule_at(now + pre, Ev::Complete(id, None));
+            let more = stream
+                .frame_limit
+                .is_none_or(|limit| stream.emitted < limit);
+            if more {
+                let interval = stream.interval;
+                self.queue.schedule_after(interval, Ev::Frame(id));
+            }
+            return;
+        }
+        let tpu = stream.stages[0].lbs.next();
+        let trans = if stream.collocated {
+            SimDuration::ZERO
+        } else {
+            self.net
+                .transfer_time(stream.stages[0].profile.input_bytes())
+        };
+        let inflight = InFlight {
+            stream: id,
+            stage: 0,
+            pre,
+            trans_acc: trans,
+            infer_acc: SimDuration::ZERO,
+            arrived: now, // overwritten on arrival
+        };
+        self.queue
+            .schedule_at(now + pre + trans, Ev::Arrive(tpu, inflight));
+        let more = stream
+            .frame_limit
+            .is_none_or(|limit| stream.emitted < limit);
+        if more {
+            let interval = stream.interval;
+            self.queue.schedule_after(interval, Ev::Frame(id));
+        }
+    }
+
+    fn on_arrive(&mut self, now: SimTime, tpu: TpuId, mut inflight: InFlight) {
+        let svc = &mut self.services[tpu.0 as usize];
+        if !svc.alive {
+            self.frames_dropped += 1;
+            return;
+        }
+        inflight.arrived = now;
+        svc.queue.push_back(inflight);
+        let depth = svc.queue.len() + usize::from(svc.current.is_some());
+        svc.max_depth = svc.max_depth.max(depth);
+        if svc.current.is_none() {
+            self.start_next(now, tpu);
+        }
+    }
+
+    fn start_next(&mut self, now: SimTime, tpu: TpuId) {
+        let svc = &mut self.services[tpu.0 as usize];
+        let Some(inflight) = svc.queue.pop_front() else {
+            return;
+        };
+        let profile = &self.streams[&inflight.stream].stages[inflight.stage].profile;
+        let busy = svc.device.invoke(profile).busy() + self.dp.invoke_overhead;
+        svc.current = Some(inflight);
+        self.fleet.tracker_mut(tpu.0 as usize).begin_busy(now);
+        self.queue.schedule_at(now + busy, Ev::Done(tpu));
+    }
+
+    fn on_done(&mut self, now: SimTime, tpu: TpuId) {
+        let inflight = {
+            let svc = &mut self.services[tpu.0 as usize];
+            if !svc.alive {
+                return;
+            }
+            svc.current
+                .take()
+                .expect("Done event without an executing request")
+        };
+        self.fleet.tracker_mut(tpu.0 as usize).end_busy(now);
+        let mut inflight = inflight;
+        inflight.infer_acc += now.saturating_since(inflight.arrived);
+        let next_stage = inflight.stage + 1;
+        let stream = self
+            .streams
+            .get_mut(&inflight.stream)
+            .expect("in-flight frames belong to known streams");
+        if next_stage < stream.stages.len() {
+            // Forward to the next pipeline stage. A hop to the same TPU is
+            // free (same host); otherwise the next stage's input crosses
+            // the network.
+            let next_tpu = stream.stages[next_stage].lbs.next();
+            let local_hop = next_tpu == tpu && self.dp.pipeline_local_hop;
+            let trans = if local_hop || stream.collocated {
+                SimDuration::ZERO
+            } else {
+                self.net
+                    .transfer_time(stream.stages[next_stage].profile.input_bytes())
+            };
+            inflight.stage = next_stage;
+            inflight.trans_acc += trans;
+            self.queue
+                .schedule_at(now + trans, Ev::Arrive(next_tpu, inflight));
+        } else {
+            let breakdown = LatencyBreakdown::new(
+                inflight.pre,
+                inflight.trans_acc,
+                inflight.infer_acc,
+                self.dp.postprocess,
+            );
+            self.queue.schedule_at(
+                now + self.dp.postprocess,
+                Ev::Complete(inflight.stream, Some(breakdown)),
+            );
+        }
+        self.start_next(now, tpu);
+    }
+
+    fn on_complete(&mut self, now: SimTime, id: StreamId, breakdown: Option<LatencyBreakdown>) {
+        if let Some(stream) = self.streams.get_mut(&id) {
+            stream.audit.frame_completed(now);
+            if let Some(breakdown) = &breakdown {
+                stream.latency.record_duration(breakdown.total());
+            }
+        }
+        if let Some(breakdown) = breakdown {
+            self.breakdowns.record(&breakdown);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microedge_cluster::topology::ClusterBuilder;
+    use microedge_metrics::latency::Phase;
+
+    fn world(trpis: u32, features: Features) -> World {
+        let cluster = ClusterBuilder::new().trpis(trpis).vrpis(4).build();
+        World::new(cluster, features)
+    }
+
+    fn coral_pie(name: &str, frames: u64) -> StreamSpec {
+        StreamSpec::builder(name, "ssd-mobilenet-v2")
+            .frame_limit(frames)
+            .build()
+    }
+
+    #[test]
+    fn single_stream_meets_slo() {
+        let mut w = world(1, Features::all());
+        let cam = w.admit_stream(coral_pie("cam", 150)).unwrap();
+        let results = w.run_to_completion(SimTime::from_secs(60));
+        let report = results.report(cam).unwrap();
+        assert_eq!(report.emitted(), 150);
+        assert_eq!(report.completed(), 150);
+        assert!(report.met_fps(), "achieved {}", report.achieved_fps());
+    }
+
+    #[test]
+    fn utilization_matches_tpu_units() {
+        let mut w = world(1, Features::all());
+        w.admit_stream(coral_pie("cam", 300)).unwrap();
+        let results = w.run_to_completion(SimTime::from_secs(60));
+        // One 0.35-unit stream on one TPU → ≈ 35 % utilization.
+        assert!(
+            (results.average_utilization() - 0.35).abs() < 0.02,
+            "got {}",
+            results.average_utilization()
+        );
+    }
+
+    #[test]
+    fn two_streams_share_one_tpu() {
+        let mut w = world(1, Features::all());
+        let a = w.admit_stream(coral_pie("a", 300)).unwrap();
+        let b = w
+            .admit_stream(
+                StreamSpec::builder("b", "ssd-mobilenet-v2")
+                    .frame_limit(300)
+                    .start_offset(SimDuration::from_millis(33))
+                    .build(),
+            )
+            .unwrap();
+        let results = w.run_to_completion(SimTime::from_secs(60));
+        assert!(results.report(a).unwrap().met_fps());
+        assert!(results.report(b).unwrap().met_fps());
+        assert!((results.average_utilization() - 0.70).abs() < 0.03);
+    }
+
+    #[test]
+    fn breakdown_reproduces_fig7b_shape() {
+        let mut w = world(1, Features::all());
+        w.admit_stream(coral_pie("cam", 100)).unwrap();
+        let results = w.run_to_completion(SimTime::from_secs(30));
+        let b = results.breakdowns();
+        assert_eq!(b.mean_ms(Phase::PreProcess), 5.0);
+        assert!((b.mean_ms(Phase::Transmission) - 8.0).abs() < 0.2);
+        // Inference phase = TPU occupancy (no queueing for one stream).
+        assert!((b.mean_ms(Phase::Inference) - 23.33).abs() < 0.1);
+        assert_eq!(b.mean_ms(Phase::PostProcess), 3.0);
+    }
+
+    #[test]
+    fn collocated_baseline_has_no_transmission() {
+        let mut w = world(1, Features::all());
+        w.admit_stream(
+            StreamSpec::builder("cam", "ssd-mobilenet-v2")
+                .frame_limit(50)
+                .collocated(true)
+                .build(),
+        )
+        .unwrap();
+        let results = w.run_to_completion(SimTime::from_secs(30));
+        assert_eq!(results.breakdowns().mean_ms(Phase::Transmission), 0.0);
+    }
+
+    #[test]
+    fn partitioned_stream_uses_both_tpus() {
+        let mut w = world(2, Features::all());
+        let cam = w
+            .admit_stream(
+                StreamSpec::builder("seg", "bodypix-mobilenet-v1")
+                    .frame_limit(150)
+                    .build(),
+            )
+            .unwrap();
+        let results = w.run_to_completion(SimTime::from_secs(60));
+        assert!(results.report(cam).unwrap().met_fps());
+        let per = results.per_device_utilization();
+        assert!(per[0] > 0.5, "TPU 0 carries most load: {per:?}");
+        assert!(per[1] > 0.05, "TPU 1 carries the overflow: {per:?}");
+    }
+
+    #[test]
+    fn stream_removal_frees_units_for_new_streams() {
+        let mut w = world(1, Features::all());
+        let a = w.admit_stream(coral_pie("a", 1_000_000)).unwrap();
+        let b = w.admit_stream(coral_pie("b", 1_000_000)).unwrap();
+        // Pool is at 0.70; a third stream does not fit.
+        assert!(w.admit_stream(coral_pie("c", 10)).is_err());
+        w.run_until(SimTime::from_secs(5));
+        w.remove_stream(a).unwrap();
+        let c = w.admit_stream(coral_pie("c", 50)).unwrap();
+        w.run_until(SimTime::from_secs(20));
+        let results = w.finish(SimTime::from_secs(20));
+        assert!(results.report(c).unwrap().met_fps());
+        assert!(results.report(b).unwrap().met_fps());
+    }
+
+    #[test]
+    fn remove_stream_twice_errors() {
+        let mut w = world(1, Features::all());
+        let a = w.admit_stream(coral_pie("a", 10)).unwrap();
+        w.remove_stream(a).unwrap();
+        assert!(w.remove_stream(a).is_err());
+    }
+
+    #[test]
+    fn tpu_failure_recovers_streams_onto_survivors() {
+        let mut w = world(2, Features::all());
+        let cam = w.admit_stream(coral_pie("cam", 1_000_000)).unwrap();
+        w.run_until(SimTime::from_secs(2));
+        let pod = w.pod_of(cam).unwrap();
+        let tpu = w.scheduler().assignment(pod).unwrap()[0].tpu();
+        let lost = w.fail_tpu(tpu);
+        assert!(lost.is_empty(), "stream should be re-placed");
+        w.run_until(SimTime::from_secs(6));
+        let results = w.finish(SimTime::from_secs(6));
+        // Some frames may have been dropped at the failure instant, but the
+        // stream keeps flowing on the surviving TPU.
+        let report = results.report(cam).unwrap();
+        assert!(report.completed() > 80, "completed {}", report.completed());
+    }
+
+    #[test]
+    fn tpu_failure_without_spare_capacity_loses_stream() {
+        let mut w = world(1, Features::all());
+        let cam = w.admit_stream(coral_pie("cam", 1_000_000)).unwrap();
+        w.run_until(SimTime::from_secs(1));
+        let lost = w.fail_tpu(TpuId(0));
+        assert_eq!(lost, vec![cam]);
+        assert_eq!(w.active_streams(), 0);
+    }
+
+    #[test]
+    fn served_series_tracks_arrivals_and_departures() {
+        let mut w = world(2, Features::all());
+        let a = w.admit_stream(coral_pie("a", 1_000_000)).unwrap();
+        w.run_until(SimTime::from_secs(120));
+        w.remove_stream(a).unwrap();
+        w.run_until(SimTime::from_secs(179));
+        let (_, served) = w.finish_with_served_series(SimTime::from_secs(180));
+        assert_eq!(served.len(), 3);
+        assert!((served[0] - 1.0).abs() < 1e-9);
+        // Removal happens at the last event before t=120 s, a hair inside
+        // the second window.
+        assert!(served[1] > 0.99, "got {}", served[1]);
+        assert!(served[2] < 0.01);
+    }
+
+    #[test]
+    fn stream_spec_accessors() {
+        let s = StreamSpec::builder("cam", "unet-v2").fps(10.0).build();
+        assert_eq!(s.name(), "cam");
+        assert_eq!(s.model().as_str(), "unet-v2");
+        assert_eq!(s.fps(), 10.0);
+        assert_eq!(StreamId(3).to_string(), "stream-3");
+    }
+
+    #[test]
+    fn unknown_model_rejected_at_admission() {
+        let mut w = world(1, Features::all());
+        let err = w
+            .admit_stream(StreamSpec::builder("x", "nope").build())
+            .unwrap_err();
+        assert!(matches!(err, DeployError::UnknownModel(_)));
+    }
+
+    // --- multi-model pipelines (paper §8 extension) ---
+
+    // UNet (2.3 MiB) then MobileNet V1 (3.5 MiB): the pair co-fits one
+    // TPU's parameter budget, unlike SSD-based pipelines.
+    fn segment_then_classify(name: &str, frames: u64) -> StreamSpec {
+        StreamSpec::builder(name, "unet-v2")
+            .then("mobilenet-v1")
+            .frame_limit(frames)
+            .build()
+    }
+
+    #[test]
+    fn pipeline_stream_runs_both_stages_per_frame() {
+        let mut w = world(1, Features::all());
+        let cam = w.admit_stream(segment_then_classify("pipe", 100)).unwrap();
+        let results = w.run_to_completion(SimTime::from_secs(30));
+        let report = results.report(cam).unwrap();
+        assert_eq!(report.completed(), 100);
+        assert!(report.met_fps(), "achieved {}", report.achieved_fps());
+        // Every frame ran two inferences on the single TPU.
+        assert_eq!(results.device_stats()[0].invocations(), 200);
+        // Utilization ≈ (0.675 + 0.215) on one TPU.
+        assert!(
+            (results.average_utilization() - 0.89).abs() < 0.02,
+            "got {}",
+            results.average_utilization()
+        );
+    }
+
+    #[test]
+    fn pipeline_same_tpu_hop_is_free() {
+        // One TPU: both stages must land on it, so the inter-stage hop is
+        // local and transmission equals a single-stage stream's.
+        let mut w = world(1, Features::all());
+        w.admit_stream(segment_then_classify("pipe", 80)).unwrap();
+        let results = w.run_to_completion(SimTime::from_secs(30));
+        // UNet's 256×256 input costs ≈ 6.1 ms for its single network hop.
+        let trans = results.breakdowns().mean_ms(Phase::Transmission);
+        assert!((trans - 6.1).abs() < 0.2, "single hop only, got {trans}");
+        // The inference phase is the sum of both stage occupancies
+        // (45 ms + 14.33 ms).
+        let infer = results.breakdowns().mean_ms(Phase::Inference);
+        assert!((infer - (45.0 + 14.33)).abs() < 0.5, "got {infer}");
+    }
+
+    #[test]
+    fn pipeline_spec_accessors() {
+        let s = segment_then_classify("p", 1);
+        assert_eq!(
+            s.stage_models()
+                .iter()
+                .map(|m| m.as_str())
+                .collect::<Vec<_>>(),
+            vec!["unet-v2", "mobilenet-v1"]
+        );
+    }
+
+    #[test]
+    fn pipeline_stream_removal_frees_all_stage_units() {
+        let mut w = world(1, Features::all());
+        let cam = w
+            .admit_stream(segment_then_classify("pipe", 1_000_000))
+            .unwrap();
+        w.run_until(SimTime::from_secs(1));
+        w.remove_stream(cam).unwrap();
+        assert_eq!(w.scheduler().pool().total_free_units(), TpuUnits::ONE);
+    }
+
+    // --- NoScope-style difference detector (paper §1) ---
+
+    #[test]
+    fn frame_filter_reduces_tpu_utilization() {
+        // Coral-Pie behind a 2/3-pass difference detector: the paper's §1
+        // observation that utilization drops from ~30 % to ~20 %.
+        let mut w = world(1, Features::all());
+        let cam = w
+            .admit_stream(
+                StreamSpec::builder("cam", "ssd-mobilenet-v2")
+                    .units(TpuUnits::from_f64(0.235))
+                    .frame_filter(2.0 / 3.0, 7)
+                    .frame_limit(900)
+                    .build(),
+            )
+            .unwrap();
+        let results = w.run_to_completion(SimTime::from_secs(90));
+        let util = results.average_utilization();
+        assert!(
+            (util - 0.35 * 2.0 / 3.0).abs() < 0.02,
+            "expected ≈ 0.233, got {util}"
+        );
+        // Every frame still completes (filtered ones finish client-side).
+        let report = results.report(cam).unwrap();
+        assert_eq!(report.completed(), 900);
+        assert!(report.met_fps());
+    }
+
+    #[test]
+    fn frame_filter_with_full_pass_rate_is_transparent() {
+        let mut w = world(1, Features::all());
+        w.admit_stream(
+            StreamSpec::builder("cam", "ssd-mobilenet-v2")
+                .frame_filter(1.0, 3)
+                .frame_limit(100)
+                .build(),
+        )
+        .unwrap();
+        let results = w.run_to_completion(SimTime::from_secs(30));
+        assert!((results.average_utilization() - 0.35).abs() < 0.02);
+        assert_eq!(results.device_stats()[0].invocations(), 100);
+    }
+
+    #[test]
+    fn filtered_frames_skip_the_breakdown_statistics() {
+        let mut w = world(1, Features::all());
+        w.admit_stream(
+            StreamSpec::builder("cam", "ssd-mobilenet-v2")
+                .units(TpuUnits::from_f64(0.2))
+                .frame_filter(0.5, 11)
+                .frame_limit(200)
+                .build(),
+        )
+        .unwrap();
+        let results = w.run_to_completion(SimTime::from_secs(60));
+        let recorded = results.breakdowns().count();
+        let invoked = results.device_stats()[0].invocations();
+        assert_eq!(recorded, invoked, "only TPU-served frames are recorded");
+        assert!(invoked < 200, "the filter must drop some frames");
+        // Mean transmission still reflects full frames, not diluted zeros.
+        use microedge_metrics::latency::Phase;
+        assert!((results.breakdowns().mean_ms(Phase::Transmission) - 8.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn source_resolution_scales_preprocessing() {
+        use crate::client::SourceResolution;
+        let mut w = world(1, Features::all());
+        w.admit_stream(
+            StreamSpec::builder("vga-cam", "ssd-mobilenet-v2")
+                .source_resolution(SourceResolution::new(640, 480))
+                .frame_limit(50)
+                .build(),
+        )
+        .unwrap();
+        let results = w.run_to_completion(SimTime::from_secs(30));
+        let pre = results.breakdowns().mean_ms(Phase::PreProcess);
+        // 640×480 walks far fewer pixels than 1080p: ≈ 1.5 + 0.52 ms.
+        assert!((pre - 2.02).abs() < 0.05, "got {pre}");
+    }
+
+    #[test]
+    fn crashed_pod_units_return_only_after_reclamation_poll() {
+        let mut w = world(1, Features::all());
+        let cam = w.admit_stream(coral_pie("cam", 1_000_000)).unwrap();
+        w.run_until(SimTime::from_secs(2));
+        let pod = w.pod_of(cam).unwrap();
+        w.crash_stream(cam).unwrap();
+        // Units still held — the scheduler has not noticed the crash.
+        assert_eq!(
+            w.scheduler().pool().total_free_units(),
+            TpuUnits::ONE - TpuUnits::from_f64(0.35)
+        );
+        assert!(
+            w.admit_stream(coral_pie("replacement", 10)).is_ok(),
+            "0.65 free still fits a 0.35 camera"
+        );
+        assert!(
+            w.admit_stream(coral_pie("third", 10)).is_err(),
+            "0.30 free does not fit another"
+        );
+        // The reclamation poll notices the crash and frees the units.
+        assert_eq!(w.poll_reclamation(), vec![pod]);
+        assert!(w.admit_stream(coral_pie("third", 10)).is_ok());
+    }
+
+    #[test]
+    fn per_stream_latency_statistics() {
+        let mut w = world(1, Features::all());
+        let cam = w.admit_stream(coral_pie("cam", 100)).unwrap();
+        let results = w.run_to_completion(SimTime::from_secs(30));
+        let latency = results.latency(cam).unwrap();
+        assert_eq!(latency.count(), 100);
+        // One uncontended camera: every frame costs exactly the Fig. 7b
+        // total (≈ 39.3 ms).
+        assert!((latency.mean() - 39.33).abs() < 0.1, "{}", latency.mean());
+        assert!(latency.max().unwrap() < 40.0);
+        // Within one frame interval — the latency SLO holds trivially.
+        assert!(results.all_within_latency(SimDuration::from_millis_f64(1000.0 / 15.0)));
+        assert!(!results.all_within_latency(SimDuration::from_millis(20)));
+    }
+
+    #[test]
+    fn lost_streams_can_be_restarted_when_capacity_returns() {
+        let mut w = world(1, Features::all());
+        let a = w.admit_stream(coral_pie("a", 1_000_000)).unwrap();
+        let b = w.admit_stream(coral_pie("b", 1_000_000)).unwrap();
+        w.run_until(SimTime::from_secs(2));
+        // `a` crashes; before reclamation the restart cannot fit.
+        w.crash_stream(a).unwrap();
+        assert!(matches!(
+            w.restart_stream(a),
+            Err(DeployError::InsufficientTpu)
+        ));
+        w.poll_reclamation();
+        let a2 = w.restart_stream(a).unwrap();
+        assert_ne!(a2, a, "restart is a fresh stream id");
+        assert_eq!(w.active_streams(), 2);
+        // Restarting an active stream is refused.
+        assert!(w.restart_stream(b).is_err());
+        w.run_until(SimTime::from_secs(6));
+        let results = w.finish(SimTime::from_secs(6));
+        assert!(results.report(a2).unwrap().met_fps());
+    }
+
+    #[test]
+    fn admitted_load_keeps_queues_shallow() {
+        // At exactly 1.0 declared and true load the backlog stays bounded
+        // by the number of co-resident streams.
+        let mut w = world(1, Features::all());
+        for i in 0..2 {
+            w.admit_stream(
+                StreamSpec::builder(&format!("cam-{i}"), "ssd-mobilenet-v2")
+                    .frame_limit(600)
+                    .start_offset(SimDuration::from_millis(i * 29))
+                    .build(),
+            )
+            .unwrap();
+        }
+        let results = w.run_to_completion(SimTime::from_secs(60));
+        assert!(results.all_met_fps());
+        assert!(
+            results.max_queue_depths()[0] <= 3,
+            "bounded backlog, got {:?}",
+            results.max_queue_depths()
+        );
+    }
+
+    #[test]
+    fn understated_units_build_queues_and_violate_the_slo() {
+        // The system trusts declared TPU units (paper §2: the input rate is
+        // provided by the developer or profiled up front). A pod that lies —
+        // declaring 0.2 units while actually generating 0.35 of work — gets
+        // admitted five-to-a-TPU and drives it past saturation: the backlog
+        // grows with run length and every stream misses 15 FPS.
+        let mut w = world(1, Features::all());
+        let mut cams = Vec::new();
+        for i in 0..5 {
+            cams.push(
+                w.admit_stream(
+                    StreamSpec::builder(&format!("liar-{i}"), "ssd-mobilenet-v2")
+                        .units(TpuUnits::from_f64(0.2))
+                        .frame_limit(900)
+                        .start_offset(SimDuration::from_millis(i * 13))
+                        .build(),
+                )
+                .unwrap(),
+            );
+        }
+        let results = w.run_to_completion(SimTime::from_secs(300));
+        // True demand 5 × 0.35 = 1.75 on one TPU: completions cap at ~57 %.
+        for cam in cams {
+            assert!(
+                !results.report(cam).unwrap().met_fps(),
+                "an oversubscribed TPU cannot hold the SLO"
+            );
+        }
+        assert!(
+            results.max_queue_depths()[0] > 20,
+            "backlog grows without bound, got {:?}",
+            results.max_queue_depths()
+        );
+        assert!(results.average_utilization() > 0.99);
+    }
+
+    #[test]
+    fn drain_migrates_live_streams_with_zero_frame_loss() {
+        let mut w = world(2, Features::all());
+        let mut cams = Vec::new();
+        for i in 0..2 {
+            cams.push(
+                w.admit_stream(
+                    StreamSpec::builder(&format!("cam-{i}"), "ssd-mobilenet-v2")
+                        .frame_limit(300)
+                        .start_offset(SimDuration::from_millis(i * 29))
+                        .build(),
+                )
+                .unwrap(),
+            );
+        }
+        // Both cameras share TPU 0; TPU 1 is empty.
+        assert_eq!(
+            w.scheduler().pool().account(TpuId(0)).load(),
+            TpuUnits::from_f64(0.7)
+        );
+        w.run_until(SimTime::from_secs(5));
+        let migrated = w.drain_tpu(TpuId(0)).unwrap();
+        assert_eq!(migrated.len(), 2);
+        let results = w.run_to_completion(SimTime::from_secs(60));
+        assert_eq!(results.frames_dropped(), 0, "maintenance loses nothing");
+        for cam in cams {
+            let r = results.report(cam).unwrap();
+            assert_eq!(r.completed(), 300);
+            assert!(r.met_fps());
+        }
+    }
+
+    #[test]
+    fn drain_rejects_when_fleet_cannot_absorb() {
+        let mut w = world(1, Features::all());
+        w.admit_stream(coral_pie("cam", 100)).unwrap();
+        assert!(matches!(
+            w.drain_tpu(TpuId(0)),
+            Err(DeployError::InsufficientTpu)
+        ));
+        // Still schedulable and still running.
+        assert_eq!(w.active_streams(), 1);
+        let results = w.run_to_completion(SimTime::from_secs(30));
+        assert!(results.all_met_fps());
+    }
+
+    #[test]
+    fn run_summary_renders_per_stream_rows() {
+        let mut w = world(1, Features::all());
+        w.admit_stream(coral_pie("report-cam", 50)).unwrap();
+        let results = w.run_to_completion(SimTime::from_secs(30));
+        let text = results.render_summary();
+        assert!(text.contains("report-cam"));
+        assert!(text.contains("met"));
+        assert!(text.contains("avg TPU utilization"));
+        assert!(text.contains("0 frames dropped"));
+    }
+}

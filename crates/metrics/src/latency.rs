@@ -1,0 +1,236 @@
+//! Per-request latency breakdown (paper Fig. 7b).
+//!
+//! Every inference request passes through four steps: pre-processing on the
+//! client, transmission to the TPU Service, inference on the TPU, and
+//! post-processing back at the application. A [`LatencyBreakdown`] holds one
+//! request's cost per step; a [`BreakdownRecorder`] aggregates many requests
+//! into the per-phase means and percentiles the figure reports.
+//!
+//! # Examples
+//!
+//! ```
+//! use microedge_metrics::latency::{BreakdownRecorder, LatencyBreakdown, Phase};
+//! use microedge_sim::time::SimDuration;
+//!
+//! let mut rec = BreakdownRecorder::new();
+//! rec.record(&LatencyBreakdown::new(
+//!     SimDuration::from_millis(5),
+//!     SimDuration::from_millis(8),
+//!     SimDuration::from_millis(15),
+//!     SimDuration::from_millis(3),
+//! ));
+//! assert_eq!(rec.mean_total_ms(), 31.0);
+//! assert_eq!(rec.mean_ms(Phase::Transmission), 8.0);
+//! ```
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use microedge_sim::stats::{Histogram, OnlineStats};
+use microedge_sim::time::SimDuration;
+
+/// The four steps of one `Invoke` (paper §6.4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Client-side resize/format to the model's input.
+    PreProcess,
+    /// Moving the pre-processed frame to the TPU Service (absent on the
+    /// bare-metal baseline, whose TPU is local).
+    Transmission,
+    /// On-TPU execution, including any parameter streaming.
+    Inference,
+    /// Application-side handling of the result.
+    PostProcess,
+}
+
+impl Phase {
+    /// All phases in pipeline order.
+    pub const ALL: [Phase; 4] = [
+        Phase::PreProcess,
+        Phase::Transmission,
+        Phase::Inference,
+        Phase::PostProcess,
+    ];
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Phase::PreProcess => "pre-processing",
+            Phase::Transmission => "transmission",
+            Phase::Inference => "inference",
+            Phase::PostProcess => "post-processing",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One request's cost in each phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LatencyBreakdown {
+    pre: SimDuration,
+    transmission: SimDuration,
+    inference: SimDuration,
+    post: SimDuration,
+}
+
+impl LatencyBreakdown {
+    /// Creates a breakdown from the four phase costs.
+    #[must_use]
+    pub fn new(
+        pre: SimDuration,
+        transmission: SimDuration,
+        inference: SimDuration,
+        post: SimDuration,
+    ) -> Self {
+        LatencyBreakdown {
+            pre,
+            transmission,
+            inference,
+            post,
+        }
+    }
+
+    /// Cost of one phase.
+    #[must_use]
+    pub fn phase(&self, phase: Phase) -> SimDuration {
+        match phase {
+            Phase::PreProcess => self.pre,
+            Phase::Transmission => self.transmission,
+            Phase::Inference => self.inference,
+            Phase::PostProcess => self.post,
+        }
+    }
+
+    /// End-to-end cost.
+    #[must_use]
+    pub fn total(&self) -> SimDuration {
+        self.pre + self.transmission + self.inference + self.post
+    }
+}
+
+/// Aggregates breakdowns across requests.
+#[derive(Debug, Default, Clone)]
+pub struct BreakdownRecorder {
+    phases: [OnlineStats; 4],
+    totals: Histogram,
+}
+
+impl BreakdownRecorder {
+    /// Creates an empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        BreakdownRecorder::default()
+    }
+
+    /// Records one request.
+    pub fn record(&mut self, breakdown: &LatencyBreakdown) {
+        for (slot, phase) in self.phases.iter_mut().zip(Phase::ALL) {
+            slot.record_duration(breakdown.phase(phase));
+        }
+        self.totals.record_duration(breakdown.total());
+    }
+
+    /// Number of requests recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.phases[0].count()
+    }
+
+    /// Mean cost of one phase, in milliseconds.
+    #[must_use]
+    pub fn mean_ms(&self, phase: Phase) -> f64 {
+        let idx = Phase::ALL.iter().position(|p| *p == phase).expect("phase");
+        self.phases[idx].mean()
+    }
+
+    /// Mean end-to-end cost in milliseconds.
+    #[must_use]
+    pub fn mean_total_ms(&self) -> f64 {
+        self.totals.mean()
+    }
+
+    /// End-to-end percentile in milliseconds, or `None` when empty.
+    pub fn total_percentile_ms(&mut self, p: f64) -> Option<f64> {
+        self.totals.percentile(p)
+    }
+
+    /// Mean breakdown across all requests, per phase in pipeline order.
+    #[must_use]
+    pub fn mean_breakdown_ms(&self) -> [(Phase, f64); 4] {
+        [
+            (Phase::PreProcess, self.mean_ms(Phase::PreProcess)),
+            (Phase::Transmission, self.mean_ms(Phase::Transmission)),
+            (Phase::Inference, self.mean_ms(Phase::Inference)),
+            (Phase::PostProcess, self.mean_ms(Phase::PostProcess)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn breakdown_total_sums_phases() {
+        let b = LatencyBreakdown::new(ms(5), ms(8), ms(15), ms(3));
+        assert_eq!(b.total(), ms(31));
+        assert_eq!(b.phase(Phase::Inference), ms(15));
+    }
+
+    #[test]
+    fn recorder_means() {
+        let mut r = BreakdownRecorder::new();
+        r.record(&LatencyBreakdown::new(ms(4), ms(8), ms(14), ms(2)));
+        r.record(&LatencyBreakdown::new(ms(6), ms(8), ms(16), ms(4)));
+        assert_eq!(r.count(), 2);
+        assert_eq!(r.mean_ms(Phase::PreProcess), 5.0);
+        assert_eq!(r.mean_ms(Phase::Transmission), 8.0);
+        assert_eq!(r.mean_ms(Phase::Inference), 15.0);
+        assert_eq!(r.mean_ms(Phase::PostProcess), 3.0);
+        assert_eq!(r.mean_total_ms(), 31.0);
+    }
+
+    #[test]
+    fn recorder_percentiles() {
+        let mut r = BreakdownRecorder::new();
+        for i in 1..=100u64 {
+            r.record(&LatencyBreakdown::new(ms(i), ms(0), ms(0), ms(0)));
+        }
+        assert_eq!(r.total_percentile_ms(50.0), Some(50.0));
+        assert_eq!(r.total_percentile_ms(99.0), Some(99.0));
+    }
+
+    #[test]
+    fn empty_recorder_is_safe() {
+        let mut r = BreakdownRecorder::new();
+        assert_eq!(r.count(), 0);
+        assert_eq!(r.mean_total_ms(), 0.0);
+        assert_eq!(r.total_percentile_ms(50.0), None);
+    }
+
+    #[test]
+    fn mean_breakdown_order() {
+        let mut r = BreakdownRecorder::new();
+        r.record(&LatencyBreakdown::new(ms(1), ms(2), ms(3), ms(4)));
+        let rows = r.mean_breakdown_ms();
+        assert_eq!(rows[0], (Phase::PreProcess, 1.0));
+        assert_eq!(rows[3], (Phase::PostProcess, 4.0));
+    }
+
+    #[test]
+    fn phase_display() {
+        assert_eq!(Phase::Transmission.to_string(), "transmission");
+        assert_eq!(Phase::ALL.len(), 4);
+    }
+
+    #[test]
+    fn default_breakdown_is_zero() {
+        assert_eq!(LatencyBreakdown::default().total(), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # microedge-metrics — evaluation metrics
+//!
+//! The quantities the paper's evaluation reports, collected live from the
+//! simulation:
+//!
+//! - [`utilization`] — TPU busy-time accounting, overall and per window
+//!   (Fig. 5b/5d, Fig. 6a);
+//! - [`latency`] — four-phase per-request breakdowns (Fig. 7b);
+//! - [`throughput`] — frame accounting and FPS SLO audits (§6.2);
+//! - [`report`] — aligned text tables for the benchmark harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use microedge_metrics::utilization::BusyTracker;
+//! use microedge_sim::time::{SimDuration, SimTime};
+//!
+//! let mut tpu = BusyTracker::new(SimDuration::from_secs(60));
+//! tpu.begin_busy(SimTime::ZERO);
+//! tpu.end_busy(SimTime::from_millis(233));
+//! // One 23.3 ms invoke per 66.7 ms frame — 0.35 TPU units.
+//! let u = tpu.utilization(SimTime::from_millis(667));
+//! assert!((u - 0.35).abs() < 0.01);
+//! ```
+
+pub mod latency;
+pub mod report;
+pub mod throughput;
+pub mod utilization;
+
+pub use latency::{BreakdownRecorder, LatencyBreakdown, Phase};
+pub use report::Table;
+pub use throughput::{SloReport, ThroughputAudit};
+pub use utilization::{BusyTracker, FleetUtilization};

@@ -1,0 +1,408 @@
+//! The built-in model catalog.
+//!
+//! Inference times and parameter sizes are reconstructed from the numbers the
+//! paper states directly and from public Coral Edge TPU benchmarks, chosen so
+//! that every quantitative property the paper's figures rely on holds (see
+//! `DESIGN.md` §4):
+//!
+//! - five of the eight Fig.-1 models need more than 50 FPS to reach 100 %
+//!   TPU utilization;
+//! - EfficientNet-Lite0 takes 69 ms per inference (paper §1), and ResNet-50
+//!   and EfficientDet-Lite0 exceed the 66.7 ms inter-arrival period at 15 FPS;
+//! - SSD MobileNet V2 with the data-plane service overhead occupies the TPU
+//!   for 23.33 ms per frame → 0.35 TPU units at 15 FPS (paper §6.2);
+//! - BodyPix MobileNet V1 occupies 80 ms → 1.2 TPU units at 15 FPS
+//!   (paper §6.2).
+//!
+//! # Examples
+//!
+//! ```
+//! use microedge_models::catalog::Catalog;
+//!
+//! let catalog = Catalog::builtin();
+//! let ssd = catalog.get(&"ssd-mobilenet-v2".into()).unwrap();
+//! assert_eq!(ssd.inference_time().as_millis_f64(), 15.0);
+//! ```
+
+use std::collections::BTreeMap;
+
+use microedge_sim::time::SimDuration;
+
+use crate::profile::{ModelId, ModelKind, ModelProfile};
+
+const KIB: u64 = 1024;
+
+fn profile(
+    name: &str,
+    kind: ModelKind,
+    inference_ns: u64,
+    param_kib: u64,
+    w: u32,
+    h: u32,
+) -> ModelProfile {
+    ModelProfile::new(
+        ModelId::new(name),
+        kind,
+        SimDuration::from_nanos(inference_ns),
+        param_kib * KIB,
+        w,
+        h,
+    )
+}
+
+/// SSD MobileNet V1 object detection (Fig. 1).
+#[must_use]
+pub fn ssd_mobilenet_v1() -> ModelProfile {
+    profile(
+        "ssd-mobilenet-v1",
+        ModelKind::Detection,
+        9_000_000,
+        5_325,
+        300,
+        300,
+    )
+}
+
+/// SSD MobileNet V2 object detection — the Coral-Pie vehicle-detection model
+/// (paper §6.2, 0.35 TPU units at 15 FPS).
+#[must_use]
+pub fn ssd_mobilenet_v2() -> ModelProfile {
+    profile(
+        "ssd-mobilenet-v2",
+        ModelKind::Detection,
+        15_000_000,
+        5_222,
+        300,
+        300,
+    )
+}
+
+/// SSD MobileNet V2 face detector (Fig. 1).
+#[must_use]
+pub fn ssd_mobilenet_v2_face() -> ModelProfile {
+    profile(
+        "ssd-mobilenet-v2-face",
+        ModelKind::Detection,
+        6_000_000,
+        4_403,
+        320,
+        320,
+    )
+}
+
+/// EfficientDet-Lite0 object detection — one of the paper's examples of a
+/// model whose inference time exceeds the 15 FPS inter-arrival period.
+#[must_use]
+pub fn efficientdet_lite0() -> ModelProfile {
+    profile(
+        "efficientdet-lite0",
+        ModelKind::Detection,
+        70_000_000,
+        5_734,
+        320,
+        320,
+    )
+}
+
+/// MobileNet V1 classification — the "sparse" trace-study model (paper §6.3).
+#[must_use]
+pub fn mobilenet_v1() -> ModelProfile {
+    profile(
+        "mobilenet-v1",
+        ModelKind::Classification,
+        6_000_000,
+        3_584,
+        224,
+        224,
+    )
+}
+
+/// MobileNet V2 classification (Fig. 1).
+#[must_use]
+pub fn mobilenet_v2() -> ModelProfile {
+    profile(
+        "mobilenet-v2",
+        ModelKind::Classification,
+        8_000_000,
+        3_277,
+        224,
+        224,
+    )
+}
+
+/// EfficientNet-Lite0 classification — 69 ms per inference (paper §1).
+#[must_use]
+pub fn efficientnet_lite0() -> ModelProfile {
+    profile(
+        "efficientnet-lite0",
+        ModelKind::Classification,
+        69_000_000,
+        4_506,
+        224,
+        224,
+    )
+}
+
+/// ResNet-50 classification — exceeds the 15 FPS inter-arrival period, and
+/// its parameter data alone exceeds the 6.9 MB TPU budget, so it is always
+/// partially cached.
+#[must_use]
+pub fn resnet_50() -> ModelProfile {
+    profile(
+        "resnet-50",
+        ModelKind::Classification,
+        72_000_000,
+        7_475,
+        224,
+        224,
+    )
+}
+
+/// BodyPix MobileNet V1 person segmentation — 1.2 TPU units at 15 FPS
+/// (paper §6.2), so a dedicated deployment needs two TPUs per camera.
+#[must_use]
+pub fn bodypix_mobilenet_v1() -> ModelProfile {
+    profile(
+        "bodypix-mobilenet-v1",
+        ModelKind::Segmentation,
+        71_666_667,
+        4_813,
+        481,
+        353,
+    )
+}
+
+/// UNet V2 segmentation — the "bursty" trace-study model (paper §6.3).
+#[must_use]
+pub fn unet_v2() -> ModelProfile {
+    profile(
+        "unet-v2",
+        ModelKind::Segmentation,
+        36_666_667,
+        2_355,
+        256,
+        256,
+    )
+}
+
+/// The eight models plotted in the paper's Fig. 1, in figure order
+/// (detections first, then classifications).
+#[must_use]
+pub fn fig1_models() -> Vec<ModelProfile> {
+    vec![
+        ssd_mobilenet_v1(),
+        ssd_mobilenet_v2(),
+        ssd_mobilenet_v2_face(),
+        efficientdet_lite0(),
+        mobilenet_v1(),
+        mobilenet_v2(),
+        efficientnet_lite0(),
+        resnet_50(),
+    ]
+}
+
+/// A registry of model profiles keyed by [`ModelId`].
+///
+/// # Examples
+///
+/// ```
+/// use microedge_models::catalog::{Catalog, unet_v2};
+///
+/// let mut catalog = Catalog::new();
+/// catalog.insert(unet_v2());
+/// assert!(catalog.get(&"unet-v2".into()).is_some());
+/// assert_eq!(catalog.len(), 1);
+/// ```
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct Catalog {
+    models: BTreeMap<ModelId, ModelProfile>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    #[must_use]
+    pub fn new() -> Self {
+        Catalog {
+            models: BTreeMap::new(),
+        }
+    }
+
+    /// The full built-in catalog: the Fig. 1 models plus the application
+    /// models (BodyPix, UNet).
+    #[must_use]
+    pub fn builtin() -> Self {
+        let mut c = Catalog::new();
+        for m in fig1_models() {
+            c.insert(m);
+        }
+        c.insert(bodypix_mobilenet_v1());
+        c.insert(unet_v2());
+        c
+    }
+
+    /// Registers a profile, replacing and returning any existing profile
+    /// with the same id.
+    pub fn insert(&mut self, profile: ModelProfile) -> Option<ModelProfile> {
+        self.models.insert(profile.id().clone(), profile)
+    }
+
+    /// Looks up a profile by id.
+    #[must_use]
+    pub fn get(&self, id: &ModelId) -> Option<&ModelProfile> {
+        self.models.get(id)
+    }
+
+    /// Looks up a profile by id, panicking with a descriptive message if it
+    /// is not registered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in the catalog.
+    #[must_use]
+    pub fn expect(&self, id: &ModelId) -> &ModelProfile {
+        self.get(id)
+            .unwrap_or_else(|| panic!("model {id} is not in the catalog"))
+    }
+
+    /// Number of registered models.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// `true` when no models are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Iterates over profiles in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &ModelProfile> {
+        self.models.values()
+    }
+}
+
+impl Extend<ModelProfile> for Catalog {
+    fn extend<T: IntoIterator<Item = ModelProfile>>(&mut self, iter: T) {
+        for m in iter {
+            self.insert(m);
+        }
+    }
+}
+
+impl FromIterator<ModelProfile> for Catalog {
+    fn from_iter<T: IntoIterator<Item = ModelProfile>>(iter: T) -> Self {
+        let mut c = Catalog::new();
+        c.extend(iter);
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_contains_all_models() {
+        let c = Catalog::builtin();
+        assert_eq!(c.len(), 10);
+        for name in [
+            "ssd-mobilenet-v1",
+            "ssd-mobilenet-v2",
+            "ssd-mobilenet-v2-face",
+            "efficientdet-lite0",
+            "mobilenet-v1",
+            "mobilenet-v2",
+            "efficientnet-lite0",
+            "resnet-50",
+            "bodypix-mobilenet-v1",
+            "unet-v2",
+        ] {
+            assert!(c.get(&name.into()).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn fig1_property_five_of_eight_need_over_50fps() {
+        let over_50 = fig1_models()
+            .iter()
+            .filter(|m| m.fps_for_full_utilization() > 50.0)
+            .count();
+        assert_eq!(over_50, 5, "Fig. 1: five of eight models need > 50 FPS");
+    }
+
+    #[test]
+    fn fig1_property_three_models_exceed_15fps_interarrival() {
+        let interarrival = SimDuration::from_millis_f64(1000.0 / 15.0);
+        let heavy: Vec<String> = fig1_models()
+            .iter()
+            .filter(|m| m.inference_time() > interarrival)
+            .map(|m| m.id().to_string())
+            .collect();
+        assert_eq!(
+            heavy,
+            vec!["efficientdet-lite0", "efficientnet-lite0", "resnet-50"]
+        );
+    }
+
+    #[test]
+    fn efficientnet_lite0_is_69ms_as_stated_in_paper() {
+        assert_eq!(
+            efficientnet_lite0().inference_time(),
+            SimDuration::from_millis(69)
+        );
+    }
+
+    #[test]
+    fn resnet50_exceeds_tpu_parameter_budget() {
+        // 6.9 MB budget from paper footnote 1.
+        let budget = (6.9 * 1024.0 * 1024.0) as u64;
+        assert!(resnet_50().param_bytes() > budget);
+        // Every other builtin fits on its own.
+        for m in Catalog::builtin()
+            .iter()
+            .filter(|m| m.id().as_str() != "resnet-50")
+        {
+            assert!(m.param_bytes() <= budget, "{} too large", m.id());
+        }
+    }
+
+    #[test]
+    fn trace_pair_cocompiles_within_budget() {
+        let budget = (6.9 * 1024.0 * 1024.0) as u64;
+        let pair = mobilenet_v1().param_bytes() + unet_v2().param_bytes();
+        assert!(pair <= budget, "trace models must co-compile");
+        let triple = pair + ssd_mobilenet_v2().param_bytes();
+        assert!(
+            triple > budget,
+            "adding SSD MNv2 must force partial caching"
+        );
+    }
+
+    #[test]
+    fn expect_panics_with_model_name() {
+        let c = Catalog::new();
+        let err = std::panic::catch_unwind(|| {
+            let _ = c.expect(&"nope".into());
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("nope"));
+    }
+
+    #[test]
+    fn insert_replaces_and_returns_previous() {
+        let mut c = Catalog::new();
+        assert!(c.insert(unet_v2()).is_none());
+        let prev = c.insert(unet_v2());
+        assert_eq!(prev, Some(unet_v2()));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let c: Catalog = fig1_models().into_iter().collect();
+        assert_eq!(c.len(), 8);
+        assert!(!c.is_empty());
+    }
+}

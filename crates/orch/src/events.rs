@@ -1,0 +1,78 @@
+//! Control-plane event log.
+//!
+//! Kubernetes surfaces scheduling decisions as *events* (`PodScheduled`,
+//! `FailedScheduling`, …); operators and controllers — MicroEdge's
+//! reclamation component among them — consume that stream. The orchestrator
+//! records an [`OrchEvent`] for every lifecycle transition so tests,
+//! examples, and debugging sessions can reconstruct exactly what the
+//! control plane did and why.
+
+use serde::{Deserialize, Serialize};
+
+use microedge_cluster::node::NodeId;
+
+use crate::pod::PodId;
+
+/// Why a pod stopped running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TerminationReason {
+    /// Deleted through the API (normal teardown).
+    Deleted,
+    /// Its node failed underneath it.
+    NodeFailure,
+}
+
+/// One control-plane occurrence, in commit order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OrchEvent {
+    /// A pod was bound to a node.
+    PodScheduled {
+        /// The pod created.
+        pod: PodId,
+        /// Its (unique-at-the-time) name.
+        name: String,
+        /// Where it was bound.
+        node: NodeId,
+    },
+    /// A pod creation request could not be placed.
+    SchedulingFailed {
+        /// The requested pod name.
+        name: String,
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// A pod stopped running.
+    PodTerminated {
+        /// The pod.
+        pod: PodId,
+        /// The node it ran on.
+        node: NodeId,
+        /// Why it stopped.
+        reason: TerminationReason,
+    },
+    /// A node left the cluster (failure injection).
+    NodeFailed {
+        /// The failed node.
+        node: NodeId,
+        /// Pods that were running on it.
+        displaced: Vec<PodId>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_comparable_and_printable() {
+        let a = OrchEvent::PodScheduled {
+            pod: PodId(1),
+            name: "cam".into(),
+            node: NodeId(0),
+        };
+        assert_eq!(a, a.clone());
+        let s = format!("{a:?}");
+        assert!(s.contains("PodScheduled"));
+        assert!(format!("{:?}", TerminationReason::NodeFailure).contains("NodeFailure"));
+    }
+}

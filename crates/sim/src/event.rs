@@ -1,0 +1,243 @@
+//! Deterministic event queue.
+//!
+//! The queue orders events by `(time, sequence)`, where the sequence number
+//! is assigned at insertion. Two events scheduled for the same instant are
+//! therefore delivered in insertion order, which keeps simulations
+//! reproducible bit-for-bit regardless of heap internals.
+//!
+//! # Examples
+//!
+//! ```
+//! use microedge_sim::event::EventQueue;
+//! use microedge_sim::time::{SimDuration, SimTime};
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule_at(SimTime::from_millis(10), "b");
+//! q.schedule_at(SimTime::from_millis(5), "a");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!((t, ev), (SimTime::from_millis(5), "a"));
+//! assert_eq!(q.now(), SimTime::from_millis(5));
+//! ```
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// An event staged in the queue, ordered by `(time, seq)` ascending.
+#[derive(Debug)]
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic future-event list for discrete-event simulation.
+///
+/// The queue carries the simulation clock: popping an event advances
+/// [`EventQueue::now`] to that event's timestamp. Time never moves backwards
+/// and events may never be scheduled in the past.
+///
+/// # Examples
+///
+/// ```
+/// use microedge_sim::event::EventQueue;
+/// use microedge_sim::time::SimDuration;
+///
+/// #[derive(Debug, PartialEq)]
+/// enum Ev { FrameArrived(u32) }
+///
+/// let mut q = EventQueue::new();
+/// q.schedule_after(SimDuration::from_millis(66), Ev::FrameArrived(0));
+/// while let Some((t, ev)) = q.pop() {
+///     assert_eq!(ev, Ev::FrameArrived(0));
+///     assert_eq!(t.as_millis_f64(), 66.0);
+/// }
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    now: SimTime,
+    next_seq: u64,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// The current simulation time (the timestamp of the most recently
+    /// popped event).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events waiting in the queue.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events delivered so far.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedules `event` at the absolute instant `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the current simulation time —
+    /// scheduling into the past is always a logic error.
+    pub fn schedule_at(&mut self, time: SimTime, event: E) {
+        assert!(
+            time >= self.now,
+            "cannot schedule event at {time} before current time {now}",
+            now = self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Schedules `event` at `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) {
+        let time = self
+            .now
+            .checked_add(delay)
+            .expect("simulation clock overflow");
+        self.schedule_at(time, event);
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to its
+    /// timestamp. Returns `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let scheduled = self.heap.pop()?;
+        debug_assert!(scheduled.time >= self.now, "event queue went backwards");
+        self.now = scheduled.time;
+        self.popped += 1;
+        Some((scheduled.time, scheduled.event))
+    }
+
+    /// The timestamp of the earliest pending event, if any, without popping.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(30), 3);
+        q.schedule_at(SimTime::from_millis(10), 1);
+        q.schedule_at(SimTime::from_millis(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..10 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_after(SimDuration::from_millis(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_millis(7));
+        assert_eq!(q.events_processed(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(10), ());
+        q.pop();
+        q.schedule_at(SimTime::from_millis(5), ());
+    }
+
+    #[test]
+    fn schedule_after_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(10), 1);
+        q.pop();
+        q.schedule_after(SimDuration::from_millis(5), 2);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_millis(15));
+    }
+
+    #[test]
+    fn peek_does_not_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(4), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(4)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.peek_time(), None);
+    }
+}

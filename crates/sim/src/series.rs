@@ -1,0 +1,294 @@
+//! Windowed time series for per-interval aggregates.
+//!
+//! The trace study (paper Fig. 6) reports per-minute averages of quantities
+//! that evolve continuously (TPU utilization, cameras served). A
+//! [`TimeSeries`] buckets observations into fixed windows;
+//! [`StepSeries`] integrates a piecewise-constant signal exactly, which is
+//! what "average utilization per minute" requires.
+//!
+//! # Examples
+//!
+//! ```
+//! use microedge_sim::series::StepSeries;
+//! use microedge_sim::time::{SimDuration, SimTime};
+//!
+//! let mut s = StepSeries::new(SimDuration::from_secs(60));
+//! s.set(SimTime::ZERO, 0.5);
+//! s.set(SimTime::from_secs(30), 1.0);
+//! let buckets = s.finish(SimTime::from_secs(60));
+//! assert_eq!(buckets.len(), 1);
+//! assert!((buckets[0] - 0.75).abs() < 1e-9);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Discrete observations bucketed into fixed windows; each bucket reports the
+/// mean of the observations that fell into it (0.0 for empty buckets).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeSeries {
+    window: SimDuration,
+    sums: Vec<f64>,
+    counts: Vec<u64>,
+}
+
+impl TimeSeries {
+    /// Creates a series with the given bucket width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn new(window: SimDuration) -> Self {
+        assert!(!window.is_zero(), "bucket window must be non-zero");
+        TimeSeries {
+            window,
+            sums: Vec::new(),
+            counts: Vec::new(),
+        }
+    }
+
+    /// Bucket width.
+    #[must_use]
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    /// Records an observation at `time`.
+    pub fn record(&mut self, time: SimTime, value: f64) {
+        let idx = (time.as_nanos() / self.window.as_nanos()) as usize;
+        if idx >= self.sums.len() {
+            self.sums.resize(idx + 1, 0.0);
+            self.counts.resize(idx + 1, 0);
+        }
+        self.sums[idx] += value;
+        self.counts[idx] += 1;
+    }
+
+    /// Per-bucket means.
+    #[must_use]
+    pub fn bucket_means(&self) -> Vec<f64> {
+        self.sums
+            .iter()
+            .zip(&self.counts)
+            .map(|(&s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
+            .collect()
+    }
+
+    /// Number of buckets touched so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sums.len()
+    }
+
+    /// `true` when no observation has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sums.is_empty()
+    }
+}
+
+/// Exact time-weighted averages of a piecewise-constant signal, per window.
+///
+/// Call [`StepSeries::set`] whenever the signal changes level; call
+/// [`StepSeries::finish`] once at the end to flush and obtain the per-window
+/// averages.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StepSeries {
+    window: SimDuration,
+    /// Integral of the signal (value × nanoseconds) per window.
+    integrals: Vec<f64>,
+    last_time: SimTime,
+    last_value: f64,
+}
+
+impl StepSeries {
+    /// Creates a series with the given window; the signal starts at 0.0 at
+    /// time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn new(window: SimDuration) -> Self {
+        assert!(!window.is_zero(), "bucket window must be non-zero");
+        StepSeries {
+            window,
+            integrals: Vec::new(),
+            last_time: SimTime::ZERO,
+            last_value: 0.0,
+        }
+    }
+
+    /// Current signal level.
+    #[must_use]
+    pub fn current(&self) -> f64 {
+        self.last_value
+    }
+
+    /// Sets the signal to `value` from `time` onwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` precedes the previous change (the signal is a
+    /// function of time).
+    pub fn set(&mut self, time: SimTime, value: f64) {
+        assert!(
+            time >= self.last_time,
+            "signal updates must be time-ordered: {time} < {last}",
+            last = self.last_time
+        );
+        self.integrate_to(time);
+        self.last_time = time;
+        self.last_value = value;
+    }
+
+    /// Adds `delta` to the signal from `time` onwards.
+    pub fn add(&mut self, time: SimTime, delta: f64) {
+        let next = self.last_value + delta;
+        self.set(time, next);
+    }
+
+    /// Flushes the signal up to `end` and returns per-window time-weighted
+    /// averages. Windows are complete `[k·w, (k+1)·w)` intervals; a trailing
+    /// partial window is averaged over the elapsed portion only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end` precedes the last update.
+    #[must_use]
+    pub fn finish(mut self, end: SimTime) -> Vec<f64> {
+        assert!(
+            end >= self.last_time,
+            "end {end} precedes last update {last}",
+            last = self.last_time
+        );
+        self.integrate_to(end);
+        let w = self.window.as_nanos() as f64;
+        let full = (end.as_nanos() / self.window.as_nanos()) as usize;
+        let rem = end.as_nanos() % self.window.as_nanos();
+        self.integrals
+            .iter()
+            .enumerate()
+            .map(|(i, &integral)| {
+                let width = if i < full { w } else { rem as f64 };
+                if width == 0.0 {
+                    0.0
+                } else {
+                    integral / width
+                }
+            })
+            .collect()
+    }
+
+    fn integrate_to(&mut self, time: SimTime) {
+        let mut cursor = self.last_time.as_nanos();
+        let end = time.as_nanos();
+        let w = self.window.as_nanos();
+        while cursor < end {
+            let idx = (cursor / w) as usize;
+            let window_end = (cursor / w + 1) * w;
+            let upto = window_end.min(end);
+            if idx >= self.integrals.len() {
+                self.integrals.resize(idx + 1, 0.0);
+            }
+            self.integrals[idx] += self.last_value * (upto - cursor) as f64;
+            cursor = upto;
+        }
+        // Ensure trailing windows exist even if the value was zero.
+        if end > 0 {
+            let last_idx = ((end - 1) / w) as usize;
+            if last_idx >= self.integrals.len() {
+                self.integrals.resize(last_idx + 1, 0.0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn timeseries_bucket_means() {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(10));
+        ts.record(secs(1), 1.0);
+        ts.record(secs(2), 3.0);
+        ts.record(secs(15), 10.0);
+        assert_eq!(ts.bucket_means(), vec![2.0, 10.0]);
+        assert_eq!(ts.len(), 2);
+    }
+
+    #[test]
+    fn timeseries_empty_buckets_are_zero() {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(1));
+        ts.record(secs(3), 4.0);
+        assert_eq!(ts.bucket_means(), vec![0.0, 0.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn step_series_constant_signal() {
+        let mut s = StepSeries::new(SimDuration::from_secs(60));
+        s.set(SimTime::ZERO, 0.4);
+        let buckets = s.finish(secs(180));
+        assert_eq!(buckets.len(), 3);
+        for b in buckets {
+            assert!((b - 0.4).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn step_series_mid_window_change() {
+        let mut s = StepSeries::new(SimDuration::from_secs(60));
+        s.set(SimTime::ZERO, 0.0);
+        s.set(secs(30), 1.0);
+        let buckets = s.finish(secs(60));
+        assert_eq!(buckets.len(), 1);
+        assert!((buckets[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_series_spanning_windows() {
+        let mut s = StepSeries::new(SimDuration::from_secs(10));
+        s.set(SimTime::ZERO, 2.0);
+        s.set(secs(25), 0.0);
+        let buckets = s.finish(secs(40));
+        assert_eq!(buckets.len(), 4);
+        assert!((buckets[0] - 2.0).abs() < 1e-12);
+        assert!((buckets[1] - 2.0).abs() < 1e-12);
+        assert!((buckets[2] - 1.0).abs() < 1e-12);
+        assert!((buckets[3] - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_series_add_is_relative() {
+        let mut s = StepSeries::new(SimDuration::from_secs(10));
+        s.add(SimTime::ZERO, 1.0);
+        s.add(secs(5), 1.0);
+        assert_eq!(s.current(), 2.0);
+        let buckets = s.finish(secs(10));
+        assert!((buckets[0] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_series_partial_trailing_window() {
+        let mut s = StepSeries::new(SimDuration::from_secs(10));
+        s.set(SimTime::ZERO, 1.0);
+        let buckets = s.finish(secs(15));
+        assert_eq!(buckets.len(), 2);
+        assert!((buckets[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn step_series_rejects_backwards_updates() {
+        let mut s = StepSeries::new(SimDuration::from_secs(10));
+        s.set(secs(5), 1.0);
+        s.set(secs(1), 2.0);
+    }
+}

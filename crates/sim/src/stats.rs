@@ -1,0 +1,359 @@
+//! Online statistics and histograms.
+//!
+//! [`OnlineStats`] accumulates count/mean/variance/min/max in O(1) memory
+//! (Welford's algorithm). [`Histogram`] keeps every sample (the experiment
+//! scales here are small) and answers exact percentile queries.
+//!
+//! # Examples
+//!
+//! ```
+//! use microedge_sim::stats::OnlineStats;
+//!
+//! let mut s = OnlineStats::new();
+//! for x in [1.0, 2.0, 3.0] {
+//!     s.record(x);
+//! }
+//! assert_eq!(s.mean(), 2.0);
+//! assert_eq!(s.count(), 3);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// Streaming count / mean / variance / min / max accumulator.
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN; a NaN observation would silently poison
+    /// every derived statistic.
+    pub fn record(&mut self, value: f64) {
+        assert!(!value.is_nan(), "cannot record NaN");
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Adds a duration observation, in milliseconds.
+    pub fn record_duration(&mut self, value: SimDuration) {
+        self.record(value.as_millis_f64());
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance, or 0.0 with fewer than two observations.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation, or `None` when empty.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, or `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.count as f64 / total as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// An exact-percentile histogram that retains all samples.
+///
+/// # Examples
+///
+/// ```
+/// use microedge_sim::stats::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for x in 1..=100 {
+///     h.record(x as f64);
+/// }
+/// assert_eq!(h.percentile(50.0), Some(50.0));
+/// assert_eq!(h.percentile(99.0), Some(99.0));
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    pub fn record(&mut self, value: f64) {
+        assert!(!value.is_nan(), "cannot record NaN");
+        self.sorted = false;
+        self.samples.push(value);
+    }
+
+    /// Adds a duration observation, in milliseconds.
+    pub fn record_duration(&mut self, value: SimDuration) {
+        self.record(value.as_millis_f64());
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when no observations have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Exact percentile (nearest-rank), or `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&mut self, p: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
+            self.sorted = true;
+        }
+        let n = self.samples.len();
+        let rank = ((p / 100.0) * n as f64).ceil().max(1.0) as usize;
+        Some(self.samples[rank.min(n) - 1])
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&mut self) -> Option<f64> {
+        self.percentile(50.0)
+    }
+
+    /// Immutable view of the recorded samples, in insertion order only if no
+    /// percentile has been queried yet.
+    #[must_use]
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+impl Extend<f64> for Histogram {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+impl FromIterator<f64> for Histogram {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut h = Histogram::new();
+        h.extend(iter);
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basic_moments() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = OnlineStats::new();
+        for &x in &data {
+            all.record(x);
+        }
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for &x in &data[..37] {
+            left.record(x);
+        }
+        for &x in &data[37..] {
+            right.record(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), all.count());
+        assert!((left.mean() - all.mean()).abs() < 1e-9);
+        assert!((left.variance() - all.variance()).abs() < 1e-9);
+        assert_eq!(left.min(), all.min());
+        assert_eq!(left.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.record(3.0);
+        let before = a.clone();
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+
+        let mut empty = OnlineStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        OnlineStats::new().record(f64::NAN);
+    }
+
+    #[test]
+    fn histogram_percentiles_nearest_rank() {
+        let mut h: Histogram = (1..=10).map(|x| x as f64).collect();
+        assert_eq!(h.percentile(0.0), Some(1.0));
+        assert_eq!(h.percentile(10.0), Some(1.0));
+        assert_eq!(h.percentile(50.0), Some(5.0));
+        assert_eq!(h.percentile(90.0), Some(9.0));
+        assert_eq!(h.percentile(100.0), Some(10.0));
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_interleaved_record_and_query() {
+        let mut h = Histogram::new();
+        h.record(5.0);
+        assert_eq!(h.median(), Some(5.0));
+        h.record(1.0);
+        h.record(9.0);
+        assert_eq!(h.median(), Some(5.0));
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn duration_recording_uses_millis() {
+        let mut s = OnlineStats::new();
+        s.record_duration(SimDuration::from_millis(30));
+        assert_eq!(s.mean(), 30.0);
+        let mut h = Histogram::new();
+        h.record_duration(SimDuration::from_micros(1500));
+        assert_eq!(h.samples(), &[1.5]);
+    }
+}

@@ -1,0 +1,302 @@
+//! The TPU execution engine.
+//!
+//! A [`TpuDevice`] executes inference requests **sequentially, run to
+//! completion** — the hardware property the entire MicroEdge design works
+//! around (paper §1: TPUs "can only process requests sequentially in a run
+//! to completion fashion"). The device holds the currently resident
+//! (co-compiled) model set and charges, per invocation:
+//!
+//! - the model's profiled inference time, always;
+//! - a **streaming penalty** for any uncached parameter bytes, when the
+//!   model is resident but only partially cached;
+//! - a **swap penalty** (full parameter transfer from host memory) when the
+//!   model is not resident at all — and the swap evicts the previous
+//!   resident set, exactly like invoking a non-co-compiled model on real
+//!   Coral hardware.
+//!
+//! The device is a pure state machine: it computes busy durations but does
+//! not own a clock. Queueing and utilization accounting are layered on top
+//! by the MicroEdge data plane (`microedge-core`).
+//!
+//! # Examples
+//!
+//! ```
+//! use microedge_models::catalog::{mobilenet_v1, unet_v2};
+//! use microedge_tpu::cocompile::CoCompiler;
+//! use microedge_tpu::device::TpuDevice;
+//! use microedge_tpu::spec::TpuSpec;
+//!
+//! let spec = TpuSpec::coral_usb();
+//! let mut tpu = TpuDevice::new(spec);
+//! let plan = CoCompiler::new(spec).plan(&[mobilenet_v1(), unet_v2()]).unwrap();
+//! tpu.load_plan(plan);
+//!
+//! let hit = tpu.invoke(&mobilenet_v1());
+//! assert!(!hit.swapped());
+//! assert_eq!(hit.busy(), mobilenet_v1().inference_time());
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use microedge_models::profile::{ModelId, ModelProfile};
+use microedge_sim::time::SimDuration;
+
+use crate::cocompile::{CachePlan, CoCompiler};
+use crate::spec::TpuSpec;
+
+/// Identifies a TPU within one cluster (TPUs are indexed in tRPi order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TpuId(pub u32);
+
+impl std::fmt::Display for TpuId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tpu-{}", self.0)
+    }
+}
+
+/// What one invocation cost and why.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvokeOutcome {
+    busy: SimDuration,
+    swapped: bool,
+    streamed_bytes: u64,
+}
+
+impl InvokeOutcome {
+    /// Time the TPU was occupied by this request.
+    #[must_use]
+    pub fn busy(&self) -> SimDuration {
+        self.busy
+    }
+
+    /// `true` when the request forced a full model swap.
+    #[must_use]
+    pub fn swapped(&self) -> bool {
+        self.swapped
+    }
+
+    /// Uncached parameter bytes streamed from the host for this request.
+    #[must_use]
+    pub fn streamed_bytes(&self) -> u64 {
+        self.streamed_bytes
+    }
+}
+
+/// Lifetime counters for one device.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceStats {
+    invocations: u64,
+    swaps: u64,
+    streamed_bytes: u64,
+    busy: SimDuration,
+}
+
+impl DeviceStats {
+    /// Total requests executed.
+    #[must_use]
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+
+    /// Full model swaps incurred.
+    #[must_use]
+    pub fn swaps(&self) -> u64 {
+        self.swaps
+    }
+
+    /// Total uncached parameter bytes streamed.
+    #[must_use]
+    pub fn streamed_bytes(&self) -> u64 {
+        self.streamed_bytes
+    }
+
+    /// Cumulative busy time.
+    #[must_use]
+    pub fn busy(&self) -> SimDuration {
+        self.busy
+    }
+}
+
+/// One Coral TPU: resident model set plus the execution cost model.
+#[derive(Debug, Clone)]
+pub struct TpuDevice {
+    spec: TpuSpec,
+    resident: CachePlan,
+    stats: DeviceStats,
+}
+
+impl TpuDevice {
+    /// Creates an idle device with nothing resident.
+    #[must_use]
+    pub fn new(spec: TpuSpec) -> Self {
+        TpuDevice {
+            spec,
+            resident: CachePlan::empty(),
+            stats: DeviceStats::default(),
+        }
+    }
+
+    /// Hardware parameters.
+    #[must_use]
+    pub fn spec(&self) -> TpuSpec {
+        self.spec
+    }
+
+    /// Replaces the resident model set with a co-compiled plan (the *Load*
+    /// primitive of the TPU Service, invoked by the extended scheduler).
+    pub fn load_plan(&mut self, plan: CachePlan) {
+        self.resident = plan;
+    }
+
+    /// The currently resident plan.
+    #[must_use]
+    pub fn resident(&self) -> &CachePlan {
+        &self.resident
+    }
+
+    /// `true` when `model` is resident (fully or partially cached).
+    #[must_use]
+    pub fn is_resident(&self, model: &ModelId) -> bool {
+        self.resident.allocation(model).is_some()
+    }
+
+    /// Executes one inference request and returns its cost.
+    ///
+    /// If the model is not resident the device performs a full swap: the
+    /// previous resident set is evicted and this model becomes the sole
+    /// resident, cached up to the parameter budget.
+    pub fn invoke(&mut self, profile: &ModelProfile) -> InvokeOutcome {
+        let outcome = match self.resident.allocation(profile.id()) {
+            Some(alloc) => {
+                let streamed = alloc.uncached_bytes();
+                InvokeOutcome {
+                    busy: profile.inference_time() + self.spec.stream_time(streamed),
+                    swapped: false,
+                    streamed_bytes: streamed,
+                }
+            }
+            None => {
+                let plan = CoCompiler::new(self.spec)
+                    .plan(std::slice::from_ref(profile))
+                    .expect("single model cannot duplicate");
+                let swap = self.spec.swap_time(profile.param_bytes());
+                let streamed = plan.allocations()[0].uncached_bytes();
+                self.resident = plan;
+                InvokeOutcome {
+                    busy: swap + profile.inference_time() + self.spec.stream_time(streamed),
+                    swapped: true,
+                    streamed_bytes: streamed,
+                }
+            }
+        };
+        self.stats.invocations += 1;
+        if outcome.swapped {
+            self.stats.swaps += 1;
+        }
+        self.stats.streamed_bytes += outcome.streamed_bytes;
+        self.stats.busy += outcome.busy;
+        outcome
+    }
+
+    /// Lifetime counters.
+    #[must_use]
+    pub fn stats(&self) -> DeviceStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microedge_models::catalog::{mobilenet_v1, resnet_50, ssd_mobilenet_v2, unet_v2};
+
+    fn loaded_device(models: &[ModelProfile]) -> TpuDevice {
+        let spec = TpuSpec::coral_usb();
+        let mut d = TpuDevice::new(spec);
+        d.load_plan(CoCompiler::new(spec).plan(models).unwrap());
+        d
+    }
+
+    #[test]
+    fn cached_invoke_costs_inference_only() {
+        let mut d = loaded_device(&[ssd_mobilenet_v2()]);
+        let out = d.invoke(&ssd_mobilenet_v2());
+        assert!(!out.swapped());
+        assert_eq!(out.streamed_bytes(), 0);
+        assert_eq!(out.busy(), ssd_mobilenet_v2().inference_time());
+    }
+
+    #[test]
+    fn cocompiled_models_alternate_without_swapping() {
+        let mut d = loaded_device(&[mobilenet_v1(), unet_v2()]);
+        for _ in 0..10 {
+            assert!(!d.invoke(&mobilenet_v1()).swapped());
+            assert!(!d.invoke(&unet_v2()).swapped());
+        }
+        assert_eq!(d.stats().swaps(), 0);
+        assert_eq!(d.stats().invocations(), 20);
+    }
+
+    #[test]
+    fn non_resident_invoke_swaps_and_evicts() {
+        let mut d = loaded_device(&[mobilenet_v1()]);
+        let out = d.invoke(&unet_v2());
+        assert!(out.swapped());
+        assert!(out.busy() > unet_v2().inference_time());
+        // MobileNet was evicted by the swap.
+        assert!(!d.is_resident(mobilenet_v1().id()));
+        assert!(d.is_resident(unet_v2().id()));
+    }
+
+    #[test]
+    fn swap_thrash_costs_accumulate() {
+        // Alternating two non-co-compiled models swaps on every request —
+        // the pathology co-compilation exists to avoid.
+        let mut d = loaded_device(&[mobilenet_v1()]);
+        for _ in 0..5 {
+            assert!(d.invoke(&unet_v2()).swapped());
+            assert!(d.invoke(&mobilenet_v1()).swapped());
+        }
+        assert_eq!(d.stats().swaps(), 10);
+
+        let mut co = loaded_device(&[mobilenet_v1(), unet_v2()]);
+        for _ in 0..5 {
+            co.invoke(&unet_v2());
+            co.invoke(&mobilenet_v1());
+        }
+        assert!(co.stats().busy() < d.stats().busy());
+    }
+
+    #[test]
+    fn partially_cached_model_streams_every_invoke() {
+        let mut d = loaded_device(&[resnet_50()]);
+        let expected_stream = resnet_50().param_bytes() - TpuSpec::coral_usb().param_budget_bytes();
+        let first = d.invoke(&resnet_50());
+        let second = d.invoke(&resnet_50());
+        assert_eq!(first, second, "streaming penalty recurs on every invoke");
+        assert_eq!(first.streamed_bytes(), expected_stream);
+        assert!(first.busy() > resnet_50().inference_time());
+        assert!(!first.swapped());
+    }
+
+    #[test]
+    fn stats_accumulate_busy_time() {
+        let mut d = loaded_device(&[unet_v2()]);
+        let a = d.invoke(&unet_v2()).busy();
+        let b = d.invoke(&unet_v2()).busy();
+        assert_eq!(d.stats().busy(), a + b);
+    }
+
+    #[test]
+    fn fresh_device_is_empty() {
+        let d = TpuDevice::new(TpuSpec::coral_usb());
+        assert!(d.resident().is_empty());
+        assert!(!d.is_resident(unet_v2().id()));
+        assert_eq!(d.stats(), DeviceStats::default());
+    }
+
+    #[test]
+    fn tpu_id_display() {
+        assert_eq!(TpuId(4).to_string(), "tpu-4");
+    }
+}

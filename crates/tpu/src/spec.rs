@@ -1,0 +1,141 @@
+//! Coral Edge TPU hardware parameters.
+//!
+//! The scheduling-relevant facts about a USB Coral TPU (paper §2, §4.1 and
+//! footnote 1):
+//!
+//! - ~8 MB of on-chip memory, of which a slice is reserved for each model's
+//!   inference executable, leaving ≈ 6.9 MB for **parameter data**;
+//! - requests execute **sequentially, run to completion** — no preemption,
+//!   no batching;
+//! - switching to a model that is not resident requires swapping its
+//!   parameters in from host memory over USB (expensive);
+//! - *co-compiled* models share the parameter budget; if they do not all
+//!   fit, the lower-priority models are partially cached and the remainder
+//!   of their parameters streams from the host on every invocation (slower
+//!   than cached, but far cheaper than a full swap).
+
+use serde::{Deserialize, Serialize};
+
+use microedge_sim::time::SimDuration;
+
+/// Total on-chip memory of a Coral Edge TPU: 8 MiB.
+pub const TOTAL_MEM_BYTES: u64 = 8 * 1024 * 1024;
+
+/// Memory usable for model parameter data: 6.9 MiB (paper footnote 1 — the
+/// rest is reserved for inference executables).
+pub const PARAM_BUDGET_BYTES: u64 = (6.9 * 1024.0 * 1024.0) as u64;
+
+/// Hardware parameters of one TPU.
+///
+/// # Examples
+///
+/// ```
+/// use microedge_tpu::spec::TpuSpec;
+///
+/// let spec = TpuSpec::coral_usb();
+/// // Swapping a 5 MiB model in over USB costs on the order of 100 ms.
+/// let swap = spec.swap_time(5 * 1024 * 1024);
+/// assert!(swap.as_millis_f64() > 100.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TpuSpec {
+    param_budget_bytes: u64,
+    load_bytes_per_sec: u64,
+}
+
+impl TpuSpec {
+    /// Creates a spec with an explicit parameter budget and host-to-TPU
+    /// transfer bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either value is zero.
+    #[must_use]
+    pub fn new(param_budget_bytes: u64, load_bytes_per_sec: u64) -> Self {
+        assert!(param_budget_bytes > 0, "parameter budget must be non-zero");
+        assert!(load_bytes_per_sec > 0, "load bandwidth must be non-zero");
+        TpuSpec {
+            param_budget_bytes,
+            load_bytes_per_sec,
+        }
+    }
+
+    /// The USB Coral TPU as deployed in MicroEdge: 6.9 MiB parameter budget,
+    /// 40 MB/s effective host-to-TPU parameter bandwidth.
+    #[must_use]
+    pub fn coral_usb() -> Self {
+        TpuSpec::new(PARAM_BUDGET_BYTES, 40_000_000)
+    }
+
+    /// Bytes available for parameter data.
+    #[must_use]
+    pub fn param_budget_bytes(&self) -> u64 {
+        self.param_budget_bytes
+    }
+
+    /// Host-to-TPU parameter transfer bandwidth in bytes per second.
+    #[must_use]
+    pub fn load_bytes_per_sec(&self) -> u64 {
+        self.load_bytes_per_sec
+    }
+
+    /// Time to swap `bytes` of parameters in from host memory (a full model
+    /// switch).
+    #[must_use]
+    pub fn swap_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 / self.load_bytes_per_sec as f64)
+    }
+
+    /// Per-invocation time to stream `bytes` of *uncached* parameters for a
+    /// partially cached co-compiled model. Streaming shares the same USB
+    /// path as swapping, so the rate is identical; what co-compilation saves
+    /// is moving only the uncached tail instead of the whole model.
+    #[must_use]
+    pub fn stream_time(&self, bytes: u64) -> SimDuration {
+        self.swap_time(bytes)
+    }
+}
+
+impl Default for TpuSpec {
+    /// The USB Coral spec.
+    fn default() -> Self {
+        TpuSpec::coral_usb()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coral_constants_match_paper() {
+        assert_eq!(TOTAL_MEM_BYTES, 8_388_608);
+        assert_eq!(PARAM_BUDGET_BYTES, 7_235_174);
+        let spec = TpuSpec::coral_usb();
+        assert_eq!(spec.param_budget_bytes(), PARAM_BUDGET_BYTES);
+    }
+
+    #[test]
+    fn swap_time_scales_linearly() {
+        let spec = TpuSpec::new(100, 1_000_000);
+        assert_eq!(spec.swap_time(500_000), SimDuration::from_millis(500));
+        assert_eq!(spec.swap_time(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn stream_equals_swap_rate() {
+        let spec = TpuSpec::coral_usb();
+        assert_eq!(spec.stream_time(123_456), spec.swap_time(123_456));
+    }
+
+    #[test]
+    fn default_is_coral() {
+        assert_eq!(TpuSpec::default(), TpuSpec::coral_usb());
+    }
+
+    #[test]
+    #[should_panic(expected = "budget")]
+    fn zero_budget_rejected() {
+        let _ = TpuSpec::new(0, 1);
+    }
+}

@@ -1,0 +1,364 @@
+//! Synthetic Azure-Functions-style camera trace (paper §6.3).
+//!
+//! The paper drives its real-world study with the Microsoft Azure Functions
+//! (MAF) trace, mapping each function invocation to a camera stream and
+//! downsizing to cluster capacity while retaining the functions' diversity.
+//! It ascribes three behaviours to its three models:
+//!
+//! - **steady** — cameras that process 24×7 (continuous vehicle detection);
+//! - **sparse** — occasional short-lived invocations (classification);
+//! - **bursty** — clustered arrivals (segmentation bursts).
+//!
+//! The original trace is proprietary-licensed and two weeks long, so we
+//! synthesise those three invocation classes directly with a seeded
+//! generator: steady streams arrive once and never leave, sparse streams
+//! follow a Poisson process with exponential dwell, and bursty streams
+//! arrive in Poisson-timed groups. Every draw is deterministic per seed.
+
+use serde::{Deserialize, Serialize};
+
+use microedge_sim::rng::DetRng;
+use microedge_sim::time::{SimDuration, SimTime};
+
+/// Which invocation class a trace event belongs to (indexes
+/// [`crate::apps::CameraApp::trace_apps`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraceClass {
+    /// 24×7 processing.
+    Steady,
+    /// Sparse, short invocations.
+    Sparse,
+    /// Bursty group arrivals.
+    Bursty,
+}
+
+impl TraceClass {
+    /// Index into the `[steady, sparse, bursty]` application array.
+    #[must_use]
+    pub fn app_index(self) -> usize {
+        match self {
+            TraceClass::Steady => 0,
+            TraceClass::Sparse => 1,
+            TraceClass::Bursty => 2,
+        }
+    }
+}
+
+/// One camera arrival in the synthesised trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// When the camera requests admission.
+    pub at: SimTime,
+    /// Which application class it runs.
+    pub class: TraceClass,
+    /// How long it stays; `None` = until the end of the trace.
+    pub lifetime: Option<SimDuration>,
+    /// Unique sequence number within the trace.
+    pub seq: u32,
+}
+
+/// Generator parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Length of the synthesised trace.
+    pub duration: SimDuration,
+    /// Number of 24×7 cameras.
+    pub steady_cameras: u32,
+    /// Sparse arrivals per minute.
+    pub sparse_rate_per_min: f64,
+    /// Mean sparse dwell time.
+    pub sparse_dwell_mean: SimDuration,
+    /// Bursts per minute.
+    pub burst_rate_per_min: f64,
+    /// Mean cameras per burst (≥ 1).
+    pub burst_size_mean: f64,
+    /// Mean bursty dwell time.
+    pub burst_dwell_mean: SimDuration,
+    /// Optional diurnal cycle: when set, sparse and bursty arrival rates
+    /// swing ±75 % around their base over one period (MAF-style day/night
+    /// pattern). The period is typically 24 h; shorter periods compress
+    /// the cycle for quicker experiments.
+    pub diurnal_period: Option<SimDuration>,
+}
+
+impl TraceConfig {
+    /// A 30-minute trace downsized to the 6-TPU MicroEdge cluster, mirroring
+    /// the paper's "fit the limited capacity" adjustment.
+    #[must_use]
+    pub fn microedge_downsized() -> Self {
+        TraceConfig {
+            duration: SimDuration::from_secs(30 * 60),
+            steady_cameras: 4,
+            sparse_rate_per_min: 1.2,
+            sparse_dwell_mean: SimDuration::from_secs(150),
+            burst_rate_per_min: 0.35,
+            burst_size_mean: 3.0,
+            burst_dwell_mean: SimDuration::from_secs(100),
+            diurnal_period: None,
+        }
+    }
+
+    /// Enables the diurnal cycle with the given period.
+    #[must_use]
+    pub fn with_diurnal_period(mut self, period: SimDuration) -> Self {
+        self.diurnal_period = Some(period);
+        self
+    }
+
+    /// Scales every arrival rate and the steady population by `factor`
+    /// (the paper's downsizing knob).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not strictly positive.
+    #[must_use]
+    pub fn scaled(mut self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "factor must be positive"
+        );
+        self.steady_cameras = ((self.steady_cameras as f64 * factor).round() as u32).max(1);
+        self.sparse_rate_per_min *= factor;
+        self.burst_rate_per_min *= factor;
+        self
+    }
+}
+
+impl Default for TraceConfig {
+    /// The downsized MicroEdge trace.
+    fn default() -> Self {
+        TraceConfig::microedge_downsized()
+    }
+}
+
+/// Relative arrival intensity at `t` for the configured diurnal cycle:
+/// `1 + 0.75·sin(2πt/period)`, or 1.0 with no cycle.
+fn diurnal_factor(config: &TraceConfig, t: SimDuration) -> f64 {
+    match config.diurnal_period {
+        Some(period) => {
+            let phase = std::f64::consts::TAU * t.as_secs_f64() / period.as_secs_f64();
+            1.0 + 0.75 * phase.sin()
+        }
+        None => 1.0,
+    }
+}
+
+/// Peak of [`diurnal_factor`], used for Poisson thinning.
+const DIURNAL_PEAK: f64 = 1.75;
+
+/// Synthesises a trace: all events sorted by arrival time, sequence numbers
+/// in emission order. When a diurnal period is configured, sparse and
+/// bursty arrivals follow a non-homogeneous Poisson process (thinning).
+///
+/// # Examples
+///
+/// ```
+/// use microedge_workloads::trace::{synthesize, TraceConfig};
+///
+/// let trace = synthesize(&TraceConfig::microedge_downsized(), 42);
+/// assert!(!trace.is_empty());
+/// assert!(trace.windows(2).all(|w| w[0].at <= w[1].at));
+/// ```
+#[must_use]
+pub fn synthesize(config: &TraceConfig, seed: u64) -> Vec<TraceEvent> {
+    let mut rng = DetRng::seed_from(seed);
+    let mut events = Vec::new();
+
+    // Steady cameras: arrive in the first seconds, never leave.
+    let mut steady_rng = rng.fork(1);
+    for i in 0..config.steady_cameras {
+        let jitter = steady_rng.uniform_range(0, 5_000);
+        events.push((
+            SimTime::from_millis(u64::from(i) * 500 + jitter),
+            TraceClass::Steady,
+            None,
+        ));
+    }
+
+    // Sparse: Poisson arrivals, exponential dwell.
+    let mut sparse_rng = rng.fork(2);
+    if config.sparse_rate_per_min > 0.0 {
+        // Non-homogeneous Poisson via thinning: draw at the diurnal peak
+        // rate, accept proportionally to the instantaneous intensity.
+        let peak_rate = config.sparse_rate_per_min * DIURNAL_PEAK;
+        let mean_gap = SimDuration::from_secs_f64(60.0 / peak_rate);
+        let mut cursor = SimDuration::ZERO;
+        loop {
+            cursor += sparse_rng.exponential_duration(mean_gap);
+            if cursor >= config.duration {
+                break;
+            }
+            if !sparse_rng.chance(diurnal_factor(config, cursor) / DIURNAL_PEAK) {
+                continue;
+            }
+            let dwell = sparse_rng.exponential_duration(config.sparse_dwell_mean);
+            events.push((SimTime::ZERO + cursor, TraceClass::Sparse, Some(dwell)));
+        }
+    }
+
+    // Bursty: Poisson-timed bursts of several cameras each.
+    let mut bursty_rng = rng.fork(3);
+    if config.burst_rate_per_min > 0.0 {
+        let peak_rate = config.burst_rate_per_min * DIURNAL_PEAK;
+        let mean_gap = SimDuration::from_secs_f64(60.0 / peak_rate);
+        let mut cursor = SimDuration::ZERO;
+        loop {
+            cursor += bursty_rng.exponential_duration(mean_gap);
+            if cursor >= config.duration {
+                break;
+            }
+            if !bursty_rng.chance(diurnal_factor(config, cursor) / DIURNAL_PEAK) {
+                continue;
+            }
+            let size = 1 + bursty_rng.poisson((config.burst_size_mean - 1.0).max(0.0));
+            for k in 0..size {
+                let stagger = SimDuration::from_millis(k * 200);
+                let dwell = bursty_rng.exponential_duration(config.burst_dwell_mean);
+                events.push((
+                    SimTime::ZERO + cursor + stagger,
+                    TraceClass::Bursty,
+                    Some(dwell),
+                ));
+            }
+        }
+    }
+
+    events.sort_by_key(|&(at, _, _)| at);
+    events
+        .into_iter()
+        .enumerate()
+        .map(|(i, (at, class, lifetime))| TraceEvent {
+            at,
+            class,
+            lifetime,
+            seq: i as u32,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_deterministic_per_seed() {
+        let cfg = TraceConfig::microedge_downsized();
+        assert_eq!(synthesize(&cfg, 9), synthesize(&cfg, 9));
+        assert_ne!(synthesize(&cfg, 9), synthesize(&cfg, 10));
+    }
+
+    #[test]
+    fn trace_is_sorted_with_unique_seqs() {
+        let trace = synthesize(&TraceConfig::microedge_downsized(), 1);
+        for w in trace.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        for (i, ev) in trace.iter().enumerate() {
+            assert_eq!(ev.seq as usize, i);
+        }
+    }
+
+    #[test]
+    fn steady_cameras_arrive_early_and_stay() {
+        let trace = synthesize(&TraceConfig::microedge_downsized(), 2);
+        let steady: Vec<&TraceEvent> = trace
+            .iter()
+            .filter(|e| e.class == TraceClass::Steady)
+            .collect();
+        assert_eq!(steady.len(), 4);
+        for e in steady {
+            assert!(e.lifetime.is_none());
+            assert!(e.at < SimTime::from_secs(10));
+        }
+    }
+
+    #[test]
+    fn class_mix_matches_configuration() {
+        let cfg = TraceConfig::microedge_downsized();
+        let trace = synthesize(&cfg, 3);
+        let sparse = trace
+            .iter()
+            .filter(|e| e.class == TraceClass::Sparse)
+            .count();
+        let bursty = trace
+            .iter()
+            .filter(|e| e.class == TraceClass::Bursty)
+            .count();
+        // 30 min at 1.2/min ≈ 36 sparse arrivals; bursts 0.35/min × ~3 ≈ 31.
+        assert!((20..=55).contains(&sparse), "sparse {sparse}");
+        assert!((12..=60).contains(&bursty), "bursty {bursty}");
+    }
+
+    #[test]
+    fn all_arrivals_inside_duration() {
+        let cfg = TraceConfig::microedge_downsized();
+        let trace = synthesize(&cfg, 4);
+        let end = SimTime::ZERO + cfg.duration + SimDuration::from_secs(2);
+        assert!(trace.iter().all(|e| e.at < end));
+    }
+
+    #[test]
+    fn scaling_changes_population() {
+        let base = TraceConfig::microedge_downsized();
+        let double = base.scaled(2.0);
+        assert_eq!(double.steady_cameras, 8);
+        let t1 = synthesize(&base, 5).len();
+        let t2 = synthesize(&double, 5).len();
+        assert!(t2 > t1, "scaled trace should contain more arrivals");
+    }
+
+    #[test]
+    fn app_index_mapping() {
+        assert_eq!(TraceClass::Steady.app_index(), 0);
+        assert_eq!(TraceClass::Sparse.app_index(), 1);
+        assert_eq!(TraceClass::Bursty.app_index(), 2);
+    }
+
+    #[test]
+    fn diurnal_cycle_modulates_arrivals() {
+        // One full cycle over the trace: the first half (rising intensity)
+        // must carry substantially more arrivals than the second half
+        // (falling intensity), since sin is positive in the first half.
+        let mut cfg =
+            TraceConfig::microedge_downsized().with_diurnal_period(SimDuration::from_secs(60 * 60));
+        cfg.duration = SimDuration::from_secs(60 * 60);
+        cfg.steady_cameras = 0;
+        cfg.sparse_rate_per_min = 4.0;
+        cfg.burst_rate_per_min = 0.0;
+        let trace = synthesize(&cfg, 21);
+        let half = SimTime::ZERO + cfg.duration / 2;
+        let first = trace.iter().filter(|e| e.at < half).count();
+        let second = trace.len() - first;
+        assert!(
+            first as f64 > second as f64 * 1.6,
+            "diurnal skew expected: {first} vs {second}"
+        );
+        // Mean rate is preserved (thinning is unbiased): ≈ 4/min × 60 min.
+        assert!(
+            (150..=330).contains(&trace.len()),
+            "total arrivals {}",
+            trace.len()
+        );
+    }
+
+    #[test]
+    fn no_diurnal_period_means_uniform_rate() {
+        let mut cfg = TraceConfig::microedge_downsized();
+        cfg.duration = SimDuration::from_secs(60 * 60);
+        cfg.steady_cameras = 0;
+        cfg.sparse_rate_per_min = 4.0;
+        cfg.burst_rate_per_min = 0.0;
+        let trace = synthesize(&cfg, 21);
+        let half = SimTime::ZERO + cfg.duration / 2;
+        let first = trace.iter().filter(|e| e.at < half).count();
+        let second = trace.len() - first;
+        let ratio = first as f64 / second.max(1) as f64;
+        assert!((0.7..1.4).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_rejected() {
+        let _ = TraceConfig::microedge_downsized().scaled(0.0);
+    }
+}

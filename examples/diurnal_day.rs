@@ -1,0 +1,56 @@
+//! A day in the life of a MicroEdge cluster (diurnal trace extension).
+//!
+//! Run with: `cargo run --release --example diurnal_day`
+//!
+//! Replays a "compressed day" — a two-hour trace whose sparse and bursty
+//! arrival rates swing ±75 % over one diurnal cycle, as the Azure Functions
+//! trace does over 24 hours — and prints how TPU utilization and cameras
+//! served track the cycle under full MicroEdge.
+
+use microedge::bench::runner::SystemConfig;
+use microedge::bench::trace_study::run_trace;
+use microedge::sim::time::SimDuration;
+use microedge::workloads::trace::{synthesize, TraceConfig};
+
+fn main() {
+    let period = SimDuration::from_secs(2 * 60 * 60);
+    let mut cfg = TraceConfig::microedge_downsized().with_diurnal_period(period);
+    cfg.duration = period;
+    cfg.sparse_rate_per_min = 2.0;
+    cfg.burst_rate_per_min = 0.5;
+
+    let trace = synthesize(&cfg, 2024);
+    println!(
+        "Compressed day: {} arrivals over {:.0} minutes (diurnal cycle = the whole trace)\n",
+        trace.len(),
+        cfg.duration.as_secs_f64() / 60.0
+    );
+
+    let outcome = run_trace(SystemConfig::microedge_full(), &trace, &cfg, 6);
+
+    println!("10-minute averages (MicroEdge, 6 TPUs):");
+    println!("window | utilization | cameras served | intensity");
+    println!("{}", "-".repeat(56));
+    let util = outcome.windowed_utilization();
+    let served = outcome.served_series();
+    for block in 0..(util.len() / 10) {
+        let minutes = &util[block * 10..((block + 1) * 10).min(util.len())];
+        let u = minutes.iter().sum::<f64>() / minutes.len() as f64;
+        let s_block = &served[block * 10..((block + 1) * 10).min(served.len())];
+        let s = s_block.iter().sum::<f64>() / s_block.len() as f64;
+        // The configured diurnal intensity at the block's midpoint.
+        let t = (block as f64 + 0.5) * 600.0;
+        let intensity = 1.0 + 0.75 * (std::f64::consts::TAU * t / period.as_secs_f64()).sin();
+        let bar = "█".repeat((u * 30.0) as usize);
+        println!(
+            "{:>4}m  | {u:>10.3}  | {s:>13.2}  | {intensity:>6.2}  {bar}",
+            block * 10
+        );
+    }
+    println!(
+        "\nUtilization follows the arrival cycle: peak near the first quarter of the\n\
+         day, trough near the third — admitted {} / rejected {}.",
+        outcome.admitted(),
+        outcome.rejected()
+    );
+}

@@ -1,0 +1,79 @@
+//! Failure recovery (the paper's §8 future-work extension).
+//!
+//! Run with: `cargo run --release --example failure_recovery`
+//!
+//! Six cameras share three TPUs; mid-run one tRPi node dies. The extended
+//! scheduler re-admits displaced pods onto the survivors where capacity
+//! allows, streams that cannot be re-placed stop cleanly, and the
+//! orchestrator's event log tells the whole story.
+
+use microedge::cluster::node::NodeId;
+use microedge::cluster::topology::ClusterBuilder;
+use microedge::core::config::Features;
+use microedge::core::runtime::{StreamSpec, World};
+use microedge::orch::events::OrchEvent;
+use microedge::sim::time::{SimDuration, SimTime};
+
+fn main() {
+    let cluster = ClusterBuilder::new().trpis(3).vrpis(8).build();
+    let mut world = World::new(cluster, Features::all());
+
+    let mut cams = Vec::new();
+    for i in 0..6u64 {
+        let spec = StreamSpec::builder(&format!("cam-{i}"), "ssd-mobilenet-v2")
+            .start_offset(SimDuration::from_millis(i * 11))
+            .build();
+        cams.push(world.admit_stream(spec).unwrap());
+    }
+    println!(
+        "6 cameras × 0.35 units on 3 TPUs (load {:.2}/3.00). Running...",
+        6.0 * 0.35
+    );
+    world.run_until(SimTime::from_secs(10));
+
+    println!("\n⚡ node-0 (a tRPi) fails at t=10 s");
+    let stopped = world.fail_node(NodeId(0));
+    println!(
+        "   scheduler re-placed what fits on the 2 surviving TPUs; {} stream(s) stopped: {:?}",
+        stopped.len(),
+        stopped
+    );
+
+    world.run_until(SimTime::from_secs(20));
+    let survivors = world.active_streams();
+
+    println!("\nControl-plane event log (last 8 events):");
+    let events: Vec<OrchEvent> = world.orchestrator().events().to_vec();
+    for e in events.iter().rev().take(8).rev() {
+        match e {
+            OrchEvent::PodScheduled { pod, name, node } => {
+                println!("  PodScheduled    {pod} ({name}) → {node}")
+            }
+            OrchEvent::SchedulingFailed { name, reason } => {
+                println!("  SchedulingFail  {name}: {reason}")
+            }
+            OrchEvent::PodTerminated { pod, node, reason } => {
+                println!("  PodTerminated   {pod} on {node} ({reason:?})")
+            }
+            OrchEvent::NodeFailed { node, displaced } => {
+                println!("  NodeFailed      {node}, displaced {displaced:?}")
+            }
+        }
+    }
+
+    let results = world.finish(SimTime::from_secs(20));
+    println!(
+        "\nAfter recovery: {survivors} streams active, {} frames dropped at the failure instant.",
+        results.frames_dropped()
+    );
+    println!("\nPer-stream outcome over the full 20 s:");
+    for cam in &cams {
+        let r = results.report(*cam).unwrap();
+        println!(
+            "  {}: {:>4} frames completed, {:.2} FPS",
+            r.stream(),
+            r.completed(),
+            r.achieved_fps()
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! The offline profiling service (paper §4.1).
+//!
+//! Run with: `cargo run --example offline_profiler`
+//!
+//! "MicroEdge offers an offline service for a client to profile the
+//! inference service time to determine the TPU unit to specify in their
+//! request Yaml file." This example is that service: for every model in
+//! the catalog it reports the profiled service time and the TPU units a
+//! camera would declare at common frame rates — including the cases where
+//! a single stream needs more than one TPU.
+
+use microedge::core::config::DataPlaneConfig;
+use microedge::models::catalog::Catalog;
+
+fn main() {
+    let dp = DataPlaneConfig::calibrated();
+    let catalog = Catalog::builtin();
+    let rates = [5.0, 10.0, 15.0, 30.0];
+
+    println!("Offline profiling service — TPU units per model and frame rate");
+    println!("(service time = inference + per-invoke host overhead)\n");
+    println!(
+        "{:<22} {:>12} | {:>7} {:>7} {:>7} {:>7}",
+        "model", "service (ms)", "5 FPS", "10 FPS", "15 FPS", "30 FPS"
+    );
+    println!("{}", "-".repeat(70));
+    for model in catalog.iter() {
+        let service = dp.service_time(model);
+        let units: Vec<String> = rates
+            .iter()
+            .map(|&fps| {
+                let u = dp.profiled_units(model, fps);
+                if u.whole_tpus_needed() > 1 {
+                    format!("{:.3}*", u.as_f64())
+                } else {
+                    format!("{:.3}", u.as_f64())
+                }
+            })
+            .collect();
+        println!(
+            "{:<22} {:>12.2} | {:>7} {:>7} {:>7} {:>7}",
+            model.id().to_string(),
+            service.as_millis_f64(),
+            units[0],
+            units[1],
+            units[2],
+            units[3],
+        );
+    }
+    println!("\n* needs workload partitioning (more than one whole TPU).");
+    println!(
+        "\nPaste the 15 FPS column into your pod spec:\n  extensions:\n    microedge.io/model: <model>\n    microedge.io/tpu-units: \"<units>\""
+    );
+}

@@ -1,0 +1,90 @@
+//! The control-plane workflow, end to end (paper §3.1).
+//!
+//! Run with: `cargo run --example pod_deployment`
+//!
+//! Walks the five numbered control-plane steps of the paper's Fig. 3 with
+//! a real Yaml pod spec: parse → default scheduling (candidate nodes) →
+//! extended scheduler admission → LBS configuration → reclamation after
+//! the pod terminates.
+
+use microedge::cluster::topology::Cluster;
+use microedge::core::config::Features;
+use microedge::core::scheduler::ExtendedScheduler;
+use microedge::models::catalog::Catalog;
+use microedge::orch::lifecycle::Orchestrator;
+use microedge::orch::spec::parse_pod_spec;
+
+const POD_YAML: &str = r#"
+# a Coral-Pie camera instance
+name: camera-17
+image: coral-pie:latest
+resources:
+  cpu: 500m
+  memory: 256Mi
+nodeSelector: {}
+antiAffinityGroup: coral-pie
+extensions:
+  microedge.io/model: ssd-mobilenet-v2
+  microedge.io/tpu-units: "0.35"
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Step 0: the MicroEdge cluster — 19 vRPis + 6 tRPis, as in the paper.
+    let cluster = Cluster::microedge_default();
+    let mut orch = Orchestrator::new(cluster.clone());
+    let mut sched = ExtendedScheduler::new(&cluster, Catalog::builtin(), Features::all());
+
+    // ① the client submits a Yaml file.
+    let yaml = POD_YAML.replace("nodeSelector: {}\n", "");
+    let spec = parse_pod_spec(&yaml)?;
+    println!(
+        "① parsed pod spec `{}` requesting model {:?} @ {:?} TPU units",
+        spec.name(),
+        spec.extension("microedge.io/model").unwrap(),
+        spec.extension("microedge.io/tpu-units").unwrap(),
+    );
+
+    // K3s default scheduling produces the candidate-node list.
+    let candidates = orch.candidate_nodes(&spec);
+    println!(
+        "   K3s default scheduler found {} candidate nodes",
+        candidates.len()
+    );
+
+    // ②–④ the extended scheduler allocates TPU units, binds the pod, and
+    // seeds the LBS.
+    let deployment = sched.deploy(&mut orch, spec)?;
+    println!("② admission granted:");
+    for alloc in deployment.allocations() {
+        println!("     {} ← {} units", alloc.tpu(), alloc.units());
+    }
+    println!(
+        "③ pod bound: {} on {}",
+        deployment.pod(),
+        orch.node_of(deployment.pod()).unwrap()
+    );
+    let lbs = deployment.lbs();
+    println!("④ LBS configured with weights {:?}", lbs.weights());
+    println!(
+        "   co-compile triggered: {} | extra control RPCs: {}",
+        deployment.cocompiled(),
+        deployment.control_rpcs()
+    );
+
+    // The pod runs... and eventually terminates outside the scheduler's
+    // control (crash or completion).
+    orch.delete_pod(deployment.pod())?;
+
+    // ⑤ the reclamation component polls pod status and returns the units.
+    let reclaimed = sched.reclaim_terminated(&orch);
+    println!("⑤ reclamation returned the TPU units of {reclaimed:?}");
+    let pool = sched.pool();
+    let free = pool.total_free_units();
+    println!(
+        "   pool free capacity back to {free} across {} TPUs",
+        pool.len()
+    );
+    println!("\nFinal pool status (the model stays resident — lazy reclamation):");
+    print!("{}", microedge::core::pool::render_pool(pool));
+    Ok(())
+}

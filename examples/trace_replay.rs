@@ -1,0 +1,62 @@
+//! Replay an Azure-Functions-style camera trace (paper §6.3).
+//!
+//! Run with: `cargo run --release --example trace_replay`
+//!
+//! Cameras "come and go": steady 24×7 detection streams, sparse
+//! classification invocations, and bursty segmentation groups arrive and
+//! depart over a 15-minute trace. The example replays the identical trace
+//! against full MicroEdge and the dedicated baseline and prints the
+//! minute-by-minute utilization and cameras-served series (Fig. 6a/6b).
+
+use microedge::bench::runner::SystemConfig;
+use microedge::bench::trace_study::run_trace;
+use microedge::sim::time::SimDuration;
+use microedge::workloads::trace::{synthesize, TraceClass, TraceConfig};
+
+fn main() {
+    let mut cfg = TraceConfig::microedge_downsized();
+    cfg.duration = SimDuration::from_secs(15 * 60);
+    let trace = synthesize(&cfg, 7);
+
+    let by_class = |class: TraceClass| trace.iter().filter(|e| e.class == class).count();
+    println!(
+        "Synthesised trace: {} arrivals over {:.0} minutes ({} steady, {} sparse, {} bursty)\n",
+        trace.len(),
+        cfg.duration.as_secs_f64() / 60.0,
+        by_class(TraceClass::Steady),
+        by_class(TraceClass::Sparse),
+        by_class(TraceClass::Bursty),
+    );
+
+    let microedge = run_trace(SystemConfig::microedge_full(), &trace, &cfg, 6);
+    let baseline = run_trace(SystemConfig::Baseline, &trace, &cfg, 6);
+
+    println!("minute | microedge util | baseline util | microedge served | baseline served");
+    println!("{}", "-".repeat(80));
+    for minute in 0..microedge.windowed_utilization().len() {
+        println!(
+            "{minute:>6} | {:>14.3} | {:>13.3} | {:>16.2} | {:>15.2}",
+            microedge.windowed_utilization()[minute],
+            baseline
+                .windowed_utilization()
+                .get(minute)
+                .copied()
+                .unwrap_or(0.0),
+            microedge.served_series()[minute],
+            baseline.served_series().get(minute).copied().unwrap_or(0.0),
+        );
+    }
+
+    println!(
+        "\nmicroedge: {} admitted, {} rejected | baseline: {} admitted, {} rejected",
+        microedge.admitted(),
+        microedge.rejected(),
+        baseline.admitted(),
+        baseline.rejected(),
+    );
+    println!(
+        "mean cameras served — microedge {:.2} vs baseline {:.2}",
+        microedge.mean_served(),
+        baseline.mean_served()
+    );
+}

@@ -1,0 +1,88 @@
+//! Space-time vehicle tracking across a camera network (the Coral-Pie
+//! scenario, paper §6.2).
+//!
+//! Run with: `cargo run --release --example vehicle_tracking`
+//!
+//! Four cameras along a corridor watch the campus video; each downstream
+//! camera sees the same vehicles time-shifted, as in the paper's
+//! ground-truth construction. All four detection pipelines share the
+//! MicroEdge TPU pool, and the Coral-Pie application layer reconstructs
+//! each vehicle's space-time track from upstream notifications.
+
+use microedge::cluster::topology::ClusterBuilder;
+use microedge::core::config::Features;
+use microedge::core::runtime::{StreamSpec, World};
+use microedge::sim::time::{SimDuration, SimTime};
+use microedge::workloads::coralpie::{track_corridor, CameraGraph};
+use microedge::workloads::dataset::{campus_vehicle_visits, time_shifted, VideoSegment};
+
+/// Travel time between adjacent cameras in the corridor.
+const HOP: SimDuration = SimDuration::from_secs(12);
+const CAMERAS: usize = 4;
+
+fn main() {
+    // --- the camera network: 4 detection pipelines on 2 shared TPUs ---
+    let cluster = ClusterBuilder::new().trpis(2).vrpis(8).build();
+    let mut world = World::new(cluster, Features::all());
+    let segment = VideoSegment::campus_video();
+
+    let mut cams = Vec::new();
+    for i in 0..CAMERAS {
+        let spec = StreamSpec::builder(&format!("corridor-cam-{i}"), "ssd-mobilenet-v2")
+            .frame_limit(segment.frames())
+            .start_offset(HOP.mul_f64(i as f64))
+            .build();
+        cams.push(world.admit_stream(spec).expect("4 × 0.35 units fit 2 TPUs"));
+    }
+    println!(
+        "Deployed {CAMERAS} vehicle-detection pipelines on {} TPUs (4 × 0.35 = 1.4 units).",
+        world.scheduler().pool().len()
+    );
+
+    // --- the vehicles: same visits, time-shifted per camera hop ---
+    let upstream = campus_vehicle_visits(segment, 2022);
+    let per_camera: Vec<_> = (0..CAMERAS)
+        .map(|i| time_shifted(&upstream, HOP.mul_f64(i as f64)))
+        .collect();
+
+    // --- Coral-Pie's re-identification stage over the camera graph ---
+    let graph = CameraGraph::corridor(CAMERAS as u32, HOP);
+    let tracker = track_corridor(graph, SimDuration::from_secs(2), &per_camera);
+
+    println!("\nSpace-time tracks (vehicle → camera entry times):");
+    for track in tracker.tracks() {
+        let hops: Vec<String> = track
+            .hops()
+            .iter()
+            .map(|o| format!("{}@{:.1}s", o.camera, o.seen_at.as_secs_f64()))
+            .collect();
+        println!("  vehicle {:>2}: {}", track.vehicle(), hops.join(" → "));
+    }
+    let stats = tracker.stats();
+    println!(
+        "\nRe-identification: {} hand-offs matched, {} track origins, {} missed windows.",
+        stats.matched, stats.origins, stats.missed_window
+    );
+
+    // --- run the shared data plane and audit the SLO ---
+    let results = world.run_to_completion(SimTime::from_secs(300));
+    println!("\nDetection pipeline audit:");
+    for (i, cam) in cams.iter().enumerate() {
+        let r = results.report(*cam).unwrap();
+        println!(
+            "  corridor-cam-{i}: {:.2} FPS ({} frames), SLO {}",
+            r.achieved_fps(),
+            r.completed(),
+            if r.met_fps() { "met" } else { "VIOLATED" }
+        );
+    }
+    println!(
+        "\nTPU utilization: {:.1}% across 2 shared TPUs (includes the staggered ramp-in/out);\na dedicated deployment would pin 4 TPUs at ≤ 35% each.",
+        results.average_utilization() * 100.0
+    );
+    assert!(results.all_met_fps(), "tracking requires 15 FPS end to end");
+    assert_eq!(
+        stats.missed_window, 0,
+        "ground-truth replay tracks perfectly"
+    );
+}

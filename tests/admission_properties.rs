@@ -1,0 +1,186 @@
+//! Property-based tests for the admission-control invariants (Algorithm 1).
+
+use proptest::prelude::*;
+
+use microedge::cluster::topology::ClusterBuilder;
+use microedge::core::admission::{AdmissionPolicy, BestFit, FirstFit, NextFit, WorstFit};
+use microedge::core::config::Features;
+use microedge::core::pool::{Allocation, TpuPool};
+use microedge::core::units::TpuUnits;
+use microedge::models::catalog::{fig1_models, Catalog};
+use microedge::models::profile::ModelProfile;
+use microedge::tpu::spec::TpuSpec;
+
+fn pool(tpus: u32) -> TpuPool {
+    let cluster = ClusterBuilder::new().trpis(tpus).vrpis(1).build();
+    TpuPool::from_cluster(&cluster, TpuSpec::coral_usb())
+}
+
+fn models() -> Vec<ModelProfile> {
+    fig1_models()
+}
+
+/// A random request stream: (model index, micro-units, features).
+fn request_strategy() -> impl Strategy<Value = Vec<(usize, u64, bool, bool)>> {
+    prop::collection::vec(
+        (
+            0..8usize,
+            50_000u64..1_500_000,
+            prop::bool::ANY,
+            prop::bool::ANY,
+        ),
+        1..60,
+    )
+}
+
+fn check_invariants(pool: &TpuPool, catalog: &Catalog) {
+    for account in pool.accounts() {
+        // TPU Units Rule: no TPU oversubscribed.
+        assert!(
+            account.load() <= TpuUnits::ONE,
+            "{} oversubscribed at {}",
+            account.id(),
+            account.load()
+        );
+        // Model Size Rule: live model parameter data fits the budget,
+        // except for a TPU whose *single* model alone exceeds it (partial
+        // caching handles that case on-device).
+        let live = account.live_models();
+        let bytes: u64 = live.iter().map(|m| catalog.expect(m).param_bytes()).sum();
+        if live.len() > 1 {
+            assert!(
+                bytes <= pool.param_budget(),
+                "{} violates the Model Size Rule with {bytes} bytes",
+                account.id()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No sequence of admissions can violate the TPU Units Rule or the
+    /// Model Size Rule, under any policy.
+    #[test]
+    fn no_policy_violates_the_rules(requests in request_strategy(), policy_idx in 0..4usize) {
+        let catalog = Catalog::builtin();
+        let models = models();
+        let mut pool = pool(5);
+        let mut policy: Box<dyn AdmissionPolicy> = match policy_idx {
+            0 => Box::new(FirstFit::new()),
+            1 => Box::new(BestFit::new()),
+            2 => Box::new(WorstFit::new()),
+            _ => Box::new(NextFit::new()),
+        };
+        for (model_idx, micro, wp, cc) in requests {
+            let features = Features { workload_partitioning: wp, co_compiling: cc };
+            let model = &models[model_idx];
+            let units = TpuUnits::from_micro(micro);
+            if let Some(plan) = policy.plan(&pool, model, units, features) {
+                // The plan grants exactly what was asked.
+                let total: TpuUnits = plan.iter().map(Allocation::units).sum();
+                prop_assert_eq!(total, units);
+                pool.commit(model, &plan);
+            }
+            check_invariants(&pool, &catalog);
+        }
+    }
+
+    /// Workload partitioning never splits a request that fits whole on one
+    /// TPU (Algorithm 1 tries the unsplit placement first).
+    #[test]
+    fn unsplit_placement_preferred(micro in 50_000u64..=1_000_000) {
+        let models = models();
+        let mut policy = FirstFit::new();
+        let pool = pool(3);
+        let units = TpuUnits::from_micro(micro);
+        let plan = policy
+            .plan(&pool, &models[0], units, Features::all())
+            .expect("an empty pool admits anything ≤ 3 units");
+        prop_assert_eq!(plan.len(), 1, "fits whole on an empty TPU");
+    }
+
+    /// commit / release is an exact inverse for pool load.
+    #[test]
+    fn commit_release_roundtrip(requests in request_strategy()) {
+        let models = models();
+        let mut pool = pool(4);
+        let mut policy = FirstFit::new();
+        let mut committed: Vec<(ModelProfile, Vec<Allocation>)> = Vec::new();
+        for (model_idx, micro, _, _) in requests {
+            let model = &models[model_idx];
+            let units = TpuUnits::from_micro(micro);
+            if let Some(plan) = policy.plan(&pool, model, units, Features::all()) {
+                pool.commit(model, &plan);
+                committed.push((model.clone(), plan));
+            }
+        }
+        for (model, plan) in committed.iter().rev() {
+            pool.release(model.id(), plan);
+        }
+        for account in pool.accounts() {
+            prop_assert_eq!(account.load(), TpuUnits::ZERO);
+            prop_assert!(account.live_models().is_empty());
+        }
+    }
+
+    /// Rejection is honest: when First-Fit with partitioning rejects, the
+    /// pool genuinely lacks capacity for the request on admissible TPUs.
+    #[test]
+    fn rejection_implies_no_capacity(
+        loads in prop::collection::vec(0u64..=1_000_000, 4),
+        micro in 1u64..=1_000_000,
+    ) {
+        let models = models();
+        let model = &models[0];
+        let mut pool = pool(4);
+        for (i, &load) in loads.iter().enumerate() {
+            if load > 0 {
+                let account_id = pool.accounts()[i].id();
+                pool.commit(model, &[Allocation::new(account_id, TpuUnits::from_micro(load))]);
+            }
+        }
+        let mut policy = FirstFit::new();
+        let units = TpuUnits::from_micro(micro);
+        if policy.plan(&pool, model, units, Features::all()).is_none() {
+            prop_assert!(
+                pool.total_free_units() < units,
+                "rejected {units} with {} free",
+                pool.total_free_units()
+            );
+        }
+    }
+}
+
+/// Deterministic regression: the exact paper example from §4.3.
+#[test]
+fn paper_example_three_pods_two_tpus() {
+    let models = models();
+    let model = &models[1]; // ssd-mobilenet-v2
+    let mut pool = pool(2);
+    let mut policy = FirstFit::new();
+    let u06 = TpuUnits::from_f64(0.6);
+    for _ in 0..3 {
+        let plan = policy
+            .plan(&pool, model, u06, Features::all())
+            .expect("three 0.6-unit pods fit two TPUs with partitioning");
+        pool.commit(model, &plan);
+    }
+    assert_eq!(pool.used_tpus(), 2);
+    // Without partitioning the third pod is rejected on two TPUs.
+    let mut pool = pool2();
+    let mut policy = FirstFit::new();
+    for i in 0..3 {
+        let plan = policy.plan(&pool, model, u06, Features::co_compiling_only());
+        if i < 2 {
+            pool.commit(model, &plan.expect("first two fit"));
+        } else {
+            assert!(plan.is_none(), "third 0.6 needs partitioning");
+        }
+    }
+}
+
+fn pool2() -> TpuPool {
+    pool(2)
+}

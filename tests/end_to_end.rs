@@ -1,0 +1,236 @@
+//! Cross-crate integration tests: the paper's workflows end to end.
+
+use microedge::bench::runner::SystemConfig;
+use microedge::bench::scalability::max_cameras;
+use microedge::cluster::topology::{Cluster, ClusterBuilder};
+use microedge::core::config::Features;
+use microedge::core::runtime::{StreamSpec, World};
+use microedge::core::scheduler::ExtendedScheduler;
+use microedge::core::units::TpuUnits;
+use microedge::models::catalog::Catalog;
+use microedge::orch::lifecycle::Orchestrator;
+use microedge::orch::spec::parse_pod_spec;
+use microedge::sim::time::{SimDuration, SimTime};
+use microedge::workloads::apps::CameraApp;
+
+/// The headline claim: 2.8× cameras over the baseline at 6 TPUs.
+#[test]
+fn headline_2_8x_capacity_on_paper_cluster() {
+    let app = CameraApp::coral_pie();
+    let baseline = max_cameras(&app, SystemConfig::Baseline, 6);
+    let microedge = max_cameras(&app, SystemConfig::microedge_full(), 6);
+    assert_eq!(baseline, 6);
+    assert_eq!(microedge, 17);
+}
+
+/// The full §3.1 workflow driven from a Yaml file on the paper's exact
+/// cluster (19 vRPis + 6 tRPis).
+#[test]
+fn yaml_to_running_pod_to_reclamation() {
+    let cluster = Cluster::microedge_default();
+    let mut orch = Orchestrator::new(cluster.clone());
+    let mut sched = ExtendedScheduler::new(&cluster, Catalog::builtin(), Features::all());
+
+    let yaml = "name: cam\nimage: coral-pie:latest\nresources:\n  cpu: 500m\n  memory: 256Mi\nextensions:\n  microedge.io/model: ssd-mobilenet-v2\n  microedge.io/tpu-units: \"0.35\"\n";
+    let spec = parse_pod_spec(yaml).unwrap();
+    let deployment = sched.deploy(&mut orch, spec).unwrap();
+    assert_eq!(deployment.allocations().len(), 1);
+    assert!(deployment.cocompiled());
+
+    // Pool reflects the grant.
+    let tpu = deployment.allocations()[0].tpu();
+    assert_eq!(sched.pool().account(tpu).load(), TpuUnits::from_f64(0.35));
+
+    // Crash the pod; reclamation notices.
+    orch.delete_pod(deployment.pod()).unwrap();
+    assert_eq!(sched.reclaim_terminated(&orch), vec![deployment.pod()]);
+    assert_eq!(sched.pool().account(tpu).load(), TpuUnits::ZERO);
+}
+
+/// Admission + data plane keep the SLO at exactly full capacity.
+#[test]
+fn seventeen_cameras_hold_15fps_on_six_tpus() {
+    let cluster = ClusterBuilder::new().trpis(6).vrpis(32).build();
+    let mut world = World::new(cluster, Features::all());
+    let app = CameraApp::coral_pie();
+    for i in 0..17 {
+        let offset = app.frame_interval().mul_f64(f64::from(i) / 17.0);
+        let spec = StreamSpec::builder(&format!("cam-{i}"), "ssd-mobilenet-v2")
+            .frame_limit(500)
+            .start_offset(offset)
+            .build();
+        world.admit_stream(spec).unwrap();
+    }
+    let results = world.run_to_completion(SimTime::from_secs(120));
+    assert!(results.all_met_fps());
+    assert!(
+        results.average_utilization() > 0.95,
+        "nearly saturated: {}",
+        results.average_utilization()
+    );
+}
+
+/// Mixed-model tenancy: co-compiled models share TPUs without swap thrash.
+#[test]
+fn mixed_models_share_tpus_without_swaps() {
+    let cluster = ClusterBuilder::new().trpis(2).vrpis(8).build();
+    let mut world = World::new(cluster, Features::all());
+    // MobileNet V1 (0.215) and UNet V2 (0.675) co-fit one TPU's memory.
+    for (i, model) in ["mobilenet-v1", "unet-v2", "mobilenet-v1"]
+        .iter()
+        .enumerate()
+    {
+        let spec = StreamSpec::builder(&format!("s-{i}"), model)
+            .frame_limit(300)
+            .start_offset(SimDuration::from_millis(7 * i as u64))
+            .build();
+        world.admit_stream(spec).unwrap();
+    }
+    let results = world.run_to_completion(SimTime::from_secs(60));
+    assert!(results.all_met_fps());
+    let swaps: u64 = results.device_stats().iter().map(|s| s.swaps()).sum();
+    assert_eq!(swaps, 0, "co-compiled residents never swap");
+}
+
+/// Without co-compiling, distinct models may not share a TPU; capacity
+/// shrinks accordingly.
+#[test]
+fn co_compiling_increases_mixed_model_capacity() {
+    let admit_both = |features: Features| -> usize {
+        let cluster = ClusterBuilder::new().trpis(1).vrpis(8).build();
+        let mut world = World::new(cluster, features);
+        let mut count = 0;
+        for (i, model) in ["mobilenet-v1", "unet-v2"].iter().enumerate() {
+            let spec = StreamSpec::builder(&format!("s-{i}"), model)
+                .frame_limit(10)
+                .build();
+            if world.admit_stream(spec).is_ok() {
+                count += 1;
+            }
+        }
+        count
+    };
+    assert_eq!(admit_both(Features::all()), 2);
+    assert_eq!(admit_both(Features::partitioning_only()), 1);
+}
+
+/// Stream churn: capacity released by departures is reusable indefinitely.
+#[test]
+fn repeated_admit_remove_cycles_are_stable() {
+    let cluster = ClusterBuilder::new().trpis(1).vrpis(4).build();
+    let mut world = World::new(cluster, Features::all());
+    for cycle in 0..20 {
+        let a = world
+            .admit_stream(StreamSpec::builder(&format!("a-{cycle}"), "ssd-mobilenet-v2").build())
+            .unwrap();
+        let b = world
+            .admit_stream(StreamSpec::builder(&format!("b-{cycle}"), "ssd-mobilenet-v2").build())
+            .unwrap();
+        let next = world.now() + SimDuration::from_secs(2);
+        world.run_until(next);
+        world.remove_stream(a).unwrap();
+        world.remove_stream(b).unwrap();
+    }
+    assert_eq!(world.active_streams(), 0);
+    assert_eq!(
+        world.scheduler().pool().total_free_units(),
+        TpuUnits::ONE,
+        "all units returned after 20 cycles"
+    );
+}
+
+/// The baseline data plane also holds its SLO — it wastes capacity, not
+/// correctness.
+#[test]
+fn baseline_meets_slo_at_its_smaller_capacity() {
+    let cluster = ClusterBuilder::new().trpis(3).vrpis(16).build();
+    let sched = ExtendedScheduler::with_policy(
+        &cluster,
+        Catalog::builtin(),
+        Features::none(),
+        Box::new(microedge::baselines::dedicated::DedicatedBaseline::new()),
+    );
+    let mut world = World::with_scheduler(cluster, sched);
+    for i in 0..3 {
+        let spec = StreamSpec::builder(&format!("cam-{i}"), "ssd-mobilenet-v2")
+            .frame_limit(300)
+            .collocated(true)
+            .build();
+        world.admit_stream(spec).unwrap();
+    }
+    assert!(world
+        .admit_stream(StreamSpec::builder("extra", "ssd-mobilenet-v2").build())
+        .is_err());
+    let results = world.run_to_completion(SimTime::from_secs(60));
+    assert!(results.all_met_fps());
+    assert!((results.average_utilization() - 0.35).abs() < 0.02);
+}
+
+/// BodyPix requires partitioning; the run exercises cross-TPU fan-out with
+/// a >1-unit stream and still meets 15 FPS.
+#[test]
+fn bodypix_partitioned_across_tpus_meets_slo() {
+    let cluster = ClusterBuilder::new().trpis(6).vrpis(16).build();
+    let mut world = World::new(cluster, Features::all());
+    let app = CameraApp::bodypix();
+    for i in 0..5 {
+        let offset = app.frame_interval().mul_f64(f64::from(i) / 5.0);
+        let spec = StreamSpec::builder(&format!("seg-{i}"), "bodypix-mobilenet-v1")
+            .frame_limit(400)
+            .start_offset(offset)
+            .build();
+        world.admit_stream(spec).unwrap();
+    }
+    let results = world.run_to_completion(SimTime::from_secs(120));
+    assert!(results.all_met_fps());
+    assert!(results.average_utilization() > 0.95);
+}
+
+/// Bring-your-own-model workflow: register a custom profile in the
+/// catalog, deploy cameras against it, and hold the SLO — the public-API
+/// path a downstream user of the library takes.
+#[test]
+fn custom_model_registers_and_deploys() {
+    use microedge::models::profile::{ModelId, ModelKind, ModelProfile};
+
+    let mut catalog = Catalog::builtin();
+    catalog.insert(ModelProfile::new(
+        ModelId::new("acme-fire-detector"),
+        ModelKind::Detection,
+        SimDuration::from_millis(25),
+        3 * 1024 * 1024,
+        320,
+        320,
+    ));
+
+    let cluster = ClusterBuilder::new().trpis(1).vrpis(4).build();
+    let sched = ExtendedScheduler::new(&cluster, catalog, Features::all());
+    let mut world = microedge::core::runtime::World::with_scheduler(cluster, sched);
+
+    // 25 ms + 8.33 ms overhead at 15 FPS → 0.5 units: two cameras fit.
+    let units = world.scheduler().data_plane().profiled_units(
+        world
+            .scheduler()
+            .catalog()
+            .expect(&"acme-fire-detector".into()),
+        15.0,
+    );
+    assert_eq!(units, TpuUnits::from_f64(0.5));
+
+    for i in 0..2 {
+        world
+            .admit_stream(
+                StreamSpec::builder(&format!("fire-{i}"), "acme-fire-detector")
+                    .frame_limit(200)
+                    .start_offset(SimDuration::from_millis(i * 21))
+                    .build(),
+            )
+            .unwrap();
+    }
+    assert!(world
+        .admit_stream(StreamSpec::builder("fire-2", "acme-fire-detector").build())
+        .is_err());
+    let results = world.run_to_completion(SimTime::from_secs(60));
+    assert!(results.all_met_fps());
+    assert!((results.average_utilization() - 1.0).abs() < 0.02);
+}

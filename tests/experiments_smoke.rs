@@ -1,0 +1,114 @@
+//! Smoke tests over the full experiment harness: every paper artifact runs
+//! and reproduces its qualitative shape at reduced scale.
+
+use microedge::bench::runner::SystemConfig;
+use microedge::bench::{
+    admission_overhead, cost, fig1, latency_breakdown, packing, scalability, trace_study,
+};
+use microedge::cluster::cost::CostModel;
+use microedge::sim::time::SimDuration;
+use microedge::workloads::apps::CameraApp;
+use microedge::workloads::trace::{synthesize, TraceConfig};
+
+#[test]
+fn fig1_shape() {
+    let rows = fig1::fig1_rows();
+    assert_eq!(rows.len(), 8);
+    assert_eq!(
+        rows.iter().filter(|r| r.fps_for_full_util() > 50.0).count(),
+        5
+    );
+    assert_eq!(rows.iter().filter(|r| !r.sustains_15fps()).count(), 3);
+}
+
+#[test]
+fn fig5_shape_coral_pie() {
+    let app = CameraApp::coral_pie();
+    let points = scalability::fig5_sweep(&app, &SystemConfig::fig5_configs(), 3, 120);
+    // Group by config.
+    let cameras = |cfg: SystemConfig| -> Vec<u32> {
+        points
+            .iter()
+            .filter(|p| p.config() == cfg)
+            .map(|p| p.max_cameras())
+            .collect()
+    };
+    assert_eq!(cameras(SystemConfig::Baseline), vec![1, 2, 3]);
+    assert_eq!(cameras(SystemConfig::microedge_no_wp()), vec![2, 4, 6]);
+    assert_eq!(cameras(SystemConfig::microedge_full()), vec![2, 5, 8]);
+    // Utilization ordering at every TPU count, and SLOs everywhere.
+    for p in &points {
+        assert!(p.all_slo_met(), "{} at {} TPUs", p.config(), p.tpus());
+    }
+    for tpus in 1..=3u32 {
+        let util = |cfg: SystemConfig| {
+            points
+                .iter()
+                .find(|p| p.config() == cfg && p.tpus() == tpus)
+                .unwrap()
+                .avg_utilization()
+        };
+        assert!(
+            util(SystemConfig::microedge_full()) >= util(SystemConfig::microedge_no_wp()) - 1e-9
+        );
+        assert!(util(SystemConfig::microedge_no_wp()) > util(SystemConfig::Baseline));
+    }
+}
+
+#[test]
+fn table1_shape() {
+    let rows = cost::table1_rows(&CameraApp::coral_pie(), 17, CostModel::paper_prices());
+    let totals: Vec<u32> = rows.iter().map(|r| r.total_usd()).collect();
+    assert_eq!(totals[0], 2550);
+    assert_eq!(totals[2], 1725);
+    assert!(totals[0] > totals[1] && totals[1] > totals[2]);
+}
+
+#[test]
+fn fig6_shape() {
+    let mut cfg = TraceConfig::microedge_downsized();
+    cfg.duration = SimDuration::from_secs(6 * 60);
+    let trace = synthesize(&cfg, 42);
+    let outcomes = trace_study::run_fig6(&trace, &cfg, 4);
+    // Strongest config serves ≥ weakest MicroEdge ≥ baseline.
+    assert!(outcomes[0].mean_served() >= outcomes[3].mean_served() - 1e-9);
+    assert!(outcomes[3].mean_served() >= outcomes[4].mean_served() - 1e-9);
+    assert!(outcomes[0].mean_utilization() >= outcomes[4].mean_utilization());
+    // Every outcome has one bucket per minute.
+    for o in &outcomes {
+        assert_eq!(o.windowed_utilization().len(), 6);
+        assert_eq!(o.served_series().len(), 6);
+    }
+}
+
+#[test]
+fn fig7a_shape() {
+    let rows = admission_overhead::run_overhead(3000, 42);
+    assert_eq!(rows.len(), 3);
+    assert!(rows[1].overhead_pct() > 5.0 && rows[1].overhead_pct() < 20.0);
+    assert!(rows[2].std_ms() > rows[1].std_ms() * 1.05);
+}
+
+#[test]
+fn fig7b_shape() {
+    let baseline = latency_breakdown::measure_breakdown(SystemConfig::Baseline, 60);
+    let microedge = latency_breakdown::measure_breakdown(SystemConfig::microedge_full(), 60);
+    assert_eq!(baseline.phases_ms()[1], 0.0, "baseline has no transmission");
+    assert!(microedge.phases_ms()[1] > 7.0, "transmission ≈ 8 ms");
+    assert!(
+        microedge.total_ms() < 66.7,
+        "inside the 15 FPS frame budget"
+    );
+    let serverless = latency_breakdown::serverless_row();
+    assert!(serverless.total_ms() > microedge.total_ms());
+}
+
+#[test]
+fn packing_ablation_runs_and_respects_rules() {
+    for seed in 0..3 {
+        assert!(packing::first_fit_invariants_hold(60, 5, seed));
+    }
+    let outcomes =
+        packing::run_packing_ablation(40, 5, microedge::core::config::Features::all(), 1);
+    assert_eq!(outcomes.len(), 5);
+}

@@ -1,0 +1,98 @@
+//! Scale tests: the simulator and scheduler at the paper's "realistic edge
+//! cluster" ceiling (§4.2 assumes clusters of up to ~100 nodes).
+
+use microedge::bench::runner::{build_world, experiment_cluster, SystemConfig};
+use microedge::cluster::topology::ClusterBuilder;
+use microedge::core::config::Features;
+use microedge::core::runtime::{StreamSpec, World};
+use microedge::core::units::TpuUnits;
+use microedge::sim::time::{SimDuration, SimTime};
+use microedge::workloads::apps::CameraApp;
+
+/// 30 TPUs, filled to capacity with Coral-Pie cameras (⌊30/0.35⌋ = 85),
+/// runs a full 20 simulated seconds and holds every SLO.
+#[test]
+fn eighty_five_cameras_on_thirty_tpus() {
+    let app = CameraApp::coral_pie();
+    let mut world = build_world(experiment_cluster(30), SystemConfig::microedge_full());
+    let mut admitted = 0u32;
+    loop {
+        let fraction = (f64::from(admitted) * 0.618_033_988_749_895) % 1.0;
+        let spec = StreamSpec::builder(&format!("cam-{admitted}"), "ssd-mobilenet-v2")
+            .frame_limit(300)
+            .start_offset(app.frame_interval().mul_f64(fraction))
+            .build();
+        if world.admit_stream(spec).is_err() {
+            break;
+        }
+        admitted += 1;
+    }
+    assert_eq!(admitted, 85, "⌊30 / 0.35⌋");
+    let results = world.run_to_completion(SimTime::from_secs(60));
+    assert!(results.all_met_fps(), "every camera holds 15 FPS at scale");
+    assert!(
+        results.average_utilization() > 0.98,
+        "got {}",
+        results.average_utilization()
+    );
+    // 85 cameras × 300 frames, none lost.
+    let completed: u64 = results.reports().iter().map(|r| r.completed()).sum();
+    assert_eq!(completed, 85 * 300);
+}
+
+/// A mixed-model fleet at scale: every catalog application deployed many
+/// times over on 20 TPUs, with co-compilation keeping swaps at zero.
+#[test]
+fn mixed_fleet_never_swaps_under_cocompilation() {
+    let cluster = ClusterBuilder::new().trpis(20).vrpis(100).build();
+    let mut world = World::new(cluster, Features::all());
+    let apps = [
+        CameraApp::coral_pie(),
+        CameraApp::trace_sparse(),
+        CameraApp::trace_bursty(),
+    ];
+    let mut admitted = 0u32;
+    'outer: loop {
+        for app in &apps {
+            let spec =
+                StreamSpec::builder(&format!("{}-{admitted}", app.name()), app.model().as_str())
+                    .units(app.units())
+                    .frame_limit(150)
+                    .start_offset(SimDuration::from_millis(u64::from(admitted % 15) * 4))
+                    .build();
+            if world.admit_stream(spec).is_err() {
+                break 'outer;
+            }
+            admitted += 1;
+        }
+    }
+    assert!(admitted > 40, "only {admitted} admitted");
+    let results = world.run_to_completion(SimTime::from_secs(60));
+    assert!(results.all_met_fps());
+    let swaps: u64 = results.device_stats().iter().map(|s| s.swaps()).sum();
+    assert_eq!(swaps, 0, "admission never co-locates incompatible models");
+}
+
+/// Admission stays O(M): filling a 100-TPU pool to capacity (285 pods)
+/// terminates promptly and never violates the rules.
+#[test]
+fn hundred_tpu_pool_fills_to_capacity() {
+    let mut world = build_world(experiment_cluster(100), SystemConfig::microedge_full());
+    let mut admitted = 0u32;
+    while world
+        .admit_stream(
+            StreamSpec::builder(&format!("cam-{admitted}"), "ssd-mobilenet-v2")
+                .frame_limit(1)
+                .build(),
+        )
+        .is_ok()
+    {
+        admitted += 1;
+    }
+    assert_eq!(admitted, 285, "⌊100 / 0.35⌋");
+    let free = world.scheduler().pool().total_free_units();
+    assert!(free < TpuUnits::from_f64(0.35));
+    for account in world.scheduler().pool().accounts() {
+        assert!(account.load() <= TpuUnits::ONE);
+    }
+}

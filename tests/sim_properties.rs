@@ -1,0 +1,136 @@
+//! Property-based tests for the simulation kernel and the TPU-units
+//! arithmetic the whole system rests on.
+
+use proptest::prelude::*;
+
+use microedge::core::units::TpuUnits;
+use microedge::sim::event::EventQueue;
+use microedge::sim::series::StepSeries;
+use microedge::sim::stats::{Histogram, OnlineStats};
+use microedge::sim::time::{SimDuration, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The event queue is a total order: pops are sorted by time, and
+    /// same-time events preserve insertion order.
+    #[test]
+    fn event_queue_total_order(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(SimTime::from_millis(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, idx)) = q.pop() {
+            if let Some((lt, lidx)) = last {
+                prop_assert!(t >= lt);
+                if t == lt {
+                    prop_assert!(idx > lidx, "insertion order broken on ties");
+                }
+            }
+            prop_assert_eq!(SimTime::from_millis(times[idx]), t);
+            last = Some((t, idx));
+        }
+        prop_assert_eq!(q.events_processed(), times.len() as u64);
+    }
+
+    /// StepSeries conserves mass: the weighted sum of window averages
+    /// equals the exact integral of the step function.
+    #[test]
+    fn step_series_conserves_integral(
+        steps in prop::collection::vec((1u64..5_000, 0u32..20), 1..50),
+        window_ms in 100u64..5_000,
+    ) {
+        let mut series = StepSeries::new(SimDuration::from_millis(window_ms));
+        let mut t = 0u64;
+        let mut exact = 0.0f64;
+        let mut level = 0.0f64;
+        let mut last = 0u64;
+        for (gap, value) in steps {
+            t += gap;
+            exact += level * (t - last) as f64;
+            series.set(SimTime::from_millis(t), f64::from(value));
+            level = f64::from(value);
+            last = t;
+        }
+        let end = t + 1;
+        exact += level * (end - last) as f64;
+        let buckets = series.finish(SimTime::from_millis(end));
+        let mut reconstructed = 0.0;
+        for (i, avg) in buckets.iter().enumerate() {
+            let start = i as u64 * window_ms;
+            let width = window_ms.min(end - start);
+            reconstructed += avg * width as f64;
+        }
+        prop_assert!(
+            (reconstructed - exact).abs() < 1e-6 * exact.max(1.0),
+            "integral {exact} vs reconstructed {reconstructed}"
+        );
+    }
+
+    /// Welford merge is equivalent to sequential accumulation.
+    #[test]
+    fn stats_merge_equals_sequential(
+        xs in prop::collection::vec(-1_000.0f64..1_000.0, 1..100),
+        split in 0usize..100,
+    ) {
+        let split = split.min(xs.len());
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for &x in &xs[..split] {
+            left.record(x);
+        }
+        for &x in &xs[split..] {
+            right.record(x);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        prop_assert!((left.variance() - whole.variance()).abs() < 1e-6);
+    }
+
+    /// Histogram percentiles are monotone and bounded by min/max.
+    #[test]
+    fn percentiles_monotone(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut h: Histogram = xs.iter().copied().collect();
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut prev = f64::NEG_INFINITY;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let v = h.percentile(p).unwrap();
+            prop_assert!(v >= prev);
+            prop_assert!((lo..=hi).contains(&v));
+            prev = v;
+        }
+    }
+
+    /// TPU-units duty cycles never understate demand, and float round-trips
+    /// are exact at micro-unit precision.
+    #[test]
+    fn units_roundtrip_and_duty_cycle(micro in 0u64..10_000_000, service_ns in 1u64..10u64.pow(9), period_ns in 1u64..10u64.pow(9)) {
+        let u = TpuUnits::from_micro(micro);
+        prop_assert_eq!(TpuUnits::from_f64(u.as_f64()), u, "float round-trip");
+
+        let duty = TpuUnits::from_duty_cycle(
+            SimDuration::from_nanos(service_ns),
+            SimDuration::from_nanos(period_ns),
+        );
+        let exact = service_ns as f64 / period_ns as f64;
+        prop_assert!(duty.as_f64() >= exact - 1e-12, "never understates");
+        prop_assert!(duty.as_f64() <= exact + 1e-6, "rounds up by < 1 micro-unit");
+    }
+
+    /// Units addition is associative and ordered (the exactness the
+    /// admission proofs rely on).
+    #[test]
+    fn units_arithmetic_exact(a in 0u64..2_000_000, b in 0u64..2_000_000, c in 0u64..2_000_000) {
+        let (ua, ub, uc) = (TpuUnits::from_micro(a), TpuUnits::from_micro(b), TpuUnits::from_micro(c));
+        prop_assert_eq!((ua + ub) + uc, ua + (ub + uc));
+        prop_assert_eq!((ua + ub).saturating_sub(ub), ua);
+        prop_assert_eq!(ua.checked_add(ub), Some(ua + ub));
+    }
+}

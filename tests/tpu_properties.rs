@@ -1,0 +1,139 @@
+//! Property-based tests for the Coral TPU device model: the co-compiler's
+//! packing invariants and the execution engine's cost accounting.
+
+use proptest::prelude::*;
+
+use microedge::models::profile::{ModelId, ModelKind, ModelProfile};
+use microedge::sim::time::SimDuration;
+use microedge::tpu::cocompile::{CoCompileError, CoCompiler};
+use microedge::tpu::device::TpuDevice;
+use microedge::tpu::spec::TpuSpec;
+
+fn synthetic_model(idx: usize, inference_us: u64, param_bytes: u64) -> ModelProfile {
+    ModelProfile::new(
+        ModelId::new(&format!("model-{idx}")),
+        ModelKind::Classification,
+        SimDuration::from_micros(inference_us),
+        param_bytes,
+        224,
+        224,
+    )
+}
+
+fn model_set() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((1_000u64..100_000, 1_000u64..9_000_000), 1..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The co-compiler never exceeds the parameter budget, grants memory in
+    /// strict priority order, and accounts for every byte.
+    #[test]
+    fn cocompiler_packing_invariants(models in model_set()) {
+        let spec = TpuSpec::coral_usb();
+        let profiles: Vec<ModelProfile> = models
+            .iter()
+            .enumerate()
+            .map(|(i, &(inf, bytes))| synthetic_model(i, inf, bytes))
+            .collect();
+        let plan = CoCompiler::new(spec).plan(&profiles).unwrap();
+
+        prop_assert!(plan.cached_bytes() <= spec.param_budget_bytes());
+        prop_assert_eq!(plan.len(), profiles.len());
+
+        // Priority order: once one model is not fully cached, every later
+        // model gets nothing.
+        let mut starved = false;
+        for alloc in plan.allocations() {
+            if starved {
+                prop_assert_eq!(alloc.cached_bytes(), 0);
+            }
+            prop_assert!(alloc.cached_bytes() <= alloc.param_bytes());
+            prop_assert_eq!(
+                alloc.uncached_bytes(),
+                alloc.param_bytes() - alloc.cached_bytes()
+            );
+            if !alloc.is_fully_cached() {
+                starved = true;
+            }
+        }
+
+        // Greedy exactness: either everything is cached or the budget is
+        // exhausted to the byte.
+        if !plan.is_fully_cached() {
+            prop_assert_eq!(plan.cached_bytes(), spec.param_budget_bytes());
+        }
+    }
+
+    /// Device cost accounting: a cached invoke costs exactly the inference
+    /// time plus the streaming of its uncached bytes; a swap costs at least
+    /// the full parameter transfer extra.
+    #[test]
+    fn device_costs_are_exact(models in model_set(), picks in prop::collection::vec(0usize..8, 1..40)) {
+        let spec = TpuSpec::coral_usb();
+        let profiles: Vec<ModelProfile> = models
+            .iter()
+            .enumerate()
+            .map(|(i, &(inf, bytes))| synthetic_model(i, inf, bytes))
+            .collect();
+        let plan = CoCompiler::new(spec).plan(&profiles).unwrap();
+        let mut device = TpuDevice::new(spec);
+        device.load_plan(plan.clone());
+
+        let mut expected_busy = SimDuration::ZERO;
+        for &p in &picks {
+            let profile = &profiles[p % profiles.len()];
+            let resident_before = device.is_resident(profile.id());
+            let outcome = device.invoke(profile);
+            if resident_before {
+                let alloc = device
+                    .resident()
+                    .allocation(profile.id())
+                    .expect("still resident");
+                prop_assert!(!outcome.swapped());
+                prop_assert_eq!(outcome.streamed_bytes(), alloc.uncached_bytes());
+                prop_assert_eq!(
+                    outcome.busy(),
+                    profile.inference_time() + spec.stream_time(alloc.uncached_bytes())
+                );
+            } else {
+                prop_assert!(outcome.swapped());
+                prop_assert!(
+                    outcome.busy()
+                        >= profile.inference_time() + spec.swap_time(profile.param_bytes())
+                );
+            }
+            expected_busy += outcome.busy();
+        }
+        prop_assert_eq!(device.stats().busy(), expected_busy);
+        prop_assert_eq!(device.stats().invocations(), picks.len() as u64);
+    }
+
+    /// Co-compiled residents never swap, in any invocation order.
+    #[test]
+    fn cocompiled_set_never_swaps(models in model_set(), picks in prop::collection::vec(0usize..8, 1..60)) {
+        let spec = TpuSpec::coral_usb();
+        let profiles: Vec<ModelProfile> = models
+            .iter()
+            .enumerate()
+            .map(|(i, &(inf, bytes))| synthetic_model(i, inf, bytes))
+            .collect();
+        let mut device = TpuDevice::new(spec);
+        device.load_plan(CoCompiler::new(spec).plan(&profiles).unwrap());
+        for &p in &picks {
+            device.invoke(&profiles[p % profiles.len()]);
+        }
+        prop_assert_eq!(device.stats().swaps(), 0);
+    }
+}
+
+/// Deterministic edge case: duplicate ids are rejected with the offending
+/// name.
+#[test]
+fn duplicate_model_rejected() {
+    let spec = TpuSpec::coral_usb();
+    let m = synthetic_model(0, 1_000, 1_000);
+    let err = CoCompiler::new(spec).plan(&[m.clone(), m]).unwrap_err();
+    assert!(matches!(err, CoCompileError::DuplicateModel(_)));
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the trace synthesiser and its replay: seed
+//! stability, statistical shape, and conservation of admissions.
+
+use proptest::prelude::*;
+
+use microedge::bench::runner::SystemConfig;
+use microedge::bench::trace_study::run_trace;
+use microedge::sim::time::{SimDuration, SimTime};
+use microedge::workloads::trace::{synthesize, TraceClass, TraceConfig};
+
+fn config_strategy() -> impl Strategy<Value = TraceConfig> {
+    (
+        60u64..600,
+        1u32..6,
+        0.2f64..3.0,
+        30u64..240,
+        0.1f64..1.0,
+        1.5f64..5.0,
+        30u64..180,
+    )
+        .prop_map(
+            |(secs, steady, sparse_rate, sparse_dwell, burst_rate, burst_size, burst_dwell)| {
+                TraceConfig {
+                    duration: SimDuration::from_secs(secs),
+                    steady_cameras: steady,
+                    sparse_rate_per_min: sparse_rate,
+                    sparse_dwell_mean: SimDuration::from_secs(sparse_dwell),
+                    burst_rate_per_min: burst_rate,
+                    burst_size_mean: burst_size,
+                    burst_dwell_mean: SimDuration::from_secs(burst_dwell),
+                    diurnal_period: None,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Structure invariants for any configuration and seed.
+    #[test]
+    fn trace_structure(config in config_strategy(), seed in 0u64..1_000) {
+        let trace = synthesize(&config, seed);
+        // Sorted, densely sequenced.
+        for w in trace.windows(2) {
+            prop_assert!(w[0].at <= w[1].at);
+        }
+        for (i, ev) in trace.iter().enumerate() {
+            prop_assert_eq!(ev.seq as usize, i);
+        }
+        // Exactly the configured number of steady cameras, all immortal.
+        let steady: Vec<_> = trace
+            .iter()
+            .filter(|e| e.class == TraceClass::Steady)
+            .collect();
+        prop_assert_eq!(steady.len(), config.steady_cameras as usize);
+        prop_assert!(steady.iter().all(|e| e.lifetime.is_none()));
+        // Sparse and bursty cameras always carry a lifetime.
+        prop_assert!(trace
+            .iter()
+            .filter(|e| e.class != TraceClass::Steady)
+            .all(|e| e.lifetime.is_some()));
+        // Arrivals stay within the configured duration (bursts may spill a
+        // few intra-burst staggers past it).
+        let slack = SimDuration::from_secs(5);
+        let end = SimTime::ZERO + config.duration + slack;
+        prop_assert!(trace.iter().all(|e| e.at < end));
+    }
+
+    /// Same seed, same trace; different seed, different trace (except the
+    /// degenerate all-steady case, whose jitter can still collide).
+    #[test]
+    fn trace_seed_stability(config in config_strategy(), seed in 0u64..1_000) {
+        let a = synthesize(&config, seed);
+        let b = synthesize(&config, seed);
+        prop_assert_eq!(&a, &b);
+        let c = synthesize(&config, seed + 1);
+        if a.len() > config.steady_cameras as usize {
+            prop_assert_ne!(a, c);
+        }
+    }
+
+    /// Replaying any trace conserves arrivals: admitted + rejected equals
+    /// the arrivals inside the window, and the pool is never oversubscribed.
+    #[test]
+    fn replay_conserves_arrivals(seed in 0u64..50) {
+        let mut config = TraceConfig::microedge_downsized();
+        config.duration = SimDuration::from_secs(120);
+        let trace = synthesize(&config, seed);
+        let outcome = run_trace(SystemConfig::microedge_full(), &trace, &config, 3);
+        let arrivals_in_window = trace
+            .iter()
+            .filter(|e| e.at < SimTime::ZERO + config.duration)
+            .count() as u32;
+        prop_assert_eq!(outcome.admitted() + outcome.rejected(), arrivals_in_window);
+        // Utilization is a fraction of TPU time.
+        for &u in outcome.windowed_utilization() {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&u));
+        }
+        for &s in outcome.served_series() {
+            prop_assert!(s >= 0.0);
+        }
+    }
+}
+
+/// Sanity: the bursty class actually arrives in groups (several cameras
+/// within one second of each other somewhere in a long trace).
+#[test]
+fn bursts_are_clustered() {
+    let mut config = TraceConfig::microedge_downsized();
+    config.duration = SimDuration::from_secs(30 * 60);
+    let trace = synthesize(&config, 11);
+    let bursty: Vec<_> = trace
+        .iter()
+        .filter(|e| e.class == TraceClass::Bursty)
+        .collect();
+    assert!(bursty.len() > 5, "need bursts to inspect");
+    let clustered = bursty
+        .windows(2)
+        .any(|w| w[1].at.saturating_since(w[0].at) <= SimDuration::from_millis(400));
+    assert!(clustered, "expected at least one intra-burst pair");
+}

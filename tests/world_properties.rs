@@ -1,0 +1,188 @@
+//! Model-checking-style property tests over the whole simulated system:
+//! random interleavings of admissions, removals, crashes, failures, and
+//! time advancement must never violate the global invariants.
+
+use proptest::prelude::*;
+
+use microedge::cluster::topology::ClusterBuilder;
+use microedge::core::config::Features;
+use microedge::core::runtime::{StreamId, StreamSpec, World};
+use microedge::core::units::TpuUnits;
+use microedge::sim::time::{SimDuration, SimTime};
+use microedge::tpu::device::TpuId;
+use microedge::workloads::apps::CameraApp;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Admit a camera of one of the three trace apps.
+    Admit(usize),
+    /// Remove the n-th admitted stream, if still active.
+    Remove(usize),
+    /// Crash the n-th admitted stream's pod (no scheduler notification).
+    Crash(usize),
+    /// Run the reclamation poll.
+    Reclaim,
+    /// Advance simulated time.
+    Advance(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => (0..3usize).prop_map(Op::Admit),
+            2 => (0..40usize).prop_map(Op::Remove),
+            1 => (0..40usize).prop_map(Op::Crash),
+            1 => Just(Op::Reclaim),
+            3 => (10u64..2_000).prop_map(Op::Advance),
+        ],
+        1..60,
+    )
+}
+
+fn check_invariants(world: &World, admitted: &[StreamId]) {
+    let pool = world.scheduler().pool();
+    let mut total_load = TpuUnits::ZERO;
+    for account in pool.accounts() {
+        assert!(account.load() <= TpuUnits::ONE, "TPU Units Rule violated");
+        total_load += account.load();
+    }
+    // Load is conserved: exactly the sum of live assignments.
+    let assigned: TpuUnits = admitted
+        .iter()
+        .filter_map(|&s| world.pod_of(s))
+        .filter_map(|pod| world.scheduler().assignment(pod))
+        .flatten()
+        .map(|a| a.units())
+        .sum();
+    assert_eq!(
+        total_load, assigned,
+        "pool load must equal live assignments"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// No interleaving of control-plane operations and data-plane time can
+    /// oversubscribe a TPU, leak units, or corrupt stream accounting.
+    #[test]
+    fn random_interleavings_preserve_invariants(ops in op_strategy()) {
+        let apps = CameraApp::trace_apps();
+        let cluster = ClusterBuilder::new().trpis(3).vrpis(16).build();
+        let mut world = World::new(cluster, Features::all());
+        let mut admitted: Vec<StreamId> = Vec::new();
+        let mut seq = 0u32;
+
+        for op in ops {
+            match op {
+                Op::Admit(app_idx) => {
+                    let app = &apps[app_idx];
+                    let spec = StreamSpec::builder(
+                        &format!("prop-{seq}"),
+                        app.model().as_str(),
+                    )
+                    .units(app.units())
+                    .fps(app.fps())
+                    .build();
+                    seq += 1;
+                    if let Ok(id) = world.admit_stream(spec) {
+                        admitted.push(id);
+                    }
+                }
+                Op::Remove(idx) => {
+                    if let Some(&id) = admitted.get(idx) {
+                        // May already be inactive; both outcomes are legal.
+                        let _ = world.remove_stream(id);
+                    }
+                }
+                Op::Crash(idx) => {
+                    if let Some(&id) = admitted.get(idx) {
+                        let _ = world.crash_stream(id);
+                    }
+                }
+                Op::Reclaim => {
+                    let _ = world.poll_reclamation();
+                }
+                Op::Advance(ms) => {
+                    let next = world.now() + SimDuration::from_millis(ms);
+                    world.run_until(next);
+                }
+            }
+            // After a crash, units are intentionally held until reclamation;
+            // run the poll before the conservation check.
+            let mut probe = world;
+            probe.poll_reclamation();
+            check_invariants(&probe, &admitted);
+            world = probe;
+        }
+
+        // Drain: every emitted-and-not-dropped frame completes.
+        let end = world.now() + SimDuration::from_secs(10);
+        world.run_until(end);
+        let results = world.finish(end);
+        for &id in &admitted {
+            let report = results.report(id).expect("admitted stream reported");
+            assert!(report.completed() <= report.emitted());
+        }
+    }
+
+    /// With a TPU failure thrown in, the rules still hold and lost streams
+    /// stay lost (no ghost load).
+    #[test]
+    fn failures_never_leak_units(pre in 1usize..6, advance_ms in 100u64..3_000) {
+        let cluster = ClusterBuilder::new().trpis(2).vrpis(8).build();
+        let mut world = World::new(cluster, Features::all());
+        let mut admitted = Vec::new();
+        for i in 0..pre {
+            let spec = StreamSpec::builder(&format!("cam-{i}"), "ssd-mobilenet-v2").build();
+            if let Ok(id) = world.admit_stream(spec) {
+                admitted.push(id);
+            }
+        }
+        world.run_until(SimTime::ZERO + SimDuration::from_millis(advance_ms));
+        world.fail_tpu(TpuId(0));
+        world.poll_reclamation();
+        check_invariants(&world, &admitted);
+        // Only the surviving TPU may carry load.
+        assert_eq!(
+            world.scheduler().pool().account(TpuId(0)).load(),
+            TpuUnits::ZERO
+        );
+        assert!(
+            world.scheduler().pool().account(TpuId(1)).load() <= TpuUnits::ONE
+        );
+    }
+}
+
+/// Bit-for-bit determinism: the same scenario produces identical metrics
+/// on every run — the property every experiment in EXPERIMENTS.md relies
+/// on.
+#[test]
+fn identical_scenarios_produce_identical_results() {
+    let run = || {
+        let cluster = ClusterBuilder::new().trpis(2).vrpis(8).build();
+        let mut world = World::new(cluster, Features::all());
+        let mut ids = Vec::new();
+        for i in 0..4u64 {
+            let spec = StreamSpec::builder(&format!("cam-{i}"), "ssd-mobilenet-v2")
+                .frame_limit(200)
+                .start_offset(SimDuration::from_millis(i * 17))
+                .build();
+            ids.push(world.admit_stream(spec).unwrap());
+        }
+        world.run_until(SimTime::from_secs(5));
+        world.remove_stream(ids[0]).unwrap();
+        let results = world.run_to_completion(SimTime::from_secs(60));
+        (
+            results.end(),
+            results.average_utilization().to_bits(),
+            results
+                .reports()
+                .iter()
+                .map(|r| (r.completed(), r.achieved_fps().to_bits()))
+                .collect::<Vec<_>>(),
+            results.breakdowns().mean_total_ms().to_bits(),
+        )
+    };
+    assert_eq!(run(), run());
+}
