@@ -31,6 +31,54 @@ fn bench_event_queue(c: &mut Criterion) {
     });
 }
 
+fn bench_event_queue_1m(c: &mut Criterion) {
+    // The two-tier queue at scale: a million events spread over ~100
+    // simulated seconds, far beyond the near-future ring, so the bench
+    // exercises overflow-heap migration as well as bucket scans.
+    c.bench_function("micro/event_queue_push_pop_1m", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1_000_000u64 {
+                q.schedule_at(SimTime::from_nanos((i * 7919) % 100_000_000_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            sum
+        })
+    });
+}
+
+fn bench_stream_lookup(c: &mut Criterion) {
+    // The dispatch loop resolves a StreamId on every event. The runtime
+    // stores streams in a slab (Vec indexed by id); this pins the gap to
+    // the BTreeMap it replaced.
+    const STREAMS: u64 = 512;
+    let slab: Vec<u64> = (0..STREAMS).map(|i| i * 3).collect();
+    let map: std::collections::BTreeMap<u64, u64> =
+        (0..STREAMS).map(|i| (i, i * 3)).collect();
+    let ids: Vec<u64> = (0..4096u64).map(|i| (i * 2654435761) % STREAMS).collect();
+    c.bench_function("micro/stream_lookup_slab_4k", |b| {
+        b.iter(|| {
+            let mut sum = 0u64;
+            for &id in &ids {
+                sum = sum.wrapping_add(slab[id as usize]);
+            }
+            sum
+        })
+    });
+    c.bench_function("micro/stream_lookup_btreemap_4k", |b| {
+        b.iter(|| {
+            let mut sum = 0u64;
+            for &id in &ids {
+                sum = sum.wrapping_add(map[&id]);
+            }
+            sum
+        })
+    });
+}
+
 fn bench_units(c: &mut Criterion) {
     c.bench_function("micro/tpu_units_duty_cycle", |b| {
         let service = SimDuration::from_nanos(23_333_333);
@@ -57,7 +105,7 @@ fn bench_admission(c: &mut Criterion) {
         let pool = TpuPool::from_cluster(&experiment_cluster(tpus), TpuSpec::coral_usb());
         let model = ssd_mobilenet_v2();
         let mut policy = FirstFit::new();
-        c.bench_function(&format!("micro/admission_plan_{tpus}_tpus"), |b| {
+        c.bench_function(format!("micro/admission_plan_{tpus}_tpus"), |b| {
             b.iter(|| policy.plan(&pool, &model, TpuUnits::from_f64(0.35), Features::all()))
         });
     }
@@ -71,6 +119,8 @@ fn bench_rng(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_event_queue,
+    bench_event_queue_1m,
+    bench_stream_lookup,
     bench_units,
     bench_lbs,
     bench_admission,

@@ -2,13 +2,25 @@
 //!
 //! ```text
 //! repro [--fig1] [--fig5] [--table1] [--fig6] [--fig7a] [--fig7b] [--ablations]
-//!       [--quick] [--csv <dir>]
+//!       [--perf] [--quick] [--csv <dir>]
 //! ```
 //!
-//! With no selection flags, everything runs. `--quick` shrinks frame counts
-//! and trace length for a fast smoke pass; `--csv <dir>` additionally dumps
-//! each selected artifact's series as CSV for external plotting.
+//! With no selection flags, every paper artifact runs (`--perf` only runs
+//! when asked for). `--quick` shrinks frame counts and trace length for a
+//! fast smoke pass; `--csv <dir>` additionally dumps each selected
+//! artifact's series as CSV for external plotting. `--perf` times the
+//! simulation kernel on the fixed reference workload and writes
+//! `BENCH_kernel.json` (to the `--csv` directory if given, else the
+//! working directory).
+//!
+//! The artifacts are independent, so they run concurrently through the
+//! deterministic executor ([`microedge_bench::par`]); each job renders its
+//! whole stdout contribution into a `String`, which is printed in the
+//! fixed artifact order afterwards — the output is byte-identical to a
+//! serial run. The perf harness is the exception: it is a timing
+//! measurement and always runs alone, after everything else.
 
+use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use microedge_bench::csv::write_csv;
@@ -30,6 +42,7 @@ struct Options {
     fig7a: bool,
     fig7b: bool,
     ablations: bool,
+    perf: bool,
     quick: bool,
     csv: Option<PathBuf>,
 }
@@ -38,6 +51,7 @@ fn parse_args() -> Options {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut csv = None;
+    let mut perf = false;
     let mut selections: Vec<String> = Vec::new();
     let known = [
         "--fig1",
@@ -52,6 +66,7 @@ fn parse_args() -> Options {
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--perf" => perf = true,
             "--csv" => match iter.next() {
                 Some(dir) => csv = Some(PathBuf::from(dir)),
                 None => {
@@ -62,7 +77,7 @@ fn parse_args() -> Options {
             flag if known.contains(&flag) => selections.push(arg),
             other => {
                 eprintln!(
-                    "unknown flag {other}; known: {} --quick --csv <dir>",
+                    "unknown flag {other}; known: {} --perf --quick --csv <dir>",
                     known.join(" ")
                 );
                 std::process::exit(2);
@@ -70,7 +85,8 @@ fn parse_args() -> Options {
         }
     }
     let has = |flag: &str| selections.iter().any(|a| a == flag);
-    let none_selected = selections.is_empty();
+    // `--perf` alone means "just the perf harness", not "everything".
+    let none_selected = selections.is_empty() && !perf;
     Options {
         fig1: none_selected || has("--fig1"),
         fig5: none_selected || has("--fig5"),
@@ -79,6 +95,7 @@ fn parse_args() -> Options {
         fig7a: none_selected || has("--fig7a"),
         fig7b: none_selected || has("--fig7b"),
         ablations: none_selected || has("--ablations"),
+        perf,
         quick,
         csv,
     }
@@ -93,220 +110,300 @@ fn dump(csv: Option<&PathBuf>, name: &str, headers: &[&str], rows: &[Vec<String>
     }
 }
 
+/// One artifact: renders its stdout contribution as a `String`. CSV side
+/// files are written from inside the job (their names never collide across
+/// artifacts), so jobs can run concurrently. The `bool` marks artifacts
+/// containing a host-clock measurement (Fig. 7a's admission
+/// microbenchmark): those run alone after the parallel batch so concurrent
+/// load cannot contaminate the measured value — which would also make the
+/// output differ from a serial run.
+type Job<'a> = Box<dyn Fn() -> String + Send + Sync + 'a>;
+
 fn main() {
     let opts = parse_args();
     let frames: u64 = if opts.quick { 150 } else { 1000 };
+    let quick = opts.quick;
     let csv = opts.csv.as_ref();
 
     println!("MicroEdge reproduction — paper artifacts\n");
 
-    if opts.fig1 {
-        println!("{}", fig1::render_fig1());
-        let rows: Vec<Vec<String>> = fig1::fig1_rows()
-            .iter()
-            .map(|r| {
-                vec![
-                    r.model().to_owned(),
-                    format!("{:.1}", r.inference_ms()),
-                    format!("{:.1}", r.fps_for_full_util()),
-                    r.sustains_15fps().to_string(),
-                ]
-            })
-            .collect();
-        dump(
-            csv,
-            "fig1",
-            &[
-                "model",
-                "inference_ms",
-                "fps_for_full_util",
-                "sustains_15fps",
-            ],
-            &rows,
-        );
-    }
+    let mut jobs: Vec<(bool, Job)> = Vec::new();
 
-    if opts.fig5 {
-        for (app, configs) in [
-            (
-                CameraApp::coral_pie(),
-                SystemConfig::fig5_configs().to_vec(),
-            ),
-            (
-                CameraApp::bodypix(),
-                vec![SystemConfig::Baseline, SystemConfig::microedge_full()],
-            ),
-        ] {
-            let points = scalability::fig5_sweep(&app, &configs, 6, frames);
-            println!("{}", scalability::render_sweep(&app, &points));
-            let rows: Vec<Vec<String>> = points
+    if opts.fig1 {
+        jobs.push((false, Box::new(move || {
+            let mut out = String::new();
+            let _ = writeln!(out, "{}", fig1::render_fig1());
+            let rows: Vec<Vec<String>> = fig1::fig1_rows()
                 .iter()
-                .map(|p| {
+                .map(|r| {
                     vec![
-                        p.config().label(),
-                        p.tpus().to_string(),
-                        p.max_cameras().to_string(),
-                        format!("{:.4}", p.avg_utilization()),
-                        p.all_slo_met().to_string(),
+                        r.model().to_owned(),
+                        format!("{:.1}", r.inference_ms()),
+                        format!("{:.1}", r.fps_for_full_util()),
+                        r.sustains_15fps().to_string(),
                     ]
                 })
                 .collect();
             dump(
                 csv,
-                &format!("fig5_{}", app.name()),
+                "fig1",
                 &[
-                    "config",
-                    "tpus",
-                    "max_cameras",
-                    "avg_utilization",
-                    "slo_met",
+                    "model",
+                    "inference_ms",
+                    "fps_for_full_util",
+                    "sustains_15fps",
                 ],
                 &rows,
             );
-        }
+            out
+        })));
+    }
+
+    if opts.fig5 {
+        jobs.push((false, Box::new(move || {
+            let mut out = String::new();
+            for (app, configs) in [
+                (
+                    CameraApp::coral_pie(),
+                    SystemConfig::fig5_configs().to_vec(),
+                ),
+                (
+                    CameraApp::bodypix(),
+                    vec![SystemConfig::Baseline, SystemConfig::microedge_full()],
+                ),
+            ] {
+                let points = scalability::fig5_sweep(&app, &configs, 6, frames);
+                let _ = writeln!(out, "{}", scalability::render_sweep(&app, &points));
+                let rows: Vec<Vec<String>> = points
+                    .iter()
+                    .map(|p| {
+                        vec![
+                            p.config().label(),
+                            p.tpus().to_string(),
+                            p.max_cameras().to_string(),
+                            format!("{:.4}", p.avg_utilization()),
+                            p.all_slo_met().to_string(),
+                        ]
+                    })
+                    .collect();
+                dump(
+                    csv,
+                    &format!("fig5_{}", app.name()),
+                    &[
+                        "config",
+                        "tpus",
+                        "max_cameras",
+                        "avg_utilization",
+                        "slo_met",
+                    ],
+                    &rows,
+                );
+            }
+            out
+        })));
     }
 
     if opts.table1 {
-        println!("{}", cost::render_table1(&CameraApp::coral_pie(), 17));
-        let rows: Vec<Vec<String>> =
-            cost::table1_rows(&CameraApp::coral_pie(), 17, CostModel::paper_prices())
-                .iter()
-                .map(|r| {
-                    vec![
-                        r.config().label(),
-                        r.tpus().to_string(),
-                        r.rpis().to_string(),
-                        r.total_usd().to_string(),
-                    ]
-                })
-                .collect();
-        dump(
-            csv,
-            "table1",
-            &["config", "tpus", "rpis", "total_usd"],
-            &rows,
-        );
+        jobs.push((false, Box::new(move || {
+            let mut out = String::new();
+            let _ = writeln!(out, "{}", cost::render_table1(&CameraApp::coral_pie(), 17));
+            let rows: Vec<Vec<String>> =
+                cost::table1_rows(&CameraApp::coral_pie(), 17, CostModel::paper_prices())
+                    .iter()
+                    .map(|r| {
+                        vec![
+                            r.config().label(),
+                            r.tpus().to_string(),
+                            r.rpis().to_string(),
+                            r.total_usd().to_string(),
+                        ]
+                    })
+                    .collect();
+            dump(
+                csv,
+                "table1",
+                &["config", "tpus", "rpis", "total_usd"],
+                &rows,
+            );
+            out
+        })));
     }
 
     if opts.fig6 {
-        let mut trace_cfg = TraceConfig::microedge_downsized();
-        if opts.quick {
-            trace_cfg.duration = SimDuration::from_secs(5 * 60);
-        }
-        let trace = synthesize(&trace_cfg, 42);
-        let outcomes = trace_study::run_fig6(&trace, &trace_cfg, 6);
-        println!("{}", trace_study::render_fig6(&outcomes));
-        if !opts.quick {
-            // The paper (§6.3): "to fully understand the benefits of
-            // co-compilation and workload partitioning, we would need to
-            // run a much larger configuration of the workload on a larger
-            // cluster. Such a study would show a stronger separation".
-            let scaled_cfg = trace_cfg.scaled(2.5);
-            let scaled_trace = synthesize(&scaled_cfg, 43);
-            let scaled = trace_study::run_fig6(&scaled_trace, &scaled_cfg, 12);
-            println!(
-                "{}",
-                trace_study::render_fig6_summary(
-                    "Fig. 6 at 2.5× workload on 12 TPUs (the paper's predicted stronger separation)",
-                    &scaled,
-                )
-            );
-        }
-        type SeriesFn = fn(&trace_study::TraceOutcome) -> &[f64];
-        let exports: [(&str, SeriesFn); 2] = [
-            ("fig6a_utilization", |o| o.windowed_utilization()),
-            ("fig6b_served", |o| o.served_series()),
-        ];
-        for (name, series) in exports {
-            let minutes = outcomes.iter().map(|o| series(o).len()).max().unwrap_or(0);
-            let mut headers: Vec<String> = vec!["minute".to_owned()];
-            headers.extend(outcomes.iter().map(|o| o.config().label()));
-            let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-            let rows: Vec<Vec<String>> = (0..minutes)
-                .map(|m| {
-                    let mut row = vec![m.to_string()];
-                    row.extend(
-                        outcomes
-                            .iter()
-                            .map(|o| format!("{:.4}", series(o).get(m).copied().unwrap_or(0.0))),
-                    );
-                    row
-                })
-                .collect();
-            dump(csv, name, &header_refs, &rows);
-        }
+        jobs.push((false, Box::new(move || {
+            let mut out = String::new();
+            let mut trace_cfg = TraceConfig::microedge_downsized();
+            if quick {
+                trace_cfg.duration = SimDuration::from_secs(5 * 60);
+            }
+            let trace = synthesize(&trace_cfg, 42);
+            let outcomes = trace_study::run_fig6(&trace, &trace_cfg, 6);
+            let _ = writeln!(out, "{}", trace_study::render_fig6(&outcomes));
+            if !quick {
+                // The paper (§6.3): "to fully understand the benefits of
+                // co-compilation and workload partitioning, we would need to
+                // run a much larger configuration of the workload on a larger
+                // cluster. Such a study would show a stronger separation".
+                let scaled_cfg = trace_cfg.scaled(2.5);
+                let scaled_trace = synthesize(&scaled_cfg, 43);
+                let scaled = trace_study::run_fig6(&scaled_trace, &scaled_cfg, 12);
+                let _ = writeln!(
+                    out,
+                    "{}",
+                    trace_study::render_fig6_summary(
+                        "Fig. 6 at 2.5× workload on 12 TPUs (the paper's predicted stronger separation)",
+                        &scaled,
+                    )
+                );
+            }
+            type SeriesFn = fn(&trace_study::TraceOutcome) -> &[f64];
+            let exports: [(&str, SeriesFn); 2] = [
+                ("fig6a_utilization", |o| o.windowed_utilization()),
+                ("fig6b_served", |o| o.served_series()),
+            ];
+            for (name, series) in exports {
+                let minutes = outcomes.iter().map(|o| series(o).len()).max().unwrap_or(0);
+                let mut headers: Vec<String> = vec!["minute".to_owned()];
+                headers.extend(outcomes.iter().map(|o| o.config().label()));
+                let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+                let rows: Vec<Vec<String>> = (0..minutes)
+                    .map(|m| {
+                        let mut row = vec![m.to_string()];
+                        row.extend(
+                            outcomes
+                                .iter()
+                                .map(|o| format!("{:.4}", series(o).get(m).copied().unwrap_or(0.0))),
+                        );
+                        row
+                    })
+                    .collect();
+                dump(csv, name, &header_refs, &rows);
+            }
+            out
+        })));
     }
 
     if opts.fig7a {
-        let samples = if opts.quick { 500 } else { 5000 };
-        println!("{}", admission_overhead::render_fig7a(samples, 42));
-        let rows: Vec<Vec<String>> = admission_overhead::run_overhead(samples, 42)
-            .iter()
-            .map(|r| {
-                vec![
-                    r.label().to_owned(),
-                    format!("{:.1}", r.mean_ms()),
-                    format!("{:.1}", r.std_ms()),
-                    format!("{:.2}", r.overhead_pct()),
-                ]
-            })
-            .collect();
-        dump(
-            csv,
-            "fig7a",
-            &["config", "mean_ms", "std_ms", "overhead_pct"],
-            &rows,
-        );
+        jobs.push((true, Box::new(move || {
+            let mut out = String::new();
+            let samples = if quick { 500 } else { 5000 };
+            let _ = writeln!(out, "{}", admission_overhead::render_fig7a(samples, 42));
+            let rows: Vec<Vec<String>> = admission_overhead::run_overhead(samples, 42)
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.label().to_owned(),
+                        format!("{:.1}", r.mean_ms()),
+                        format!("{:.1}", r.std_ms()),
+                        format!("{:.2}", r.overhead_pct()),
+                    ]
+                })
+                .collect();
+            dump(
+                csv,
+                "fig7a",
+                &["config", "mean_ms", "std_ms", "overhead_pct"],
+                &rows,
+            );
+            out
+        })));
     }
 
     if opts.fig7b {
-        println!("{}", latency_breakdown::render_fig7b(frames.min(300)));
-        let rows: Vec<Vec<String>> = [
-            latency_breakdown::measure_breakdown(SystemConfig::Baseline, frames.min(300)),
-            latency_breakdown::measure_breakdown(SystemConfig::microedge_full(), frames.min(300)),
-            latency_breakdown::serverless_row(),
-        ]
-        .iter()
-        .map(|r| {
-            let p = r.phases_ms();
-            vec![
-                r.label().to_owned(),
-                format!("{:.2}", p[0]),
-                format!("{:.2}", p[1]),
-                format!("{:.2}", p[2]),
-                format!("{:.2}", p[3]),
-                format!("{:.2}", r.total_ms()),
+        jobs.push((false, Box::new(move || {
+            let mut out = String::new();
+            let _ = writeln!(out, "{}", latency_breakdown::render_fig7b(frames.min(300)));
+            let rows: Vec<Vec<String>> = [
+                latency_breakdown::measure_breakdown(SystemConfig::Baseline, frames.min(300)),
+                latency_breakdown::measure_breakdown(
+                    SystemConfig::microedge_full(),
+                    frames.min(300),
+                ),
+                latency_breakdown::serverless_row(),
             ]
-        })
-        .collect();
-        dump(
-            csv,
-            "fig7b",
-            &[
-                "design",
-                "pre_ms",
-                "transmission_ms",
-                "inference_ms",
-                "post_ms",
-                "total_ms",
-            ],
-            &rows,
-        );
+            .iter()
+            .map(|r| {
+                let p = r.phases_ms();
+                vec![
+                    r.label().to_owned(),
+                    format!("{:.2}", p[0]),
+                    format!("{:.2}", p[1]),
+                    format!("{:.2}", p[2]),
+                    format!("{:.2}", p[3]),
+                    format!("{:.2}", r.total_ms()),
+                ]
+            })
+            .collect();
+            dump(
+                csv,
+                "fig7b",
+                &[
+                    "design",
+                    "pre_ms",
+                    "transmission_ms",
+                    "inference_ms",
+                    "post_ms",
+                    "total_ms",
+                ],
+                &rows,
+            );
+            out
+        })));
     }
 
     if opts.ablations {
-        println!("{}", packing::render_packing(60, 6, 10));
-        println!(
-            "{}",
-            pipeline_ablation::render_pipeline_ablation(frames.min(300))
-        );
-        println!(
-            "{}",
-            diff_detector::render_diff_detector(6, frames.min(300))
-        );
-        println!(
-            "{}",
-            microedge_bench::tail_latency::render_tail_latency(6, frames.min(300))
-        );
+        jobs.push((false, Box::new(move || {
+            let mut out = String::new();
+            let _ = writeln!(out, "{}", packing::render_packing(60, 6, 10));
+            let _ = writeln!(
+                out,
+                "{}",
+                pipeline_ablation::render_pipeline_ablation(frames.min(300))
+            );
+            let _ = writeln!(
+                out,
+                "{}",
+                diff_detector::render_diff_detector(6, frames.min(300))
+            );
+            let _ = writeln!(
+                out,
+                "{}",
+                microedge_bench::tail_latency::render_tail_latency(6, frames.min(300))
+            );
+            out
+        })));
+    }
+
+    let mut chunks: Vec<Option<String>> = jobs.iter().map(|_| None).collect();
+    let mut parallel: Vec<(usize, Job)> = Vec::new();
+    let mut alone: Vec<(usize, Job)> = Vec::new();
+    for (i, (timing, job)) in jobs.into_iter().enumerate() {
+        if timing {
+            alone.push((i, job));
+        } else {
+            parallel.push((i, job));
+        }
+    }
+    for (i, rendered) in microedge_bench::par::par_map(parallel, |_, (i, job)| (i, job())) {
+        chunks[i] = Some(rendered);
+    }
+    for (i, job) in alone {
+        chunks[i] = Some(job());
+    }
+    for chunk in chunks.into_iter().flatten() {
+        print!("{chunk}");
+    }
+
+    if opts.perf {
+        let rounds = if opts.quick { 1 } else { 3 };
+        let result = microedge_bench::perf::run_kernel_perf(rounds);
+        println!("{}", result.render_summary());
+        let dir = opts.csv.clone().unwrap_or_else(|| PathBuf::from("."));
+        let path = dir.join("BENCH_kernel.json");
+        match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, result.to_json()))
+        {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
     }
 }

@@ -29,6 +29,8 @@ pub mod diff_detector;
 pub mod fig1;
 pub mod latency_breakdown;
 pub mod packing;
+pub mod par;
+pub mod perf;
 pub mod pipeline_ablation;
 pub mod runner;
 pub mod scalability;

@@ -227,12 +227,17 @@ pub fn render_packing(requests: u32, tpus: u32, seeds: u64) -> String {
         let mut admitted = [0u32; 5];
         let mut used = [0usize; 5];
         let mut names = ["", "", "", "", ""];
-        for seed in 0..seeds {
-            let outcomes = if churn {
+        // Seeds are independent sequences; run them in parallel and fold
+        // the returned outcomes in seed order, so the averages are the
+        // exact integers a serial loop would produce.
+        let per_seed = crate::par::par_map((0..seeds).collect(), |_, seed| {
+            if churn {
                 run_churn_ablation(requests, tpus, features, seed)
             } else {
                 run_packing_ablation(requests, tpus, features, seed)
-            };
+            }
+        });
+        for outcomes in &per_seed {
             for (i, o) in outcomes.iter().enumerate() {
                 admitted[i] += o.admitted();
                 used[i] += o.tpus_used();
@@ -257,13 +262,14 @@ pub fn render_packing(requests: u32, tpus: u32, seeds: u64) -> String {
     let mut ff_total = 0u32;
     let mut opt_total = 0u32;
     let mut worst_ratio = 1.0f64;
-    for seed in 0..seeds {
+    let per_seed = crate::par::par_map((0..seeds).collect(), |_, seed| {
         let items: Vec<TpuUnits> = random_requests(10, seed ^ 0xBEEF)
             .into_iter()
             .map(|(_, u)| TpuUnits::from_micro(u.as_micro().min(1_000_000)))
             .collect();
-        let ff = first_fit_bins(&items);
-        let opt = optimal_bins(&items);
+        (first_fit_bins(&items), optimal_bins(&items))
+    });
+    for (ff, opt) in per_seed {
         ff_total += ff;
         opt_total += opt;
         worst_ratio = worst_ratio.max(f64::from(ff) / f64::from(opt.max(1)));

@@ -118,9 +118,9 @@ pub fn run_point(
 
 /// The full Fig. 5 sweep for one application: every configuration × TPU
 /// count `1..=max_tpus`. Points are independent simulations, so they run
-/// on one thread per point (bounded by the host's parallelism); results
-/// come back in deterministic `(config, tpus)` order regardless of
-/// completion order.
+/// through [`crate::par::par_map`] (bounded by the host's parallelism, or
+/// the `MICROEDGE_WORKERS` override); results come back in deterministic
+/// `(config, tpus)` order regardless of completion order.
 #[must_use]
 pub fn fig5_sweep(
     app: &CameraApp,
@@ -128,36 +128,11 @@ pub fn fig5_sweep(
     max_tpus: u32,
     frames: u64,
 ) -> Vec<ScalabilityPoint> {
-    let jobs: Vec<(usize, SystemConfig, u32)> = configs
+    let jobs: Vec<(SystemConfig, u32)> = configs
         .iter()
         .flat_map(|&config| (1..=max_tpus).map(move |tpus| (config, tpus)))
-        .enumerate()
-        .map(|(i, (config, tpus))| (i, config, tpus))
         .collect();
-    let results: parking_lot::Mutex<Vec<Option<ScalabilityPoint>>> =
-        parking_lot::Mutex::new(vec![None; jobs.len()]);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let workers = std::thread::available_parallelism()
-        .map_or(4, std::num::NonZeroUsize::get)
-        .min(jobs.len().max(1));
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(&(slot, config, tpus)) = jobs.get(i) else {
-                    break;
-                };
-                let point = run_point(app, config, tpus, frames);
-                results.lock()[slot] = Some(point);
-            });
-        }
-    })
-    .expect("sweep worker panicked");
-    results
-        .into_inner()
-        .into_iter()
-        .map(|p| p.expect("every job completed"))
-        .collect()
+    crate::par::par_map(jobs, |_, (config, tpus)| run_point(app, config, tpus, frames))
 }
 
 /// Renders a sweep as the pair of tables behind Fig. 5a/5b (or 5c/5d).

@@ -64,42 +64,41 @@ impl TailLatencyPoint {
 }
 
 /// Runs Coral-Pie fleets of 1..=max cameras on `tpus` TPUs and measures
-/// the latency curve.
+/// the latency curve. Each load point is an independent simulation, so the
+/// curve is swept in parallel; results return in load order.
 #[must_use]
 pub fn run_tail_latency(tpus: u32, frames: u64) -> Vec<TailLatencyPoint> {
     let app = CameraApp::coral_pie();
     let capacity = (f64::from(tpus) / 0.35).floor() as u32;
-    (1..=capacity)
-        .map(|cameras| {
-            let mut world = build_world(experiment_cluster(tpus), SystemConfig::microedge_full());
-            for i in 0..cameras {
-                let fraction = (f64::from(i) * 0.618_033_988_749_895) % 1.0;
-                let spec = StreamSpec::builder(&format!("cam-{i}"), "ssd-mobilenet-v2")
-                    .frame_limit(frames)
-                    .start_offset(app.frame_interval().mul_f64(fraction))
-                    .build();
-                world.admit_stream(spec).expect("within capacity");
-            }
-            let mut results = world.run_to_completion(SimTime::from_secs(600));
-            let p99 = results
-                .breakdowns_mut()
-                .total_percentile_ms(99.0)
-                .expect("frames ran");
-            TailLatencyPoint {
-                cameras,
-                load: f64::from(cameras) * 0.35 / f64::from(tpus),
-                mean_ms: results.breakdowns().mean_total_ms(),
-                p99_ms: p99,
-                max_queue_depth: results
-                    .max_queue_depths()
-                    .iter()
-                    .copied()
-                    .max()
-                    .unwrap_or(0),
-                all_slo_met: results.all_met_fps(),
-            }
-        })
-        .collect()
+    crate::par::par_map((1..=capacity).collect(), |_, cameras| {
+        let mut world = build_world(experiment_cluster(tpus), SystemConfig::microedge_full());
+        for i in 0..cameras {
+            let fraction = (f64::from(i) * 0.618_033_988_749_895) % 1.0;
+            let spec = StreamSpec::builder(&format!("cam-{i}"), "ssd-mobilenet-v2")
+                .frame_limit(frames)
+                .start_offset(app.frame_interval().mul_f64(fraction))
+                .build();
+            world.admit_stream(spec).expect("within capacity");
+        }
+        let mut results = world.run_to_completion(SimTime::from_secs(600));
+        let p99 = results
+            .breakdowns_mut()
+            .total_percentile_ms(99.0)
+            .expect("frames ran");
+        TailLatencyPoint {
+            cameras,
+            load: f64::from(cameras) * 0.35 / f64::from(tpus),
+            mean_ms: results.breakdowns().mean_total_ms(),
+            p99_ms: p99,
+            max_queue_depth: results
+                .max_queue_depths()
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(0),
+            all_slo_met: results.all_met_fps(),
+        }
+    })
 }
 
 /// Renders the curve.

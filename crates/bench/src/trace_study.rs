@@ -24,6 +24,7 @@ pub struct TraceOutcome {
     served_series: Vec<f64>,
     admitted: u32,
     rejected: u32,
+    events_processed: u64,
 }
 
 impl TraceOutcome {
@@ -55,6 +56,13 @@ impl TraceOutcome {
     #[must_use]
     pub fn rejected(&self) -> u32 {
         self.rejected
+    }
+
+    /// Simulation events the kernel delivered during the replay — the work
+    /// measure the perf harness (`repro --perf`) divides by wall-clock.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
     }
 
     /// Mean utilization across the whole trace.
@@ -152,6 +160,7 @@ pub fn run_trace(
         served_series,
         admitted,
         rejected,
+        events_processed: results.events_processed(),
     }
 }
 
@@ -167,13 +176,14 @@ pub fn fig6_configs() -> [SystemConfig; 5] {
     ]
 }
 
-/// Replays the trace against all five configurations.
+/// Replays the trace against all five configurations, one parallel job per
+/// configuration (results come back in configuration order, so rendered
+/// tables are identical to a serial run).
 #[must_use]
 pub fn run_fig6(trace: &[TraceEvent], trace_config: &TraceConfig, tpus: u32) -> Vec<TraceOutcome> {
-    fig6_configs()
-        .into_iter()
-        .map(|config| run_trace(config, trace, trace_config, tpus))
-        .collect()
+    crate::par::par_map(fig6_configs().to_vec(), |_, config| {
+        run_trace(config, trace, trace_config, tpus)
+    })
 }
 
 /// Renders only the Fig. 6 summary table (used for the scaled-up run the

@@ -96,6 +96,13 @@ impl LbService {
     /// never terminates and returns a bare `TpuId`.
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> TpuId {
+        if self.total == 0 {
+            // All-zero weights (e.g. a degenerate sub-unit rounding): smooth
+            // WRR would tie every step on `current == 0` and the pick would
+            // depend on `max_by_key`'s tie-breaking rather than the
+            // configuration. Dispatch to the first target deterministically.
+            return self.targets.first().expect("targets is non-empty").tpu;
+        }
         for t in &mut self.targets {
             t.current += t.weight;
         }
@@ -213,5 +220,30 @@ mod tests {
     #[should_panic(expected = "at least one TPU target")]
     fn empty_allocations_rejected() {
         let _ = LbService::from_allocations(&[]);
+    }
+
+    #[test]
+    fn all_zero_weights_fall_back_to_first_target() {
+        // `Allocation` forbids zero units, so an all-zero LBS can only be
+        // produced internally (e.g. by a degenerate rounding); construct it
+        // directly to pin the deterministic fallback.
+        let mut l = LbService {
+            targets: vec![
+                Target {
+                    tpu: TpuId(4),
+                    weight: 0,
+                    current: 0,
+                },
+                Target {
+                    tpu: TpuId(7),
+                    weight: 0,
+                    current: 0,
+                },
+            ],
+            total: 0,
+        };
+        for _ in 0..10 {
+            assert_eq!(l.next(), TpuId(4));
+        }
     }
 }

@@ -271,6 +271,10 @@ struct ServiceRuntime {
 struct StageRuntime {
     profile: ModelProfile,
     lbs: LbService,
+    /// Network transfer time for this stage's input, fixed at admission
+    /// (the input size and link model never change over a stream's life).
+    /// Collocated streams and free local hops bypass this with zero.
+    transfer: SimDuration,
 }
 
 #[derive(Debug)]
@@ -295,12 +299,16 @@ struct StreamRuntime {
     preprocess: SimDuration,
 }
 
+/// Kernel events. Completions are *not* events: a frame's completion time
+/// is fully determined the moment its last TPU invocation finishes (or the
+/// client filters it), so the kernel records completion metrics inline with
+/// the future timestamp instead of bouncing a fourth event through the
+/// queue — one quarter fewer events on the hot path, identical results.
 #[derive(Debug)]
 enum Ev {
     Frame(StreamId),
     Arrive(TpuId, InFlight),
     Done(TpuId),
-    Complete(StreamId, Option<LatencyBreakdown>),
 }
 
 /// Aggregated outcome of one simulation run.
@@ -316,6 +324,7 @@ pub struct RunResults {
     max_queue_depths: Vec<usize>,
     used_tpus: usize,
     frames_dropped: u64,
+    events_processed: u64,
     end: SimTime,
 }
 
@@ -412,6 +421,14 @@ impl RunResults {
         self.frames_dropped
     }
 
+    /// Total simulation events the kernel delivered during the run — the
+    /// denominator-independent work measure the perf harness reports as
+    /// events/sec.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
     /// The instant the run was finalised at.
     #[must_use]
     pub fn end(&self) -> SimTime {
@@ -465,7 +482,13 @@ pub struct World {
     dp: DataPlaneConfig,
     net: NetworkModel,
     services: Vec<ServiceRuntime>,
-    streams: BTreeMap<StreamId, StreamRuntime>,
+    /// Slab of stream runtimes indexed by `StreamId.0`. Stream ids are
+    /// allocated sequentially and never reused — removal merely clears
+    /// `active` — so a dense `Vec` replaces the per-event `BTreeMap`
+    /// lookups on the frame hot path. `BTreeMap`s survive only at the
+    /// admission and reporting boundaries.
+    streams: Vec<StreamRuntime>,
+    active_count: usize,
     pods_to_streams: BTreeMap<PodId, StreamId>,
     fleet: FleetUtilization,
     breakdowns: BreakdownRecorder,
@@ -529,7 +552,8 @@ impl World {
             dp: DataPlaneConfig::calibrated(),
             net,
             services,
-            streams: BTreeMap::new(),
+            streams: Vec::new(),
+            active_count: 0,
             pods_to_streams: BTreeMap::new(),
             fleet: FleetUtilization::new(tpu_count, METRIC_WINDOW),
             breakdowns: BreakdownRecorder::new(),
@@ -563,16 +587,44 @@ impl World {
         &self.orch
     }
 
-    /// Number of active streams.
+    /// Number of active streams (maintained incrementally; O(1)).
     #[must_use]
     pub fn active_streams(&self) -> usize {
-        self.streams.values().filter(|s| s.active).count()
+        debug_assert_eq!(
+            self.active_count,
+            self.streams.iter().filter(|s| s.active).count(),
+            "active-stream counter drifted from the slab"
+        );
+        self.active_count
     }
 
     /// The pod backing a stream, if the stream exists.
     #[must_use]
     pub fn pod_of(&self, stream: StreamId) -> Option<PodId> {
-        self.streams.get(&stream).map(|s| s.pod)
+        self.stream(stream).map(|s| s.pod)
+    }
+
+    #[inline]
+    fn stream(&self, id: StreamId) -> Option<&StreamRuntime> {
+        self.streams.get(id.0 as usize)
+    }
+
+    #[inline]
+    fn stream_mut(&mut self, id: StreamId) -> Option<&mut StreamRuntime> {
+        self.streams.get_mut(id.0 as usize)
+    }
+
+    /// Flips an active stream inactive, keeping the counter in sync.
+    /// Returns `false` when the stream was already inactive or unknown.
+    fn deactivate(&mut self, id: StreamId) -> bool {
+        match self.streams.get_mut(id.0 as usize) {
+            Some(stream) if stream.active => {
+                stream.active = false;
+                self.active_count -= 1;
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Admits a camera stream: TPU admission (all pipeline stages), pod
@@ -611,6 +663,7 @@ impl World {
             .iter()
             .zip(profiles)
             .map(|(grant, profile)| StageRuntime {
+                transfer: self.net.transfer_time(profile.input_bytes()),
                 profile,
                 lbs: grant.lbs(),
             })
@@ -621,11 +674,14 @@ impl World {
             }
         }
         let id = StreamId(self.next_stream);
+        debug_assert_eq!(id.0 as usize, self.streams.len(), "slab ids are dense");
         self.next_stream += 1;
         let now = self.queue.now();
+        let start_offset = spec.start_offset;
+        // The spec moves into the runtime whole — no per-admission deep
+        // clone of its name and stage list.
         let runtime = StreamRuntime {
             pod: deployment.pod(),
-            spec: spec.clone(),
             stages,
             audit: ThroughputAudit::new(&spec.name, spec.fps),
             latency: OnlineStats::new(),
@@ -639,11 +695,13 @@ impl World {
                 rng: DetRng::seed_from(seed),
             }),
             preprocess: self.dp.preprocess_for(spec.source),
+            spec,
         };
         self.pods_to_streams.insert(deployment.pod(), id);
-        self.streams.insert(id, runtime);
+        self.streams.push(runtime);
+        self.active_count += 1;
         self.served.add(now, 1.0);
-        self.queue.schedule_after(spec.start_offset, Ev::Frame(id));
+        self.queue.schedule_after(start_offset, Ev::Frame(id));
         Ok(id)
     }
 
@@ -654,15 +712,14 @@ impl World {
     ///
     /// Propagates orchestrator errors for unknown pods.
     pub fn remove_stream(&mut self, id: StreamId) -> Result<(), DeployError> {
-        let stream = self
-            .streams
-            .get_mut(&id)
+        let pod = self
+            .stream(id)
             .filter(|s| s.active)
+            .map(|s| s.pod)
             .ok_or(DeployError::Orch(
                 microedge_orch::lifecycle::OrchError::UnknownPod(PodId(u64::MAX)),
             ))?;
-        stream.active = false;
-        let pod = stream.pod;
+        self.deactivate(id);
         self.sched.teardown(&mut self.orch, pod)?;
         self.served.add(self.queue.now(), -1.0);
         Ok(())
@@ -678,15 +735,14 @@ impl World {
     ///
     /// Propagates orchestrator errors for unknown/terminated pods.
     pub fn crash_stream(&mut self, id: StreamId) -> Result<(), DeployError> {
-        let stream = self
-            .streams
-            .get_mut(&id)
+        let pod = self
+            .stream(id)
             .filter(|s| s.active)
+            .map(|s| s.pod)
             .ok_or(DeployError::Orch(
                 microedge_orch::lifecycle::OrchError::UnknownPod(PodId(u64::MAX)),
             ))?;
-        stream.active = false;
-        let pod = stream.pod;
+        self.deactivate(id);
         self.orch.delete_pod(pod)?;
         self.served.add(self.queue.now(), -1.0);
         Ok(())
@@ -718,7 +774,7 @@ impl World {
         let outcome = self.sched.handle_tpu_failure(tpu);
         for (pod, plans) in &outcome.recovered {
             let stream_id = self.pods_to_streams[pod];
-            if let Some(stream) = self.streams.get_mut(&stream_id) {
+            if let Some(stream) = self.stream_mut(stream_id) {
                 for (stage, (_, allocations)) in stream.stages.iter_mut().zip(plans) {
                     stage.lbs = LbService::from_allocations(allocations);
                 }
@@ -732,11 +788,8 @@ impl World {
         let mut lost_streams = Vec::new();
         for pod in outcome.lost {
             let stream_id = self.pods_to_streams[&pod];
-            if let Some(stream) = self.streams.get_mut(&stream_id) {
-                if stream.active {
-                    stream.active = false;
-                    self.served.add(now, -1.0);
-                }
+            if self.deactivate(stream_id) {
+                self.served.add(now, -1.0);
             }
             lost_streams.push(stream_id);
         }
@@ -773,12 +826,9 @@ impl World {
         let displaced = self.orch.fail_node(node);
         for pod in displaced {
             if let Some(&stream_id) = self.pods_to_streams.get(&pod) {
-                if let Some(stream) = self.streams.get_mut(&stream_id) {
-                    if stream.active {
-                        stream.active = false;
-                        self.served.add(now, -1.0);
-                        stopped.push(stream_id);
-                    }
+                if self.deactivate(stream_id) {
+                    self.served.add(now, -1.0);
+                    stopped.push(stream_id);
                 }
             }
         }
@@ -803,7 +853,7 @@ impl World {
         let mut streams = Vec::with_capacity(migrated.len());
         for (pod, plans) in &migrated {
             let stream_id = self.pods_to_streams[pod];
-            if let Some(stream) = self.streams.get_mut(&stream_id) {
+            if let Some(stream) = self.stream_mut(stream_id) {
                 for (stage, (_, allocations)) in stream.stages.iter_mut().zip(plans) {
                     stage.lbs = LbService::from_allocations(allocations);
                 }
@@ -828,7 +878,7 @@ impl World {
     /// [`DeployError`] when the stream is unknown, still active, or no
     /// longer fits the surviving capacity.
     pub fn restart_stream(&mut self, id: StreamId) -> Result<StreamId, DeployError> {
-        let stream = self.streams.get(&id).ok_or(DeployError::Orch(
+        let stream = self.stream(id).ok_or(DeployError::Orch(
             microedge_orch::lifecycle::OrchError::UnknownPod(PodId(u64::MAX)),
         ))?;
         if stream.active {
@@ -843,11 +893,7 @@ impl World {
 
     /// Processes all events up to and including `until`.
     pub fn run_until(&mut self, until: SimTime) {
-        while let Some(t) = self.queue.peek_time() {
-            if t > until {
-                break;
-            }
-            let (now, ev) = self.queue.pop().expect("peeked event exists");
+        while let Some((now, ev)) = self.queue.pop_due(until) {
             self.dispatch(now, ev);
         }
     }
@@ -871,12 +917,14 @@ impl World {
         let reports = self
             .streams
             .iter()
-            .map(|(&id, s)| (id, s.audit.report(end)))
+            .enumerate()
+            .map(|(i, s)| (StreamId(i as u64), s.audit.report(end)))
             .collect();
         let latencies = self
             .streams
             .iter()
-            .map(|(&id, s)| (id, s.latency.clone()))
+            .enumerate()
+            .map(|(i, s)| (StreamId(i as u64), s.latency.clone()))
             .collect();
         let average_utilization = self.fleet.average_utilization(end);
         let per_device_utilization = self.fleet.per_device_utilization(end);
@@ -892,6 +940,7 @@ impl World {
             max_queue_depths: self.services.iter().map(|s| s.max_depth).collect(),
             used_tpus: self.sched.pool().used_tpus(),
             frames_dropped: self.frames_dropped,
+            events_processed: self.queue.events_processed(),
             end,
         }
     }
@@ -923,12 +972,11 @@ impl World {
             Ev::Frame(id) => self.on_frame(now, id),
             Ev::Arrive(tpu, inflight) => self.on_arrive(now, tpu, inflight),
             Ev::Done(tpu) => self.on_done(now, tpu),
-            Ev::Complete(id, breakdown) => self.on_complete(now, id, breakdown),
         }
     }
 
     fn on_frame(&mut self, now: SimTime, id: StreamId) {
-        let Some(stream) = self.streams.get_mut(&id) else {
+        let Some(stream) = self.streams.get_mut(id.0 as usize) else {
             return;
         };
         if !stream.active {
@@ -943,8 +991,9 @@ impl World {
             .is_some_and(|f| !f.rng.chance(f.pass_rate));
         if filtered {
             // The difference detector discards the frame client-side after
-            // pre-processing; it never reaches a TPU.
-            self.queue.schedule_at(now + pre, Ev::Complete(id, None));
+            // pre-processing; it never reaches a TPU, so its completion
+            // instant is already known.
+            stream.audit.frame_completed(now + pre);
             let more = stream
                 .frame_limit
                 .is_none_or(|limit| stream.emitted < limit);
@@ -958,8 +1007,7 @@ impl World {
         let trans = if stream.collocated {
             SimDuration::ZERO
         } else {
-            self.net
-                .transfer_time(stream.stages[0].profile.input_bytes())
+            stream.stages[0].transfer
         };
         let inflight = InFlight {
             stream: id,
@@ -1000,7 +1048,7 @@ impl World {
         let Some(inflight) = svc.queue.pop_front() else {
             return;
         };
-        let profile = &self.streams[&inflight.stream].stages[inflight.stage].profile;
+        let profile = &self.streams[inflight.stream.0 as usize].stages[inflight.stage].profile;
         let busy = svc.device.invoke(profile).busy() + self.dp.invoke_overhead;
         svc.current = Some(inflight);
         self.fleet.tracker_mut(tpu.0 as usize).begin_busy(now);
@@ -1023,7 +1071,7 @@ impl World {
         let next_stage = inflight.stage + 1;
         let stream = self
             .streams
-            .get_mut(&inflight.stream)
+            .get_mut(inflight.stream.0 as usize)
             .expect("in-flight frames belong to known streams");
         if next_stage < stream.stages.len() {
             // Forward to the next pipeline stage. A hop to the same TPU is
@@ -1034,8 +1082,7 @@ impl World {
             let trans = if local_hop || stream.collocated {
                 SimDuration::ZERO
             } else {
-                self.net
-                    .transfer_time(stream.stages[next_stage].profile.input_bytes())
+                stream.stages[next_stage].transfer
             };
             inflight.stage = next_stage;
             inflight.trans_acc += trans;
@@ -1048,24 +1095,14 @@ impl World {
                 inflight.infer_acc,
                 self.dp.postprocess,
             );
-            self.queue.schedule_at(
-                now + self.dp.postprocess,
-                Ev::Complete(inflight.stream, Some(breakdown)),
-            );
-        }
-        self.start_next(now, tpu);
-    }
-
-    fn on_complete(&mut self, now: SimTime, id: StreamId, breakdown: Option<LatencyBreakdown>) {
-        if let Some(stream) = self.streams.get_mut(&id) {
-            stream.audit.frame_completed(now);
-            if let Some(breakdown) = &breakdown {
-                stream.latency.record_duration(breakdown.total());
-            }
-        }
-        if let Some(breakdown) = breakdown {
+            // The frame leaves the pipeline after client-side
+            // post-processing, whose duration is fixed — record the
+            // completion now with its future timestamp.
+            stream.audit.frame_completed(now + self.dp.postprocess);
+            stream.latency.record_duration(breakdown.total());
             self.breakdowns.record(&breakdown);
         }
+        self.start_next(now, tpu);
     }
 }
 

@@ -27,7 +27,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use microedge_sim::stats::{Histogram, OnlineStats};
+use microedge_sim::stats::Histogram;
 use microedge_sim::time::SimDuration;
 
 /// The four steps of one `Invoke` (paper §6.4.2).
@@ -111,9 +111,15 @@ impl LatencyBreakdown {
 }
 
 /// Aggregates breakdowns across requests.
+///
+/// Per-phase costs are summed exactly in integer nanoseconds — this sits on
+/// the simulator's per-completion hot path, and only the phase *means* are
+/// ever reported, so a full streaming-moments accumulator per phase would be
+/// wasted work. End-to-end totals keep every sample for percentile queries.
 #[derive(Debug, Default, Clone)]
 pub struct BreakdownRecorder {
-    phases: [OnlineStats; 4],
+    phase_sums: [u64; 4],
+    count: u64,
     totals: Histogram,
 }
 
@@ -126,23 +132,27 @@ impl BreakdownRecorder {
 
     /// Records one request.
     pub fn record(&mut self, breakdown: &LatencyBreakdown) {
-        for (slot, phase) in self.phases.iter_mut().zip(Phase::ALL) {
-            slot.record_duration(breakdown.phase(phase));
+        for (slot, phase) in self.phase_sums.iter_mut().zip(Phase::ALL) {
+            *slot += breakdown.phase(phase).as_nanos();
         }
+        self.count += 1;
         self.totals.record_duration(breakdown.total());
     }
 
     /// Number of requests recorded.
     #[must_use]
     pub fn count(&self) -> u64 {
-        self.phases[0].count()
+        self.count
     }
 
     /// Mean cost of one phase, in milliseconds.
     #[must_use]
     pub fn mean_ms(&self, phase: Phase) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
         let idx = Phase::ALL.iter().position(|p| *p == phase).expect("phase");
-        self.phases[idx].mean()
+        (self.phase_sums[idx] as f64 / self.count as f64) / 1e6
     }
 
     /// Mean end-to-end cost in milliseconds.

@@ -87,6 +87,10 @@ impl ThroughputAudit {
 
     /// Records a frame finishing the pipeline at `now`.
     ///
+    /// Completions may be reported out of time order (the simulator records
+    /// a completion the moment its timing is decided); the audit keeps the
+    /// latest completion instant regardless of reporting order.
+    ///
     /// # Panics
     ///
     /// Panics if more frames complete than were emitted.
@@ -97,7 +101,7 @@ impl ThroughputAudit {
             self.stream
         );
         self.completed += 1;
-        self.last_complete = Some(now);
+        self.last_complete = Some(self.last_complete.map_or(now, |last| last.max(now)));
     }
 
     /// Frames emitted so far.

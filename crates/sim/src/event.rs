@@ -3,7 +3,29 @@
 //! The queue orders events by `(time, sequence)`, where the sequence number
 //! is assigned at insertion. Two events scheduled for the same instant are
 //! therefore delivered in insertion order, which keeps simulations
-//! reproducible bit-for-bit regardless of heap internals.
+//! reproducible bit-for-bit regardless of queue internals.
+//!
+//! # Implementation
+//!
+//! Nearly every event a MicroEdge world schedules lands within one frame
+//! interval of the current time (pre-processing, a network hop, a TPU
+//! invocation, the next frame tick), so the queue is two-tiered:
+//!
+//! * a **bucket ring** of [`NUM_BUCKETS`] time slices, each
+//!   `2^`[`BUCKET_SHIFT`] ns wide (≈ 2.1 ms — ring horizon ≈ 134 ms, two
+//!   15 FPS frame intervals), holds every event below the horizon. Buckets
+//!   stay unordered: scheduling is a plain `Vec::push` and delivery scans
+//!   the (short) head bucket for its `(time, seq)` minimum — far cheaper
+//!   than keeping buckets sorted under the simulator's constant
+//!   interleaving of pushes and pops;
+//! * a **fallback binary heap** holds the rare far-future event (stream
+//!   start offsets, coarse experiment timers). Whenever the cursor
+//!   advances, heap events that fell below the horizon migrate into the
+//!   ring.
+//!
+//! Both tiers compare `(time, seq)`, so delivery order is bit-for-bit
+//! identical to a single global heap — the property the
+//! `sim_properties::event_queue_total_order` test pins down.
 //!
 //! # Examples
 //!
@@ -24,6 +46,18 @@ use std::collections::BinaryHeap;
 
 use crate::time::{SimDuration, SimTime};
 
+/// log2 of the bucket width in nanoseconds (2^21 ns ≈ 2.1 ms).
+const BUCKET_SHIFT: u32 = 21;
+
+/// Number of buckets in the near-horizon ring.
+const NUM_BUCKETS: u64 = 64;
+
+/// The global bucket index an instant falls into.
+#[inline]
+fn bucket_of(time: SimTime) -> u64 {
+    time.as_nanos() >> BUCKET_SHIFT
+}
+
 /// An event staged in the queue, ordered by `(time, seq)` ascending.
 #[derive(Debug)]
 struct Scheduled<E> {
@@ -32,9 +66,16 @@ struct Scheduled<E> {
     event: E,
 }
 
+impl<E> Scheduled<E> {
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
+    }
+}
+
 impl<E> PartialEq for Scheduled<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.key() == other.key()
     }
 }
 
@@ -50,8 +91,19 @@ impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
         // first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
+        other.key().cmp(&self.key())
     }
+}
+
+/// One ring slot: the events of one global bucket index.
+#[derive(Debug)]
+struct Bucket<E> {
+    /// The global bucket index currently mapped onto this slot. Slots are
+    /// reused as the ring wraps; a mismatch means the slot's previous
+    /// bucket fully drained and the slot can be re-labelled.
+    index: u64,
+    /// Unordered; the pop path scans for the `(time, seq)` minimum.
+    events: Vec<Scheduled<E>>,
 }
 
 /// A deterministic future-event list for discrete-event simulation.
@@ -78,7 +130,21 @@ impl<E> Ord for Scheduled<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    /// Near-horizon tier: `NUM_BUCKETS` slots covering global buckets
+    /// `[cursor, cursor + NUM_BUCKETS)`.
+    ring: Vec<Bucket<E>>,
+    /// Bit `s` set ⇔ ring slot `s` is non-empty. `NUM_BUCKETS` is 64
+    /// precisely so the earliest occupied bucket is one rotate +
+    /// `trailing_zeros` away.
+    occupancy: u64,
+    /// Events currently held in the ring (the heap tracks its own length).
+    ring_len: usize,
+    /// Global index of the earliest bucket the ring covers; equals
+    /// `bucket_of(now)` between public calls, so all pending events (whose
+    /// times are `>= now`) sit at or above it.
+    cursor: u64,
+    /// Far-future tier: events at or beyond `cursor + NUM_BUCKETS`.
+    overflow: BinaryHeap<Scheduled<E>>,
     now: SimTime,
     next_seq: u64,
     popped: u64,
@@ -95,7 +161,16 @@ impl<E> EventQueue<E> {
     #[must_use]
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            ring: (0..NUM_BUCKETS)
+                .map(|index| Bucket {
+                    index,
+                    events: Vec::new(),
+                })
+                .collect(),
+            occupancy: 0,
+            ring_len: 0,
+            cursor: 0,
+            overflow: BinaryHeap::new(),
             now: SimTime::ZERO,
             next_seq: 0,
             popped: 0,
@@ -112,13 +187,13 @@ impl<E> EventQueue<E> {
     /// Number of events waiting in the queue.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.ring_len + self.overflow.len()
     }
 
     /// `true` when no events are pending.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Total number of events delivered so far.
@@ -141,7 +216,12 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { time, seq, event });
+        let scheduled = Scheduled { time, seq, event };
+        if bucket_of(time) < self.cursor + NUM_BUCKETS {
+            self.insert_into_ring(scheduled);
+        } else {
+            self.overflow.push(scheduled);
+        }
     }
 
     /// Schedules `event` at `delay` after the current time.
@@ -156,18 +236,102 @@ impl<E> EventQueue<E> {
     /// Removes and returns the earliest event, advancing the clock to its
     /// timestamp. Returns `None` when the queue is empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let scheduled = self.heap.pop()?;
+        self.pop_due(SimTime::from_nanos(u64::MAX))
+    }
+
+    /// [`EventQueue::pop`], but only when the earliest event is at or before
+    /// `until`; otherwise the queue is left untouched and `None` is
+    /// returned. Event-loop drivers call this instead of a peek/pop pair so
+    /// each delivered event costs a single ring lookup.
+    pub fn pop_due(&mut self, until: SimTime) -> Option<(SimTime, E)> {
+        if self.ring_len == 0 {
+            // Ring exhausted: jump the horizon to the overflow's earliest
+            // bucket and pull everything below it into the ring.
+            let time = self.overflow.peek()?.time;
+            if time > until {
+                return None;
+            }
+            self.cursor = bucket_of(time);
+            self.migrate_overflow();
+        }
+        let b = self.first_occupied();
+        let slot = &mut self.ring[(b % NUM_BUCKETS) as usize];
+        debug_assert!(slot.index == b && !slot.events.is_empty());
+        let mut best = 0;
+        let mut best_key = slot.events[0].key();
+        for (i, e) in slot.events.iter().enumerate().skip(1) {
+            let key = e.key();
+            if key < best_key {
+                best = i;
+                best_key = key;
+            }
+        }
+        if best_key.0 > until {
+            return None;
+        }
+        let scheduled = slot.events.swap_remove(best);
+        if slot.events.is_empty() {
+            self.occupancy &= !(1u64 << (b % NUM_BUCKETS));
+        }
+        self.ring_len -= 1;
         debug_assert!(scheduled.time >= self.now, "event queue went backwards");
         self.now = scheduled.time;
         self.popped += 1;
+        let cursor = bucket_of(scheduled.time);
+        if cursor > self.cursor {
+            self.cursor = cursor;
+            self.migrate_overflow();
+        }
         Some((scheduled.time, scheduled.event))
     }
 
     /// The timestamp of the earliest pending event, if any, without popping.
     #[must_use]
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.time)
+        if self.ring_len == 0 {
+            return self.overflow.peek().map(|s| s.time);
+        }
+        let slot = &self.ring[(self.first_occupied() % NUM_BUCKETS) as usize];
+        slot.events.iter().map(|s| s.time).min()
     }
+
+    /// Global index of the earliest occupied ring bucket. The ring covers
+    /// exactly `[cursor, cursor + 64)`, so rotating the occupancy mask by
+    /// the cursor's slot turns "earliest bucket" into `trailing_zeros`.
+    #[inline]
+    fn first_occupied(&self) -> u64 {
+        debug_assert!(self.occupancy != 0, "ring accounting is off");
+        let rot = (self.cursor % NUM_BUCKETS) as u32;
+        self.cursor + u64::from(self.occupancy.rotate_right(rot).trailing_zeros())
+    }
+
+    /// Files an event below the horizon into its ring bucket, re-labelling
+    /// the slot if its previous bucket has drained.
+    fn insert_into_ring(&mut self, scheduled: Scheduled<E>) {
+        let bucket = bucket_of(scheduled.time);
+        let slot = &mut self.ring[(bucket % NUM_BUCKETS) as usize];
+        if slot.index != bucket {
+            debug_assert!(slot.events.is_empty(), "re-labelling a live bucket");
+            slot.index = bucket;
+        }
+        slot.events.push(scheduled);
+        self.occupancy |= 1u64 << (bucket % NUM_BUCKETS);
+        self.ring_len += 1;
+    }
+
+    /// Moves every overflow event that fell below the (just-advanced)
+    /// horizon into the ring.
+    fn migrate_overflow(&mut self) {
+        let horizon = self.cursor + NUM_BUCKETS;
+        while let Some(next) = self.overflow.peek() {
+            if bucket_of(next.time) >= horizon {
+                break;
+            }
+            let scheduled = self.overflow.pop().expect("peeked event exists");
+            self.insert_into_ring(scheduled);
+        }
+    }
+
 }
 
 #[cfg(test)]
@@ -239,5 +403,86 @@ mod tests {
         assert!(q.is_empty());
         assert_eq!(q.pop(), None);
         assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn far_future_events_cross_the_overflow_tier() {
+        // Far beyond the ring horizon (≈ 134 ms): the event parks in the
+        // overflow heap and migrates into the ring when the clock jumps.
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(3600), "far");
+        q.schedule_at(SimTime::from_millis(1), "near");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().1, "near");
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(3600)));
+        assert_eq!(q.pop().unwrap(), (SimTime::from_secs(3600), "far"));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_tiers_keep_global_order() {
+        // Mix near, mid and far events, re-scheduling as time advances, and
+        // check against a straight sort of the (time, insertion) pairs.
+        let mut q = EventQueue::new();
+        let mut expected = Vec::new();
+        let offsets_ms = [0, 1, 70, 200, 3, 500, 65, 2, 1000, 130, 4, 260];
+        for (i, ms) in offsets_ms.into_iter().enumerate() {
+            q.schedule_at(SimTime::from_millis(ms), i);
+            expected.push((SimTime::from_millis(ms), i));
+        }
+        expected.sort_by_key(|&(t, i)| (t, i));
+        let popped: Vec<(SimTime, usize)> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(popped, expected);
+        assert_eq!(q.events_processed(), offsets_ms.len() as u64);
+    }
+
+    #[test]
+    fn insert_into_live_bucket_preserves_order() {
+        // Pop one event from a bucket, then schedule more into the same
+        // bucket: delivery order must still follow (time, seq).
+        let mut q = EventQueue::new();
+        let base = SimTime::from_millis(1);
+        q.schedule_at(base, 0);
+        q.schedule_at(base + SimDuration::from_micros(100), 2);
+        assert_eq!(q.pop().unwrap().1, 0);
+        q.schedule_at(base + SimDuration::from_micros(50), 1);
+        q.schedule_at(base + SimDuration::from_micros(100), 3); // tie with 2
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn pop_due_respects_the_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(10), "near");
+        q.schedule_at(SimTime::from_secs(900), "far"); // overflow tier
+        assert_eq!(q.pop_due(SimTime::from_millis(5)), None);
+        assert_eq!(
+            q.pop_due(SimTime::from_millis(10)),
+            Some((SimTime::from_millis(10), "near"))
+        );
+        // The far event sits beyond the deadline in the overflow tier.
+        assert_eq!(q.pop_due(SimTime::from_secs(899)), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(
+            q.pop_due(SimTime::from_secs(900)),
+            Some((SimTime::from_secs(900), "far"))
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ring_slots_are_reused_across_wraps() {
+        // March the clock far past one full ring revolution, one event per
+        // bucket width, so every slot is re-labelled at least twice.
+        let mut q = EventQueue::new();
+        let step = SimDuration::from_nanos(1 << BUCKET_SHIFT);
+        let mut t = SimTime::ZERO;
+        for i in 0..(NUM_BUCKETS * 3) {
+            q.schedule_at(t, i);
+            t = t.checked_add(step).unwrap();
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..NUM_BUCKETS * 3).collect::<Vec<_>>());
     }
 }

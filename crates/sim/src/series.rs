@@ -101,6 +101,14 @@ pub struct StepSeries {
     integrals: Vec<f64>,
     last_time: SimTime,
     last_value: f64,
+    /// Index of the window containing `last_time`.
+    ///
+    /// Cached together with `window_end` so the hot path — many updates
+    /// inside one window — runs without any division; divisions only
+    /// happen implicitly via the +1 advance on a window crossing.
+    window_idx: usize,
+    /// Exclusive end (nanoseconds) of the window at `window_idx`.
+    window_end: u64,
 }
 
 impl StepSeries {
@@ -114,10 +122,12 @@ impl StepSeries {
     pub fn new(window: SimDuration) -> Self {
         assert!(!window.is_zero(), "bucket window must be non-zero");
         StepSeries {
+            window_end: window.as_nanos(),
             window,
             integrals: Vec::new(),
             last_time: SimTime::ZERO,
             last_value: 0.0,
+            window_idx: 0,
         }
     }
 
@@ -185,22 +195,25 @@ impl StepSeries {
     fn integrate_to(&mut self, time: SimTime) {
         let mut cursor = self.last_time.as_nanos();
         let end = time.as_nanos();
-        let w = self.window.as_nanos();
-        while cursor < end {
-            let idx = (cursor / w) as usize;
-            let window_end = (cursor / w + 1) * w;
-            let upto = window_end.min(end);
-            if idx >= self.integrals.len() {
-                self.integrals.resize(idx + 1, 0.0);
-            }
-            self.integrals[idx] += self.last_value * (upto - cursor) as f64;
-            cursor = upto;
+        if end <= cursor {
+            // Nothing elapsed; the previous call already materialised every
+            // window up to `end`.
+            return;
         }
-        // Ensure trailing windows exist even if the value was zero.
-        if end > 0 {
-            let last_idx = ((end - 1) / w) as usize;
-            if last_idx >= self.integrals.len() {
-                self.integrals.resize(last_idx + 1, 0.0);
+        let w = self.window.as_nanos();
+        loop {
+            let upto = self.window_end.min(end);
+            if self.window_idx >= self.integrals.len() {
+                self.integrals.resize(self.window_idx + 1, 0.0);
+            }
+            self.integrals[self.window_idx] += self.last_value * (upto - cursor) as f64;
+            cursor = upto;
+            if cursor == self.window_end {
+                self.window_idx += 1;
+                self.window_end += w;
+            }
+            if cursor == end {
+                break;
             }
         }
     }

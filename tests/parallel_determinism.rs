@@ -1,0 +1,64 @@
+//! The parallel experiment executor must be invisible in the results: a
+//! parallel sweep renders byte-identical output to the serial equivalent,
+//! and the kernel's delivered-event count for a fixed seed is pinned so an
+//! accidental change to event scheduling shows up as a test failure, not a
+//! silent perf or semantics drift.
+
+use microedge::bench::runner::SystemConfig;
+use microedge::bench::scalability;
+use microedge::bench::trace_study::{self, fig6_configs};
+use microedge::sim::time::SimDuration;
+use microedge::workloads::apps::CameraApp;
+use microedge::workloads::trace::{synthesize, TraceConfig, TraceEvent};
+
+fn short_trace() -> (Vec<TraceEvent>, TraceConfig) {
+    let mut cfg = TraceConfig::microedge_downsized();
+    cfg.duration = SimDuration::from_secs(5 * 60);
+    (synthesize(&cfg, 7), cfg)
+}
+
+#[test]
+fn parallel_fig6_renders_byte_identical_to_serial() {
+    let (trace, cfg) = short_trace();
+    // The production path fans the five configurations out across worker
+    // threads; the reference path replays them one by one on this thread.
+    let parallel = trace_study::run_fig6(&trace, &cfg, 6);
+    let serial: Vec<_> = fig6_configs()
+        .iter()
+        .map(|&config| trace_study::run_trace(config, &trace, &cfg, 6))
+        .collect();
+    assert_eq!(
+        trace_study::render_fig6(&parallel),
+        trace_study::render_fig6(&serial),
+        "parallel fig6 replay must be byte-identical to serial"
+    );
+}
+
+#[test]
+fn parallel_fig5_renders_byte_identical_to_serial() {
+    let app = CameraApp::coral_pie();
+    let configs = SystemConfig::fig5_configs();
+    let parallel = scalability::fig5_sweep(&app, &configs, 3, 120);
+    let mut serial = Vec::new();
+    for &config in &configs {
+        for tpus in 1..=3 {
+            serial.push(scalability::run_point(&app, config, tpus, 120));
+        }
+    }
+    assert_eq!(
+        scalability::render_sweep(&app, &parallel),
+        scalability::render_sweep(&app, &serial),
+        "parallel fig5 sweep must be byte-identical to serial"
+    );
+}
+
+#[test]
+fn kernel_event_count_is_pinned_for_a_fixed_seed() {
+    let (trace, cfg) = short_trace();
+    let outcome = trace_study::run_trace(SystemConfig::microedge_full(), &trace, &cfg, 6);
+    // Golden value for the 5-minute seed-7 downsized trace on 6 TPUs with
+    // the full MicroEdge configuration. The kernel is deterministic, so any
+    // change to this number means event scheduling itself changed — which
+    // is exactly what a hot-path refactor must not do silently.
+    assert_eq!(outcome.events_processed(), 89_615);
+}
