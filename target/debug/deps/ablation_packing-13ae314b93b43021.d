@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_packing-13ae314b93b43021.d: crates/bench/benches/ablation_packing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_packing-13ae314b93b43021.rmeta: crates/bench/benches/ablation_packing.rs Cargo.toml
+
+crates/bench/benches/ablation_packing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_packing-6844e3ac5474936d.d: crates/bench/benches/ablation_packing.rs
+
+/root/repo/target/debug/deps/ablation_packing-6844e3ac5474936d: crates/bench/benches/ablation_packing.rs
+
+crates/bench/benches/ablation_packing.rs:

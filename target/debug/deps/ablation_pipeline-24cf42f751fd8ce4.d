@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_pipeline-24cf42f751fd8ce4.d: crates/bench/benches/ablation_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_pipeline-24cf42f751fd8ce4.rmeta: crates/bench/benches/ablation_pipeline.rs Cargo.toml
+
+crates/bench/benches/ablation_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

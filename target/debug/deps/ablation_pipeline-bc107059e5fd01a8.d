@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_pipeline-bc107059e5fd01a8.d: crates/bench/benches/ablation_pipeline.rs
+
+/root/repo/target/debug/deps/ablation_pipeline-bc107059e5fd01a8: crates/bench/benches/ablation_pipeline.rs
+
+crates/bench/benches/ablation_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_serverless-4df261f971ec7d90.d: crates/bench/benches/ablation_serverless.rs
+
+/root/repo/target/debug/deps/ablation_serverless-4df261f971ec7d90: crates/bench/benches/ablation_serverless.rs
+
+crates/bench/benches/ablation_serverless.rs:

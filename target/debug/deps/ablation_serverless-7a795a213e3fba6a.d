@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_serverless-7a795a213e3fba6a.d: crates/bench/benches/ablation_serverless.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_serverless-7a795a213e3fba6a.rmeta: crates/bench/benches/ablation_serverless.rs Cargo.toml
+
+crates/bench/benches/ablation_serverless.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/admission_properties-1a257afe29ea9ea3.d: tests/admission_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadmission_properties-1a257afe29ea9ea3.rmeta: tests/admission_properties.rs Cargo.toml
+
+tests/admission_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/admission_properties-2a10a7aa8b3f76ba.d: tests/admission_properties.rs
+
+/root/repo/target/debug/deps/admission_properties-2a10a7aa8b3f76ba: tests/admission_properties.rs
+
+tests/admission_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-6698501af12bd904.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-6698501af12bd904: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-f0a5d5df876140e3.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-f0a5d5df876140e3.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-f0a5d5df876140e3.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-a03afa46378ec4c2.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-a03afa46378ec4c2: tests/end_to_end.rs
+
+tests/end_to_end.rs:

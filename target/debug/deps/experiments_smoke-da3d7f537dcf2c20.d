@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments_smoke-da3d7f537dcf2c20.d: tests/experiments_smoke.rs
+
+/root/repo/target/debug/deps/experiments_smoke-da3d7f537dcf2c20: tests/experiments_smoke.rs
+
+tests/experiments_smoke.rs:

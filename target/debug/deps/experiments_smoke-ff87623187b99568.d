@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/experiments_smoke-ff87623187b99568.d: tests/experiments_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiments_smoke-ff87623187b99568.rmeta: tests/experiments_smoke.rs Cargo.toml
+
+tests/experiments_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/failure_injection-10b2a70ac67741b4.d: tests/failure_injection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailure_injection-10b2a70ac67741b4.rmeta: tests/failure_injection.rs Cargo.toml
+
+tests/failure_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

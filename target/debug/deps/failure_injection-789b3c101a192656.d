@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-789b3c101a192656.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-789b3c101a192656: tests/failure_injection.rs
+
+tests/failure_injection.rs:

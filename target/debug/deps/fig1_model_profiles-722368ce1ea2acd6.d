@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_model_profiles-722368ce1ea2acd6.d: crates/bench/benches/fig1_model_profiles.rs
+
+/root/repo/target/debug/deps/fig1_model_profiles-722368ce1ea2acd6: crates/bench/benches/fig1_model_profiles.rs
+
+crates/bench/benches/fig1_model_profiles.rs:

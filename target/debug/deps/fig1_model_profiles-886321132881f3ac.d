@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_model_profiles-886321132881f3ac.d: crates/bench/benches/fig1_model_profiles.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_model_profiles-886321132881f3ac.rmeta: crates/bench/benches/fig1_model_profiles.rs Cargo.toml
+
+crates/bench/benches/fig1_model_profiles.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

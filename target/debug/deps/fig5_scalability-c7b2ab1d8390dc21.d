@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_scalability-c7b2ab1d8390dc21.d: crates/bench/benches/fig5_scalability.rs
+
+/root/repo/target/debug/deps/fig5_scalability-c7b2ab1d8390dc21: crates/bench/benches/fig5_scalability.rs
+
+crates/bench/benches/fig5_scalability.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_scalability-f73db4b471bd7a93.d: crates/bench/benches/fig5_scalability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_scalability-f73db4b471bd7a93.rmeta: crates/bench/benches/fig5_scalability.rs Cargo.toml
+
+crates/bench/benches/fig5_scalability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_trace-16cf266b62916f08.d: crates/bench/benches/fig6_trace.rs
+
+/root/repo/target/debug/deps/fig6_trace-16cf266b62916f08: crates/bench/benches/fig6_trace.rs
+
+crates/bench/benches/fig6_trace.rs:

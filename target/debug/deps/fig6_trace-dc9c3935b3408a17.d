@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_trace-dc9c3935b3408a17.d: crates/bench/benches/fig6_trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_trace-dc9c3935b3408a17.rmeta: crates/bench/benches/fig6_trace.rs Cargo.toml
+
+crates/bench/benches/fig6_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

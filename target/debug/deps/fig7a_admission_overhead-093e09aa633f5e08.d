@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7a_admission_overhead-093e09aa633f5e08.d: crates/bench/benches/fig7a_admission_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7a_admission_overhead-093e09aa633f5e08.rmeta: crates/bench/benches/fig7a_admission_overhead.rs Cargo.toml
+
+crates/bench/benches/fig7a_admission_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

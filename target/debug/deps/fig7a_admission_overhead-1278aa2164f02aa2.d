@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7a_admission_overhead-1278aa2164f02aa2.d: crates/bench/benches/fig7a_admission_overhead.rs
+
+/root/repo/target/debug/deps/fig7a_admission_overhead-1278aa2164f02aa2: crates/bench/benches/fig7a_admission_overhead.rs
+
+crates/bench/benches/fig7a_admission_overhead.rs:

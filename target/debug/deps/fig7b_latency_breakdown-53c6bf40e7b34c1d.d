@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7b_latency_breakdown-53c6bf40e7b34c1d.d: crates/bench/benches/fig7b_latency_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7b_latency_breakdown-53c6bf40e7b34c1d.rmeta: crates/bench/benches/fig7b_latency_breakdown.rs Cargo.toml
+
+crates/bench/benches/fig7b_latency_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7b_latency_breakdown-96e7de3db862fd31.d: crates/bench/benches/fig7b_latency_breakdown.rs
+
+/root/repo/target/debug/deps/fig7b_latency_breakdown-96e7de3db862fd31: crates/bench/benches/fig7b_latency_breakdown.rs
+
+crates/bench/benches/fig7b_latency_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/large_scale-3f9d1c7549b8a62a.d: tests/large_scale.rs
+
+/root/repo/target/debug/deps/large_scale-3f9d1c7549b8a62a: tests/large_scale.rs
+
+tests/large_scale.rs:

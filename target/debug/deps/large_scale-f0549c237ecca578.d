@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/large_scale-f0549c237ecca578.d: tests/large_scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblarge_scale-f0549c237ecca578.rmeta: tests/large_scale.rs Cargo.toml
+
+tests/large_scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lbs_properties-471bed1375dae711.d: tests/lbs_properties.rs
+
+/root/repo/target/debug/deps/lbs_properties-471bed1375dae711: tests/lbs_properties.rs
+
+tests/lbs_properties.rs:

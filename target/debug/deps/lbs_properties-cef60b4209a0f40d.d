@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lbs_properties-cef60b4209a0f40d.d: tests/lbs_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblbs_properties-cef60b4209a0f40d.rmeta: tests/lbs_properties.rs Cargo.toml
+
+tests/lbs_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/microbenchmarks-ba5a59a7d4119e4c.d: crates/bench/benches/microbenchmarks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicrobenchmarks-ba5a59a7d4119e4c.rmeta: crates/bench/benches/microbenchmarks.rs Cargo.toml
+
+crates/bench/benches/microbenchmarks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/microbenchmarks-c5ca90b184f7d38b.d: crates/bench/benches/microbenchmarks.rs
+
+/root/repo/target/debug/deps/microbenchmarks-c5ca90b184f7d38b: crates/bench/benches/microbenchmarks.rs
+
+crates/bench/benches/microbenchmarks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/microedge-2fee478d40f2c970.d: src/lib.rs
+
+/root/repo/target/debug/deps/microedge-2fee478d40f2c970: src/lib.rs
+
+src/lib.rs:

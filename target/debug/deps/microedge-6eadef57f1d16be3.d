@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/microedge-6eadef57f1d16be3.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmicroedge-6eadef57f1d16be3.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmicroedge-6eadef57f1d16be3.rmeta: src/lib.rs
+
+src/lib.rs:

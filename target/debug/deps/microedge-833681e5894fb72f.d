@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/microedge-833681e5894fb72f.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicroedge-833681e5894fb72f.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/microedge-e04f1c886f1c70f5.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicroedge-e04f1c886f1c70f5.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

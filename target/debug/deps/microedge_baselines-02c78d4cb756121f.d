@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/microedge_baselines-02c78d4cb756121f.d: crates/baselines/src/lib.rs crates/baselines/src/dedicated.rs crates/baselines/src/serverless.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicroedge_baselines-02c78d4cb756121f.rmeta: crates/baselines/src/lib.rs crates/baselines/src/dedicated.rs crates/baselines/src/serverless.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/dedicated.rs:
+crates/baselines/src/serverless.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

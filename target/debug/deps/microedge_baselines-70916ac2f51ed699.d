@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/microedge_baselines-70916ac2f51ed699.d: crates/baselines/src/lib.rs crates/baselines/src/dedicated.rs crates/baselines/src/serverless.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicroedge_baselines-70916ac2f51ed699.rmeta: crates/baselines/src/lib.rs crates/baselines/src/dedicated.rs crates/baselines/src/serverless.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/dedicated.rs:
+crates/baselines/src/serverless.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

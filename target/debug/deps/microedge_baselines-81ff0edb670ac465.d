@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/microedge_baselines-81ff0edb670ac465.d: crates/baselines/src/lib.rs crates/baselines/src/dedicated.rs crates/baselines/src/serverless.rs
+
+/root/repo/target/debug/deps/libmicroedge_baselines-81ff0edb670ac465.rlib: crates/baselines/src/lib.rs crates/baselines/src/dedicated.rs crates/baselines/src/serverless.rs
+
+/root/repo/target/debug/deps/libmicroedge_baselines-81ff0edb670ac465.rmeta: crates/baselines/src/lib.rs crates/baselines/src/dedicated.rs crates/baselines/src/serverless.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/dedicated.rs:
+crates/baselines/src/serverless.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/microedge_baselines-edafe3941899986c.d: crates/baselines/src/lib.rs crates/baselines/src/dedicated.rs crates/baselines/src/serverless.rs
+
+/root/repo/target/debug/deps/microedge_baselines-edafe3941899986c: crates/baselines/src/lib.rs crates/baselines/src/dedicated.rs crates/baselines/src/serverless.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/dedicated.rs:
+crates/baselines/src/serverless.rs:

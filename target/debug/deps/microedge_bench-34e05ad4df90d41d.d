@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/microedge_bench-34e05ad4df90d41d.d: crates/bench/src/lib.rs crates/bench/src/admission_overhead.rs crates/bench/src/cost.rs crates/bench/src/csv.rs crates/bench/src/diff_detector.rs crates/bench/src/fig1.rs crates/bench/src/latency_breakdown.rs crates/bench/src/packing.rs crates/bench/src/par.rs crates/bench/src/perf.rs crates/bench/src/pipeline_ablation.rs crates/bench/src/runner.rs crates/bench/src/scalability.rs crates/bench/src/tail_latency.rs crates/bench/src/trace_study.rs
+
+/root/repo/target/debug/deps/microedge_bench-34e05ad4df90d41d: crates/bench/src/lib.rs crates/bench/src/admission_overhead.rs crates/bench/src/cost.rs crates/bench/src/csv.rs crates/bench/src/diff_detector.rs crates/bench/src/fig1.rs crates/bench/src/latency_breakdown.rs crates/bench/src/packing.rs crates/bench/src/par.rs crates/bench/src/perf.rs crates/bench/src/pipeline_ablation.rs crates/bench/src/runner.rs crates/bench/src/scalability.rs crates/bench/src/tail_latency.rs crates/bench/src/trace_study.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/admission_overhead.rs:
+crates/bench/src/cost.rs:
+crates/bench/src/csv.rs:
+crates/bench/src/diff_detector.rs:
+crates/bench/src/fig1.rs:
+crates/bench/src/latency_breakdown.rs:
+crates/bench/src/packing.rs:
+crates/bench/src/par.rs:
+crates/bench/src/perf.rs:
+crates/bench/src/pipeline_ablation.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/scalability.rs:
+crates/bench/src/tail_latency.rs:
+crates/bench/src/trace_study.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/microedge_cluster-327dda8578d44185.d: crates/cluster/src/lib.rs crates/cluster/src/cost.rs crates/cluster/src/network.rs crates/cluster/src/node.rs crates/cluster/src/topology.rs
+
+/root/repo/target/debug/deps/libmicroedge_cluster-327dda8578d44185.rlib: crates/cluster/src/lib.rs crates/cluster/src/cost.rs crates/cluster/src/network.rs crates/cluster/src/node.rs crates/cluster/src/topology.rs
+
+/root/repo/target/debug/deps/libmicroedge_cluster-327dda8578d44185.rmeta: crates/cluster/src/lib.rs crates/cluster/src/cost.rs crates/cluster/src/network.rs crates/cluster/src/node.rs crates/cluster/src/topology.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/cost.rs:
+crates/cluster/src/network.rs:
+crates/cluster/src/node.rs:
+crates/cluster/src/topology.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/microedge_cluster-b8303054175af9b2.d: crates/cluster/src/lib.rs crates/cluster/src/cost.rs crates/cluster/src/network.rs crates/cluster/src/node.rs crates/cluster/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicroedge_cluster-b8303054175af9b2.rmeta: crates/cluster/src/lib.rs crates/cluster/src/cost.rs crates/cluster/src/network.rs crates/cluster/src/node.rs crates/cluster/src/topology.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/cost.rs:
+crates/cluster/src/network.rs:
+crates/cluster/src/node.rs:
+crates/cluster/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/microedge_cluster-fdc904e354f20a52.d: crates/cluster/src/lib.rs crates/cluster/src/cost.rs crates/cluster/src/network.rs crates/cluster/src/node.rs crates/cluster/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicroedge_cluster-fdc904e354f20a52.rmeta: crates/cluster/src/lib.rs crates/cluster/src/cost.rs crates/cluster/src/network.rs crates/cluster/src/node.rs crates/cluster/src/topology.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/cost.rs:
+crates/cluster/src/network.rs:
+crates/cluster/src/node.rs:
+crates/cluster/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/microedge_core-8a78a24ea055c6d8.d: crates/core/src/lib.rs crates/core/src/admission.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/lbs.rs crates/core/src/pool.rs crates/core/src/runtime.rs crates/core/src/scheduler.rs crates/core/src/units.rs
+
+/root/repo/target/debug/deps/microedge_core-8a78a24ea055c6d8: crates/core/src/lib.rs crates/core/src/admission.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/lbs.rs crates/core/src/pool.rs crates/core/src/runtime.rs crates/core/src/scheduler.rs crates/core/src/units.rs
+
+crates/core/src/lib.rs:
+crates/core/src/admission.rs:
+crates/core/src/client.rs:
+crates/core/src/config.rs:
+crates/core/src/lbs.rs:
+crates/core/src/pool.rs:
+crates/core/src/runtime.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/units.rs:

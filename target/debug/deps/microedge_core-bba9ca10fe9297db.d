@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/microedge_core-bba9ca10fe9297db.d: crates/core/src/lib.rs crates/core/src/admission.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/lbs.rs crates/core/src/pool.rs crates/core/src/runtime.rs crates/core/src/scheduler.rs crates/core/src/units.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicroedge_core-bba9ca10fe9297db.rmeta: crates/core/src/lib.rs crates/core/src/admission.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/lbs.rs crates/core/src/pool.rs crates/core/src/runtime.rs crates/core/src/scheduler.rs crates/core/src/units.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/admission.rs:
+crates/core/src/client.rs:
+crates/core/src/config.rs:
+crates/core/src/lbs.rs:
+crates/core/src/pool.rs:
+crates/core/src/runtime.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/units.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/microedge_metrics-60f32a05a6d5af94.d: crates/metrics/src/lib.rs crates/metrics/src/latency.rs crates/metrics/src/report.rs crates/metrics/src/throughput.rs crates/metrics/src/utilization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicroedge_metrics-60f32a05a6d5af94.rmeta: crates/metrics/src/lib.rs crates/metrics/src/latency.rs crates/metrics/src/report.rs crates/metrics/src/throughput.rs crates/metrics/src/utilization.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/latency.rs:
+crates/metrics/src/report.rs:
+crates/metrics/src/throughput.rs:
+crates/metrics/src/utilization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/microedge_metrics-c59b4ef15b4d1925.d: crates/metrics/src/lib.rs crates/metrics/src/latency.rs crates/metrics/src/report.rs crates/metrics/src/throughput.rs crates/metrics/src/utilization.rs
+
+/root/repo/target/debug/deps/libmicroedge_metrics-c59b4ef15b4d1925.rlib: crates/metrics/src/lib.rs crates/metrics/src/latency.rs crates/metrics/src/report.rs crates/metrics/src/throughput.rs crates/metrics/src/utilization.rs
+
+/root/repo/target/debug/deps/libmicroedge_metrics-c59b4ef15b4d1925.rmeta: crates/metrics/src/lib.rs crates/metrics/src/latency.rs crates/metrics/src/report.rs crates/metrics/src/throughput.rs crates/metrics/src/utilization.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/latency.rs:
+crates/metrics/src/report.rs:
+crates/metrics/src/throughput.rs:
+crates/metrics/src/utilization.rs:

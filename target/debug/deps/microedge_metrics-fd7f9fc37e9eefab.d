@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/microedge_metrics-fd7f9fc37e9eefab.d: crates/metrics/src/lib.rs crates/metrics/src/latency.rs crates/metrics/src/report.rs crates/metrics/src/throughput.rs crates/metrics/src/utilization.rs
+
+/root/repo/target/debug/deps/microedge_metrics-fd7f9fc37e9eefab: crates/metrics/src/lib.rs crates/metrics/src/latency.rs crates/metrics/src/report.rs crates/metrics/src/throughput.rs crates/metrics/src/utilization.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/latency.rs:
+crates/metrics/src/report.rs:
+crates/metrics/src/throughput.rs:
+crates/metrics/src/utilization.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/microedge_models-0e222f8aa8252405.d: crates/models/src/lib.rs crates/models/src/catalog.rs crates/models/src/profile.rs
+
+/root/repo/target/debug/deps/microedge_models-0e222f8aa8252405: crates/models/src/lib.rs crates/models/src/catalog.rs crates/models/src/profile.rs
+
+crates/models/src/lib.rs:
+crates/models/src/catalog.rs:
+crates/models/src/profile.rs:

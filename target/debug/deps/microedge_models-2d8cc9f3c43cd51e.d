@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/microedge_models-2d8cc9f3c43cd51e.d: crates/models/src/lib.rs crates/models/src/catalog.rs crates/models/src/profile.rs
+
+/root/repo/target/debug/deps/libmicroedge_models-2d8cc9f3c43cd51e.rlib: crates/models/src/lib.rs crates/models/src/catalog.rs crates/models/src/profile.rs
+
+/root/repo/target/debug/deps/libmicroedge_models-2d8cc9f3c43cd51e.rmeta: crates/models/src/lib.rs crates/models/src/catalog.rs crates/models/src/profile.rs
+
+crates/models/src/lib.rs:
+crates/models/src/catalog.rs:
+crates/models/src/profile.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/microedge_models-50901a91cda78e8c.d: crates/models/src/lib.rs crates/models/src/catalog.rs crates/models/src/profile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicroedge_models-50901a91cda78e8c.rmeta: crates/models/src/lib.rs crates/models/src/catalog.rs crates/models/src/profile.rs Cargo.toml
+
+crates/models/src/lib.rs:
+crates/models/src/catalog.rs:
+crates/models/src/profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/microedge_orch-79d841e9e1d03372.d: crates/orch/src/lib.rs crates/orch/src/control_latency.rs crates/orch/src/events.rs crates/orch/src/lifecycle.rs crates/orch/src/pod.rs crates/orch/src/scheduler.rs crates/orch/src/spec.rs crates/orch/src/state.rs
+
+/root/repo/target/debug/deps/microedge_orch-79d841e9e1d03372: crates/orch/src/lib.rs crates/orch/src/control_latency.rs crates/orch/src/events.rs crates/orch/src/lifecycle.rs crates/orch/src/pod.rs crates/orch/src/scheduler.rs crates/orch/src/spec.rs crates/orch/src/state.rs
+
+crates/orch/src/lib.rs:
+crates/orch/src/control_latency.rs:
+crates/orch/src/events.rs:
+crates/orch/src/lifecycle.rs:
+crates/orch/src/pod.rs:
+crates/orch/src/scheduler.rs:
+crates/orch/src/spec.rs:
+crates/orch/src/state.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/microedge_orch-a66f856e7309a85c.d: crates/orch/src/lib.rs crates/orch/src/control_latency.rs crates/orch/src/events.rs crates/orch/src/lifecycle.rs crates/orch/src/pod.rs crates/orch/src/scheduler.rs crates/orch/src/spec.rs crates/orch/src/state.rs
+
+/root/repo/target/debug/deps/libmicroedge_orch-a66f856e7309a85c.rlib: crates/orch/src/lib.rs crates/orch/src/control_latency.rs crates/orch/src/events.rs crates/orch/src/lifecycle.rs crates/orch/src/pod.rs crates/orch/src/scheduler.rs crates/orch/src/spec.rs crates/orch/src/state.rs
+
+/root/repo/target/debug/deps/libmicroedge_orch-a66f856e7309a85c.rmeta: crates/orch/src/lib.rs crates/orch/src/control_latency.rs crates/orch/src/events.rs crates/orch/src/lifecycle.rs crates/orch/src/pod.rs crates/orch/src/scheduler.rs crates/orch/src/spec.rs crates/orch/src/state.rs
+
+crates/orch/src/lib.rs:
+crates/orch/src/control_latency.rs:
+crates/orch/src/events.rs:
+crates/orch/src/lifecycle.rs:
+crates/orch/src/pod.rs:
+crates/orch/src/scheduler.rs:
+crates/orch/src/spec.rs:
+crates/orch/src/state.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/microedge_orch-ff88dbebbbc862ff.d: crates/orch/src/lib.rs crates/orch/src/control_latency.rs crates/orch/src/events.rs crates/orch/src/lifecycle.rs crates/orch/src/pod.rs crates/orch/src/scheduler.rs crates/orch/src/spec.rs crates/orch/src/state.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicroedge_orch-ff88dbebbbc862ff.rmeta: crates/orch/src/lib.rs crates/orch/src/control_latency.rs crates/orch/src/events.rs crates/orch/src/lifecycle.rs crates/orch/src/pod.rs crates/orch/src/scheduler.rs crates/orch/src/spec.rs crates/orch/src/state.rs Cargo.toml
+
+crates/orch/src/lib.rs:
+crates/orch/src/control_latency.rs:
+crates/orch/src/events.rs:
+crates/orch/src/lifecycle.rs:
+crates/orch/src/pod.rs:
+crates/orch/src/scheduler.rs:
+crates/orch/src/spec.rs:
+crates/orch/src/state.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

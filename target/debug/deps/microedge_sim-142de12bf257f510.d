@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/microedge_sim-142de12bf257f510.d: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/series.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/microedge_sim-142de12bf257f510: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/series.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/event.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/series.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

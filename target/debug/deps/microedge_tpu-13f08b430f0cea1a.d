@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/microedge_tpu-13f08b430f0cea1a.d: crates/tpu/src/lib.rs crates/tpu/src/cocompile.rs crates/tpu/src/device.rs crates/tpu/src/spec.rs
+
+/root/repo/target/debug/deps/libmicroedge_tpu-13f08b430f0cea1a.rlib: crates/tpu/src/lib.rs crates/tpu/src/cocompile.rs crates/tpu/src/device.rs crates/tpu/src/spec.rs
+
+/root/repo/target/debug/deps/libmicroedge_tpu-13f08b430f0cea1a.rmeta: crates/tpu/src/lib.rs crates/tpu/src/cocompile.rs crates/tpu/src/device.rs crates/tpu/src/spec.rs
+
+crates/tpu/src/lib.rs:
+crates/tpu/src/cocompile.rs:
+crates/tpu/src/device.rs:
+crates/tpu/src/spec.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/microedge_tpu-35cd2555def15c9d.d: crates/tpu/src/lib.rs crates/tpu/src/cocompile.rs crates/tpu/src/device.rs crates/tpu/src/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicroedge_tpu-35cd2555def15c9d.rmeta: crates/tpu/src/lib.rs crates/tpu/src/cocompile.rs crates/tpu/src/device.rs crates/tpu/src/spec.rs Cargo.toml
+
+crates/tpu/src/lib.rs:
+crates/tpu/src/cocompile.rs:
+crates/tpu/src/device.rs:
+crates/tpu/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

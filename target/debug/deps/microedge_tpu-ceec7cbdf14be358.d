@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/microedge_tpu-ceec7cbdf14be358.d: crates/tpu/src/lib.rs crates/tpu/src/cocompile.rs crates/tpu/src/device.rs crates/tpu/src/spec.rs
+
+/root/repo/target/debug/deps/microedge_tpu-ceec7cbdf14be358: crates/tpu/src/lib.rs crates/tpu/src/cocompile.rs crates/tpu/src/device.rs crates/tpu/src/spec.rs
+
+crates/tpu/src/lib.rs:
+crates/tpu/src/cocompile.rs:
+crates/tpu/src/device.rs:
+crates/tpu/src/spec.rs:

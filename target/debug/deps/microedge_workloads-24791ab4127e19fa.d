@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/microedge_workloads-24791ab4127e19fa.d: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/camera.rs crates/workloads/src/coralpie.rs crates/workloads/src/dataset.rs crates/workloads/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicroedge_workloads-24791ab4127e19fa.rmeta: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/camera.rs crates/workloads/src/coralpie.rs crates/workloads/src/dataset.rs crates/workloads/src/trace.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps.rs:
+crates/workloads/src/camera.rs:
+crates/workloads/src/coralpie.rs:
+crates/workloads/src/dataset.rs:
+crates/workloads/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/microedge_workloads-48e2a9545e0bff05.d: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/camera.rs crates/workloads/src/coralpie.rs crates/workloads/src/dataset.rs crates/workloads/src/trace.rs
+
+/root/repo/target/debug/deps/microedge_workloads-48e2a9545e0bff05: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/camera.rs crates/workloads/src/coralpie.rs crates/workloads/src/dataset.rs crates/workloads/src/trace.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps.rs:
+crates/workloads/src/camera.rs:
+crates/workloads/src/coralpie.rs:
+crates/workloads/src/dataset.rs:
+crates/workloads/src/trace.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/microedge_workloads-b4c44faf1defe271.d: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/camera.rs crates/workloads/src/coralpie.rs crates/workloads/src/dataset.rs crates/workloads/src/trace.rs
+
+/root/repo/target/debug/deps/libmicroedge_workloads-b4c44faf1defe271.rlib: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/camera.rs crates/workloads/src/coralpie.rs crates/workloads/src/dataset.rs crates/workloads/src/trace.rs
+
+/root/repo/target/debug/deps/libmicroedge_workloads-b4c44faf1defe271.rmeta: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/camera.rs crates/workloads/src/coralpie.rs crates/workloads/src/dataset.rs crates/workloads/src/trace.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps.rs:
+crates/workloads/src/camera.rs:
+crates/workloads/src/coralpie.rs:
+crates/workloads/src/dataset.rs:
+crates/workloads/src/trace.rs:

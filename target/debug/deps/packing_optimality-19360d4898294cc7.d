@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/packing_optimality-19360d4898294cc7.d: tests/packing_optimality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpacking_optimality-19360d4898294cc7.rmeta: tests/packing_optimality.rs Cargo.toml
+
+tests/packing_optimality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/packing_optimality-2ca5620f1d35afb1.d: tests/packing_optimality.rs
+
+/root/repo/target/debug/deps/packing_optimality-2ca5620f1d35afb1: tests/packing_optimality.rs
+
+tests/packing_optimality.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-752fa58b87686fbd.d: tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-752fa58b87686fbd: tests/parallel_determinism.rs
+
+tests/parallel_determinism.rs:

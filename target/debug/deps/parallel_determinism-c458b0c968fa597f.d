@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_determinism-c458b0c968fa597f.d: tests/parallel_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_determinism-c458b0c968fa597f.rmeta: tests/parallel_determinism.rs Cargo.toml
+
+tests/parallel_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perf_probe-ecc111b025ef5aaa.d: crates/bench/src/bin/perf_probe.rs
+
+/root/repo/target/debug/deps/perf_probe-ecc111b025ef5aaa: crates/bench/src/bin/perf_probe.rs
+
+crates/bench/src/bin/perf_probe.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-78b819f4bc3ffd6d.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-78b819f4bc3ffd6d.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-78b819f4bc3ffd6d.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

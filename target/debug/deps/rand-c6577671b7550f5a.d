@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-c6577671b7550f5a.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-c6577671b7550f5a: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-9de0e7067d36bbea.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-9de0e7067d36bbea: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

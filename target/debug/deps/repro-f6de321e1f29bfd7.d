@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-f6de321e1f29bfd7.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-f6de321e1f29bfd7: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_derive-60ccb74852c1317c.d: vendor/serde_derive/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_derive-60ccb74852c1317c.rmeta: vendor/serde_derive/src/lib.rs Cargo.toml
+
+vendor/serde_derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

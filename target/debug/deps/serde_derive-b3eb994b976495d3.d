@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-b3eb994b976495d3.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-b3eb994b976495d3.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

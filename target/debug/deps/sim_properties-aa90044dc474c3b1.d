@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_properties-aa90044dc474c3b1.d: tests/sim_properties.rs
+
+/root/repo/target/debug/deps/sim_properties-aa90044dc474c3b1: tests/sim_properties.rs
+
+tests/sim_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_properties-d70117bf6f2c8e83.d: tests/sim_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_properties-d70117bf6f2c8e83.rmeta: tests/sim_properties.rs Cargo.toml
+
+tests/sim_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/spec_files-8e7b61d06d617f95.d: tests/spec_files.rs tests/../examples/specs/coral-pie-camera.yaml tests/../examples/specs/bodypix-camera.yaml tests/../examples/specs/segmentation-pipeline.yaml tests/../examples/specs/plain-service.yaml tests/../examples/specs/fleet.yaml Cargo.toml
+
+/root/repo/target/debug/deps/libspec_files-8e7b61d06d617f95.rmeta: tests/spec_files.rs tests/../examples/specs/coral-pie-camera.yaml tests/../examples/specs/bodypix-camera.yaml tests/../examples/specs/segmentation-pipeline.yaml tests/../examples/specs/plain-service.yaml tests/../examples/specs/fleet.yaml Cargo.toml
+
+tests/spec_files.rs:
+tests/../examples/specs/coral-pie-camera.yaml:
+tests/../examples/specs/bodypix-camera.yaml:
+tests/../examples/specs/segmentation-pipeline.yaml:
+tests/../examples/specs/plain-service.yaml:
+tests/../examples/specs/fleet.yaml:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

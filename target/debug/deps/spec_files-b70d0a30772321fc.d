@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/spec_files-b70d0a30772321fc.d: tests/spec_files.rs tests/../examples/specs/coral-pie-camera.yaml tests/../examples/specs/bodypix-camera.yaml tests/../examples/specs/segmentation-pipeline.yaml tests/../examples/specs/plain-service.yaml tests/../examples/specs/fleet.yaml
+
+/root/repo/target/debug/deps/spec_files-b70d0a30772321fc: tests/spec_files.rs tests/../examples/specs/coral-pie-camera.yaml tests/../examples/specs/bodypix-camera.yaml tests/../examples/specs/segmentation-pipeline.yaml tests/../examples/specs/plain-service.yaml tests/../examples/specs/fleet.yaml
+
+tests/spec_files.rs:
+tests/../examples/specs/coral-pie-camera.yaml:
+tests/../examples/specs/bodypix-camera.yaml:
+tests/../examples/specs/segmentation-pipeline.yaml:
+tests/../examples/specs/plain-service.yaml:
+tests/../examples/specs/fleet.yaml:

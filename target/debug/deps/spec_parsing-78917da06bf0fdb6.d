@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spec_parsing-78917da06bf0fdb6.d: tests/spec_parsing.rs
+
+/root/repo/target/debug/deps/spec_parsing-78917da06bf0fdb6: tests/spec_parsing.rs
+
+tests/spec_parsing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spec_parsing-ddd73691ed021c09.d: tests/spec_parsing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspec_parsing-ddd73691ed021c09.rmeta: tests/spec_parsing.rs Cargo.toml
+
+tests/spec_parsing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_cost-4287a4dcd14387be.d: crates/bench/benches/table1_cost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_cost-4287a4dcd14387be.rmeta: crates/bench/benches/table1_cost.rs Cargo.toml
+
+crates/bench/benches/table1_cost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_cost-afa194e476b14b35.d: crates/bench/benches/table1_cost.rs
+
+/root/repo/target/debug/deps/table1_cost-afa194e476b14b35: crates/bench/benches/table1_cost.rs
+
+crates/bench/benches/table1_cost.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tpu_properties-35f7b612489a5654.d: tests/tpu_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtpu_properties-35f7b612489a5654.rmeta: tests/tpu_properties.rs Cargo.toml
+
+tests/tpu_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

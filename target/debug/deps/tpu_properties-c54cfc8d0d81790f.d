@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tpu_properties-c54cfc8d0d81790f.d: tests/tpu_properties.rs
+
+/root/repo/target/debug/deps/tpu_properties-c54cfc8d0d81790f: tests/tpu_properties.rs
+
+tests/tpu_properties.rs:

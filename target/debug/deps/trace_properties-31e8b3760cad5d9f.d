@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_properties-31e8b3760cad5d9f.d: tests/trace_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_properties-31e8b3760cad5d9f.rmeta: tests/trace_properties.rs Cargo.toml
+
+tests/trace_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_properties-e11745c794a8bd3b.d: tests/trace_properties.rs
+
+/root/repo/target/debug/deps/trace_properties-e11745c794a8bd3b: tests/trace_properties.rs
+
+tests/trace_properties.rs:

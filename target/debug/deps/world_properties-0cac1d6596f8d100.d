@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/world_properties-0cac1d6596f8d100.d: tests/world_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworld_properties-0cac1d6596f8d100.rmeta: tests/world_properties.rs Cargo.toml
+
+tests/world_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

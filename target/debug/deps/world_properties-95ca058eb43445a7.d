@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/world_properties-95ca058eb43445a7.d: tests/world_properties.rs
+
+/root/repo/target/debug/deps/world_properties-95ca058eb43445a7: tests/world_properties.rs
+
+tests/world_properties.rs:

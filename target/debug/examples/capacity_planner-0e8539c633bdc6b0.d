@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/capacity_planner-0e8539c633bdc6b0.d: examples/capacity_planner.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcapacity_planner-0e8539c633bdc6b0.rmeta: examples/capacity_planner.rs Cargo.toml
+
+examples/capacity_planner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

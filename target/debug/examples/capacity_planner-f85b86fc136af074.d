@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/capacity_planner-f85b86fc136af074.d: examples/capacity_planner.rs
+
+/root/repo/target/debug/examples/capacity_planner-f85b86fc136af074: examples/capacity_planner.rs
+
+examples/capacity_planner.rs:

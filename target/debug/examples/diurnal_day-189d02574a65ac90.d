@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/diurnal_day-189d02574a65ac90.d: examples/diurnal_day.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdiurnal_day-189d02574a65ac90.rmeta: examples/diurnal_day.rs Cargo.toml
+
+examples/diurnal_day.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

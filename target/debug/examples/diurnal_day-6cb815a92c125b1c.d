@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/diurnal_day-6cb815a92c125b1c.d: examples/diurnal_day.rs
+
+/root/repo/target/debug/examples/diurnal_day-6cb815a92c125b1c: examples/diurnal_day.rs
+
+examples/diurnal_day.rs:

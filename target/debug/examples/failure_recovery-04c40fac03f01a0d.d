@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/failure_recovery-04c40fac03f01a0d.d: examples/failure_recovery.rs
+
+/root/repo/target/debug/examples/failure_recovery-04c40fac03f01a0d: examples/failure_recovery.rs
+
+examples/failure_recovery.rs:

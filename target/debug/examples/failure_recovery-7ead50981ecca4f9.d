@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/failure_recovery-7ead50981ecca4f9.d: examples/failure_recovery.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfailure_recovery-7ead50981ecca4f9.rmeta: examples/failure_recovery.rs Cargo.toml
+
+examples/failure_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_model_pipeline-9c356ffa350cdab1.d: examples/multi_model_pipeline.rs
+
+/root/repo/target/debug/examples/multi_model_pipeline-9c356ffa350cdab1: examples/multi_model_pipeline.rs
+
+examples/multi_model_pipeline.rs:

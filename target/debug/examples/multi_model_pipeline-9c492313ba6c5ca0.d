@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multi_model_pipeline-9c492313ba6c5ca0.d: examples/multi_model_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulti_model_pipeline-9c492313ba6c5ca0.rmeta: examples/multi_model_pipeline.rs Cargo.toml
+
+examples/multi_model_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

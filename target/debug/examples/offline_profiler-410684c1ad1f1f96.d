@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/offline_profiler-410684c1ad1f1f96.d: examples/offline_profiler.rs Cargo.toml
+
+/root/repo/target/debug/examples/liboffline_profiler-410684c1ad1f1f96.rmeta: examples/offline_profiler.rs Cargo.toml
+
+examples/offline_profiler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/offline_profiler-ae5c009a8ed50c79.d: examples/offline_profiler.rs
+
+/root/repo/target/debug/examples/offline_profiler-ae5c009a8ed50c79: examples/offline_profiler.rs
+
+examples/offline_profiler.rs:

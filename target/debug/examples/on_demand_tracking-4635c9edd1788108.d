@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/on_demand_tracking-4635c9edd1788108.d: examples/on_demand_tracking.rs Cargo.toml
+
+/root/repo/target/debug/examples/libon_demand_tracking-4635c9edd1788108.rmeta: examples/on_demand_tracking.rs Cargo.toml
+
+examples/on_demand_tracking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

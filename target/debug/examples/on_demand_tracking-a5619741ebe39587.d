@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/on_demand_tracking-a5619741ebe39587.d: examples/on_demand_tracking.rs
+
+/root/repo/target/debug/examples/on_demand_tracking-a5619741ebe39587: examples/on_demand_tracking.rs
+
+examples/on_demand_tracking.rs:

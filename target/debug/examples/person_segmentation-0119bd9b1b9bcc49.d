@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/person_segmentation-0119bd9b1b9bcc49.d: examples/person_segmentation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libperson_segmentation-0119bd9b1b9bcc49.rmeta: examples/person_segmentation.rs Cargo.toml
+
+examples/person_segmentation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

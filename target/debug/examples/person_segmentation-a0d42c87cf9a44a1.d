@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/person_segmentation-a0d42c87cf9a44a1.d: examples/person_segmentation.rs
+
+/root/repo/target/debug/examples/person_segmentation-a0d42c87cf9a44a1: examples/person_segmentation.rs
+
+examples/person_segmentation.rs:

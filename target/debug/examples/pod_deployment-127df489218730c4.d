@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pod_deployment-127df489218730c4.d: examples/pod_deployment.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpod_deployment-127df489218730c4.rmeta: examples/pod_deployment.rs Cargo.toml
+
+examples/pod_deployment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

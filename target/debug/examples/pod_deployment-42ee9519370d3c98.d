@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pod_deployment-42ee9519370d3c98.d: examples/pod_deployment.rs
+
+/root/repo/target/debug/examples/pod_deployment-42ee9519370d3c98: examples/pod_deployment.rs
+
+examples/pod_deployment.rs:

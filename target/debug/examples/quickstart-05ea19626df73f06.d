@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-05ea19626df73f06.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-05ea19626df73f06.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-79b05a1300d9d4a6.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-79b05a1300d9d4a6: examples/quickstart.rs
+
+examples/quickstart.rs:

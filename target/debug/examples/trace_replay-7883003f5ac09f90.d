@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_replay-7883003f5ac09f90.d: examples/trace_replay.rs
+
+/root/repo/target/debug/examples/trace_replay-7883003f5ac09f90: examples/trace_replay.rs
+
+examples/trace_replay.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trace_replay-ae56f1d138d8186d.d: examples/trace_replay.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrace_replay-ae56f1d138d8186d.rmeta: examples/trace_replay.rs Cargo.toml
+
+examples/trace_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

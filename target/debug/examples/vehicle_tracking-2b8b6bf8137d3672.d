@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/vehicle_tracking-2b8b6bf8137d3672.d: examples/vehicle_tracking.rs
+
+/root/repo/target/debug/examples/vehicle_tracking-2b8b6bf8137d3672: examples/vehicle_tracking.rs
+
+examples/vehicle_tracking.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/vehicle_tracking-b85c8e77fa0750ec.d: examples/vehicle_tracking.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvehicle_tracking-b85c8e77fa0750ec.rmeta: examples/vehicle_tracking.rs Cargo.toml
+
+examples/vehicle_tracking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/microedge-119f6dfaf6283eca.d: src/lib.rs
+
+/root/repo/target/release/deps/libmicroedge-119f6dfaf6283eca.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmicroedge-119f6dfaf6283eca.rmeta: src/lib.rs
+
+src/lib.rs:

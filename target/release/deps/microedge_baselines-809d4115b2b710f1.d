@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/microedge_baselines-809d4115b2b710f1.d: crates/baselines/src/lib.rs crates/baselines/src/dedicated.rs crates/baselines/src/serverless.rs
+
+/root/repo/target/release/deps/libmicroedge_baselines-809d4115b2b710f1.rlib: crates/baselines/src/lib.rs crates/baselines/src/dedicated.rs crates/baselines/src/serverless.rs
+
+/root/repo/target/release/deps/libmicroedge_baselines-809d4115b2b710f1.rmeta: crates/baselines/src/lib.rs crates/baselines/src/dedicated.rs crates/baselines/src/serverless.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/dedicated.rs:
+crates/baselines/src/serverless.rs:

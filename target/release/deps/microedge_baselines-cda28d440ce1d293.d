@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/microedge_baselines-cda28d440ce1d293.d: crates/baselines/src/lib.rs crates/baselines/src/dedicated.rs crates/baselines/src/serverless.rs
+
+/root/repo/target/release/deps/libmicroedge_baselines-cda28d440ce1d293.rlib: crates/baselines/src/lib.rs crates/baselines/src/dedicated.rs crates/baselines/src/serverless.rs
+
+/root/repo/target/release/deps/libmicroedge_baselines-cda28d440ce1d293.rmeta: crates/baselines/src/lib.rs crates/baselines/src/dedicated.rs crates/baselines/src/serverless.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/dedicated.rs:
+crates/baselines/src/serverless.rs:

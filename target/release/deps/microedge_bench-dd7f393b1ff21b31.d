@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/microedge_bench-dd7f393b1ff21b31.d: crates/bench/src/lib.rs crates/bench/src/admission_overhead.rs crates/bench/src/cost.rs crates/bench/src/csv.rs crates/bench/src/diff_detector.rs crates/bench/src/fig1.rs crates/bench/src/latency_breakdown.rs crates/bench/src/packing.rs crates/bench/src/par.rs crates/bench/src/pipeline_ablation.rs crates/bench/src/runner.rs crates/bench/src/scalability.rs crates/bench/src/tail_latency.rs crates/bench/src/trace_study.rs
+
+/root/repo/target/release/deps/libmicroedge_bench-dd7f393b1ff21b31.rlib: crates/bench/src/lib.rs crates/bench/src/admission_overhead.rs crates/bench/src/cost.rs crates/bench/src/csv.rs crates/bench/src/diff_detector.rs crates/bench/src/fig1.rs crates/bench/src/latency_breakdown.rs crates/bench/src/packing.rs crates/bench/src/par.rs crates/bench/src/pipeline_ablation.rs crates/bench/src/runner.rs crates/bench/src/scalability.rs crates/bench/src/tail_latency.rs crates/bench/src/trace_study.rs
+
+/root/repo/target/release/deps/libmicroedge_bench-dd7f393b1ff21b31.rmeta: crates/bench/src/lib.rs crates/bench/src/admission_overhead.rs crates/bench/src/cost.rs crates/bench/src/csv.rs crates/bench/src/diff_detector.rs crates/bench/src/fig1.rs crates/bench/src/latency_breakdown.rs crates/bench/src/packing.rs crates/bench/src/par.rs crates/bench/src/pipeline_ablation.rs crates/bench/src/runner.rs crates/bench/src/scalability.rs crates/bench/src/tail_latency.rs crates/bench/src/trace_study.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/admission_overhead.rs:
+crates/bench/src/cost.rs:
+crates/bench/src/csv.rs:
+crates/bench/src/diff_detector.rs:
+crates/bench/src/fig1.rs:
+crates/bench/src/latency_breakdown.rs:
+crates/bench/src/packing.rs:
+crates/bench/src/par.rs:
+crates/bench/src/pipeline_ablation.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/scalability.rs:
+crates/bench/src/tail_latency.rs:
+crates/bench/src/trace_study.rs:

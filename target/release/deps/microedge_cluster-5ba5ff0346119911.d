@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/microedge_cluster-5ba5ff0346119911.d: crates/cluster/src/lib.rs crates/cluster/src/cost.rs crates/cluster/src/network.rs crates/cluster/src/node.rs crates/cluster/src/topology.rs
+
+/root/repo/target/release/deps/libmicroedge_cluster-5ba5ff0346119911.rlib: crates/cluster/src/lib.rs crates/cluster/src/cost.rs crates/cluster/src/network.rs crates/cluster/src/node.rs crates/cluster/src/topology.rs
+
+/root/repo/target/release/deps/libmicroedge_cluster-5ba5ff0346119911.rmeta: crates/cluster/src/lib.rs crates/cluster/src/cost.rs crates/cluster/src/network.rs crates/cluster/src/node.rs crates/cluster/src/topology.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/cost.rs:
+crates/cluster/src/network.rs:
+crates/cluster/src/node.rs:
+crates/cluster/src/topology.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/microedge_cluster-e3fbca93ff0e9cc8.d: crates/cluster/src/lib.rs crates/cluster/src/cost.rs crates/cluster/src/network.rs crates/cluster/src/node.rs crates/cluster/src/topology.rs
+
+/root/repo/target/release/deps/libmicroedge_cluster-e3fbca93ff0e9cc8.rlib: crates/cluster/src/lib.rs crates/cluster/src/cost.rs crates/cluster/src/network.rs crates/cluster/src/node.rs crates/cluster/src/topology.rs
+
+/root/repo/target/release/deps/libmicroedge_cluster-e3fbca93ff0e9cc8.rmeta: crates/cluster/src/lib.rs crates/cluster/src/cost.rs crates/cluster/src/network.rs crates/cluster/src/node.rs crates/cluster/src/topology.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/cost.rs:
+crates/cluster/src/network.rs:
+crates/cluster/src/node.rs:
+crates/cluster/src/topology.rs:

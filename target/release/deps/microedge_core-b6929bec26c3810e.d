@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/microedge_core-b6929bec26c3810e.d: crates/core/src/lib.rs crates/core/src/admission.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/lbs.rs crates/core/src/pool.rs crates/core/src/runtime.rs crates/core/src/scheduler.rs crates/core/src/units.rs
+
+/root/repo/target/release/deps/libmicroedge_core-b6929bec26c3810e.rlib: crates/core/src/lib.rs crates/core/src/admission.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/lbs.rs crates/core/src/pool.rs crates/core/src/runtime.rs crates/core/src/scheduler.rs crates/core/src/units.rs
+
+/root/repo/target/release/deps/libmicroedge_core-b6929bec26c3810e.rmeta: crates/core/src/lib.rs crates/core/src/admission.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/lbs.rs crates/core/src/pool.rs crates/core/src/runtime.rs crates/core/src/scheduler.rs crates/core/src/units.rs
+
+crates/core/src/lib.rs:
+crates/core/src/admission.rs:
+crates/core/src/client.rs:
+crates/core/src/config.rs:
+crates/core/src/lbs.rs:
+crates/core/src/pool.rs:
+crates/core/src/runtime.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/units.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/microedge_metrics-fc8e24dd215602ad.d: crates/metrics/src/lib.rs crates/metrics/src/latency.rs crates/metrics/src/report.rs crates/metrics/src/throughput.rs crates/metrics/src/utilization.rs
+
+/root/repo/target/release/deps/libmicroedge_metrics-fc8e24dd215602ad.rlib: crates/metrics/src/lib.rs crates/metrics/src/latency.rs crates/metrics/src/report.rs crates/metrics/src/throughput.rs crates/metrics/src/utilization.rs
+
+/root/repo/target/release/deps/libmicroedge_metrics-fc8e24dd215602ad.rmeta: crates/metrics/src/lib.rs crates/metrics/src/latency.rs crates/metrics/src/report.rs crates/metrics/src/throughput.rs crates/metrics/src/utilization.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/latency.rs:
+crates/metrics/src/report.rs:
+crates/metrics/src/throughput.rs:
+crates/metrics/src/utilization.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/microedge_models-5c19d2c8feb10191.d: crates/models/src/lib.rs crates/models/src/catalog.rs crates/models/src/profile.rs
+
+/root/repo/target/release/deps/libmicroedge_models-5c19d2c8feb10191.rlib: crates/models/src/lib.rs crates/models/src/catalog.rs crates/models/src/profile.rs
+
+/root/repo/target/release/deps/libmicroedge_models-5c19d2c8feb10191.rmeta: crates/models/src/lib.rs crates/models/src/catalog.rs crates/models/src/profile.rs
+
+crates/models/src/lib.rs:
+crates/models/src/catalog.rs:
+crates/models/src/profile.rs:

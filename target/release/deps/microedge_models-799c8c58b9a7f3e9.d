@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/microedge_models-799c8c58b9a7f3e9.d: crates/models/src/lib.rs crates/models/src/catalog.rs crates/models/src/profile.rs
+
+/root/repo/target/release/deps/libmicroedge_models-799c8c58b9a7f3e9.rlib: crates/models/src/lib.rs crates/models/src/catalog.rs crates/models/src/profile.rs
+
+/root/repo/target/release/deps/libmicroedge_models-799c8c58b9a7f3e9.rmeta: crates/models/src/lib.rs crates/models/src/catalog.rs crates/models/src/profile.rs
+
+crates/models/src/lib.rs:
+crates/models/src/catalog.rs:
+crates/models/src/profile.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/microedge_orch-d2cf007119349a9b.d: crates/orch/src/lib.rs crates/orch/src/control_latency.rs crates/orch/src/events.rs crates/orch/src/lifecycle.rs crates/orch/src/pod.rs crates/orch/src/scheduler.rs crates/orch/src/spec.rs crates/orch/src/state.rs
+
+/root/repo/target/release/deps/libmicroedge_orch-d2cf007119349a9b.rlib: crates/orch/src/lib.rs crates/orch/src/control_latency.rs crates/orch/src/events.rs crates/orch/src/lifecycle.rs crates/orch/src/pod.rs crates/orch/src/scheduler.rs crates/orch/src/spec.rs crates/orch/src/state.rs
+
+/root/repo/target/release/deps/libmicroedge_orch-d2cf007119349a9b.rmeta: crates/orch/src/lib.rs crates/orch/src/control_latency.rs crates/orch/src/events.rs crates/orch/src/lifecycle.rs crates/orch/src/pod.rs crates/orch/src/scheduler.rs crates/orch/src/spec.rs crates/orch/src/state.rs
+
+crates/orch/src/lib.rs:
+crates/orch/src/control_latency.rs:
+crates/orch/src/events.rs:
+crates/orch/src/lifecycle.rs:
+crates/orch/src/pod.rs:
+crates/orch/src/scheduler.rs:
+crates/orch/src/spec.rs:
+crates/orch/src/state.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/microedge_tpu-0d87d9bd49130804.d: crates/tpu/src/lib.rs crates/tpu/src/cocompile.rs crates/tpu/src/device.rs crates/tpu/src/spec.rs
+
+/root/repo/target/release/deps/libmicroedge_tpu-0d87d9bd49130804.rlib: crates/tpu/src/lib.rs crates/tpu/src/cocompile.rs crates/tpu/src/device.rs crates/tpu/src/spec.rs
+
+/root/repo/target/release/deps/libmicroedge_tpu-0d87d9bd49130804.rmeta: crates/tpu/src/lib.rs crates/tpu/src/cocompile.rs crates/tpu/src/device.rs crates/tpu/src/spec.rs
+
+crates/tpu/src/lib.rs:
+crates/tpu/src/cocompile.rs:
+crates/tpu/src/device.rs:
+crates/tpu/src/spec.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/microedge_tpu-f8b16cc9d347a84c.d: crates/tpu/src/lib.rs crates/tpu/src/cocompile.rs crates/tpu/src/device.rs crates/tpu/src/spec.rs
+
+/root/repo/target/release/deps/libmicroedge_tpu-f8b16cc9d347a84c.rlib: crates/tpu/src/lib.rs crates/tpu/src/cocompile.rs crates/tpu/src/device.rs crates/tpu/src/spec.rs
+
+/root/repo/target/release/deps/libmicroedge_tpu-f8b16cc9d347a84c.rmeta: crates/tpu/src/lib.rs crates/tpu/src/cocompile.rs crates/tpu/src/device.rs crates/tpu/src/spec.rs
+
+crates/tpu/src/lib.rs:
+crates/tpu/src/cocompile.rs:
+crates/tpu/src/device.rs:
+crates/tpu/src/spec.rs:

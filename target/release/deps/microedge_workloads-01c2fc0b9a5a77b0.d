@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/microedge_workloads-01c2fc0b9a5a77b0.d: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/camera.rs crates/workloads/src/coralpie.rs crates/workloads/src/dataset.rs crates/workloads/src/trace.rs
+
+/root/repo/target/release/deps/libmicroedge_workloads-01c2fc0b9a5a77b0.rlib: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/camera.rs crates/workloads/src/coralpie.rs crates/workloads/src/dataset.rs crates/workloads/src/trace.rs
+
+/root/repo/target/release/deps/libmicroedge_workloads-01c2fc0b9a5a77b0.rmeta: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/camera.rs crates/workloads/src/coralpie.rs crates/workloads/src/dataset.rs crates/workloads/src/trace.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps.rs:
+crates/workloads/src/camera.rs:
+crates/workloads/src/coralpie.rs:
+crates/workloads/src/dataset.rs:
+crates/workloads/src/trace.rs:

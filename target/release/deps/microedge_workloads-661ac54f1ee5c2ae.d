@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/microedge_workloads-661ac54f1ee5c2ae.d: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/camera.rs crates/workloads/src/coralpie.rs crates/workloads/src/dataset.rs crates/workloads/src/trace.rs
+
+/root/repo/target/release/deps/libmicroedge_workloads-661ac54f1ee5c2ae.rlib: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/camera.rs crates/workloads/src/coralpie.rs crates/workloads/src/dataset.rs crates/workloads/src/trace.rs
+
+/root/repo/target/release/deps/libmicroedge_workloads-661ac54f1ee5c2ae.rmeta: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/camera.rs crates/workloads/src/coralpie.rs crates/workloads/src/dataset.rs crates/workloads/src/trace.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps.rs:
+crates/workloads/src/camera.rs:
+crates/workloads/src/coralpie.rs:
+crates/workloads/src/dataset.rs:
+crates/workloads/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/perf_probe-652bef9bc541550c.d: crates/bench/src/bin/perf_probe.rs
+
+/root/repo/target/release/deps/perf_probe-652bef9bc541550c: crates/bench/src/bin/perf_probe.rs
+
+crates/bench/src/bin/perf_probe.rs:

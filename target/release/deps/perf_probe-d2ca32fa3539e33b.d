@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/perf_probe-d2ca32fa3539e33b.d: crates/bench/src/bin/perf_probe.rs
+
+/root/repo/target/release/deps/perf_probe-d2ca32fa3539e33b: crates/bench/src/bin/perf_probe.rs
+
+crates/bench/src/bin/perf_probe.rs:

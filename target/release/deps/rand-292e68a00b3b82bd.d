@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-292e68a00b3b82bd.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-292e68a00b3b82bd.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-292e68a00b3b82bd.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

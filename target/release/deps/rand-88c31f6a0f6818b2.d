@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-88c31f6a0f6818b2.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-88c31f6a0f6818b2.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-88c31f6a0f6818b2.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-8fd50033c4a9be2a.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-8fd50033c4a9be2a: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

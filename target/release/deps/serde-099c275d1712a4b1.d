@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-099c275d1712a4b1.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-099c275d1712a4b1.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-099c275d1712a4b1.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-1362ebad196ce886.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-1362ebad196ce886.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-1362ebad196ce886.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,249 @@
+//! Offline stand-in for `criterion` covering the API surface the workspace
+//! benches use: `Criterion::default().configure_from_args().final_summary()`,
+//! `bench_function`, `benchmark_group` (+ `sample_size` / `finish`),
+//! `Bencher::iter`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark warms up briefly, then runs timed
+//! batches and reports the best per-iteration time (least interference) plus
+//! the mean, in a single line per benchmark. No plots, no statistics files —
+//! just numbers on stdout, which is all the offline environment can use.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Per-iteration timing collector handed to the closure given to
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    /// Total time budget for the measurement phase.
+    budget: Duration,
+    /// Measured best and mean nanoseconds per iteration.
+    best_ns: f64,
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher {
+            budget,
+            best_ns: f64::INFINITY,
+            mean_ns: 0.0,
+            iters: 0,
+        }
+    }
+
+    /// Runs `f` repeatedly, timing batches whose size adapts so each batch
+    /// lasts long enough for the clock to resolve it.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until ~10% of the budget is spent, sizing batches.
+        let warmup_end = Instant::now() + self.budget / 10;
+        let mut batch = 1u64;
+        while Instant::now() < warmup_end {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std_black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed < Duration::from_micros(200) {
+                batch = batch.saturating_mul(2);
+            }
+        }
+
+        let mut total = Duration::ZERO;
+        let mut total_iters = 0u64;
+        let measure_end = Instant::now() + self.budget;
+        while Instant::now() < measure_end {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std_black_box(f());
+            }
+            let elapsed = start.elapsed();
+            let per_iter = elapsed.as_secs_f64() * 1e9 / batch as f64;
+            if per_iter < self.best_ns {
+                self.best_ns = per_iter;
+            }
+            total += elapsed;
+            total_iters += batch;
+        }
+        if total_iters > 0 {
+            self.mean_ns = total.as_secs_f64() * 1e9 / total_iters as f64;
+            self.iters = total_iters;
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Benchmark driver mirroring `criterion::Criterion`.
+pub struct Criterion {
+    /// Measurement budget per benchmark.
+    measurement: Duration,
+    /// Substring filter taken from argv (first free argument), like the real
+    /// harness's name filter.
+    filter: Option<String>,
+    ran: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement: Duration::from_millis(300),
+            filter: None,
+            ran: 0,
+        }
+    }
+}
+
+impl Criterion {
+    /// Picks up a benchmark-name substring filter from the command line.
+    /// Flags (`--bench`, `--test`, ...) that cargo passes are ignored.
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        self.filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        self
+    }
+
+    /// Overrides the per-benchmark measurement time.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement = t;
+        self
+    }
+
+    /// Runs one benchmark and prints a summary line.
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.as_ref();
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher::new(self.measurement);
+        f(&mut b);
+        if b.iters > 0 {
+            println!(
+                "{id:<48} best {:>12}/iter  mean {:>12}/iter  ({} iters)",
+                format_ns(b.best_ns),
+                format_ns(b.mean_ns),
+                b.iters
+            );
+        } else {
+            println!("{id:<48} (no iterations measured)");
+        }
+        self.ran += 1;
+        self
+    }
+
+    /// Opens a named group; the name prefixes every benchmark inside it.
+    pub fn benchmark_group<S: AsRef<str>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.as_ref().to_string(),
+        }
+    }
+
+    /// Prints the closing line the real harness emits.
+    pub fn final_summary(&mut self) {
+        println!("criterion (offline stub): {} benchmark(s) run", self.ran);
+    }
+}
+
+/// Group handle mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's fixed time budget already
+    /// bounds the iteration count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measurement = t;
+        self
+    }
+
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        self.criterion.bench_function(full, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Mirrors `criterion_group!`: expands to a function running each target
+/// against a shared `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Mirrors `criterion_main!`: expands to `main` running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+            $crate::Criterion::default().configure_from_args().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.measurement_time(Duration::from_millis(20));
+        c.bench_function("stub/self_test", |b| b.iter(|| (0..100u64).sum::<u64>()));
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut c = Criterion::default();
+        c.measurement_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_function("inner", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+}

@@ -1,0 +1,35 @@
+//! Offline stand-in for `serde`.
+//!
+//! The repository declares serde on most crates for eventual wire formats,
+//! but no code path serialises anything yet (there is no `serde_json` in the
+//! tree). This stub keeps the `#[derive(Serialize, Deserialize)]` annotations
+//! compiling without network access: the derives expand to nothing and the
+//! traits hold for every type via blanket impls, so any `T: Serialize` bound
+//! in future code is satisfied trivially. Swap back to the real crate by
+//! restoring the registry dependency — no source changes needed.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de> + ?Sized> DeserializeOwned for T {}
+
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace cannot reach a crates.io registry, and nothing in the tree
+//! actually serialises bytes (serde is declared for future wire formats).
+//! These derives accept the same syntax as the real crate — including
+//! `#[serde(...)]` field attributes — and expand to nothing; the companion
+//! `serde` stub supplies blanket trait impls so bounds still hold.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
