@@ -9,7 +9,7 @@
 //! and its streams are marked *collocated* (the TPU hangs off the camera's
 //! own host, so there is no network hop, matching Fig. 7b).
 
-use microedge_core::admission::AdmissionPolicy;
+use microedge_core::admission::{AdmissionPolicy, PlanBuffer};
 use microedge_core::config::Features;
 use microedge_core::pool::{Allocation, TpuPool};
 use microedge_core::units::TpuUnits;
@@ -32,25 +32,29 @@ impl AdmissionPolicy for DedicatedBaseline {
     /// (1 TPU unit) so no other camera can ever share them. The equal
     /// full-unit weights make the pod's LBS alternate frames across its
     /// TPUs — the paper's "sending alternate frames to each TPU".
-    fn plan(
+    ///
+    /// An idle TPU is exactly one with a full unit free, so the pool's
+    /// capacity index enumerates the candidates (in id order — the 1.0
+    /// bucket is one tie group) without scanning loaded TPUs.
+    fn plan_into(
         &mut self,
         pool: &TpuPool,
         _model: &ModelProfile,
         units: TpuUnits,
         _features: Features,
-    ) -> Option<Vec<Allocation>> {
-        let needed = units.whole_tpus_needed();
-        if needed == 0 {
-            return Some(Vec::new());
+        out: &mut PlanBuffer,
+    ) -> bool {
+        out.clear();
+        let needed = units.whole_tpus_needed() as usize;
+        for tpu in pool.tpus_by_free_ascending(TpuUnits::ONE).take(needed) {
+            out.push(Allocation::new(tpu, TpuUnits::ONE));
         }
-        let chosen: Vec<Allocation> = pool
-            .accounts()
-            .iter()
-            .filter(|a| a.is_available() && a.load().is_zero())
-            .take(needed as usize)
-            .map(|a| Allocation::new(a.id(), TpuUnits::ONE))
-            .collect();
-        (chosen.len() == needed as usize).then_some(chosen)
+        if out.len() == needed {
+            true
+        } else {
+            out.clear();
+            false
+        }
     }
 
     fn name(&self) -> &'static str {

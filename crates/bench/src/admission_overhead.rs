@@ -16,15 +16,31 @@
 //! The admission algorithm's own cost is also measured directly with the
 //! host clock to substantiate the paper's scalability claim (O(M), trivial
 //! at edge-cluster sizes).
+//!
+//! ## The admission-throughput sweep (`repro --perf`)
+//!
+//! [`run_admission_perf`] measures the control-plane fast path head to
+//! head against the linear-scan reference at fleet sizes from 16 to
+//! 16 384 TPUs, on the workload that is *worst* for a linear scan: every
+//! TPU except the last holds 0.75 units, so a whole-request 0.35 plan
+//! must reject M − 1 candidates before the one that fits. The reference
+//! policy walks all of them; the indexed policy answers with one
+//! capacity-index descent. Only `plan_into` is timed (into a reused
+//! [`PlanBuffer`], no commits), so the number is the pure planning cost.
+//! The result renders as the "Admission scalability" table
+//! ([`crate::scalability::render_admission_scalability`]) and serializes
+//! as `BENCH_admission.json`.
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
-use microedge_core::admission::{AdmissionPolicy, FirstFit};
+use microedge_core::admission::{reference, AdmissionPolicy, FirstFit, PlanBuffer};
 use microedge_core::config::Features;
-use microedge_core::pool::TpuPool;
+use microedge_core::pool::{Allocation, TpuPool};
 use microedge_core::units::TpuUnits;
 use microedge_metrics::report::{fmt_f64, Table};
 use microedge_models::catalog::{self, Catalog};
+use microedge_models::profile::ModelProfile;
 use microedge_orch::control_latency::ControlPlaneModel;
 use microedge_sim::rng::DetRng;
 use microedge_sim::stats::OnlineStats;
@@ -238,6 +254,229 @@ pub fn measure_admission_micros(tpus: u32, iterations: u32) -> f64 {
     start.elapsed().as_secs_f64() * 1e6 / f64::from(iterations)
 }
 
+/// TPU counts the admission-throughput sweep covers, with the
+/// `plan_into` iteration count timed at each size. Iterations shrink as
+/// the fleet grows because the *linear* side's cost grows with M; the
+/// largest point still times hundreds of plans per round.
+pub const ADMISSION_SWEEP: [(u32, u32); 4] =
+    [(16, 20_000), (256, 5_000), (4096, 1_000), (16_384, 300)];
+
+/// The sweep's workload, also embedded in `BENCH_admission.json`.
+pub const ADMISSION_WORKLOAD: &str =
+    "near-full fleet: every TPU except the last at 0.75 units, whole-request 0.35 plan";
+
+/// One fleet size of the admission-throughput sweep.
+#[derive(Debug, Clone)]
+pub struct AdmissionSweepPoint {
+    tpus: u32,
+    iterations: u32,
+    linear_ns: f64,
+    indexed_ns: f64,
+}
+
+impl AdmissionSweepPoint {
+    /// Fleet size.
+    #[must_use]
+    pub fn tpus(&self) -> u32 {
+        self.tpus
+    }
+
+    /// Plans timed per round at this size.
+    #[must_use]
+    pub fn iterations(&self) -> u32 {
+        self.iterations
+    }
+
+    /// Nanoseconds per plan for the linear-scan reference (pre).
+    #[must_use]
+    pub fn linear_ns(&self) -> f64 {
+        self.linear_ns
+    }
+
+    /// Nanoseconds per plan for the indexed fast path (post).
+    #[must_use]
+    pub fn indexed_ns(&self) -> f64 {
+        self.indexed_ns
+    }
+
+    /// Linear-scan admission decisions per second.
+    #[must_use]
+    pub fn linear_plans_per_sec(&self) -> f64 {
+        1e9 / self.linear_ns
+    }
+
+    /// Indexed admission decisions per second.
+    #[must_use]
+    pub fn indexed_plans_per_sec(&self) -> f64 {
+        1e9 / self.indexed_ns
+    }
+
+    /// Indexed-over-linear speedup at this size.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.linear_ns / self.indexed_ns
+    }
+}
+
+/// The admission-throughput sweep result (`BENCH_admission.json`).
+#[derive(Debug, Clone)]
+pub struct AdmissionPerf {
+    rounds: u32,
+    pre_label: &'static str,
+    post_label: &'static str,
+    points: Vec<AdmissionSweepPoint>,
+}
+
+impl AdmissionPerf {
+    /// Per-size measurements, ascending fleet size.
+    #[must_use]
+    pub fn points(&self) -> &[AdmissionSweepPoint] {
+        &self.points
+    }
+
+    /// Rounds each point was timed (best round reported).
+    #[must_use]
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    /// The sweep's workload description.
+    #[must_use]
+    pub fn workload(&self) -> &'static str {
+        ADMISSION_WORKLOAD
+    }
+
+    /// Indexed-over-linear speedup at a given fleet size, if measured.
+    #[must_use]
+    pub fn speedup_at(&self, tpus: u32) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.tpus == tpus)
+            .map(AdmissionSweepPoint::speedup)
+    }
+
+    /// Renders the `BENCH_admission.json` document: per-size pre
+    /// (linear-scan reference) and post (indexed) planning throughput.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut points = String::new();
+        for (i, p) in self.points.iter().enumerate() {
+            let comma = if i + 1 < self.points.len() { "," } else { "" };
+            let _ = write!(
+                points,
+                "\n    {{\"tpus\": {tpus}, \"iterations\": {iters}, \
+                 \"pre\": {{\"algorithm\": \"{pre}\", \"ns_per_plan\": {lns:.1}, \"plans_per_sec\": {lps:.0}}}, \
+                 \"post\": {{\"algorithm\": \"{post}\", \"ns_per_plan\": {ins:.1}, \"plans_per_sec\": {ips:.0}}}, \
+                 \"speedup\": {speedup:.2}}}{comma}",
+                tpus = p.tpus,
+                iters = p.iterations,
+                pre = self.pre_label,
+                lns = p.linear_ns,
+                lps = p.linear_plans_per_sec(),
+                post = self.post_label,
+                ins = p.indexed_ns,
+                ips = p.indexed_plans_per_sec(),
+                speedup = p.speedup(),
+            );
+        }
+        let at_4096 = self
+            .speedup_at(4096)
+            .map_or_else(|| "null".to_owned(), |s| format!("{s:.2}"));
+        format!(
+            "{{\n  \"benchmark\": \"admission_plan_throughput\",\n  \
+             \"workload\": \"{workload}\",\n  \"rounds\": {rounds},\n  \
+             \"speedup_at_4096\": {at_4096},\n  \"points\": [{points}\n  ]\n}}\n",
+            workload = ADMISSION_WORKLOAD,
+            rounds = self.rounds,
+        )
+    }
+}
+
+/// Builds the sweep's adversarial pool: all TPUs but the last at 0.75
+/// load, so a 0.35 whole-request plan fits only on the final TPU.
+fn near_full_pool(tpus: u32, profile: &ModelProfile) -> TpuPool {
+    assert!(tpus >= 2, "the sweep needs at least two TPUs");
+    let cluster = crate::runner::experiment_cluster(tpus);
+    let mut pool = TpuPool::from_cluster(&cluster, TpuSpec::coral_usb());
+    let load = TpuUnits::from_f64(0.75);
+    let allocations: Vec<Allocation> = pool
+        .accounts()
+        .iter()
+        .take(tpus as usize - 1)
+        .map(|account| Allocation::new(account.id(), load))
+        .collect();
+    pool.commit(profile, &allocations);
+    pool
+}
+
+/// Times `iterations` `plan_into` calls (into a reused buffer, no
+/// commits) and returns the best-of-`rounds` nanoseconds per plan.
+fn time_plan_ns(
+    policy: &mut dyn AdmissionPolicy,
+    pool: &TpuPool,
+    profile: &ModelProfile,
+    iterations: u32,
+    rounds: u32,
+) -> f64 {
+    let units = TpuUnits::from_f64(0.35);
+    let mut buffer = PlanBuffer::new();
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        for _ in 0..iterations {
+            let admitted = policy.plan_into(pool, profile, units, Features::all(), &mut buffer);
+            std::hint::black_box(admitted);
+            std::hint::black_box(buffer.allocations());
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best * 1e9 / f64::from(iterations)
+}
+
+/// Runs the admission-throughput sweep over custom `(tpus, iterations)`
+/// sizes. Each size first cross-checks that the indexed and reference
+/// policies produce the identical plan on the sweep pool, then times
+/// both.
+#[must_use]
+pub fn run_admission_perf_with(sizes: &[(u32, u32)], rounds: u32) -> AdmissionPerf {
+    assert!(rounds > 0, "at least one round");
+    let catalog = Catalog::builtin();
+    let profile = catalog.expect(&"ssd-mobilenet-v2".into()).clone();
+    let mut indexed = FirstFit::new();
+    let mut linear = reference::FirstFit::new();
+    let points = sizes
+        .iter()
+        .map(|&(tpus, iterations)| {
+            let pool = near_full_pool(tpus, &profile);
+            let units = TpuUnits::from_f64(0.35);
+            assert_eq!(
+                indexed.plan(&pool, &profile, units, Features::all()),
+                linear.plan(&pool, &profile, units, Features::all()),
+                "indexed and reference plans diverged at {tpus} TPUs"
+            );
+            AdmissionSweepPoint {
+                tpus,
+                iterations,
+                linear_ns: time_plan_ns(&mut linear, &pool, &profile, iterations, rounds),
+                indexed_ns: time_plan_ns(&mut indexed, &pool, &profile, iterations, rounds),
+            }
+        })
+        .collect();
+    AdmissionPerf {
+        rounds,
+        pre_label: linear.name(),
+        post_label: indexed.name(),
+        points,
+    }
+}
+
+/// Runs the standard sweep ([`ADMISSION_SWEEP`]): 16 / 256 / 4096 /
+/// 16 384 TPUs.
+#[must_use]
+pub fn run_admission_perf(rounds: u32) -> AdmissionPerf {
+    run_admission_perf_with(&ADMISSION_SWEEP, rounds)
+}
+
 /// Renders the Fig. 7a table.
 #[must_use]
 pub fn render_fig7a(samples: u32, seed: u64) -> String {
@@ -314,6 +553,44 @@ mod tests {
             us < 1000.0,
             "O(M) scan should be far under 1 ms, got {us} µs"
         );
+    }
+
+    #[test]
+    fn sweep_measures_every_size() {
+        let perf = run_admission_perf_with(&[(16, 50), (64, 50)], 1);
+        assert_eq!(perf.points().len(), 2);
+        assert_eq!(perf.points()[0].tpus(), 16);
+        assert_eq!(perf.points()[1].tpus(), 64);
+        for p in perf.points() {
+            assert!(p.linear_ns() > 0.0);
+            assert!(p.indexed_ns() > 0.0);
+            assert!(p.indexed_plans_per_sec() > 0.0);
+        }
+        assert!(perf.speedup_at(64).is_some());
+        assert!(perf.speedup_at(4096).is_none());
+    }
+
+    #[test]
+    fn indexed_path_wins_clearly_on_a_large_pool() {
+        // Debug-build timing, so the bar is far below the release-build
+        // criterion gate (≥ 10x at 4096) — but even unoptimized, one
+        // index descent against a 4095-account scan is no contest.
+        let perf = run_admission_perf_with(&[(4096, 40)], 1);
+        let speedup = perf.speedup_at(4096).unwrap();
+        assert!(speedup > 2.0, "expected a clear win, got {speedup:.1}x");
+    }
+
+    #[test]
+    fn admission_json_has_pre_and_post_throughput() {
+        let perf = run_admission_perf_with(&[(16, 20), (4096, 20)], 1);
+        let json = perf.to_json();
+        assert!(json.contains("\"benchmark\": \"admission_plan_throughput\""));
+        assert!(json.contains("\"pre\""));
+        assert!(json.contains("\"post\""));
+        assert!(json.contains("\"plans_per_sec\""));
+        assert!(json.contains("\"speedup_at_4096\""));
+        assert!(!json.contains("\"speedup_at_4096\": null"));
+        assert!(json.ends_with("}\n"));
     }
 
     #[test]

@@ -9,9 +9,10 @@
 //! when asked for). `--quick` shrinks frame counts and trace length for a
 //! fast smoke pass; `--csv <dir>` additionally dumps each selected
 //! artifact's series as CSV for external plotting. `--perf` times the
-//! simulation kernel on the fixed reference workload and writes
-//! `BENCH_kernel.json` (to the `--csv` directory if given, else the
-//! working directory).
+//! simulation kernel on the fixed reference workload and the admission
+//! control plane on the 16–16 384-TPU sweep, writing `BENCH_kernel.json`
+//! and `BENCH_admission.json` (to the `--csv` directory if given, else
+//! the working directory).
 //!
 //! The artifacts are independent, so they run concurrently through the
 //! deterministic executor ([`microedge_bench::par`]); each job renders its
@@ -130,103 +131,112 @@ fn main() {
     let mut jobs: Vec<(bool, Job)> = Vec::new();
 
     if opts.fig1 {
-        jobs.push((false, Box::new(move || {
-            let mut out = String::new();
-            let _ = writeln!(out, "{}", fig1::render_fig1());
-            let rows: Vec<Vec<String>> = fig1::fig1_rows()
-                .iter()
-                .map(|r| {
-                    vec![
-                        r.model().to_owned(),
-                        format!("{:.1}", r.inference_ms()),
-                        format!("{:.1}", r.fps_for_full_util()),
-                        r.sustains_15fps().to_string(),
-                    ]
-                })
-                .collect();
-            dump(
-                csv,
-                "fig1",
-                &[
-                    "model",
-                    "inference_ms",
-                    "fps_for_full_util",
-                    "sustains_15fps",
-                ],
-                &rows,
-            );
-            out
-        })));
-    }
-
-    if opts.fig5 {
-        jobs.push((false, Box::new(move || {
-            let mut out = String::new();
-            for (app, configs) in [
-                (
-                    CameraApp::coral_pie(),
-                    SystemConfig::fig5_configs().to_vec(),
-                ),
-                (
-                    CameraApp::bodypix(),
-                    vec![SystemConfig::Baseline, SystemConfig::microedge_full()],
-                ),
-            ] {
-                let points = scalability::fig5_sweep(&app, &configs, 6, frames);
-                let _ = writeln!(out, "{}", scalability::render_sweep(&app, &points));
-                let rows: Vec<Vec<String>> = points
+        jobs.push((
+            false,
+            Box::new(move || {
+                let mut out = String::new();
+                let _ = writeln!(out, "{}", fig1::render_fig1());
+                let rows: Vec<Vec<String>> = fig1::fig1_rows()
                     .iter()
-                    .map(|p| {
+                    .map(|r| {
                         vec![
-                            p.config().label(),
-                            p.tpus().to_string(),
-                            p.max_cameras().to_string(),
-                            format!("{:.4}", p.avg_utilization()),
-                            p.all_slo_met().to_string(),
+                            r.model().to_owned(),
+                            format!("{:.1}", r.inference_ms()),
+                            format!("{:.1}", r.fps_for_full_util()),
+                            r.sustains_15fps().to_string(),
                         ]
                     })
                     .collect();
                 dump(
                     csv,
-                    &format!("fig5_{}", app.name()),
+                    "fig1",
                     &[
-                        "config",
-                        "tpus",
-                        "max_cameras",
-                        "avg_utilization",
-                        "slo_met",
+                        "model",
+                        "inference_ms",
+                        "fps_for_full_util",
+                        "sustains_15fps",
                     ],
                     &rows,
                 );
-            }
-            out
-        })));
+                out
+            }),
+        ));
+    }
+
+    if opts.fig5 {
+        jobs.push((
+            false,
+            Box::new(move || {
+                let mut out = String::new();
+                for (app, configs) in [
+                    (
+                        CameraApp::coral_pie(),
+                        SystemConfig::fig5_configs().to_vec(),
+                    ),
+                    (
+                        CameraApp::bodypix(),
+                        vec![SystemConfig::Baseline, SystemConfig::microedge_full()],
+                    ),
+                ] {
+                    let points = scalability::fig5_sweep(&app, &configs, 6, frames);
+                    let _ = writeln!(out, "{}", scalability::render_sweep(&app, &points));
+                    let rows: Vec<Vec<String>> = points
+                        .iter()
+                        .map(|p| {
+                            vec![
+                                p.config().label(),
+                                p.tpus().to_string(),
+                                p.max_cameras().to_string(),
+                                format!("{:.4}", p.avg_utilization()),
+                                p.all_slo_met().to_string(),
+                            ]
+                        })
+                        .collect();
+                    dump(
+                        csv,
+                        &format!("fig5_{}", app.name()),
+                        &[
+                            "config",
+                            "tpus",
+                            "max_cameras",
+                            "avg_utilization",
+                            "slo_met",
+                        ],
+                        &rows,
+                    );
+                }
+                out
+            }),
+        ));
     }
 
     if opts.table1 {
-        jobs.push((false, Box::new(move || {
-            let mut out = String::new();
-            let _ = writeln!(out, "{}", cost::render_table1(&CameraApp::coral_pie(), 17));
-            let rows: Vec<Vec<String>> =
-                cost::table1_rows(&CameraApp::coral_pie(), 17, CostModel::paper_prices())
-                    .iter()
-                    .map(|r| {
-                        vec![
-                            r.config().label(),
-                            r.tpus().to_string(),
-                            r.rpis().to_string(),
-                            r.total_usd().to_string(),
-                        ]
-                    })
-                    .collect();
-            dump(
-                csv,
-                "table1",
-                &["config", "tpus", "rpis", "total_usd"],
-                &rows,
-            );
-            out
-        })));
+        jobs.push((
+            false,
+            Box::new(move || {
+                let mut out = String::new();
+                let _ = writeln!(out, "{}", cost::render_table1(&CameraApp::coral_pie(), 17));
+                let rows: Vec<Vec<String>> =
+                    cost::table1_rows(&CameraApp::coral_pie(), 17, CostModel::paper_prices())
+                        .iter()
+                        .map(|r| {
+                            vec![
+                                r.config().label(),
+                                r.tpus().to_string(),
+                                r.rpis().to_string(),
+                                r.total_usd().to_string(),
+                            ]
+                        })
+                        .collect();
+                dump(
+                    csv,
+                    "table1",
+                    &["config", "tpus", "rpis", "total_usd"],
+                    &rows,
+                );
+                out
+            }),
+        ));
     }
 
     if opts.fig6 {
@@ -284,94 +294,103 @@ fn main() {
     }
 
     if opts.fig7a {
-        jobs.push((true, Box::new(move || {
-            let mut out = String::new();
-            let samples = if quick { 500 } else { 5000 };
-            let _ = writeln!(out, "{}", admission_overhead::render_fig7a(samples, 42));
-            let rows: Vec<Vec<String>> = admission_overhead::run_overhead(samples, 42)
-                .iter()
-                .map(|r| {
-                    vec![
-                        r.label().to_owned(),
-                        format!("{:.1}", r.mean_ms()),
-                        format!("{:.1}", r.std_ms()),
-                        format!("{:.2}", r.overhead_pct()),
-                    ]
-                })
-                .collect();
-            dump(
-                csv,
-                "fig7a",
-                &["config", "mean_ms", "std_ms", "overhead_pct"],
-                &rows,
-            );
-            out
-        })));
+        jobs.push((
+            true,
+            Box::new(move || {
+                let mut out = String::new();
+                let samples = if quick { 500 } else { 5000 };
+                let _ = writeln!(out, "{}", admission_overhead::render_fig7a(samples, 42));
+                let rows: Vec<Vec<String>> = admission_overhead::run_overhead(samples, 42)
+                    .iter()
+                    .map(|r| {
+                        vec![
+                            r.label().to_owned(),
+                            format!("{:.1}", r.mean_ms()),
+                            format!("{:.1}", r.std_ms()),
+                            format!("{:.2}", r.overhead_pct()),
+                        ]
+                    })
+                    .collect();
+                dump(
+                    csv,
+                    "fig7a",
+                    &["config", "mean_ms", "std_ms", "overhead_pct"],
+                    &rows,
+                );
+                out
+            }),
+        ));
     }
 
     if opts.fig7b {
-        jobs.push((false, Box::new(move || {
-            let mut out = String::new();
-            let _ = writeln!(out, "{}", latency_breakdown::render_fig7b(frames.min(300)));
-            let rows: Vec<Vec<String>> = [
-                latency_breakdown::measure_breakdown(SystemConfig::Baseline, frames.min(300)),
-                latency_breakdown::measure_breakdown(
-                    SystemConfig::microedge_full(),
-                    frames.min(300),
-                ),
-                latency_breakdown::serverless_row(),
-            ]
-            .iter()
-            .map(|r| {
-                let p = r.phases_ms();
-                vec![
-                    r.label().to_owned(),
-                    format!("{:.2}", p[0]),
-                    format!("{:.2}", p[1]),
-                    format!("{:.2}", p[2]),
-                    format!("{:.2}", p[3]),
-                    format!("{:.2}", r.total_ms()),
+        jobs.push((
+            false,
+            Box::new(move || {
+                let mut out = String::new();
+                let _ = writeln!(out, "{}", latency_breakdown::render_fig7b(frames.min(300)));
+                let rows: Vec<Vec<String>> = [
+                    latency_breakdown::measure_breakdown(SystemConfig::Baseline, frames.min(300)),
+                    latency_breakdown::measure_breakdown(
+                        SystemConfig::microedge_full(),
+                        frames.min(300),
+                    ),
+                    latency_breakdown::serverless_row(),
                 ]
-            })
-            .collect();
-            dump(
-                csv,
-                "fig7b",
-                &[
-                    "design",
-                    "pre_ms",
-                    "transmission_ms",
-                    "inference_ms",
-                    "post_ms",
-                    "total_ms",
-                ],
-                &rows,
-            );
-            out
-        })));
+                .iter()
+                .map(|r| {
+                    let p = r.phases_ms();
+                    vec![
+                        r.label().to_owned(),
+                        format!("{:.2}", p[0]),
+                        format!("{:.2}", p[1]),
+                        format!("{:.2}", p[2]),
+                        format!("{:.2}", p[3]),
+                        format!("{:.2}", r.total_ms()),
+                    ]
+                })
+                .collect();
+                dump(
+                    csv,
+                    "fig7b",
+                    &[
+                        "design",
+                        "pre_ms",
+                        "transmission_ms",
+                        "inference_ms",
+                        "post_ms",
+                        "total_ms",
+                    ],
+                    &rows,
+                );
+                out
+            }),
+        ));
     }
 
     if opts.ablations {
-        jobs.push((false, Box::new(move || {
-            let mut out = String::new();
-            let _ = writeln!(out, "{}", packing::render_packing(60, 6, 10));
-            let _ = writeln!(
-                out,
-                "{}",
-                pipeline_ablation::render_pipeline_ablation(frames.min(300))
-            );
-            let _ = writeln!(
-                out,
-                "{}",
-                diff_detector::render_diff_detector(6, frames.min(300))
-            );
-            let _ = writeln!(
-                out,
-                "{}",
-                microedge_bench::tail_latency::render_tail_latency(6, frames.min(300))
-            );
-            out
-        })));
+        jobs.push((
+            false,
+            Box::new(move || {
+                let mut out = String::new();
+                let _ = writeln!(out, "{}", packing::render_packing(60, 6, 10));
+                let _ = writeln!(
+                    out,
+                    "{}",
+                    pipeline_ablation::render_pipeline_ablation(frames.min(300))
+                );
+                let _ = writeln!(
+                    out,
+                    "{}",
+                    diff_detector::render_diff_detector(6, frames.min(300))
+                );
+                let _ = writeln!(
+                    out,
+                    "{}",
+                    microedge_bench::tail_latency::render_tail_latency(6, frames.min(300))
+                );
+                out
+            }),
+        ));
     }
 
     let mut chunks: Vec<Option<String>> = jobs.iter().map(|_| None).collect();
@@ -396,14 +415,21 @@ fn main() {
 
     if opts.perf {
         let rounds = if opts.quick { 1 } else { 3 };
+        let dir = opts.csv.clone().unwrap_or_else(|| PathBuf::from("."));
+        let write_bench = |name: &str, body: String| {
+            let path = dir.join(name);
+            match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, body)) {
+                Ok(()) => eprintln!("wrote {}", path.display()),
+                Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+            }
+        };
+
         let result = microedge_bench::perf::run_kernel_perf(rounds);
         println!("{}", result.render_summary());
-        let dir = opts.csv.clone().unwrap_or_else(|| PathBuf::from("."));
-        let path = dir.join("BENCH_kernel.json");
-        match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, result.to_json()))
-        {
-            Ok(()) => eprintln!("wrote {}", path.display()),
-            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
-        }
+        write_bench("BENCH_kernel.json", result.to_json());
+
+        let admission = admission_overhead::run_admission_perf(rounds);
+        println!("{}", scalability::render_admission_scalability(&admission));
+        write_bench("BENCH_admission.json", admission.to_json());
     }
 }

@@ -5,7 +5,9 @@
 //! Best-Fit, Worst-Fit, and Next-Fit and compares TPUs used and requests
 //! rejected.
 
-use microedge_core::admission::{AdmissionPolicy, BestFit, FirstFit, NextFit, NextKFit, WorstFit};
+use microedge_core::admission::{
+    AdmissionPolicy, BestFit, FirstFit, NextFit, NextKFit, PlanBuffer, WorstFit,
+};
 use microedge_core::config::Features;
 use microedge_core::pool::TpuPool;
 use microedge_core::units::TpuUnits;
@@ -88,15 +90,15 @@ fn run_policy(
 ) -> PackingOutcome {
     let cluster = experiment_cluster(tpus);
     let mut pool = TpuPool::from_cluster(&cluster, TpuSpec::coral_usb());
+    let mut buffer = PlanBuffer::new();
     let mut admitted = 0;
     let mut rejected = 0;
     for (model, units) in requests {
-        match policy.plan(&pool, model, *units, features) {
-            Some(plan) => {
-                pool.commit(model, &plan);
-                admitted += 1;
-            }
-            None => rejected += 1,
+        if policy.plan_into(&pool, model, *units, features, &mut buffer) {
+            pool.commit(model, buffer.allocations());
+            admitted += 1;
+        } else {
+            rejected += 1;
         }
     }
     PackingOutcome {
@@ -142,28 +144,44 @@ fn run_policy_churn(
 ) -> PackingOutcome {
     let cluster = experiment_cluster(tpus);
     let mut pool = TpuPool::from_cluster(&cluster, TpuSpec::coral_usb());
-    // One slot per arrival op (policy-independent indexing): holds the
-    // committed assignment if this policy admitted that arrival and it has
-    // not yet departed.
-    let mut slots: Vec<Option<(ModelProfile, Vec<microedge_core::pool::Allocation>)>> = Vec::new();
+    let mut buffer = PlanBuffer::new();
+    // Live assignments go into a slab whose freed slots are recycled, so
+    // memory is bounded by the *concurrent* pod count, not the run length.
+    // `arrival_slot` maps each arrival op's ordinal (what `Depart` indexes,
+    // policy-independently) to its slab slot while the pod is live.
+    let mut slab: Vec<Option<(ModelProfile, Vec<microedge_core::pool::Allocation>)>> = Vec::new();
+    let mut free_slots: Vec<usize> = Vec::new();
+    let mut arrival_slot: Vec<Option<usize>> = Vec::new();
     let mut admitted = 0;
     let mut rejected = 0;
     for op in ops {
         match op {
-            ChurnOp::Arrive(model, units) => match policy.plan(&pool, model, *units, features) {
-                Some(plan) => {
-                    pool.commit(model, &plan);
-                    slots.push(Some((model.clone(), plan)));
+            ChurnOp::Arrive(model, units) => {
+                if policy.plan_into(&pool, model, *units, features, &mut buffer) {
+                    pool.commit(model, buffer.allocations());
+                    let entry = Some((model.clone(), buffer.allocations().to_vec()));
+                    let slot = match free_slots.pop() {
+                        Some(i) => {
+                            slab[i] = entry;
+                            i
+                        }
+                        None => {
+                            slab.push(entry);
+                            slab.len() - 1
+                        }
+                    };
+                    arrival_slot.push(Some(slot));
                     admitted += 1;
-                }
-                None => {
-                    slots.push(None);
+                } else {
+                    arrival_slot.push(None);
                     rejected += 1;
                 }
-            },
+            }
             ChurnOp::Depart(idx) => {
-                if let Some(Some((model, plan))) = slots.get_mut(*idx).map(Option::take) {
+                if let Some(slot) = arrival_slot.get_mut(*idx).and_then(Option::take) {
+                    let (model, plan) = slab[slot].take().expect("departing pod is live");
                     pool.release(model.id(), &plan);
+                    free_slots.push(slot);
                 }
             }
         }
@@ -283,11 +301,105 @@ pub fn render_packing(requests: u32, tpus: u32, seeds: u64) -> String {
     out
 }
 
+/// Bin capacity in micro-units for the classic (no-partitioning) packing
+/// helpers: one whole TPU.
+const BIN_CAP: u64 = 1_000_000;
+
+/// The Martello–Toth **L2** lower bound on the optimal bin count.
+///
+/// For a threshold `t ≤ cap/2`, items split into `J1 = {x > cap − t}`
+/// (each needs a private bin no `≥ t` item can share), `J2 =
+/// {cap − t ≥ x > cap/2}` (pairwise incompatible, one bin each, with
+/// `|J2|·cap − Σ J2` spare room), and `J3 = {cap/2 ≥ x ≥ t}` (volume that
+/// must go into J2's spare room or new bins). Items below `t` are
+/// discarded — that is what makes the bound beat plain volume rounding:
+///
+/// `L(t) = |J1| + |J2| + max(0, ⌈(Σ J3 − (|J2|·cap − Σ J2)) / cap⌉)`
+///
+/// and `L2 = max over t ∈ {0} ∪ {distinct sizes ≤ cap/2}`. At `t = 0` this
+/// reduces to (at least) the volume bound `⌈Σ/cap⌉`, so L2 dominates L1.
+///
+/// # Panics
+///
+/// Panics if any item exceeds one whole TPU.
+#[must_use]
+pub fn l2_lower_bound(items: &[TpuUnits]) -> u32 {
+    let mut sizes: Vec<u64> = items.iter().map(|u| u.as_micro()).collect();
+    assert!(
+        sizes.iter().all(|&s| s <= BIN_CAP),
+        "classic bin packing requires items ≤ 1 TPU"
+    );
+    sizes.retain(|&s| s > 0);
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    l2_of_sorted(&sizes)
+}
+
+/// [`l2_lower_bound`] over positive sizes already sorted descending.
+fn l2_of_sorted(sizes: &[u64]) -> u32 {
+    let mut thresholds: Vec<u64> = vec![0];
+    thresholds.extend(sizes.iter().copied().filter(|&s| s <= BIN_CAP / 2));
+    thresholds.dedup(); // sorted input keeps duplicates adjacent
+    let mut best = 0u64;
+    for t in thresholds {
+        let mut j1 = 0u64;
+        let mut j2 = 0u64;
+        let mut j2_sum = 0u64;
+        let mut j3_sum = 0u64;
+        for &x in sizes {
+            if x > BIN_CAP - t {
+                j1 += 1;
+            } else if x > BIN_CAP / 2 {
+                j2 += 1;
+                j2_sum += x;
+            } else if x >= t {
+                j3_sum += x;
+            }
+        }
+        let j2_spare = j2 * BIN_CAP - j2_sum;
+        let overflow_bins = j3_sum.saturating_sub(j2_spare).div_ceil(BIN_CAP);
+        best = best.max(j1 + j2 + overflow_bins);
+    }
+    best as u32
+}
+
+/// First-Fit-Decreasing over positive sizes already sorted descending —
+/// the branch-and-bound's initial upper bound (FFD is within 11/9·OPT + 1,
+/// and frequently exact, so the search often only has to prove optimality).
+fn ffd_of_sorted(sizes: &[u64]) -> u32 {
+    let mut bins: Vec<u64> = Vec::new();
+    for &size in sizes {
+        match bins.iter_mut().find(|b| **b + size <= BIN_CAP) {
+            Some(bin) => *bin += size,
+            None => bins.push(size),
+        }
+    }
+    bins.len() as u32
+}
+
 /// Exact minimal bin count for classic bin packing (bins of capacity
-/// [`TpuUnits::ONE`]), by branch and bound with sum lower-bounding —
-/// tractable for the ≤ ~14 items the optimality tests use. Validates the
-/// paper's choice of First-Fit (asymptotic approximation ratio 1.7,
-/// §4.2) against the true optimum.
+/// [`TpuUnits::ONE`]) by pruned branch and bound. Validates the paper's
+/// choice of First-Fit (asymptotic approximation ratio 1.7, §4.2) against
+/// the true optimum.
+///
+/// The search places items largest-first and prunes with:
+///
+/// - an **FFD upper bound** seeding `best` before the search starts;
+/// - the **L2 lower bound** ([`l2_lower_bound`]) for instant exit when FFD
+///   already meets it, plus a per-node **residual-volume bound**
+///   (`open bins + ⌈(remaining volume − open free space) / cap⌉`);
+/// - **perfect-fit dominance**: when the largest remaining item exactly
+///   fills some open bin, that placement is committed without branching
+///   (an exchange argument shows some optimal completion does this);
+/// - **equal-residual symmetry**: among open bins with identical loads
+///   only the first is tried;
+/// - a **visited-state memo** keyed on (items left, sorted open-bin
+///   residuals): permutations of equally sized items and different
+///   placement orders reaching the same state are explored once. Re-visits
+///   are safe to cut because `best` only ever decreases, so a repeat
+///   exploration could not beat the first.
+///
+/// Together these carry the solver well past the ~14-item limit of naive
+/// branch and bound (see `tests/packing_optimality.rs` for 40-item runs).
 ///
 /// # Panics
 ///
@@ -295,51 +407,79 @@ pub fn render_packing(requests: u32, tpus: u32, seeds: u64) -> String {
 /// that is exactly the regime without workload partitioning).
 #[must_use]
 pub fn optimal_bins(items: &[TpuUnits]) -> u32 {
-    const CAP: u64 = 1_000_000;
     let mut sizes: Vec<u64> = items.iter().map(|u| u.as_micro()).collect();
     assert!(
-        sizes.iter().all(|&s| s <= CAP),
+        sizes.iter().all(|&s| s <= BIN_CAP),
         "classic bin packing requires items ≤ 1 TPU"
     );
     sizes.retain(|&s| s > 0);
-    // Largest first tightens the bound quickly.
+    // Largest first tightens every bound quickly.
     sizes.sort_unstable_by(|a, b| b.cmp(a));
+    if sizes.is_empty() {
+        return 0;
+    }
     let total: u64 = sizes.iter().sum();
-    let lower = total.div_ceil(CAP) as u32;
+    let lower = l2_of_sorted(&sizes).max(1);
+    let mut best = ffd_of_sorted(&sizes);
+    if best == lower {
+        return best;
+    }
 
-    fn search(items: &[u64], bins: &mut Vec<u64>, best: &mut u32, lower: u32) {
+    fn search(
+        items: &[u64],
+        remaining: u64,
+        bins: &mut Vec<u64>,
+        best: &mut u32,
+        lower: u32,
+        memo: &mut std::collections::HashSet<(usize, Vec<u64>)>,
+    ) {
         if *best == lower {
-            return; // cannot beat the volume bound
+            return; // cannot beat the global lower bound
         }
         let Some((&first, rest)) = items.split_first() else {
             *best = (*best).min(bins.len() as u32);
             return;
         };
-        if bins.len() as u32 + 1 > *best {
+        // Residual-volume bound: even packing the open free space
+        // perfectly, the leftover volume forces this many bins.
+        let open_free: u64 = bins.iter().map(|b| BIN_CAP - b).sum();
+        let at_least = bins.len() as u64 + remaining.saturating_sub(open_free).div_ceil(BIN_CAP);
+        if at_least >= u64::from(*best) {
+            return;
+        }
+        // Visited-state memo on the canonical (item count, residuals) key.
+        let mut key = bins.clone();
+        key.sort_unstable();
+        if !memo.insert((items.len(), key)) {
+            return;
+        }
+        // Perfect-fit dominance: filling a bin exactly with the largest
+        // remaining item never hurts — commit it, skip all other branches.
+        if let Some(i) = bins.iter().position(|&b| b + first == BIN_CAP) {
+            bins[i] += first;
+            search(rest, remaining - first, bins, best, lower, memo);
+            bins[i] -= first;
             return;
         }
         // Try existing bins, skipping symmetric (equal-load) duplicates.
         let mut tried = std::collections::BTreeSet::new();
         for i in 0..bins.len() {
-            if bins[i] + first <= CAP && tried.insert(bins[i]) {
+            if bins[i] + first <= BIN_CAP && tried.insert(bins[i]) {
                 bins[i] += first;
-                search(rest, bins, best, lower);
+                search(rest, remaining - first, bins, best, lower, memo);
                 bins[i] -= first;
             }
         }
-        // Or open a new bin.
-        if (bins.len() as u32) < *best {
+        // Or open a new bin (pointless if that alone reaches `best`).
+        if bins.len() as u32 + 1 < *best {
             bins.push(first);
-            search(rest, bins, best, lower);
+            search(rest, remaining - first, bins, best, lower, memo);
             bins.pop();
         }
     }
 
-    if sizes.is_empty() {
-        return 0;
-    }
-    let mut best = sizes.len() as u32; // one bin per item always works
-    search(&sizes, &mut Vec::new(), &mut best, lower.max(1));
+    let mut memo = std::collections::HashSet::new();
+    search(&sizes, total, &mut Vec::new(), &mut best, lower, &mut memo);
     best
 }
 
@@ -352,15 +492,17 @@ pub fn optimal_bins(items: &[TpuUnits]) -> u32 {
 /// Panics if any item exceeds one whole TPU.
 #[must_use]
 pub fn first_fit_bins(items: &[TpuUnits]) -> u32 {
-    const CAP: u64 = 1_000_000;
     let mut bins: Vec<u64> = Vec::new();
     for item in items {
         let size = item.as_micro();
-        assert!(size <= CAP, "classic bin packing requires items ≤ 1 TPU");
+        assert!(
+            size <= BIN_CAP,
+            "classic bin packing requires items ≤ 1 TPU"
+        );
         if size == 0 {
             continue;
         }
-        match bins.iter_mut().find(|b| **b + size <= CAP) {
+        match bins.iter_mut().find(|b| **b + size <= BIN_CAP) {
             Some(bin) => *bin += size,
             None => bins.push(size),
         }
@@ -462,6 +604,55 @@ mod tests {
             assert!(o.tpus_used() <= 6);
             assert!(o.admitted() > 0);
         }
+    }
+
+    fn units(micro: &[u64]) -> Vec<TpuUnits> {
+        micro.iter().map(|&m| TpuUnits::from_micro(m)).collect()
+    }
+
+    #[test]
+    fn optimal_solver_handles_edges() {
+        assert_eq!(optimal_bins(&[]), 0);
+        assert_eq!(optimal_bins(&units(&[0, 0])), 0, "zero items are free");
+        assert_eq!(optimal_bins(&units(&[1_000_000])), 1);
+        assert_eq!(optimal_bins(&units(&[500_000, 500_000])), 1);
+        assert_eq!(optimal_bins(&units(&[500_001, 500_001])), 2);
+    }
+
+    #[test]
+    fn l2_bound_beats_volume_on_pairwise_incompatible_items() {
+        // Three 0.6 items: volume bound says ⌈1.8⌉ = 2, but no two can
+        // share a bin — L2 (at t = 0: three J2 items) says 3.
+        let items = units(&[600_000, 600_000, 600_000]);
+        assert_eq!(l2_lower_bound(&items), 3);
+        assert_eq!(optimal_bins(&items), 3);
+    }
+
+    #[test]
+    fn pruned_solver_handles_the_adversarial_ffd_case() {
+        // Three 0.33 + three 0.67: FFD pairs them perfectly (3 bins); the
+        // classic First-Fit in arrival order (0.33s first) needs 4. The
+        // solver must find 3 and prove it instantly via L2.
+        let mut items = units(&[330_000, 330_000, 330_000, 670_000, 670_000, 670_000]);
+        assert_eq!(optimal_bins(&items), 3);
+        items.reverse();
+        assert_eq!(optimal_bins(&items), 3, "order-independent");
+    }
+
+    #[test]
+    fn pruned_solver_scales_past_toy_sizes() {
+        // 40 items was hopeless for the unpruned search; the L2 bound,
+        // FFD seed, dominance, and memo make it instant.
+        let items: Vec<TpuUnits> = (0..40)
+            .map(|i| TpuUnits::from_micro(150_000 + (i * 37_507) % 700_000))
+            .collect();
+        let opt = optimal_bins(&items);
+        let l2 = l2_lower_bound(&items);
+        let ff = first_fit_bins(&items);
+        assert!(l2 <= opt, "lower bound {l2} must not exceed optimum {opt}");
+        assert!(opt <= ff, "optimum {opt} cannot exceed first-fit {ff}");
+        let total: u64 = items.iter().map(|u| u.as_micro()).sum();
+        assert!(u64::from(opt) * 1_000_000 >= total, "volume feasibility");
     }
 
     #[test]

@@ -60,7 +60,11 @@ where
 {
     let jobs = items.len();
     if workers <= 1 || jobs <= 1 {
-        return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
     }
 
     // Indexed slots: job i's input is taken from `inputs[i]` exactly once
@@ -125,7 +129,9 @@ mod tests {
     fn results_identical_across_worker_counts() {
         let work = |i: usize, seed: u64| -> u64 {
             // Cheap deterministic mixing, distinct per index.
-            let mut h = seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut h = seed
+                .wrapping_add(i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
             h ^= h >> 31;
             h
         };

@@ -81,7 +81,11 @@ impl KernelPerf {
     pub fn to_json(&self) -> String {
         let mut configs = String::new();
         for (i, c) in self.per_config.iter().enumerate() {
-            let comma = if i + 1 < self.per_config.len() { "," } else { "" };
+            let comma = if i + 1 < self.per_config.len() {
+                ","
+            } else {
+                ""
+            };
             let _ = write!(
                 configs,
                 "\n    {{\"config\": \"{}\", \"wall_s\": {:.6}, \"events\": {}}}{comma}",
@@ -121,7 +125,11 @@ impl KernelPerf {
             self.speedup(),
         );
         for c in &self.per_config {
-            let _ = writeln!(out, "  {:<28} {:.3} s  {} events", c.config, c.wall_s, c.events);
+            let _ = writeln!(
+                out,
+                "  {:<28} {:.3} s  {} events",
+                c.config, c.wall_s, c.events
+            );
         }
         out
     }

@@ -1,4 +1,10 @@
 //! Shared experiment plumbing: system configurations and world builders.
+//!
+//! Every world built here plans admissions through the indexed
+//! `TpuPool` fast path: the `ExtendedScheduler` inside each
+//! configuration calls `AdmissionPolicy::plan_into` against the pool's
+//! capacity index with a reusable `PlanBuffer`, so experiment sweeps pay
+//! O(log M) per admission probe and allocate nothing per decision.
 
 use std::fmt;
 

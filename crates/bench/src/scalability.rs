@@ -4,6 +4,11 @@
 //! instances one at a time until admission control refuses the next one,
 //! then runs the admitted fleet through the full data plane and audits
 //! every stream's FPS SLO and the fleet's TPU utilization.
+//!
+//! Beyond the paper's 1–6 TPU range, the module also renders the
+//! *control-plane* scalability story: the admission-throughput sweep
+//! ([`crate::admission_overhead::run_admission_perf`]) at 16–16 384
+//! TPUs, comparing the indexed pool against the linear-scan reference.
 
 use microedge_core::runtime::{RunResults, StreamSpec, World};
 use microedge_metrics::report::{fmt_f64, Table};
@@ -132,7 +137,9 @@ pub fn fig5_sweep(
         .iter()
         .flat_map(|&config| (1..=max_tpus).map(move |tpus| (config, tpus)))
         .collect();
-    crate::par::par_map(jobs, |_, (config, tpus)| run_point(app, config, tpus, frames))
+    crate::par::par_map(jobs, |_, (config, tpus)| {
+        run_point(app, config, tpus, frames)
+    })
 }
 
 /// Renders a sweep as the pair of tables behind Fig. 5a/5b (or 5c/5d).
@@ -157,6 +164,35 @@ pub fn render_sweep(app: &CameraApp, points: &[ScalabilityPoint]) -> String {
         "### {} — cameras supported (Fig. 5a/5c)\n{cameras}\n### {} — TPU utilization (Fig. 5b/5d)\n{utilization}",
         app.name(),
         app.name()
+    )
+}
+
+/// Renders the admission-scalability table: planning cost of the indexed
+/// pool versus the linear-scan reference across fleet sizes far beyond
+/// the paper's six TPUs.
+#[must_use]
+pub fn render_admission_scalability(perf: &crate::admission_overhead::AdmissionPerf) -> String {
+    let mut table = Table::new(&[
+        "#TPUs",
+        "linear ns/plan",
+        "indexed ns/plan",
+        "indexed plans/s",
+        "speedup",
+    ]);
+    for p in perf.points() {
+        table.row_owned(vec![
+            p.tpus().to_string(),
+            fmt_f64(p.linear_ns(), 0),
+            fmt_f64(p.indexed_ns(), 0),
+            fmt_f64(p.indexed_plans_per_sec(), 0),
+            format!("{:.1}x", p.speedup()),
+        ]);
+    }
+    format!(
+        "### Admission scalability — indexed pool vs linear scan (best of {} rounds)\n{table}\n\
+         workload: {}\n",
+        perf.rounds(),
+        perf.workload(),
     )
 }
 
@@ -222,6 +258,17 @@ mod tests {
             "{}",
             p.avg_utilization()
         );
+    }
+
+    #[test]
+    fn admission_scalability_render_has_every_size() {
+        let perf = crate::admission_overhead::run_admission_perf_with(&[(16, 20), (64, 20)], 1);
+        let text = render_admission_scalability(&perf);
+        assert!(text.contains("Admission scalability"));
+        assert!(text.contains("#TPUs"));
+        assert!(text.contains("16"));
+        assert!(text.contains("64"));
+        assert!(text.contains("speedup"));
     }
 
     #[test]

@@ -4,6 +4,12 @@
 //! deployment disciplines — the four MicroEdge feature combinations plus
 //! the dedicated baseline — and reports per-minute TPU utilization
 //! (Fig. 6a) and cameras served (Fig. 6b).
+//!
+//! Trace churn (arrivals planning against a loaded pool, departures
+//! releasing capacity) exercises the indexed admission fast path
+//! continuously: every arrival plans through the pool's capacity index
+//! into the scheduler's reusable `PlanBuffer`, and every release keeps
+//! the index consistent incrementally.
 
 use std::collections::BTreeMap;
 

@@ -15,6 +15,22 @@
 //!   split the requested units across several TPUs, taking
 //!   `min(remaining, 1 − CurrentLoad)` from each eligible TPU in scan order.
 //!
+//! ## The control-plane fast path
+//!
+//! Every policy here plans through the pool's capacity index (see
+//! [`crate::pool`]): First-Fit and Next-Fit walk the max-free segment tree
+//! ("first TPU at or after `start` with room for the request", O(log M) per
+//! hop, and each hop either admits or permanently skips a model-inadmissible
+//! TPU), while Best-Fit and Worst-Fit iterate the free-units buckets in the
+//! exact order their reference sort would produce — without sorting, and
+//! without visiting TPUs that cannot contribute. Plans are written into a
+//! caller-owned [`PlanBuffer`], so steady-state planning allocates nothing.
+//!
+//! The pre-index linear scan survives verbatim in [`reference`] as the
+//! differential-testing oracle: for every request sequence, each indexed
+//! policy must produce byte-identical plans to its reference twin (see
+//! `tests/admission_differential.rs`).
+//!
 //! # Examples
 //!
 //! ```
@@ -36,24 +52,98 @@
 //! ```
 
 use microedge_models::profile::ModelProfile;
+use microedge_tpu::device::TpuId;
 
 use crate::config::Features;
 use crate::pool::{Allocation, TpuAccount, TpuPool};
 use crate::units::TpuUnits;
 
+/// A reusable plan target: holds the allocations of the most recent
+/// successful [`AdmissionPolicy::plan_into`] call. Reusing one buffer across
+/// decisions keeps steady-state admission planning allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct PlanBuffer {
+    allocations: Vec<Allocation>,
+}
+
+impl PlanBuffer {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        PlanBuffer::default()
+    }
+
+    /// The planned allocations (empty unless the last `plan_into` returned
+    /// `true`, or the request was for zero units).
+    #[must_use]
+    pub fn allocations(&self) -> &[Allocation] {
+        &self.allocations
+    }
+
+    /// Number of planned allocations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.allocations.len()
+    }
+
+    /// `true` when the buffer holds no allocations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.allocations.is_empty()
+    }
+
+    /// Moves the plan out as an owned vector, leaving the buffer empty
+    /// (and its capacity intact is *not* guaranteed — prefer
+    /// [`PlanBuffer::allocations`] on hot paths).
+    #[must_use]
+    pub fn take(&mut self) -> Vec<Allocation> {
+        std::mem::take(&mut self.allocations)
+    }
+
+    /// Empties the buffer, keeping its capacity. Policy implementations
+    /// must call this before planning (and on rejection).
+    pub fn clear(&mut self) {
+        self.allocations.clear();
+    }
+
+    /// Appends one allocation — the building block for out-of-crate
+    /// [`AdmissionPolicy`] implementations.
+    pub fn push(&mut self, allocation: Allocation) {
+        self.allocations.push(allocation);
+    }
+}
+
 /// Decides where a TPU request goes. Implementations are the packing
 /// heuristics; [`FirstFit`] is the one MicroEdge ships.
 pub trait AdmissionPolicy: std::fmt::Debug {
-    /// Plans allocations for a request of `units` of `model`, or `None`
-    /// when the request must be rejected. The plan is **not** committed —
-    /// callers apply it with [`TpuPool::commit`].
+    /// Plans allocations for a request of `units` of `model` into `out`,
+    /// returning `false` when the request must be rejected (in which case
+    /// `out` is left empty). The plan is **not** committed — callers apply
+    /// it with [`TpuPool::commit`]. This is the zero-allocation entry
+    /// point; reuse one [`PlanBuffer`] across calls.
+    fn plan_into(
+        &mut self,
+        pool: &TpuPool,
+        model: &ModelProfile,
+        units: TpuUnits,
+        features: Features,
+        out: &mut PlanBuffer,
+    ) -> bool;
+
+    /// Convenience wrapper over [`AdmissionPolicy::plan_into`] allocating a
+    /// fresh plan vector per call, or `None` when the request must be
+    /// rejected.
     fn plan(
         &mut self,
         pool: &TpuPool,
         model: &ModelProfile,
         units: TpuUnits,
         features: Features,
-    ) -> Option<Vec<Allocation>>;
+    ) -> Option<Vec<Allocation>> {
+        let mut buffer = PlanBuffer::new();
+        self.plan_into(pool, model, units, features, &mut buffer)
+            .then(|| buffer.take())
+    }
 
     /// Human-readable policy name for reports.
     fn name(&self) -> &'static str;
@@ -86,53 +176,89 @@ fn eligible(account: &TpuAccount) -> bool {
     account.is_available()
 }
 
-/// Places the whole request on one TPU chosen from `ordered`, or splits it
-/// across them when `features.workload_partitioning` allows — the shared
-/// body of every heuristic, parameterised only by scan order.
-fn plan_in_order(
-    ordered: &[&TpuAccount],
-    budget: u64,
+/// Indexed scan of available TPUs with ids in `[lo, hi)` and free units
+/// ≥ `min_free`, ascending by id — each step is one O(log M) segment-tree
+/// descent, so skipping over a fully committed prefix costs nothing.
+fn id_scan(
+    pool: &TpuPool,
+    lo: u32,
+    hi: u32,
+    min_free: TpuUnits,
+) -> impl Iterator<Item = TpuId> + '_ {
+    let mut next = lo;
+    std::iter::from_fn(move || {
+        if next >= hi {
+            return None;
+        }
+        let id = pool.next_tpu_with_free(TpuId(next), min_free)?;
+        if id.0 >= hi {
+            return None;
+        }
+        next = id.0 + 1;
+        Some(id)
+    })
+}
+
+/// The shared Algorithm 1 body over index-backed candidate streams.
+///
+/// `whole_pass` yields, in the policy's scan order, exactly the available
+/// TPUs whose free units satisfy the TPU Units Rule for the whole request;
+/// `split_pass` yields, in the same order, every available TPU with any
+/// free capacity at all. Both must be equivalent to the reference policy's
+/// ordered scan with un-fitting TPUs removed — the removal is sound because
+/// `plan_in_order` skips those TPUs anyway (whole placement needs
+/// `free ≥ units`; partitioning takes `min(remaining, free)`, a no-op at
+/// `free = 0`).
+fn plan_indexed<W, S, WI, SI>(
+    pool: &TpuPool,
     model: &ModelProfile,
     units: TpuUnits,
     features: Features,
-) -> Option<Vec<Allocation>> {
+    whole_pass: W,
+    split_pass: S,
+    out: &mut PlanBuffer,
+) -> bool
+where
+    W: FnOnce() -> WI,
+    WI: Iterator<Item = TpuId>,
+    S: FnOnce() -> SI,
+    SI: Iterator<Item = TpuId>,
+{
+    out.allocations.clear();
     if units.is_zero() {
-        return Some(Vec::new());
+        return true;
     }
-    // Procedure AdmissionControl (Algorithm 1, lines 1–8).
-    for account in ordered {
-        let fits_units = account
-            .load()
-            .checked_add(units)
-            .is_some_and(|total| total <= TpuUnits::ONE);
-        if fits_units && model_admissible(account, model, budget, features) {
-            return Some(vec![Allocation::new(account.id(), units)]);
+    let budget = pool.param_budget();
+    // Procedure AdmissionControl (Algorithm 1, lines 1–8): candidates
+    // already satisfy the TPU Units Rule, so only the Model Size Rule is
+    // left to check.
+    for tpu in whole_pass() {
+        if model_admissible(pool.account(tpu), model, budget, features) {
+            out.allocations.push(Allocation::new(tpu, units));
+            return true;
         }
     }
     if !features.workload_partitioning {
-        return None;
+        return false;
     }
     // Procedure AdmissionControlWithWorkloadPartitioning (lines 9–28).
     let mut remaining = units;
-    let mut allocations = Vec::new();
-    for account in ordered {
+    for tpu in split_pass() {
+        let account = pool.account(tpu);
         if !model_admissible(account, model, budget, features) {
             continue;
         }
         let wp = remaining.min(account.free_units());
         if !wp.is_zero() {
-            allocations.push(Allocation::new(account.id(), wp));
+            out.allocations.push(Allocation::new(tpu, wp));
             remaining -= wp;
             if remaining.is_zero() {
-                break;
+                return true;
             }
         }
     }
-    if remaining.is_zero() {
-        Some(allocations)
-    } else {
-        None
-    }
+    out.allocations.clear();
+    false
 }
 
 /// First-Fit: scan TPUs in fixed id order — MicroEdge's shipped policy.
@@ -148,15 +274,24 @@ impl FirstFit {
 }
 
 impl AdmissionPolicy for FirstFit {
-    fn plan(
+    fn plan_into(
         &mut self,
         pool: &TpuPool,
         model: &ModelProfile,
         units: TpuUnits,
         features: Features,
-    ) -> Option<Vec<Allocation>> {
-        let ordered: Vec<&TpuAccount> = pool.accounts().iter().filter(|a| eligible(a)).collect();
-        plan_in_order(&ordered, pool.param_budget(), model, units, features)
+        out: &mut PlanBuffer,
+    ) -> bool {
+        let len = pool.len() as u32;
+        plan_indexed(
+            pool,
+            model,
+            units,
+            features,
+            || id_scan(pool, 0, len, units),
+            || id_scan(pool, 0, len, TpuUnits::ZERO),
+            out,
+        )
     }
 
     fn name(&self) -> &'static str {
@@ -178,18 +313,25 @@ impl BestFit {
 }
 
 impl AdmissionPolicy for BestFit {
-    fn plan(
+    fn plan_into(
         &mut self,
         pool: &TpuPool,
         model: &ModelProfile,
         units: TpuUnits,
         features: Features,
-    ) -> Option<Vec<Allocation>> {
-        let mut ordered: Vec<&TpuAccount> =
-            pool.accounts().iter().filter(|a| eligible(a)).collect();
-        // Least free units first; ties by id for determinism.
-        ordered.sort_by_key(|a| (a.free_units(), a.id()));
-        plan_in_order(&ordered, pool.param_budget(), model, units, features)
+        out: &mut PlanBuffer,
+    ) -> bool {
+        // Least free units first, ids ascending within ties — the bucket
+        // iteration order is exactly the reference `(free_units, id)` sort.
+        plan_indexed(
+            pool,
+            model,
+            units,
+            features,
+            || pool.tpus_by_free_ascending(units),
+            || pool.tpus_by_free_ascending(TpuUnits::ZERO),
+            out,
+        )
     }
 
     fn name(&self) -> &'static str {
@@ -210,17 +352,25 @@ impl WorstFit {
 }
 
 impl AdmissionPolicy for WorstFit {
-    fn plan(
+    fn plan_into(
         &mut self,
         pool: &TpuPool,
         model: &ModelProfile,
         units: TpuUnits,
         features: Features,
-    ) -> Option<Vec<Allocation>> {
-        let mut ordered: Vec<&TpuAccount> =
-            pool.accounts().iter().filter(|a| eligible(a)).collect();
-        ordered.sort_by_key(|a| (std::cmp::Reverse(a.free_units()), a.id()));
-        plan_in_order(&ordered, pool.param_budget(), model, units, features)
+        out: &mut PlanBuffer,
+    ) -> bool {
+        // Most free units first, ids ascending within ties — matching the
+        // reference `(Reverse(free_units), id)` sort.
+        plan_indexed(
+            pool,
+            model,
+            units,
+            features,
+            || pool.tpus_by_free_descending(units),
+            || pool.tpus_by_free_descending(TpuUnits::ZERO),
+            out,
+        )
     }
 
     fn name(&self) -> &'static str {
@@ -251,35 +401,56 @@ impl NextKFit {
 }
 
 impl AdmissionPolicy for NextKFit {
-    fn plan(
+    fn plan_into(
         &mut self,
         pool: &TpuPool,
         model: &ModelProfile,
         units: TpuUnits,
         features: Features,
-    ) -> Option<Vec<Allocation>> {
+        out: &mut PlanBuffer,
+    ) -> bool {
         let accounts = pool.accounts();
         if accounts.is_empty() {
-            return None;
+            out.allocations.clear();
+            return false;
         }
-        // The active window: the k TPUs ending at the cursor, then the
-        // rest in id order (candidates for opening).
+        // The active window (at most k TPUs ending at the cursor) is a
+        // constant-size linear scan; the tail beyond the cursor goes
+        // through the index. TPUs before the window are never candidates.
         let window_start = self.cursor.saturating_sub(self.k - 1);
-        let ordered: Vec<&TpuAccount> = accounts
-            [window_start..=self.cursor.min(accounts.len() - 1)]
-            .iter()
-            .chain(&accounts[(self.cursor + 1).min(accounts.len())..])
-            .filter(|a| eligible(a))
-            .collect();
-        let plan = plan_in_order(&ordered, pool.param_budget(), model, units, features)?;
-        if let Some(last) = plan.last() {
-            self.cursor = accounts
-                .iter()
-                .position(|a| a.id() == last.tpu())
-                .unwrap_or(0)
-                .max(self.cursor);
+        let window_end = self.cursor.min(accounts.len() - 1);
+        let tail_lo = ((self.cursor + 1).min(accounts.len())) as u32;
+        let len = accounts.len() as u32;
+        let window = &accounts[window_start..=window_end];
+        let planned = plan_indexed(
+            pool,
+            model,
+            units,
+            features,
+            || {
+                window
+                    .iter()
+                    .filter(move |a| eligible(a) && a.free_units() >= units)
+                    .map(TpuAccount::id)
+                    .chain(id_scan(pool, tail_lo, len, units))
+            },
+            || {
+                window
+                    .iter()
+                    .filter(|a| eligible(a) && !a.free_units().is_zero())
+                    .map(TpuAccount::id)
+                    .chain(id_scan(pool, tail_lo, len, TpuUnits::ZERO))
+            },
+            out,
+        );
+        if planned {
+            if let Some(last) = out.allocations.last() {
+                // Ids are dense (TPU i is accounts[i]), so the id doubles
+                // as the cursor position.
+                self.cursor = (last.tpu().0 as usize).max(self.cursor);
+            }
         }
-        Some(plan)
+        planned
     }
 
     fn name(&self) -> &'static str {
@@ -302,35 +473,316 @@ impl NextFit {
 }
 
 impl AdmissionPolicy for NextFit {
-    fn plan(
+    fn plan_into(
         &mut self,
         pool: &TpuPool,
         model: &ModelProfile,
         units: TpuUnits,
         features: Features,
-    ) -> Option<Vec<Allocation>> {
-        let accounts = pool.accounts();
-        if accounts.is_empty() {
-            return None;
+        out: &mut PlanBuffer,
+    ) -> bool {
+        if pool.is_empty() {
+            out.allocations.clear();
+            return false;
         }
-        let start = self.cursor % accounts.len();
-        let ordered: Vec<&TpuAccount> = accounts[start..]
-            .iter()
-            .chain(&accounts[..start])
-            .filter(|a| eligible(a))
-            .collect();
-        let plan = plan_in_order(&ordered, pool.param_budget(), model, units, features)?;
-        if let Some(last) = plan.last() {
-            self.cursor = accounts
-                .iter()
-                .position(|a| a.id() == last.tpu())
-                .unwrap_or(0);
+        let len = pool.len() as u32;
+        let start = (self.cursor % pool.len()) as u32;
+        let planned = plan_indexed(
+            pool,
+            model,
+            units,
+            features,
+            || id_scan(pool, start, len, units).chain(id_scan(pool, 0, start, units)),
+            || {
+                id_scan(pool, start, len, TpuUnits::ZERO).chain(id_scan(
+                    pool,
+                    0,
+                    start,
+                    TpuUnits::ZERO,
+                ))
+            },
+            out,
+        );
+        if planned {
+            if let Some(last) = out.allocations.last() {
+                self.cursor = last.tpu().0 as usize;
+            }
         }
-        Some(plan)
+        planned
     }
 
     fn name(&self) -> &'static str {
         "next-fit"
+    }
+}
+
+pub mod reference {
+    //! The pre-index linear-scan policies, kept verbatim as the
+    //! differential-testing oracle: every indexed policy above must produce
+    //! byte-identical plans to its twin here on any request sequence. These
+    //! materialise and (for Best/Worst-Fit) sort a full candidate vector
+    //! per decision — O(M) or O(M log M) where the fast path is O(log M) —
+    //! so they are for testing and the perf baseline, not production use.
+
+    use super::{
+        eligible, model_admissible, AdmissionPolicy, Allocation, Features, ModelProfile,
+        PlanBuffer, TpuAccount, TpuPool, TpuUnits,
+    };
+
+    /// Places the whole request on one TPU chosen from `ordered`, or splits
+    /// it across them when `features.workload_partitioning` allows — the
+    /// shared body of every heuristic, parameterised only by scan order.
+    fn plan_in_order(
+        ordered: &[&TpuAccount],
+        budget: u64,
+        model: &ModelProfile,
+        units: TpuUnits,
+        features: Features,
+        out: &mut PlanBuffer,
+    ) -> bool {
+        out.allocations.clear();
+        if units.is_zero() {
+            return true;
+        }
+        // Procedure AdmissionControl (Algorithm 1, lines 1–8).
+        for account in ordered {
+            let fits_units = account
+                .load()
+                .checked_add(units)
+                .is_some_and(|total| total <= TpuUnits::ONE);
+            if fits_units && model_admissible(account, model, budget, features) {
+                out.allocations.push(Allocation::new(account.id(), units));
+                return true;
+            }
+        }
+        if !features.workload_partitioning {
+            return false;
+        }
+        // Procedure AdmissionControlWithWorkloadPartitioning (lines 9–28).
+        let mut remaining = units;
+        for account in ordered {
+            if !model_admissible(account, model, budget, features) {
+                continue;
+            }
+            let wp = remaining.min(account.free_units());
+            if !wp.is_zero() {
+                out.allocations.push(Allocation::new(account.id(), wp));
+                remaining -= wp;
+                if remaining.is_zero() {
+                    return true;
+                }
+            }
+        }
+        out.allocations.clear();
+        false
+    }
+
+    /// Linear-scan First-Fit (the oracle for [`super::FirstFit`]).
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct FirstFit;
+
+    impl FirstFit {
+        /// Creates the policy.
+        #[must_use]
+        pub fn new() -> Self {
+            FirstFit
+        }
+    }
+
+    impl AdmissionPolicy for FirstFit {
+        fn plan_into(
+            &mut self,
+            pool: &TpuPool,
+            model: &ModelProfile,
+            units: TpuUnits,
+            features: Features,
+            out: &mut PlanBuffer,
+        ) -> bool {
+            let ordered: Vec<&TpuAccount> =
+                pool.accounts().iter().filter(|a| eligible(a)).collect();
+            plan_in_order(&ordered, pool.param_budget(), model, units, features, out)
+        }
+
+        fn name(&self) -> &'static str {
+            "first-fit/linear"
+        }
+    }
+
+    /// Linear-scan Best-Fit (the oracle for [`super::BestFit`]).
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct BestFit;
+
+    impl BestFit {
+        /// Creates the policy.
+        #[must_use]
+        pub fn new() -> Self {
+            BestFit
+        }
+    }
+
+    impl AdmissionPolicy for BestFit {
+        fn plan_into(
+            &mut self,
+            pool: &TpuPool,
+            model: &ModelProfile,
+            units: TpuUnits,
+            features: Features,
+            out: &mut PlanBuffer,
+        ) -> bool {
+            let mut ordered: Vec<&TpuAccount> =
+                pool.accounts().iter().filter(|a| eligible(a)).collect();
+            // Least free units first; ties by id for determinism.
+            ordered.sort_by_key(|a| (a.free_units(), a.id()));
+            plan_in_order(&ordered, pool.param_budget(), model, units, features, out)
+        }
+
+        fn name(&self) -> &'static str {
+            "best-fit/linear"
+        }
+    }
+
+    /// Linear-scan Worst-Fit (the oracle for [`super::WorstFit`]).
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct WorstFit;
+
+    impl WorstFit {
+        /// Creates the policy.
+        #[must_use]
+        pub fn new() -> Self {
+            WorstFit
+        }
+    }
+
+    impl AdmissionPolicy for WorstFit {
+        fn plan_into(
+            &mut self,
+            pool: &TpuPool,
+            model: &ModelProfile,
+            units: TpuUnits,
+            features: Features,
+            out: &mut PlanBuffer,
+        ) -> bool {
+            let mut ordered: Vec<&TpuAccount> =
+                pool.accounts().iter().filter(|a| eligible(a)).collect();
+            ordered.sort_by_key(|a| (std::cmp::Reverse(a.free_units()), a.id()));
+            plan_in_order(&ordered, pool.param_budget(), model, units, features, out)
+        }
+
+        fn name(&self) -> &'static str {
+            "worst-fit/linear"
+        }
+    }
+
+    /// Linear-scan Next-k-Fit (the oracle for [`super::NextKFit`]).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct NextKFit {
+        k: usize,
+        cursor: usize,
+    }
+
+    impl NextKFit {
+        /// Creates the policy keeping the last `k` TPUs active.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `k` is zero.
+        #[must_use]
+        pub fn new(k: usize) -> Self {
+            assert!(k > 0, "Next-k-Fit requires k ≥ 1");
+            NextKFit { k, cursor: 0 }
+        }
+    }
+
+    impl AdmissionPolicy for NextKFit {
+        fn plan_into(
+            &mut self,
+            pool: &TpuPool,
+            model: &ModelProfile,
+            units: TpuUnits,
+            features: Features,
+            out: &mut PlanBuffer,
+        ) -> bool {
+            let accounts = pool.accounts();
+            if accounts.is_empty() {
+                out.allocations.clear();
+                return false;
+            }
+            // The active window: the k TPUs ending at the cursor, then the
+            // rest in id order (candidates for opening).
+            let window_start = self.cursor.saturating_sub(self.k - 1);
+            let ordered: Vec<&TpuAccount> = accounts
+                [window_start..=self.cursor.min(accounts.len() - 1)]
+                .iter()
+                .chain(&accounts[(self.cursor + 1).min(accounts.len())..])
+                .filter(|a| eligible(a))
+                .collect();
+            let planned = plan_in_order(&ordered, pool.param_budget(), model, units, features, out);
+            if planned {
+                if let Some(last) = out.allocations.last() {
+                    self.cursor = accounts
+                        .iter()
+                        .position(|a| a.id() == last.tpu())
+                        .unwrap_or(0)
+                        .max(self.cursor);
+                }
+            }
+            planned
+        }
+
+        fn name(&self) -> &'static str {
+            "next-k-fit/linear"
+        }
+    }
+
+    /// Linear-scan Next-Fit (the oracle for [`super::NextFit`]).
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct NextFit {
+        cursor: usize,
+    }
+
+    impl NextFit {
+        /// Creates the policy with the cursor at the first TPU.
+        #[must_use]
+        pub fn new() -> Self {
+            NextFit { cursor: 0 }
+        }
+    }
+
+    impl AdmissionPolicy for NextFit {
+        fn plan_into(
+            &mut self,
+            pool: &TpuPool,
+            model: &ModelProfile,
+            units: TpuUnits,
+            features: Features,
+            out: &mut PlanBuffer,
+        ) -> bool {
+            let accounts = pool.accounts();
+            if accounts.is_empty() {
+                out.allocations.clear();
+                return false;
+            }
+            let start = self.cursor % accounts.len();
+            let ordered: Vec<&TpuAccount> = accounts[start..]
+                .iter()
+                .chain(&accounts[..start])
+                .filter(|a| eligible(a))
+                .collect();
+            let planned = plan_in_order(&ordered, pool.param_budget(), model, units, features, out);
+            if planned {
+                if let Some(last) = out.allocations.last() {
+                    self.cursor = accounts
+                        .iter()
+                        .position(|a| a.id() == last.tpu())
+                        .unwrap_or(0);
+                }
+            }
+            planned
+        }
+
+        fn name(&self) -> &'static str {
+            "next-fit/linear"
+        }
     }
 }
 
@@ -568,6 +1020,8 @@ mod tests {
         assert_eq!(WorstFit::new().name(), "worst-fit");
         assert_eq!(NextFit::new().name(), "next-fit");
         assert_eq!(NextKFit::new(2).name(), "next-k-fit");
+        assert_eq!(reference::FirstFit::new().name(), "first-fit/linear");
+        assert_eq!(reference::NextFit::new().name(), "next-fit/linear");
     }
 
     #[test]
@@ -594,5 +1048,64 @@ mod tests {
     #[should_panic(expected = "k ≥ 1")]
     fn next_k_fit_rejects_zero_k() {
         let _ = NextKFit::new(0);
+    }
+
+    #[test]
+    fn plan_buffer_is_reusable_and_cleared_on_rejection() {
+        let mut pool = pool(2);
+        let m = ssd_mobilenet_v2();
+        let mut ff = FirstFit::new();
+        let mut buf = PlanBuffer::new();
+        assert!(ff.plan_into(&pool, &m, u(0.6), Features::all(), &mut buf));
+        assert_eq!(buf.allocations(), &[Allocation::new(TpuId(0), u(0.6))]);
+        pool.commit(&m, buf.allocations());
+        // A second plan through the same buffer replaces the first.
+        assert!(ff.plan_into(&pool, &m, u(0.6), Features::all(), &mut buf));
+        assert_eq!(buf.allocations(), &[Allocation::new(TpuId(1), u(0.6))]);
+        pool.commit(&m, buf.allocations());
+        // Rejection leaves the buffer empty, even when the partitioning
+        // pass had pushed partial allocations before failing.
+        assert!(!ff.plan_into(&pool, &m, u(1.5), Features::all(), &mut buf));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn indexed_policies_match_reference_after_failures() {
+        // A hand-run of the differential property: failures, restores, and
+        // mixed load, with each indexed policy shadowing its oracle.
+        let m = ssd_mobilenet_v2();
+        let features = Features::all();
+        let mut fast: Vec<Box<dyn AdmissionPolicy>> = vec![
+            Box::new(FirstFit::new()),
+            Box::new(BestFit::new()),
+            Box::new(WorstFit::new()),
+            Box::new(NextFit::new()),
+            Box::new(NextKFit::new(2)),
+        ];
+        let mut oracle: Vec<Box<dyn AdmissionPolicy>> = vec![
+            Box::new(reference::FirstFit::new()),
+            Box::new(reference::BestFit::new()),
+            Box::new(reference::WorstFit::new()),
+            Box::new(reference::NextFit::new()),
+            Box::new(reference::NextKFit::new(2)),
+        ];
+        for (fast, oracle) in fast.iter_mut().zip(oracle.iter_mut()) {
+            let mut p = pool(5);
+            p.fail(TpuId(0));
+            p.commit(&m, &[Allocation::new(TpuId(2), u(0.8))]);
+            p.commit(&m, &[Allocation::new(TpuId(3), u(0.4))]);
+            for units in [0.35, 0.8, 0.35, 1.4, 0.9, 0.2] {
+                let a = fast.plan(&p, &m, u(units), features);
+                let b = oracle.plan(&p, &m, u(units), features);
+                assert_eq!(a, b, "policy {} diverged at {units}", fast.name());
+                if let Some(plan) = a {
+                    p.commit(&m, &plan);
+                }
+            }
+            p.restore(TpuId(0));
+            let a = fast.plan(&p, &m, u(0.5), features);
+            let b = oracle.plan(&p, &m, u(0.5), features);
+            assert_eq!(a, b, "policy {} diverged after restore", fast.name());
+        }
     }
 }

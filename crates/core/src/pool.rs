@@ -6,8 +6,30 @@
 //! model's reference count drops, but the model stays resident until the
 //! next co-compilation on that TPU excludes dead models — exactly the
 //! behaviour the paper describes under "Resource Reclamation".
+//!
+//! ## The capacity index
+//!
+//! Admission control (Algorithm 1) asks two questions per decision: *which
+//! TPU with enough free units comes first in scan order?* (the basic pass)
+//! and *which TPUs have any room at all?* (the partitioning pass). A naive
+//! answer scans every account — O(M) per decision, the exact control-plane
+//! cost the paper's §6 scalability argument multiplies by fleet size. The
+//! pool therefore maintains a [`CapacityIndex`] incrementally on every
+//! [`TpuPool::commit`] / [`TpuPool::release`] / [`TpuPool::fail`] /
+//! [`TpuPool::restore`]:
+//!
+//! - a **max-free segment tree** over TPU ids answers "first available TPU
+//!   with id ≥ `start` and free units ≥ `min`" in O(log M) — the query
+//!   behind First-Fit and Next-Fit scan order;
+//! - **free-units buckets** (a sorted map from exact free value to the
+//!   ascending id set) iterate TPUs by free capacity in either direction —
+//!   the orders Best-Fit and Worst-Fit need — touching only TPUs that can
+//!   actually contribute.
+//!
+//! Both structures are derived state: they never appear in equality
+//! comparisons, and every mutation keeps them exact (no rebuilds).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 
@@ -197,6 +219,91 @@ impl TpuAccount {
     }
 }
 
+/// The incrementally maintained capacity index (see the module docs): a
+/// max-free segment tree in id order plus exact free-units buckets. Purely
+/// derived from the accounts — excluded from pool equality.
+#[derive(Debug, Clone, Default)]
+struct CapacityIndex {
+    /// 1-based complete binary tree; `tree[leaves + id]` is the free
+    /// micro-units of TPU `id` (0 when failed), internal nodes hold the max
+    /// of their children.
+    tree: Vec<u64>,
+    /// Leaf count: the smallest power of two ≥ the pool size.
+    leaves: usize,
+    /// Exact free micro-units → available TPU ids, ascending.
+    buckets: BTreeMap<u64, BTreeSet<u32>>,
+}
+
+impl CapacityIndex {
+    fn build(accounts: &[TpuAccount]) -> Self {
+        let leaves = accounts.len().next_power_of_two().max(1);
+        let mut index = CapacityIndex {
+            tree: vec![0; 2 * leaves],
+            leaves,
+            buckets: BTreeMap::new(),
+        };
+        for account in accounts {
+            if account.available {
+                index.insert(account.id.0, account.free_units().as_micro());
+            }
+        }
+        index
+    }
+
+    fn set_leaf(&mut self, id: u32, value: u64) {
+        let mut node = self.leaves + id as usize;
+        self.tree[node] = value;
+        while node > 1 {
+            node /= 2;
+            self.tree[node] = self.tree[2 * node].max(self.tree[2 * node + 1]);
+        }
+    }
+
+    /// Registers an available TPU at the given free capacity.
+    fn insert(&mut self, id: u32, free: u64) {
+        self.set_leaf(id, free);
+        self.buckets.entry(free).or_default().insert(id);
+    }
+
+    /// Unregisters a TPU (it failed): it must not satisfy any query.
+    fn remove(&mut self, id: u32, free: u64) {
+        self.set_leaf(id, 0);
+        if let Some(bucket) = self.buckets.get_mut(&free) {
+            bucket.remove(&id);
+            if bucket.is_empty() {
+                self.buckets.remove(&free);
+            }
+        }
+    }
+
+    /// Moves an available TPU between free-capacity values.
+    fn update(&mut self, id: u32, old_free: u64, new_free: u64) {
+        if old_free == new_free {
+            return;
+        }
+        self.remove(id, old_free);
+        self.insert(id, new_free);
+    }
+
+    /// First available TPU with id ≥ `start` and free ≥ `min` (`min` ≥ 1),
+    /// in O(log M).
+    fn first_with_free(&self, start: u32, min: u64) -> Option<u32> {
+        self.descend(1, 0, self.leaves, start as usize, min)
+    }
+
+    fn descend(&self, node: usize, lo: usize, hi: usize, start: usize, min: u64) -> Option<u32> {
+        if hi <= start || self.tree[node] < min {
+            return None;
+        }
+        if hi - lo == 1 {
+            return Some(lo as u32);
+        }
+        let mid = (lo + hi) / 2;
+        self.descend(2 * node, lo, mid, start, min)
+            .or_else(|| self.descend(2 * node + 1, mid, hi, start, min))
+    }
+}
+
 /// The fleet of TPU Services the extended scheduler allocates from.
 ///
 /// # Examples
@@ -212,25 +319,38 @@ impl TpuAccount {
 /// assert_eq!(pool.len(), 3);
 /// assert_eq!(pool.total_free_units(), TpuUnits::from_f64(3.0));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TpuPool {
     accounts: Vec<TpuAccount>,
     param_budget: u64,
+    index: CapacityIndex,
 }
+
+/// Pool equality is logical state only — the derived capacity index is a
+/// function of the accounts and takes no part in comparisons.
+impl PartialEq for TpuPool {
+    fn eq(&self, other: &Self) -> bool {
+        self.accounts == other.accounts && self.param_budget == other.param_budget
+    }
+}
+
+impl Eq for TpuPool {}
 
 impl TpuPool {
     /// Builds a pool with one TPU per tRPi of `cluster`, indexed in node
     /// order (TPU *i* lives on the *i*-th tRPi).
     #[must_use]
     pub fn from_cluster(cluster: &Cluster, spec: TpuSpec) -> Self {
-        let accounts = cluster
+        let accounts: Vec<TpuAccount> = cluster
             .trpis()
             .enumerate()
             .map(|(i, node)| TpuAccount::new(TpuId(i as u32), node.id()))
             .collect();
+        let index = CapacityIndex::build(&accounts);
         TpuPool {
             accounts,
             param_budget: spec.param_budget_bytes(),
+            index,
         }
     }
 
@@ -258,7 +378,8 @@ impl TpuPool {
         &self.accounts
     }
 
-    /// The account for `tpu`.
+    /// The account for `tpu`. O(1): ids are dense — `from_cluster` numbers
+    /// TPU *i* as `TpuId(i)`.
     ///
     /// # Panics
     ///
@@ -266,15 +387,15 @@ impl TpuPool {
     #[must_use]
     pub fn account(&self, tpu: TpuId) -> &TpuAccount {
         self.accounts
-            .iter()
-            .find(|a| a.id == tpu)
+            .get(tpu.0 as usize)
+            .filter(|a| a.id == tpu)
             .unwrap_or_else(|| panic!("unknown TPU {tpu}"))
     }
 
     fn account_mut(&mut self, tpu: TpuId) -> &mut TpuAccount {
         self.accounts
-            .iter_mut()
-            .find(|a| a.id == tpu)
+            .get_mut(tpu.0 as usize)
+            .filter(|a| a.id == tpu)
             .unwrap_or_else(|| panic!("unknown TPU {tpu}"))
     }
 
@@ -320,9 +441,15 @@ impl TpuPool {
         let mut newly_loaded = Vec::new();
         for alloc in allocations {
             let account = self.account_mut(alloc.tpu());
+            let old_free = account.free_units().as_micro();
             account.load += alloc.units();
+            let new_free = account.free_units().as_micro();
+            let tracked = account.available;
             if account.add_model_ref(model.id(), model.param_bytes()) {
                 newly_loaded.push(alloc.tpu());
+            }
+            if tracked {
+                self.index.update(alloc.tpu().0, old_free, new_free);
             }
         }
         newly_loaded
@@ -343,20 +470,70 @@ impl TpuPool {
                 "releasing more units than allocated on {tpu}",
                 tpu = alloc.tpu()
             );
+            let old_free = account.free_units().as_micro();
             account.load -= alloc.units();
+            let new_free = account.free_units().as_micro();
+            let tracked = account.available;
             account.drop_model_ref(model);
+            if tracked {
+                self.index.update(alloc.tpu().0, old_free, new_free);
+            }
         }
     }
 
     /// Marks a TPU as failed: it keeps its state but no longer accepts new
     /// allocations.
     pub fn fail(&mut self, tpu: TpuId) {
-        self.account_mut(tpu).available = false;
+        let account = self.account_mut(tpu);
+        let was_tracked = account.available;
+        let free = account.free_units().as_micro();
+        account.available = false;
+        if was_tracked {
+            self.index.remove(tpu.0, free);
+        }
     }
 
     /// Returns a failed TPU to service.
     pub fn restore(&mut self, tpu: TpuId) {
-        self.account_mut(tpu).available = true;
+        let account = self.account_mut(tpu);
+        let was_tracked = account.available;
+        let free = account.free_units().as_micro();
+        account.available = true;
+        if !was_tracked {
+            self.index.insert(tpu.0, free);
+        }
+    }
+
+    /// First **available** TPU with id ≥ `start` and at least `min_free`
+    /// free units, in O(log M) via the capacity index. `min_free` is
+    /// clamped up to one micro-unit, so fully loaded and failed TPUs never
+    /// match — callers asking "any room at all?" pass [`TpuUnits::ZERO`].
+    #[must_use]
+    pub fn next_tpu_with_free(&self, start: TpuId, min_free: TpuUnits) -> Option<TpuId> {
+        self.index
+            .first_with_free(start.0, min_free.as_micro().max(1))
+            .map(TpuId)
+    }
+
+    /// Available TPUs with at least `min_free` free units (clamped up to
+    /// one micro-unit), least free first, ids ascending within ties — the
+    /// Best-Fit scan order, touching only TPUs that can contribute.
+    pub fn tpus_by_free_ascending(&self, min_free: TpuUnits) -> impl Iterator<Item = TpuId> + '_ {
+        self.index
+            .buckets
+            .range(min_free.as_micro().max(1)..)
+            .flat_map(|(_, ids)| ids.iter().copied().map(TpuId))
+    }
+
+    /// Available TPUs with at least `min_free` free units (clamped up to
+    /// one micro-unit), most free first, ids ascending within ties — the
+    /// Worst-Fit scan order.
+    pub fn tpus_by_free_descending(&self, min_free: TpuUnits) -> impl Iterator<Item = TpuId> + '_ {
+        self.index
+            .buckets
+            .range(min_free.as_micro().max(1)..)
+            .rev()
+            .flat_map(|(_, ids)| ids.iter().copied().map(TpuId))
     }
 }
 
@@ -542,6 +719,88 @@ mod tests {
     fn unknown_tpu_panics() {
         let p = pool(1);
         let _ = p.account(TpuId(9));
+    }
+
+    fn ascending(p: &TpuPool, min: f64) -> Vec<u32> {
+        p.tpus_by_free_ascending(TpuUnits::from_f64(min))
+            .map(|t| t.0)
+            .collect()
+    }
+
+    fn descending(p: &TpuPool, min: f64) -> Vec<u32> {
+        p.tpus_by_free_descending(TpuUnits::from_f64(min))
+            .map(|t| t.0)
+            .collect()
+    }
+
+    #[test]
+    fn capacity_index_answers_first_fit_queries() {
+        let mut p = pool(4);
+        let m = ssd_mobilenet_v2();
+        p.commit(&m, &[alloc(0, 0.9), alloc(1, 0.35)]);
+        let q = |start: u32, min: f64| {
+            p.next_tpu_with_free(TpuId(start), TpuUnits::from_f64(min))
+                .map(|t| t.0)
+        };
+        assert_eq!(q(0, 0.05), Some(0), "0.1 free on TPU 0 satisfies 0.05");
+        assert_eq!(q(0, 0.2), Some(1), "TPU 0 too full, TPU 1 has 0.65");
+        assert_eq!(q(0, 0.8), Some(2), "only the empty TPUs have 0.8 free");
+        assert_eq!(q(3, 0.8), Some(3), "start bound respected");
+        assert_eq!(q(0, 1.5), None, "nothing ever has more than one unit");
+    }
+
+    #[test]
+    fn capacity_index_orders_by_free_units() {
+        let mut p = pool(4);
+        let m = ssd_mobilenet_v2();
+        p.commit(&m, &[alloc(0, 0.9), alloc(1, 0.35)]);
+        assert_eq!(ascending(&p, 0.0), vec![0, 1, 2, 3]);
+        assert_eq!(descending(&p, 0.0), vec![2, 3, 1, 0], "ties by id");
+        assert_eq!(ascending(&p, 0.5), vec![1, 2, 3]);
+        assert_eq!(descending(&p, 0.7), vec![2, 3]);
+    }
+
+    #[test]
+    fn capacity_index_excludes_failed_and_full_tpus() {
+        let mut p = pool(3);
+        let m = ssd_mobilenet_v2();
+        p.commit(&m, &[alloc(0, 1.0)]);
+        p.fail(TpuId(1));
+        assert_eq!(ascending(&p, 0.0), vec![2], "full and failed excluded");
+        assert_eq!(
+            p.next_tpu_with_free(TpuId(0), TpuUnits::ZERO),
+            Some(TpuId(2))
+        );
+        // Release and restore bring both back.
+        p.release(m.id(), &[alloc(0, 1.0)]);
+        p.restore(TpuId(1));
+        assert_eq!(ascending(&p, 0.0), vec![0, 1, 2]);
+        // Failing twice / restoring twice stays consistent.
+        p.fail(TpuId(2));
+        p.fail(TpuId(2));
+        p.restore(TpuId(2));
+        p.restore(TpuId(2));
+        assert_eq!(ascending(&p, 0.0), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn pool_equality_ignores_index_state() {
+        let mut a = pool(2);
+        let mut b = pool(2);
+        let m = ssd_mobilenet_v2();
+        a.commit(&m, &[alloc(0, 0.35)]);
+        assert_ne!(a, b);
+        b.commit(&m, &[alloc(0, 0.35)]);
+        assert_eq!(a, b);
+        // Index churn that returns to the same logical state keeps pools
+        // equal — the derived index takes no part in comparisons.
+        b.fail(TpuId(1));
+        b.restore(TpuId(1));
+        assert_eq!(a, b);
+        // But logical differences (a dead-but-resident model) still show.
+        a.commit(&m, &[alloc(1, 0.5)]);
+        a.release(m.id(), &[alloc(1, 0.5)]);
+        assert_ne!(a, b, "model residency differs after commit+release");
     }
 
     #[test]

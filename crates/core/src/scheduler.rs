@@ -44,7 +44,7 @@ use microedge_orch::pod::{PodId, PodPhase, PodSpec, EXT_MODEL, EXT_TPU_UNITS};
 use microedge_tpu::device::TpuId;
 use microedge_tpu::spec::TpuSpec;
 
-use crate::admission::{AdmissionPolicy, FirstFit};
+use crate::admission::{AdmissionPolicy, FirstFit, PlanBuffer};
 use crate::config::{DataPlaneConfig, Features};
 use crate::lbs::LbService;
 use crate::pool::{Allocation, TpuPool};
@@ -300,6 +300,8 @@ pub struct ExtendedScheduler {
     dp: DataPlaneConfig,
     policy: Box<dyn AdmissionPolicy>,
     assignments: BTreeMap<PodId, PodAssignment>,
+    /// Reused across every admission decision (zero-alloc planning).
+    plan_buffer: PlanBuffer,
 }
 
 impl fmt::Debug for ExtendedScheduler {
@@ -330,6 +332,7 @@ impl ExtendedScheduler {
             dp: DataPlaneConfig::calibrated(),
             policy,
             assignments: BTreeMap::new(),
+            plan_buffer: PlanBuffer::new(),
         }
     }
 
@@ -375,10 +378,16 @@ impl ExtendedScheduler {
                 .get(request.model())
                 .ok_or_else(|| DeployError::UnknownModel(request.model().clone()))?
                 .clone();
-            let allocations = self
-                .policy
-                .plan(&scratch, &profile, request.units(), self.features)
-                .ok_or(DeployError::InsufficientTpu)?;
+            if !self.policy.plan_into(
+                &scratch,
+                &profile,
+                request.units(),
+                self.features,
+                &mut self.plan_buffer,
+            ) {
+                return Err(DeployError::InsufficientTpu);
+            }
+            let allocations = self.plan_buffer.allocations().to_vec();
             scratch.commit(&profile, &allocations);
             plans.push((request.model().clone(), allocations));
         }

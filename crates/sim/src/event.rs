@@ -331,7 +331,6 @@ impl<E> EventQueue<E> {
             self.insert_into_ring(scheduled);
         }
     }
-
 }
 
 #[cfg(test)]

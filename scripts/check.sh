@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI-style gate: formatting, lints-as-errors, build, and the test suite.
+# Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel)"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test --quiet --workspace
+
+echo "All checks passed."

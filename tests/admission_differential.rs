@@ -1,0 +1,192 @@
+//! Differential tests: the indexed control-plane fast path against the
+//! linear-scan reference oracle (`admission::reference`).
+//!
+//! Every policy's indexed implementation must be *observationally
+//! identical* to the reference: the same accept/reject decision and the
+//! byte-identical allocation list for every request, and the same pool
+//! accounting after any interleaving of admissions, releases, TPU
+//! failures, and recoveries. The reference module keeps the pre-index
+//! linear scans verbatim precisely so this oracle stays trustworthy.
+
+use proptest::prelude::*;
+
+use microedge::cluster::topology::ClusterBuilder;
+use microedge::core::admission::{
+    reference, AdmissionPolicy, BestFit, FirstFit, NextFit, NextKFit, PlanBuffer, WorstFit,
+};
+use microedge::core::config::Features;
+use microedge::core::pool::{Allocation, TpuPool};
+use microedge::core::units::TpuUnits;
+use microedge::models::catalog::fig1_models;
+use microedge::models::profile::ModelProfile;
+use microedge::tpu::device::TpuId;
+use microedge::tpu::spec::TpuSpec;
+
+const TPUS: u32 = 6;
+
+fn pool() -> TpuPool {
+    let cluster = ClusterBuilder::new().trpis(TPUS).vrpis(1).build();
+    TpuPool::from_cluster(&cluster, TpuSpec::coral_usb())
+}
+
+/// The five (indexed, reference-oracle) policy pairs.
+fn policy_pairs() -> Vec<(Box<dyn AdmissionPolicy>, Box<dyn AdmissionPolicy>)> {
+    vec![
+        (
+            Box::new(FirstFit::new()) as Box<dyn AdmissionPolicy>,
+            Box::new(reference::FirstFit::new()) as Box<dyn AdmissionPolicy>,
+        ),
+        (
+            Box::new(BestFit::new()),
+            Box::new(reference::BestFit::new()),
+        ),
+        (
+            Box::new(WorstFit::new()),
+            Box::new(reference::WorstFit::new()),
+        ),
+        (
+            Box::new(NextKFit::new(3)),
+            Box::new(reference::NextKFit::new(3)),
+        ),
+        (
+            Box::new(NextFit::new()),
+            Box::new(reference::NextFit::new()),
+        ),
+    ]
+}
+
+/// One step of the random churn script. Encoded as plain tuples so the
+/// same strategy drives every policy pair identically:
+/// `(op, model_idx, micro_units, tpu, wp, cc)`.
+///
+/// - `op < 6`  → admit `(model_idx, micro_units)` with features `(wp, cc)`
+/// - `op == 6` → release the oldest live deployment
+/// - `op == 7` → fail TPU `tpu % TPUS`
+/// - `op == 8` → restore TPU `tpu % TPUS`
+type Step = (u8, usize, u64, u32, bool, bool);
+
+fn script_strategy() -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(
+        (
+            0u8..9,
+            0..8usize,
+            50_000u64..1_500_000,
+            0u32..TPUS,
+            prop::bool::ANY,
+            prop::bool::ANY,
+        ),
+        1..50,
+    )
+}
+
+/// Replays `script` through one (indexed, reference) pair on separate
+/// pools, checking plan-for-plan and state-for-state equality.
+fn run_differential(
+    script: &[Step],
+    models: &[ModelProfile],
+    mut indexed: Box<dyn AdmissionPolicy>,
+    mut oracle: Box<dyn AdmissionPolicy>,
+) -> Result<(), String> {
+    let mut pool_i = pool();
+    let mut pool_r = pool();
+    let mut buf_i = PlanBuffer::new();
+    let mut buf_r = PlanBuffer::new();
+    let mut live: Vec<(ModelProfile, Vec<Allocation>)> = Vec::new();
+
+    for &(op, model_idx, micro, tpu, wp, cc) in script {
+        match op {
+            0..=5 => {
+                let model = &models[model_idx];
+                let units = TpuUnits::from_micro(micro);
+                let features = Features {
+                    workload_partitioning: wp,
+                    co_compiling: cc,
+                };
+                let ok_i = indexed.plan_into(&pool_i, model, units, features, &mut buf_i);
+                let ok_r = oracle.plan_into(&pool_r, model, units, features, &mut buf_r);
+                prop_assert_eq!(
+                    ok_i,
+                    ok_r,
+                    "{} and {} disagree on admitting {} micro-units",
+                    indexed.name(),
+                    oracle.name(),
+                    micro
+                );
+                prop_assert_eq!(
+                    buf_i.allocations(),
+                    buf_r.allocations(),
+                    "{} planned differently from {}",
+                    indexed.name(),
+                    oracle.name()
+                );
+                if ok_i {
+                    let plan = buf_i.allocations().to_vec();
+                    pool_i.commit(model, &plan);
+                    pool_r.commit(model, &plan);
+                    live.push((model.clone(), plan));
+                }
+            }
+            6 => {
+                if !live.is_empty() {
+                    let (model, plan) = live.remove(0);
+                    pool_i.release(model.id(), &plan);
+                    pool_r.release(model.id(), &plan);
+                }
+            }
+            7 => {
+                pool_i.fail(TpuId(tpu));
+                pool_r.fail(TpuId(tpu));
+            }
+            _ => {
+                pool_i.restore(TpuId(tpu));
+                pool_r.restore(TpuId(tpu));
+            }
+        }
+        // Pool equality compares the logical accounting (loads, residency,
+        // availability, budget) — the capacity index is excluded, so this
+        // holds exactly when the index never altered a decision.
+        prop_assert_eq!(&pool_i, &pool_r, "pools diverged after op {}", op);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Under any admission/release/fail/restore interleaving, every
+    /// indexed policy produces byte-identical plans and pool accounting
+    /// to its linear-scan reference.
+    #[test]
+    fn indexed_policies_are_observationally_identical(script in script_strategy()) {
+        let models = fig1_models();
+        for (indexed, oracle) in policy_pairs() {
+            run_differential(&script, &models, indexed, oracle)?;
+        }
+    }
+
+    /// The near-full sweep workload specifically: only the last TPU has
+    /// room, at any pool size — the indexed descent must land exactly
+    /// where the scan does.
+    #[test]
+    fn near_full_pool_agrees_at_any_size(tpus in 2u32..64, micro in 260_000u64..1_000_000) {
+        let cluster = ClusterBuilder::new().trpis(tpus).vrpis(1).build();
+        let mut pool_n = TpuPool::from_cluster(&cluster, TpuSpec::coral_usb());
+        let models = fig1_models();
+        let model = &models[1];
+        let load = TpuUnits::from_f64(0.75);
+        let preload: Vec<Allocation> = pool_n
+            .accounts()
+            .iter()
+            .take(tpus as usize - 1)
+            .map(|account| Allocation::new(account.id(), load))
+            .collect();
+        pool_n.commit(model, &preload);
+        let units = TpuUnits::from_micro(micro);
+        let mut indexed = FirstFit::new();
+        let mut oracle = reference::FirstFit::new();
+        prop_assert_eq!(
+            indexed.plan(&pool_n, model, units, Features::all()),
+            oracle.plan(&pool_n, model, units, Features::all())
+        );
+    }
+}

@@ -6,7 +6,7 @@
 
 use proptest::prelude::*;
 
-use microedge::bench::packing::{first_fit_bins, optimal_bins};
+use microedge::bench::packing::{first_fit_bins, l2_lower_bound, optimal_bins};
 use microedge::bench::runner::experiment_cluster;
 use microedge::core::admission::{AdmissionPolicy, FirstFit};
 use microedge::core::config::Features;
@@ -17,6 +17,48 @@ use microedge::tpu::spec::TpuSpec;
 
 fn items_strategy() -> impl Strategy<Value = Vec<u64>> {
     prop::collection::vec(50_000u64..=1_000_000, 1..11)
+}
+
+/// Brute-force optimum by enumerating *every* assignment of items to bin
+/// indices (an odometer over bins^items) — no bounds, no pruning, no
+/// dominance. Exponential, so only usable for tiny instances, but it
+/// shares no code or ideas with the pruned branch-and-bound it checks.
+fn exhaustive_bins(items: &[TpuUnits]) -> u32 {
+    const CAP: u64 = 1_000_000;
+    let n = items.len();
+    if n == 0 {
+        return 0;
+    }
+    let sizes: Vec<u64> = items.iter().map(|u| u.as_micro()).collect();
+    let mut best = n as u32;
+    let mut assignment = vec![0usize; n];
+    loop {
+        let mut loads = vec![0u64; n];
+        let mut feasible = true;
+        for (i, &bin) in assignment.iter().enumerate() {
+            loads[bin] += sizes[i];
+            if loads[bin] > CAP {
+                feasible = false;
+                break;
+            }
+        }
+        if feasible {
+            let used = loads.iter().filter(|&&load| load > 0).count() as u32;
+            best = best.min(used);
+        }
+        let mut digit = 0;
+        loop {
+            if digit == n {
+                return best;
+            }
+            assignment[digit] += 1;
+            if assignment[digit] < n {
+                break;
+            }
+            assignment[digit] = 0;
+            digit += 1;
+        }
+    }
 }
 
 proptest! {
@@ -82,6 +124,28 @@ proptest! {
             pool.commit(&model, &plan);
         }
         prop_assert!(pool.total_free_units() < TpuUnits::ONE || volume_bound as u64 * 1_000_000 > total.as_micro());
+    }
+
+    /// The pruned branch-and-bound agrees with blind exhaustive
+    /// enumeration on every small instance — none of the prunes (L2
+    /// bound, memoization, perfect-fit dominance, equal-residual
+    /// symmetry) ever cuts the true optimum.
+    #[test]
+    fn pruned_search_matches_exhaustive_enumeration(
+        raw in prop::collection::vec(50_000u64..=1_000_000, 1..8)
+    ) {
+        let items: Vec<TpuUnits> = raw.iter().map(|&m| TpuUnits::from_micro(m)).collect();
+        prop_assert_eq!(optimal_bins(&items), exhaustive_bins(&items));
+    }
+
+    /// The L2 lower bound is a true lower bound: it never exceeds the
+    /// optimum the exact solver finds.
+    #[test]
+    fn l2_bound_never_exceeds_the_optimum(raw in items_strategy()) {
+        let items: Vec<TpuUnits> = raw.iter().map(|&m| TpuUnits::from_micro(m)).collect();
+        let l2 = l2_lower_bound(&items);
+        let opt = optimal_bins(&items);
+        prop_assert!(l2 <= opt, "L2 bound {l2} exceeds optimum {opt}");
     }
 }
 

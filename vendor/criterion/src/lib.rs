@@ -114,9 +114,7 @@ impl Criterion {
     /// Flags (`--bench`, `--test`, ...) that cargo passes are ignored.
     #[must_use]
     pub fn configure_from_args(mut self) -> Self {
-        self.filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'));
+        self.filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
         self
     }
 

@@ -77,10 +77,7 @@ pub mod test_runner {
 
         pub fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
-            let result = s[0]
-                .wrapping_add(s[3])
-                .rotate_left(23)
-                .wrapping_add(s[0]);
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
             let t = s[1] << 17;
             s[2] ^= s[0];
             s[3] ^= s[1];
@@ -442,11 +439,9 @@ pub mod string {
             for _ in 0..200 {
                 let s = sample_pattern("[a-z0-9,.\\- ]{0,40}", &mut rng);
                 assert!(s.len() <= 40);
-                assert!(s
-                    .chars()
-                    .all(|c| c.is_ascii_lowercase()
-                        || c.is_ascii_digit()
-                        || matches!(c, ',' | '.' | '-' | ' ')));
+                assert!(s.chars().all(|c| c.is_ascii_lowercase()
+                    || c.is_ascii_digit()
+                    || matches!(c, ',' | '.' | '-' | ' ')));
             }
         }
 
