@@ -2,17 +2,22 @@
 //!
 //! ```text
 //! repro [--fig1] [--fig5] [--table1] [--fig6] [--fig7a] [--fig7b] [--ablations]
-//!       [--perf] [--quick] [--csv <dir>]
+//!       [--perf] [--chaos] [--quick] [--csv <dir>]
 //! ```
 //!
-//! With no selection flags, every paper artifact runs (`--perf` only runs
-//! when asked for). `--quick` shrinks frame counts and trace length for a
-//! fast smoke pass; `--csv <dir>` additionally dumps each selected
-//! artifact's series as CSV for external plotting. `--perf` times the
-//! simulation kernel on the fixed reference workload and the admission
-//! control plane on the 16–16 384-TPU sweep, writing `BENCH_kernel.json`
-//! and `BENCH_admission.json` (to the `--csv` directory if given, else
-//! the working directory).
+//! With no selection flags, every paper artifact runs (`--perf` and
+//! `--chaos` only run when asked for). `--quick` shrinks frame counts and
+//! trace length for a fast smoke pass; `--csv <dir>` additionally dumps
+//! each selected artifact's series as CSV for external plotting. `--perf`
+//! times the simulation kernel on the fixed reference workload and the
+//! admission control plane on the 16–16 384-TPU sweep, writing
+//! `BENCH_kernel.json` and `BENCH_admission.json` (to the `--csv`
+//! directory if given, else the working directory). `--chaos` runs the
+//! fault-injection study (three recovery disciplines × three failure
+//! rates on one deterministic fault schedule) and writes
+//! `BENCH_chaos.json` the same way; its numbers are simulated time, so
+//! the file is byte-identical across runs and `MICROEDGE_WORKERS`
+//! settings.
 //!
 //! The artifacts are independent, so they run concurrently through the
 //! deterministic executor ([`microedge_bench::par`]); each job renders its
@@ -44,6 +49,7 @@ struct Options {
     fig7b: bool,
     ablations: bool,
     perf: bool,
+    chaos: bool,
     quick: bool,
     csv: Option<PathBuf>,
 }
@@ -53,6 +59,7 @@ fn parse_args() -> Options {
     let mut quick = false;
     let mut csv = None;
     let mut perf = false;
+    let mut chaos = false;
     let mut selections: Vec<String> = Vec::new();
     let known = [
         "--fig1",
@@ -68,6 +75,7 @@ fn parse_args() -> Options {
         match arg.as_str() {
             "--quick" => quick = true,
             "--perf" => perf = true,
+            "--chaos" => chaos = true,
             "--csv" => match iter.next() {
                 Some(dir) => csv = Some(PathBuf::from(dir)),
                 None => {
@@ -78,7 +86,7 @@ fn parse_args() -> Options {
             flag if known.contains(&flag) => selections.push(arg),
             other => {
                 eprintln!(
-                    "unknown flag {other}; known: {} --perf --quick --csv <dir>",
+                    "unknown flag {other}; known: {} --perf --chaos --quick --csv <dir>",
                     known.join(" ")
                 );
                 std::process::exit(2);
@@ -86,8 +94,8 @@ fn parse_args() -> Options {
         }
     }
     let has = |flag: &str| selections.iter().any(|a| a == flag);
-    // `--perf` alone means "just the perf harness", not "everything".
-    let none_selected = selections.is_empty() && !perf;
+    // `--perf` / `--chaos` alone mean "just that study", not "everything".
+    let none_selected = selections.is_empty() && !perf && !chaos;
     Options {
         fig1: none_selected || has("--fig1"),
         fig5: none_selected || has("--fig5"),
@@ -97,6 +105,7 @@ fn parse_args() -> Options {
         fig7b: none_selected || has("--fig7b"),
         ablations: none_selected || has("--ablations"),
         perf,
+        chaos,
         quick,
         csv,
     }
@@ -413,17 +422,27 @@ fn main() {
         print!("{chunk}");
     }
 
+    let dir = opts.csv.clone().unwrap_or_else(|| PathBuf::from("."));
+    let write_bench = |name: &str, body: String| {
+        let path = dir.join(name);
+        match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, body)) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
+    };
+
+    if opts.chaos {
+        let horizon = microedge_bench::chaos::chaos_horizon(opts.quick);
+        let points = microedge_bench::chaos::run_chaos(horizon);
+        println!("{}", microedge_bench::chaos::render_chaos(&points, horizon));
+        write_bench(
+            "BENCH_chaos.json",
+            microedge_bench::chaos::to_json(&points, horizon),
+        );
+    }
+
     if opts.perf {
         let rounds = if opts.quick { 1 } else { 3 };
-        let dir = opts.csv.clone().unwrap_or_else(|| PathBuf::from("."));
-        let write_bench = |name: &str, body: String| {
-            let path = dir.join(name);
-            match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, body)) {
-                Ok(()) => eprintln!("wrote {}", path.display()),
-                Err(e) => eprintln!("failed to write {}: {e}", path.display()),
-            }
-        };
-
         let result = microedge_bench::perf::run_kernel_perf(rounds);
         println!("{}", result.render_summary());
         write_bench("BENCH_kernel.json", result.to_json());

@@ -18,11 +18,13 @@
 //! | [`pipeline_ablation`] | multi-model pipeline hop optimization (§8 extension) |
 //! | [`diff_detector`] | NoScope frame-filter ablation (§1 motivation) |
 //! | [`tail_latency`] | per-frame latency vs load curve (queueing behaviour) |
+//! | [`chaos`] | chaos / failure-recovery study (§7 robustness extension) |
 //!
 //! The `repro` binary prints every artifact; the Criterion benches under
 //! `benches/` time the underlying computations.
 
 pub mod admission_overhead;
+pub mod chaos;
 pub mod cost;
 pub mod csv;
 pub mod diff_detector;

@@ -15,7 +15,10 @@
 //! - [`scheduler`] — the extended scheduler: deploy, teardown, reclamation
 //!   polling, and TPU failure recovery;
 //! - [`config`] — feature flags (workload partitioning, co-compiling) and
-//!   the calibrated data-plane cost model.
+//!   the calibrated data-plane cost model;
+//! - [`faults`] — deterministic fault injection (MTBF/MTTR schedules,
+//!   scripted traces), the heartbeat/lease failure detector, and the
+//!   self-healing / graceful-degradation policies.
 //!
 //! **Data plane** (paper §5):
 //! - [`lbs`] — the per-pod load-balancing service (smooth weighted round
@@ -45,6 +48,7 @@
 pub mod admission;
 pub mod client;
 pub mod config;
+pub mod faults;
 pub mod lbs;
 pub mod pool;
 pub mod runtime;
@@ -54,11 +58,15 @@ pub mod units;
 pub use admission::{AdmissionPolicy, BestFit, FirstFit, NextFit, NextKFit, WorstFit};
 pub use client::{SourceResolution, TpuClientModel};
 pub use config::{DataPlaneConfig, Features};
+pub use faults::{
+    ChaosConfig, ClassRates, DegradePolicy, DetectionModel, FaultEvent, FaultKind, FaultModel,
+    FaultSchedule, HealPolicy,
+};
 pub use lbs::LbService;
 pub use pool::{render_pool, Allocation, TpuAccount, TpuPool};
 pub use runtime::{RunResults, StreamId, StreamSpec, World, METRIC_WINDOW};
 pub use scheduler::{
-    DeployError, Deployment, ExtendedScheduler, FailureRecovery, StageGrant, StagePlacement,
-    TpuRequest,
+    DeployError, Deployment, ExtendedScheduler, FailureRecovery, RecoveredPod, StageGrant,
+    StagePlacement, TpuRequest,
 };
 pub use units::TpuUnits;

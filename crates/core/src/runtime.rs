@@ -17,6 +17,21 @@
 //! audits, overall and per-minute TPU utilization, and per-phase latency
 //! breakdowns.
 //!
+//! ## Chaos mode
+//!
+//! [`World::enable_chaos`] arms the deterministic fault subsystem
+//! ([`crate::faults`]): injected component faults ([`World::inject_faults`])
+//! flow through the event queue, failures go *undetected* until the
+//! heartbeat lease expires (the component silently drops traffic), and a
+//! reconciliation controller re-admits displaced streams with capped
+//! exponential backoff — optionally degrading frame rates in fairness tiers
+//! instead of dropping tenants. Every stream then carries a
+//! [`StreamPhase`], and [`RunResults`] reports recovery-latency breakdowns
+//! (detection / rescheduling / swap-in) and per-lineage availability.
+//! Without `enable_chaos` the world behaves exactly as before — the manual
+//! [`World::fail_tpu`] / [`World::fail_node`] paths stay omniscient and
+//! instantaneous.
+//!
 //! ## Multi-model pipelines
 //!
 //! A stream may chain several inference stages per frame
@@ -52,6 +67,9 @@ use microedge_cluster::network::NetworkModel;
 use microedge_cluster::node::NodeId;
 use microedge_cluster::topology::Cluster;
 use microedge_metrics::latency::{BreakdownRecorder, LatencyBreakdown};
+use microedge_metrics::recovery::{
+    AvailabilityTracker, RecoveryBreakdown, RecoveryRecorder, StreamAvailability,
+};
 use microedge_metrics::throughput::{SloReport, ThroughputAudit};
 use microedge_metrics::utilization::FleetUtilization;
 use microedge_models::catalog::Catalog;
@@ -69,8 +87,9 @@ use microedge_tpu::spec::TpuSpec;
 
 use crate::client::SourceResolution;
 use crate::config::{DataPlaneConfig, Features};
+use crate::faults::{ChaosConfig, FaultKind, FaultSchedule};
 use crate::lbs::LbService;
-use crate::scheduler::{DeployError, ExtendedScheduler};
+use crate::scheduler::{DeployError, Deployment, ExtendedScheduler};
 use crate::units::TpuUnits;
 
 /// Identifies a camera stream for its lifetime.
@@ -283,6 +302,55 @@ struct FrameFilter {
     rng: DetRng,
 }
 
+/// Where a stream is in its service lifecycle. Exactly one phase applies at
+/// any instant; without chaos mode only `Active`, `Lost`, `Removed`, and
+/// `Superseded` occur.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum StreamPhase {
+    /// Serving at full rate.
+    Active,
+    /// Serving at a reduced frame rate (graceful degradation).
+    Degraded,
+    /// A component it depends on is down (detected or not); frames are
+    /// being dropped but the stream has not been given up on.
+    Interrupted,
+    /// Displaced and waiting in the reconciler's pending-restart queue.
+    Parked,
+    /// Dropped with no pending recovery.
+    Lost,
+    /// Removed by the user.
+    Removed,
+    /// Restarted under a new stream id (see [`RunResults::successor`]).
+    Superseded,
+}
+
+impl StreamPhase {
+    /// `true` for phases in which the stream occupies the data plane
+    /// (emission chain running, counted as served).
+    #[must_use]
+    pub fn is_live(self) -> bool {
+        matches!(
+            self,
+            StreamPhase::Active | StreamPhase::Degraded | StreamPhase::Interrupted
+        )
+    }
+}
+
+impl fmt::Display for StreamPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StreamPhase::Active => "active",
+            StreamPhase::Degraded => "degraded",
+            StreamPhase::Interrupted => "interrupted",
+            StreamPhase::Parked => "parked",
+            StreamPhase::Lost => "lost",
+            StreamPhase::Removed => "removed",
+            StreamPhase::Superseded => "superseded",
+        };
+        f.write_str(s)
+    }
+}
+
 #[derive(Debug)]
 struct StreamRuntime {
     pod: PodId,
@@ -297,6 +365,18 @@ struct StreamRuntime {
     active: bool,
     filter: Option<FrameFilter>,
     preprocess: SimDuration,
+    /// First stream id of this lineage (self for original admissions).
+    root: StreamId,
+    /// Lifecycle phase; kept consistent with `active` via `transition`.
+    phase: StreamPhase,
+    /// Degradation denominator: frames emit every `interval × den`.
+    den: u32,
+    /// Whether a `Frame` event chain is currently pending for this stream
+    /// (guards against double emission chains across park/heal cycles).
+    emission_alive: bool,
+    /// Sequence number of the swap-in this stream is waiting on, if any;
+    /// stale `SwapIn` events carry older numbers and are ignored.
+    pending_swap: Option<u64>,
 }
 
 /// Kernel events. Completions are *not* events: a frame's completion time
@@ -309,6 +389,65 @@ enum Ev {
     Frame(StreamId),
     Arrive(TpuId, InFlight),
     Done(TpuId),
+    /// A component fault or repair takes effect (data plane only — the
+    /// control plane stays oblivious until `Detect`).
+    Fault(FaultKind),
+    /// The heartbeat lease for a fault expires; `epoch` invalidates stale
+    /// detections when the component repaired (or re-failed) in between.
+    Detect {
+        kind: FaultKind,
+        epoch: u32,
+    },
+    /// Model parameters finished streaming onto a recovered placement;
+    /// `seq` invalidates stale swap-ins superseded by a later recovery.
+    SwapIn {
+        stream: StreamId,
+        seq: u64,
+        breakdown: RecoveryBreakdown,
+        restarted: bool,
+    },
+    /// Reconciliation pass: drain due pending-restart entries, then try
+    /// upgrading degraded streams.
+    Reconcile,
+}
+
+/// Per-component fault bookkeeping (one per TPU, one per node — link
+/// partitions share the node slot since the detector cannot tell them
+/// apart).
+#[derive(Debug, Default, Clone, Copy)]
+struct CompFault {
+    down_since: Option<SimTime>,
+    /// Bumped on every new fault; `Detect` events from earlier downtimes
+    /// carry stale epochs and are dropped.
+    epoch: u32,
+    detected: bool,
+}
+
+/// One displaced stream waiting for re-admission.
+#[derive(Debug, Clone, Copy)]
+struct ParkedStream {
+    stream: StreamId,
+    /// Consecutive failed re-admission attempts (drives backoff).
+    attempts: u32,
+    next_try: SimTime,
+    fault_at: SimTime,
+    detected_at: SimTime,
+}
+
+/// All chaos-mode state; boxed behind an `Option` so non-chaos worlds pay
+/// nothing.
+#[derive(Debug)]
+struct ChaosState {
+    config: ChaosConfig,
+    tpus: Vec<CompFault>,
+    nodes: Vec<CompFault>,
+    parked: Vec<ParkedStream>,
+    recorder: RecoveryRecorder,
+    /// Availability per lineage root.
+    trackers: BTreeMap<StreamId, AvailabilityTracker>,
+    swap_seq: u64,
+    /// Earliest pending `Reconcile` event, to avoid flooding the queue.
+    reconcile_at: Option<SimTime>,
 }
 
 /// Aggregated outcome of one simulation run.
@@ -326,6 +465,11 @@ pub struct RunResults {
     frames_dropped: u64,
     events_processed: u64,
     end: SimTime,
+    recovery: RecoveryRecorder,
+    availability: BTreeMap<StreamId, StreamAvailability>,
+    phases: BTreeMap<StreamId, StreamPhase>,
+    lineage: BTreeMap<StreamId, StreamId>,
+    chain_latencies: BTreeMap<StreamId, OnlineStats>,
 }
 
 impl RunResults {
@@ -435,6 +579,72 @@ impl RunResults {
         self.end
     }
 
+    /// Recovery-latency breakdowns (detection / rescheduling / swap-in)
+    /// across every completed recovery. Empty without chaos mode.
+    #[must_use]
+    pub fn recovery(&self) -> &RecoveryRecorder {
+        &self.recovery
+    }
+
+    /// Mutable access to the recovery recorder (percentile queries sort
+    /// lazily and need it).
+    pub fn recovery_mut(&mut self) -> &mut RecoveryRecorder {
+        &mut self.recovery
+    }
+
+    /// Availability totals for the lineage rooted at `root`. Populated only
+    /// in chaos mode.
+    #[must_use]
+    pub fn availability(&self, root: StreamId) -> Option<&StreamAvailability> {
+        self.availability.get(&root)
+    }
+
+    /// All per-lineage availability totals, by root id.
+    #[must_use]
+    pub fn availabilities(&self) -> &BTreeMap<StreamId, StreamAvailability> {
+        &self.availability
+    }
+
+    /// The phase each stream ended the run in.
+    #[must_use]
+    pub fn stream_phase(&self, stream: StreamId) -> Option<StreamPhase> {
+        self.phases.get(&stream).copied()
+    }
+
+    /// Streams that ended the run lost (no pending recovery).
+    #[must_use]
+    pub fn lost_streams(&self) -> Vec<StreamId> {
+        self.phases
+            .iter()
+            .filter(|(_, p)| **p == StreamPhase::Lost)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Streams still waiting in the pending-restart queue at end of run.
+    #[must_use]
+    pub fn parked_streams(&self) -> Vec<StreamId> {
+        self.phases
+            .iter()
+            .filter(|(_, p)| **p == StreamPhase::Parked)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// The stream that superseded `stream` via a restart, if any.
+    #[must_use]
+    pub fn successor(&self, stream: StreamId) -> Option<StreamId> {
+        self.lineage.get(&stream).copied()
+    }
+
+    /// End-to-end latency statistics merged across every incarnation of the
+    /// lineage rooted at `root` — restarts no longer fragment a stream's
+    /// history.
+    #[must_use]
+    pub fn chain_latency(&self, root: StreamId) -> Option<&OnlineStats> {
+        self.chain_latencies.get(&root)
+    }
+
     /// Renders the whole run as an aligned report: one row per stream
     /// (throughput, latency, SLO) plus a fleet footer (utilization, queue
     /// depths, drops).
@@ -495,6 +705,10 @@ pub struct World {
     served: StepSeries,
     frames_dropped: u64,
     next_stream: u64,
+    /// Old stream id → the id that superseded it via a restart.
+    lineage: BTreeMap<StreamId, StreamId>,
+    /// Armed by [`World::enable_chaos`]; `None` costs nothing on hot paths.
+    chaos: Option<Box<ChaosState>>,
 }
 
 impl fmt::Debug for World {
@@ -560,6 +774,8 @@ impl World {
             served: StepSeries::new(METRIC_WINDOW),
             frames_dropped: 0,
             next_stream: 0,
+            lineage: BTreeMap::new(),
+            chaos: None,
         }
     }
 
@@ -614,16 +830,27 @@ impl World {
         self.streams.get_mut(id.0 as usize)
     }
 
-    /// Flips an active stream inactive, keeping the counter in sync.
-    /// Returns `false` when the stream was already inactive or unknown.
-    fn deactivate(&mut self, id: StreamId) -> bool {
-        match self.streams.get_mut(id.0 as usize) {
-            Some(stream) if stream.active => {
-                stream.active = false;
-                self.active_count -= 1;
-                true
-            }
-            _ => false,
+    /// Moves a stream to `phase`, keeping the active counter and the
+    /// served series in sync. Returns `true` when the liveness flag
+    /// changed.
+    fn transition(&mut self, id: StreamId, phase: StreamPhase, now: SimTime) -> bool {
+        let Some(stream) = self.streams.get_mut(id.0 as usize) else {
+            return false;
+        };
+        let was = stream.active;
+        let is = phase.is_live();
+        stream.phase = phase;
+        stream.active = is;
+        if was && !is {
+            self.active_count -= 1;
+            self.served.add(now, -1.0);
+            true
+        } else if !was && is {
+            self.active_count += 1;
+            self.served.add(now, 1.0);
+            true
+        } else {
+            false
         }
     }
 
@@ -635,6 +862,15 @@ impl World {
     ///
     /// See [`DeployError`]; on error nothing is changed.
     pub fn admit_stream(&mut self, spec: StreamSpec) -> Result<StreamId, DeployError> {
+        self.admit_with_root(spec, None)
+    }
+
+    /// Builds the K3s pod spec for a stream (extension knobs from profiled
+    /// units) along with the per-stage model profiles.
+    fn build_pod_spec(
+        &self,
+        spec: &StreamSpec,
+    ) -> Result<(PodSpec, Vec<ModelProfile>), DeployError> {
         let mut profiles = Vec::with_capacity(spec.stages.len());
         let mut model_ext = Vec::with_capacity(spec.stages.len());
         let mut units_ext = Vec::with_capacity(spec.stages.len());
@@ -657,6 +893,15 @@ impl World {
             .extension(EXT_MODEL, &model_ext.join(","))
             .extension(EXT_TPU_UNITS, &units_ext.join(","))
             .build();
+        Ok((pod_spec, profiles))
+    }
+
+    fn admit_with_root(
+        &mut self,
+        spec: StreamSpec,
+        root: Option<StreamId>,
+    ) -> Result<StreamId, DeployError> {
+        let (pod_spec, profiles) = self.build_pod_spec(&spec)?;
         let deployment = self.sched.deploy(&mut self.orch, pod_spec)?;
         let stages: Vec<StageRuntime> = deployment
             .stages()
@@ -696,12 +941,26 @@ impl World {
             }),
             preprocess: self.dp.preprocess_for(spec.source),
             spec,
+            root: root.unwrap_or(id),
+            phase: StreamPhase::Active,
+            den: 1,
+            emission_alive: true,
+            pending_swap: None,
         };
         self.pods_to_streams.insert(deployment.pod(), id);
         self.streams.push(runtime);
         self.active_count += 1;
         self.served.add(now, 1.0);
         self.queue.schedule_after(start_offset, Ev::Frame(id));
+        if let Some(chaos) = self.chaos.as_mut() {
+            let lineage_root = root.unwrap_or(id);
+            let tracker = chaos.trackers.entry(lineage_root).or_default();
+            if root.is_some() {
+                // A restarted incarnation: the lineage's outage ends here.
+                tracker.outage_ends(now);
+                tracker.count_restart();
+            }
+        }
         Ok(id)
     }
 
@@ -712,16 +971,30 @@ impl World {
     ///
     /// Propagates orchestrator errors for unknown pods.
     pub fn remove_stream(&mut self, id: StreamId) -> Result<(), DeployError> {
-        let pod = self
-            .stream(id)
-            .filter(|s| s.active)
-            .map(|s| s.pod)
-            .ok_or(DeployError::Orch(
-                microedge_orch::lifecycle::OrchError::UnknownPod(PodId(u64::MAX)),
-            ))?;
-        self.deactivate(id);
+        let stream = self.stream(id).ok_or(DeployError::UnknownStream(id.0))?;
+        if !stream.active && stream.phase != StreamPhase::Parked {
+            return Err(DeployError::InvalidStreamState(id.0, "not running"));
+        }
+        let pod = stream.pod;
+        let now = self.queue.now();
+        let was_parked = stream.phase == StreamPhase::Parked;
+        self.transition(id, StreamPhase::Removed, now);
+        if was_parked {
+            // The pod is already gone; just drop the pending-restart entry.
+            if let Some(chaos) = self.chaos.as_mut() {
+                chaos.parked.retain(|p| p.stream != id);
+                chaos
+                    .trackers
+                    .entry(self.streams[id.0 as usize].root)
+                    .or_default()
+                    .outage_ends(now);
+            }
+            return Ok(());
+        }
         self.sched.teardown(&mut self.orch, pod)?;
-        self.served.add(self.queue.now(), -1.0);
+        // Capacity came back: give the reconciler a chance to drain parked
+        // streams immediately.
+        self.nudge_reconciler(now);
         Ok(())
     }
 
@@ -735,16 +1008,18 @@ impl World {
     ///
     /// Propagates orchestrator errors for unknown/terminated pods.
     pub fn crash_stream(&mut self, id: StreamId) -> Result<(), DeployError> {
-        let pod = self
-            .stream(id)
-            .filter(|s| s.active)
-            .map(|s| s.pod)
-            .ok_or(DeployError::Orch(
-                microedge_orch::lifecycle::OrchError::UnknownPod(PodId(u64::MAX)),
-            ))?;
-        self.deactivate(id);
+        let stream = self.stream(id).ok_or(DeployError::UnknownStream(id.0))?;
+        if !stream.active {
+            return Err(DeployError::InvalidStreamState(id.0, "not running"));
+        }
+        let pod = stream.pod;
+        let now = self.queue.now();
+        self.transition(id, StreamPhase::Lost, now);
         self.orch.delete_pod(pod)?;
-        self.served.add(self.queue.now(), -1.0);
+        if let Some(chaos) = self.chaos.as_mut() {
+            let root = self.streams[id.0 as usize].root;
+            chaos.trackers.entry(root).or_default().outage_begins(now);
+        }
         Ok(())
     }
 
@@ -755,14 +1030,10 @@ impl World {
         self.sched.reclaim_terminated(&self.orch)
     }
 
-    /// Fails a TPU mid-run: queued and executing frames on it are dropped,
-    /// and affected pods are re-admitted on surviving TPUs where possible
-    /// (the paper's failure-recovery extension). Streams whose pods cannot
-    /// be re-placed are deactivated.
-    ///
-    /// Returns the streams that lost TPU service.
-    pub fn fail_tpu(&mut self, tpu: TpuId) -> Vec<StreamId> {
-        let now = self.queue.now();
+    /// Kills a TPU's data plane: queued and executing frames are dropped
+    /// and the service stops accepting traffic. Control-plane state is
+    /// untouched.
+    fn kill_tpu_data_plane(&mut self, now: SimTime, tpu: TpuId) {
         let svc = &mut self.services[tpu.0 as usize];
         svc.alive = false;
         self.frames_dropped += svc.queue.len() as u64;
@@ -771,26 +1042,53 @@ impl World {
             self.frames_dropped += 1;
             self.fleet.tracker_mut(tpu.0 as usize).end_busy(now);
         }
+    }
+
+    /// Applies new per-stage placements to a stream's load balancers and
+    /// reloads the affected devices.
+    fn apply_plans(&mut self, stream_id: StreamId, plans: &[crate::scheduler::StagePlacement]) {
+        if let Some(stream) = self.stream_mut(stream_id) {
+            for (stage, (_, allocations)) in stream.stages.iter_mut().zip(plans) {
+                stage.lbs = LbService::from_allocations(allocations);
+            }
+        }
+        for (_, allocations) in plans {
+            for alloc in allocations {
+                self.sync_device(alloc.tpu());
+            }
+        }
+    }
+
+    /// Fails a TPU mid-run: queued and executing frames on it are dropped,
+    /// and affected pods are re-admitted on surviving TPUs where possible
+    /// (the paper's failure-recovery extension). Streams whose pods cannot
+    /// be re-placed are deactivated.
+    ///
+    /// Idempotent and non-panicking: an unknown or already-failed TPU
+    /// displaces nothing and returns an empty list, matching the
+    /// orchestrator's `fail_node` semantics. This is the omniscient,
+    /// instantaneous path; under chaos mode injected faults go through the
+    /// lease-based detector instead.
+    ///
+    /// Returns the streams that lost TPU service.
+    pub fn fail_tpu(&mut self, tpu: TpuId) -> Vec<StreamId> {
+        let Some(svc) = self.services.get(tpu.0 as usize) else {
+            return Vec::new();
+        };
+        if !svc.alive {
+            return Vec::new();
+        }
+        let now = self.queue.now();
+        self.kill_tpu_data_plane(now, tpu);
         let outcome = self.sched.handle_tpu_failure(tpu);
-        for (pod, plans) in &outcome.recovered {
-            let stream_id = self.pods_to_streams[pod];
-            if let Some(stream) = self.stream_mut(stream_id) {
-                for (stage, (_, allocations)) in stream.stages.iter_mut().zip(plans) {
-                    stage.lbs = LbService::from_allocations(allocations);
-                }
-            }
-            for (_, allocations) in plans {
-                for alloc in allocations {
-                    self.sync_device(alloc.tpu());
-                }
-            }
+        for recovered in &outcome.recovered {
+            let stream_id = self.pods_to_streams[&recovered.pod];
+            self.apply_plans(stream_id, &recovered.plans);
         }
         let mut lost_streams = Vec::new();
         for pod in outcome.lost {
             let stream_id = self.pods_to_streams[&pod];
-            if self.deactivate(stream_id) {
-                self.served.add(now, -1.0);
-            }
+            self.transition(stream_id, StreamPhase::Lost, now);
             lost_streams.push(stream_id);
         }
         lost_streams
@@ -803,21 +1101,15 @@ impl World {
     /// container* lived on the dead node are deactivated outright (their
     /// pod is gone) and their TPU units reclaimed.
     ///
-    /// Returns the streams that stopped as a result.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `node` is not part of the cluster.
+    /// Returns the streams that stopped as a result. Non-panicking: an
+    /// unknown node displaces nothing.
     pub fn fail_node(&mut self, node: NodeId) -> Vec<StreamId> {
+        if self.orch.cluster().node(node).is_none() {
+            return Vec::new();
+        }
         let now = self.queue.now();
         // The node's TPU (if any) dies with it.
-        let tpu = self
-            .sched
-            .pool()
-            .accounts()
-            .iter()
-            .find(|a| a.node() == node)
-            .map(|a| a.id());
+        let tpu = self.tpu_on_node(node);
         let mut stopped = match tpu {
             Some(tpu) => self.fail_tpu(tpu),
             None => Vec::new(),
@@ -826,8 +1118,7 @@ impl World {
         let displaced = self.orch.fail_node(node);
         for pod in displaced {
             if let Some(&stream_id) = self.pods_to_streams.get(&pod) {
-                if self.deactivate(stream_id) {
-                    self.served.add(now, -1.0);
+                if self.transition(stream_id, StreamPhase::Lost, now) {
                     stopped.push(stream_id);
                 }
             }
@@ -837,6 +1128,16 @@ impl World {
         stopped.sort_unstable();
         stopped.dedup();
         stopped
+    }
+
+    /// The TPU attached to `node`, if any.
+    fn tpu_on_node(&self, node: NodeId) -> Option<TpuId> {
+        self.sched
+            .pool()
+            .accounts()
+            .iter()
+            .find(|a| a.node() == node)
+            .map(|a| a.id())
     }
 
     /// Drains a TPU for maintenance: its load live-migrates to the rest of
@@ -873,22 +1174,886 @@ impl World {
     /// stream id — the controller loop a production deployment would run
     /// on `PodTerminated` events. Frames resume at the current time.
     ///
+    /// The new stream inherits the old stream's lineage root, so
+    /// availability and chain-latency metrics aggregate across restarts
+    /// instead of treating the revived stream as an unrelated one; the old
+    /// id is marked [`StreamPhase::Superseded`] and linked to its successor
+    /// (see [`RunResults::successor`]).
+    ///
     /// # Errors
     ///
-    /// [`DeployError`] when the stream is unknown, still active, or no
-    /// longer fits the surviving capacity.
+    /// [`DeployError::UnknownStream`] for ids never issued,
+    /// [`DeployError::InvalidStreamState`] when the stream is still active
+    /// or already superseded, and admission errors when the spec no longer
+    /// fits the surviving capacity.
     pub fn restart_stream(&mut self, id: StreamId) -> Result<StreamId, DeployError> {
-        let stream = self.stream(id).ok_or(DeployError::Orch(
-            microedge_orch::lifecycle::OrchError::UnknownPod(PodId(u64::MAX)),
-        ))?;
+        let stream = self.stream(id).ok_or(DeployError::UnknownStream(id.0))?;
         if stream.active {
-            return Err(DeployError::MalformedRequest(format!(
-                "{id} is still active"
-            )));
+            return Err(DeployError::InvalidStreamState(id.0, "still active"));
         }
+        if stream.phase == StreamPhase::Superseded {
+            return Err(DeployError::InvalidStreamState(id.0, "already superseded"));
+        }
+        let root = stream.root;
         let mut spec = stream.spec.clone();
         spec.start_offset = SimDuration::ZERO;
-        self.admit_stream(spec)
+        let was_parked = stream.phase == StreamPhase::Parked;
+        let new_id = self.admit_with_root(spec, Some(root))?;
+        if was_parked {
+            if let Some(chaos) = self.chaos.as_mut() {
+                chaos.parked.retain(|p| p.stream != id);
+            }
+        }
+        if let Some(stream) = self.stream_mut(id) {
+            stream.phase = StreamPhase::Superseded;
+        }
+        self.lineage.insert(id, new_id);
+        Ok(new_id)
+    }
+
+    /// Arms chaos mode: injected faults (see [`World::inject_faults`]) flow
+    /// through the lease-based failure detector, the reconciliation
+    /// controller heals displaced streams per `config.heal`, and frame
+    /// rates degrade in fairness tiers per `config.degrade`. Idempotent in
+    /// effect — calling again replaces the configuration and resets fault
+    /// bookkeeping.
+    pub fn enable_chaos(&mut self, config: ChaosConfig) {
+        let node_slots = self
+            .orch
+            .cluster()
+            .nodes()
+            .iter()
+            .map(|n| n.id().0 as usize + 1)
+            .max()
+            .unwrap_or(0);
+        self.chaos = Some(Box::new(ChaosState {
+            config,
+            tpus: vec![CompFault::default(); self.services.len()],
+            nodes: vec![CompFault::default(); node_slots],
+            parked: Vec::new(),
+            recorder: RecoveryRecorder::new(),
+            trackers: BTreeMap::new(),
+            swap_seq: 0,
+            reconcile_at: None,
+        }));
+    }
+
+    /// `true` once [`World::enable_chaos`] has armed the fault subsystem.
+    #[must_use]
+    pub fn chaos_enabled(&self) -> bool {
+        self.chaos.is_some()
+    }
+
+    /// Schedules every event of a fault trace into the simulation. Events
+    /// earlier than the current time are skipped. Arms chaos mode with the
+    /// default [`ChaosConfig`] if it is not already enabled.
+    pub fn inject_faults(&mut self, schedule: &FaultSchedule) {
+        if self.chaos.is_none() {
+            self.enable_chaos(ChaosConfig::default());
+        }
+        let now = self.queue.now();
+        for ev in schedule.events() {
+            if ev.at < now {
+                continue;
+            }
+            self.queue.schedule_at(ev.at, Ev::Fault(ev.kind));
+        }
+    }
+
+    /// The lifecycle phase a stream is currently in.
+    #[must_use]
+    pub fn stream_phase(&self, id: StreamId) -> Option<StreamPhase> {
+        self.stream(id).map(|s| s.phase)
+    }
+
+    /// The first stream id of `id`'s restart lineage.
+    #[must_use]
+    pub fn stream_root(&self, id: StreamId) -> Option<StreamId> {
+        self.stream(id).map(|s| s.root)
+    }
+
+    /// Streams currently waiting in the reconciler's pending-restart
+    /// queue, in arrival order.
+    #[must_use]
+    pub fn pending_restarts(&self) -> Vec<StreamId> {
+        self.chaos
+            .as_ref()
+            .map(|c| c.parked.iter().map(|p| p.stream).collect())
+            .unwrap_or_default()
+    }
+
+    /// Live streams that currently route through `tpu` (control-plane
+    /// view).
+    fn streams_using_tpu(&self, tpu: TpuId) -> Vec<StreamId> {
+        let mut out = Vec::new();
+        for (i, s) in self.streams.iter().enumerate() {
+            if !s.phase.is_live() {
+                continue;
+            }
+            if let Some(allocs) = self.sched.assignment(s.pod) {
+                if allocs.iter().any(|a| a.tpu() == tpu) {
+                    out.push(StreamId(i as u64));
+                }
+            }
+        }
+        out
+    }
+
+    /// Marks a live stream interrupted (its frames now drop at the client)
+    /// and opens the lineage's outage interval.
+    fn interrupt_stream(&mut self, now: SimTime, id: StreamId) {
+        let Some(stream) = self.stream(id) else {
+            return;
+        };
+        if stream.phase == StreamPhase::Interrupted || !stream.phase.is_live() {
+            return;
+        }
+        let root = stream.root;
+        self.transition(id, StreamPhase::Interrupted, now);
+        if let Some(chaos) = self.chaos.as_mut() {
+            chaos.trackers.entry(root).or_default().outage_begins(now);
+        }
+    }
+
+    /// Returns interrupted streams whose placement is healthy again to
+    /// their rate-appropriate serving phase.
+    fn resync_interrupted(&mut self, now: SimTime) {
+        for i in 0..self.streams.len() {
+            let id = StreamId(i as u64);
+            let (pod, den) = {
+                let s = &self.streams[i];
+                if s.phase != StreamPhase::Interrupted || s.pending_swap.is_some() {
+                    continue;
+                }
+                (s.pod, s.den)
+            };
+            if !self.placement_healthy(pod) {
+                continue;
+            }
+            let phase = if den > 1 {
+                StreamPhase::Degraded
+            } else {
+                StreamPhase::Active
+            };
+            self.transition(id, phase, now);
+            let root = self.streams[i].root;
+            if let Some(chaos) = self.chaos.as_mut() {
+                let tracker = chaos.trackers.entry(root).or_default();
+                tracker.outage_ends(now);
+                if den > 1 {
+                    tracker.degrade_begins(now);
+                }
+            }
+        }
+    }
+
+    /// Whether every component a pod depends on (host node, every allocated
+    /// TPU) is currently serving.
+    fn placement_healthy(&self, pod: PodId) -> bool {
+        let Some(node) = self.orch.node_of(pod) else {
+            return false;
+        };
+        if let Some(chaos) = self.chaos.as_ref() {
+            if chaos
+                .nodes
+                .get(node.0 as usize)
+                .is_some_and(|n| n.down_since.is_some())
+            {
+                return false;
+            }
+        }
+        let Some(allocs) = self.sched.assignment(pod) else {
+            return false;
+        };
+        allocs
+            .iter()
+            .all(|a| self.services[a.tpu().0 as usize].alive)
+    }
+
+    fn on_fault(&mut self, now: SimTime, kind: FaultKind) {
+        match kind {
+            FaultKind::TpuFail(tpu) => self.on_tpu_fault(now, tpu),
+            FaultKind::TpuRepair(tpu) => self.on_tpu_repair(now, tpu),
+            FaultKind::NodeFail(node) | FaultKind::LinkFail(node) => {
+                self.on_node_fault(now, kind, node);
+            }
+            FaultKind::NodeRepair(node) | FaultKind::LinkRepair(node) => {
+                self.on_node_repair(now, node);
+            }
+        }
+    }
+
+    fn on_tpu_fault(&mut self, now: SimTime, tpu: TpuId) {
+        let (epoch, detect_at) = {
+            let Some(chaos) = self.chaos.as_mut() else {
+                return;
+            };
+            let Some(state) = chaos.tpus.get_mut(tpu.0 as usize) else {
+                return;
+            };
+            if state.down_since.is_some() {
+                return;
+            }
+            state.down_since = Some(now);
+            state.epoch = state.epoch.wrapping_add(1);
+            state.detected = false;
+            (state.epoch, chaos.config.detection.detect_at(now))
+        };
+        // Data plane only: the service silently drops traffic until the
+        // lease expires.
+        self.kill_tpu_data_plane(now, tpu);
+        for id in self.streams_using_tpu(tpu) {
+            self.interrupt_stream(now, id);
+        }
+        self.queue.schedule_at(
+            detect_at,
+            Ev::Detect {
+                kind: FaultKind::TpuFail(tpu),
+                epoch,
+            },
+        );
+    }
+
+    fn on_tpu_repair(&mut self, now: SimTime, tpu: TpuId) {
+        let detected = {
+            let Some(chaos) = self.chaos.as_mut() else {
+                return;
+            };
+            let Some(state) = chaos.tpus.get_mut(tpu.0 as usize) else {
+                return;
+            };
+            if state.down_since.is_none() {
+                return;
+            }
+            let detected = state.detected;
+            state.down_since = None;
+            state.detected = false;
+            detected
+        };
+        // If the hosting node is itself down the repaired TPU stays
+        // unreachable; the node's repair will bring it back.
+        let host_down = self.tpu_host(tpu).is_some_and(|node| self.node_down(node));
+        if host_down {
+            return;
+        }
+        if detected {
+            // The control plane replanned around this TPU; return it to
+            // the pool for future placements.
+            self.sched.restore_tpu(tpu);
+            self.sync_device(tpu);
+        }
+        // Either way the data plane serves again (an undetected blip left
+        // all placements intact).
+        self.services[tpu.0 as usize].alive = true;
+        self.resync_interrupted(now);
+        self.nudge_reconciler(now);
+    }
+
+    fn on_node_fault(&mut self, now: SimTime, kind: FaultKind, node: NodeId) {
+        let (epoch, detect_at) = {
+            let Some(chaos) = self.chaos.as_mut() else {
+                return;
+            };
+            let Some(state) = chaos.nodes.get_mut(node.0 as usize) else {
+                return;
+            };
+            if state.down_since.is_some() {
+                return;
+            }
+            state.down_since = Some(now);
+            state.epoch = state.epoch.wrapping_add(1);
+            state.detected = false;
+            (state.epoch, chaos.config.detection.detect_at(now))
+        };
+        let mut victims: Vec<StreamId> = Vec::new();
+        if let Some(tpu) = self.tpu_on_node(node) {
+            self.kill_tpu_data_plane(now, tpu);
+            victims.extend(self.streams_using_tpu(tpu));
+        }
+        // Streams whose application container lives on the dead /
+        // partitioned node stop making progress too.
+        for (&pod, &sid) in &self.pods_to_streams {
+            if self.orch.node_of(pod) == Some(node)
+                && self
+                    .streams
+                    .get(sid.0 as usize)
+                    .is_some_and(|s| s.phase.is_live())
+            {
+                victims.push(sid);
+            }
+        }
+        victims.sort_unstable();
+        victims.dedup();
+        for id in victims {
+            self.interrupt_stream(now, id);
+        }
+        self.queue
+            .schedule_at(detect_at, Ev::Detect { kind, epoch });
+    }
+
+    fn on_node_repair(&mut self, now: SimTime, node: NodeId) {
+        let detected = {
+            let Some(chaos) = self.chaos.as_mut() else {
+                return;
+            };
+            let Some(state) = chaos.nodes.get_mut(node.0 as usize) else {
+                return;
+            };
+            if state.down_since.is_none() {
+                return;
+            }
+            let detected = state.detected;
+            state.down_since = None;
+            state.detected = false;
+            detected
+        };
+        if detected {
+            self.orch.restore_node(node);
+        }
+        if let Some(tpu) = self.tpu_on_node(node) {
+            let tpu_class_down = self.chaos.as_ref().is_some_and(|c| {
+                c.tpus
+                    .get(tpu.0 as usize)
+                    .is_some_and(|t| t.down_since.is_some())
+            });
+            if !tpu_class_down {
+                if detected {
+                    self.sched.restore_tpu(tpu);
+                    self.sync_device(tpu);
+                }
+                self.services[tpu.0 as usize].alive = true;
+            }
+        }
+        self.resync_interrupted(now);
+        self.nudge_reconciler(now);
+    }
+
+    fn on_detect(&mut self, now: SimTime, kind: FaultKind, epoch: u32) {
+        let heal = match self.chaos.as_ref() {
+            Some(chaos) => chaos.config.heal.is_some(),
+            None => return,
+        };
+        match kind {
+            FaultKind::TpuFail(tpu) => {
+                let fault_at = {
+                    let chaos = self.chaos.as_mut().expect("checked above");
+                    let Some(state) = chaos.tpus.get_mut(tpu.0 as usize) else {
+                        return;
+                    };
+                    let Some(down_since) = state.down_since else {
+                        return;
+                    };
+                    if state.epoch != epoch || state.detected {
+                        return;
+                    }
+                    state.detected = true;
+                    down_since
+                };
+                self.detect_tpu_failure(now, tpu, heal, fault_at);
+            }
+            FaultKind::NodeFail(node) | FaultKind::LinkFail(node) => {
+                let fault_at = {
+                    let chaos = self.chaos.as_mut().expect("checked above");
+                    let Some(state) = chaos.nodes.get_mut(node.0 as usize) else {
+                        return;
+                    };
+                    let Some(down_since) = state.down_since else {
+                        return;
+                    };
+                    if state.epoch != epoch || state.detected {
+                        return;
+                    }
+                    state.detected = true;
+                    down_since
+                };
+                self.detect_node_failure(now, node, heal, fault_at);
+            }
+            // Repairs never schedule `Detect`.
+            _ => {}
+        }
+    }
+
+    /// The control plane reacts to a detected TPU failure: under healing
+    /// every affected pod is replanned onto survivors (or parked for the
+    /// reconciler); without healing displaced pods are dropped outright —
+    /// the no-heal baseline.
+    fn detect_tpu_failure(&mut self, now: SimTime, tpu: TpuId, heal: bool, fault_at: SimTime) {
+        if heal {
+            let outcome = self.sched.handle_tpu_failure(tpu);
+            for rec in &outcome.recovered {
+                let sid = self.pods_to_streams[&rec.pod];
+                self.apply_plans(sid, &rec.plans);
+                let stages = rec.plans.len();
+                self.schedule_swap_in(sid, fault_at, now, rec.swap_bytes, stages, false);
+            }
+            for pod in outcome.lost {
+                let sid = self.pods_to_streams[&pod];
+                let _ = self.orch.delete_pod(pod);
+                self.park_stream(now, sid, fault_at, now);
+            }
+            self.nudge_reconciler(now);
+        } else {
+            for pod in self.sched.fail_tpu_releasing(tpu) {
+                let sid = self.pods_to_streams[&pod];
+                let _ = self.orch.delete_pod(pod);
+                self.transition(sid, StreamPhase::Lost, now);
+            }
+        }
+    }
+
+    /// The control plane reacts to a detected node/link failure: the
+    /// orchestrator evicts hosted pods (K3s marks the node NotReady after
+    /// the lease), their units are reclaimed, and the node's TPU — if any —
+    /// goes through the TPU failure path.
+    fn detect_node_failure(&mut self, now: SimTime, node: NodeId, heal: bool, fault_at: SimTime) {
+        let displaced = self.orch.fail_node(node);
+        self.sched.reclaim_terminated(&self.orch);
+        // Parked streams whose replacement pod was still swapping in when
+        // the node died count as displaced too — they must re-enter the
+        // pending-restart queue.
+        let hosted: Vec<StreamId> = displaced
+            .iter()
+            .filter_map(|p| self.pods_to_streams.get(p).copied())
+            .filter(|sid| {
+                self.streams
+                    .get(sid.0 as usize)
+                    .is_some_and(|s| s.phase.is_live() || s.phase == StreamPhase::Parked)
+            })
+            .collect();
+        if heal {
+            for sid in hosted {
+                self.park_stream(now, sid, fault_at, now);
+            }
+            if let Some(tpu) = self.tpu_on_node(node) {
+                self.detect_tpu_failure(now, tpu, true, fault_at);
+            }
+            self.nudge_reconciler(now);
+        } else {
+            for sid in hosted {
+                self.transition(sid, StreamPhase::Lost, now);
+            }
+            if let Some(tpu) = self.tpu_on_node(node) {
+                self.detect_tpu_failure(now, tpu, false, fault_at);
+            }
+        }
+    }
+
+    /// Queues a displaced stream for re-admission by the reconciler (or
+    /// marks it lost when healing is off).
+    fn park_stream(
+        &mut self,
+        now: SimTime,
+        sid: StreamId,
+        fault_at: SimTime,
+        detected_at: SimTime,
+    ) {
+        let heal = self.chaos.as_ref().is_some_and(|c| c.config.heal.is_some());
+        if !heal {
+            self.transition(sid, StreamPhase::Lost, now);
+            return;
+        }
+        self.transition(sid, StreamPhase::Parked, now);
+        if let Some(s) = self.streams.get_mut(sid.0 as usize) {
+            // Parking supersedes any in-flight swap: its placement is gone.
+            s.pending_swap = None;
+        }
+        let chaos = self.chaos.as_mut().expect("heal implies chaos");
+        if !chaos.parked.iter().any(|p| p.stream == sid) {
+            chaos.parked.push(ParkedStream {
+                stream: sid,
+                attempts: 0,
+                next_try: now,
+                fault_at,
+                detected_at,
+            });
+        }
+    }
+
+    /// Schedules the swap-in completion for a freshly replanned placement
+    /// and stamps the stream as waiting on it. Runs at the instant the
+    /// replanning happened, so "now" is the queue's current time.
+    fn schedule_swap_in(
+        &mut self,
+        sid: StreamId,
+        fault_at: SimTime,
+        detected_at: SimTime,
+        swap_bytes: u64,
+        stages: usize,
+        restarted: bool,
+    ) {
+        let now = self.queue.now();
+        let Some(chaos) = self.chaos.as_mut() else {
+            return;
+        };
+        chaos.swap_seq += 1;
+        let seq = chaos.swap_seq;
+        let rpc = chaos.config.resched_rpc * (1 + stages as u64);
+        let swap = TpuSpec::coral_usb().swap_time(swap_bytes);
+        let breakdown = RecoveryBreakdown::new(
+            detected_at.saturating_since(fault_at),
+            now.saturating_since(detected_at) + rpc,
+            swap,
+        );
+        if let Some(stream) = self.streams.get_mut(sid.0 as usize) {
+            stream.pending_swap = Some(seq);
+        }
+        self.queue.schedule_at(
+            now + rpc + swap,
+            Ev::SwapIn {
+                stream: sid,
+                seq,
+                breakdown,
+                restarted,
+            },
+        );
+    }
+
+    fn on_swap_in(
+        &mut self,
+        now: SimTime,
+        sid: StreamId,
+        seq: u64,
+        breakdown: RecoveryBreakdown,
+        restarted: bool,
+    ) {
+        let (den, root, pod) = {
+            let Some(s) = self.streams.get_mut(sid.0 as usize) else {
+                return;
+            };
+            if s.pending_swap != Some(seq) {
+                return;
+            }
+            s.pending_swap = None;
+            if !matches!(s.phase, StreamPhase::Interrupted | StreamPhase::Parked) {
+                // The stream left the recovery path (crashed, removed, or
+                // restarted by hand) while parameters streamed in.
+                return;
+            }
+            (s.den, s.root, s.pod)
+        };
+        if !self.placement_healthy(pod) {
+            // The replacement placement itself failed before swap-in
+            // finished; stay down — the new fault's detection will replan.
+            return;
+        }
+        let phase = if den > 1 {
+            StreamPhase::Degraded
+        } else {
+            StreamPhase::Active
+        };
+        self.transition(sid, phase, now);
+        if let Some(chaos) = self.chaos.as_mut() {
+            let tracker = chaos.trackers.entry(root).or_default();
+            tracker.outage_ends(now);
+            if den > 1 {
+                tracker.degrade_begins(now);
+            }
+            if restarted {
+                tracker.count_restart();
+            }
+            chaos.recorder.record(&breakdown);
+        }
+        let arm = {
+            let s = &mut self.streams[sid.0 as usize];
+            if s.emission_alive {
+                false
+            } else {
+                s.emission_alive = true;
+                true
+            }
+        };
+        if arm {
+            self.queue.schedule_after(SimDuration::ZERO, Ev::Frame(sid));
+        }
+    }
+
+    /// Ensures a `Reconcile` event fires at `now` if the controller has
+    /// work: parked streams to re-admit, or degraded streams that might
+    /// upgrade now that capacity was released.
+    fn nudge_reconciler(&mut self, now: SimTime) {
+        let Some(chaos) = self.chaos.as_ref() else {
+            return;
+        };
+        if chaos.config.heal.is_none() {
+            return;
+        }
+        let wanted = !chaos.parked.is_empty()
+            || self
+                .streams
+                .iter()
+                .any(|s| s.phase == StreamPhase::Degraded && s.den > 1);
+        if wanted {
+            self.schedule_reconcile(now);
+        }
+    }
+
+    /// Schedules a `Reconcile` event at `at` unless an earlier one is
+    /// already pending.
+    fn schedule_reconcile(&mut self, at: SimTime) {
+        let Some(chaos) = self.chaos.as_mut() else {
+            return;
+        };
+        if chaos.reconcile_at.is_none_or(|t| at < t) {
+            chaos.reconcile_at = Some(at);
+            self.queue.schedule_at(at, Ev::Reconcile);
+        }
+    }
+
+    fn on_reconcile(&mut self, now: SimTime) {
+        let due: Vec<ParkedStream> = {
+            let Some(chaos) = self.chaos.as_mut() else {
+                return;
+            };
+            chaos.reconcile_at = None;
+            if chaos.config.heal.is_none() {
+                return;
+            }
+            chaos
+                .parked
+                .iter()
+                .copied()
+                .filter(|p| p.next_try <= now)
+                .collect()
+        };
+        for entry in due {
+            let readmitted = self.try_readmit(now, entry);
+            let chaos = self.chaos.as_mut().expect("chaos stays armed");
+            if readmitted {
+                chaos.parked.retain(|p| p.stream != entry.stream);
+            } else if let Some(p) = chaos.parked.iter_mut().find(|p| p.stream == entry.stream) {
+                p.attempts += 1;
+                let backoff = chaos
+                    .config
+                    .heal
+                    .as_ref()
+                    .expect("checked above")
+                    .backoff(p.attempts);
+                p.next_try = now + backoff;
+            }
+        }
+        // Only once nothing is waiting does the controller hand capacity
+        // back to degraded tenants.
+        let parked_empty = self.chaos.as_ref().is_some_and(|c| c.parked.is_empty());
+        if parked_empty {
+            self.upgrade_degraded(now);
+        }
+        let next = self
+            .chaos
+            .as_ref()
+            .and_then(|c| c.parked.iter().map(|p| p.next_try).min());
+        if let Some(next) = next {
+            self.schedule_reconcile(next.max(now));
+        }
+    }
+
+    /// One re-admission attempt for a parked stream: try each degradation
+    /// tier from full rate down, then try making room by degrading active
+    /// tenants, and finally give up (the caller applies backoff). Returns
+    /// `true` when the entry should leave the queue.
+    fn try_readmit(&mut self, now: SimTime, entry: ParkedStream) -> bool {
+        let sid = entry.stream;
+        let spec = match self.stream(sid) {
+            Some(s) if s.phase == StreamPhase::Parked => s.spec.clone(),
+            // Removed / restarted / otherwise gone: drop the entry.
+            _ => return true,
+        };
+        let tiers: Vec<u32> = match self.chaos.as_ref().and_then(|c| c.config.degrade.as_ref()) {
+            Some(d) => d.tiers().collect(),
+            None => vec![1],
+        };
+        for &den in &tiers {
+            if self.try_readmit_at(sid, &entry, &spec, den) {
+                return true;
+            }
+        }
+        let max_den = *tiers.last().expect("tiers are never empty");
+        if max_den > 1 {
+            while self.shrink_one_stream(now, max_den) {
+                if self.try_readmit_at(sid, &entry, &spec, max_den) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// One deployment attempt at a specific degradation tier.
+    fn try_readmit_at(
+        &mut self,
+        sid: StreamId,
+        entry: &ParkedStream,
+        spec: &StreamSpec,
+        den: u32,
+    ) -> bool {
+        let Ok((pod_spec, _)) = self.build_pod_spec(spec) else {
+            return false;
+        };
+        match self.sched.deploy_scaled(&mut self.orch, pod_spec, den) {
+            Ok(deployment) => {
+                self.wire_readmitted(sid, entry, den, &deployment);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Points an existing (parked) stream runtime at its replacement
+    /// deployment and schedules the swap-in that will bring it back live.
+    fn wire_readmitted(
+        &mut self,
+        sid: StreamId,
+        entry: &ParkedStream,
+        den: u32,
+        deployment: &Deployment,
+    ) {
+        let pod = deployment.pod();
+        let mut per_tpu: BTreeMap<TpuId, u64> = BTreeMap::new();
+        for grant in deployment.stages() {
+            let bytes = self.sched.catalog().expect(grant.model()).param_bytes();
+            for &tpu in grant.newly_loaded() {
+                *per_tpu.entry(tpu).or_insert(0) += bytes;
+            }
+        }
+        let swap_bytes = per_tpu.values().copied().max().unwrap_or(0);
+        let stages = deployment.stages().len();
+        let old_pod = self.streams[sid.0 as usize].pod;
+        {
+            let s = &mut self.streams[sid.0 as usize];
+            s.pod = pod;
+            s.den = den;
+            for (stage, grant) in s.stages.iter_mut().zip(deployment.stages()) {
+                stage.lbs = grant.lbs();
+            }
+        }
+        self.pods_to_streams.remove(&old_pod);
+        self.pods_to_streams.insert(pod, sid);
+        for grant in deployment.stages() {
+            for alloc in grant.allocations() {
+                self.sync_device(alloc.tpu());
+            }
+        }
+        self.schedule_swap_in(
+            sid,
+            entry.fault_at,
+            entry.detected_at,
+            swap_bytes,
+            stages,
+            true,
+        );
+    }
+
+    /// Degrades the least-degraded serving stream by one tier to free
+    /// capacity. Returns `false` when no stream can be shrunk further.
+    fn shrink_one_stream(&mut self, now: SimTime, max_den: u32) -> bool {
+        let mut candidate: Option<(u32, StreamId)> = None;
+        for (i, s) in self.streams.iter().enumerate() {
+            if !matches!(s.phase, StreamPhase::Active | StreamPhase::Degraded) {
+                continue;
+            }
+            if s.den >= max_den || s.pending_swap.is_some() {
+                continue;
+            }
+            let key = (s.den, StreamId(i as u64));
+            if candidate.is_none_or(|c| key < c) {
+                candidate = Some(key);
+            }
+        }
+        let Some((den, sid)) = candidate else {
+            return false;
+        };
+        let pod = self.streams[sid.0 as usize].pod;
+        let new_den = den * 2;
+        match self.sched.rescale(pod, new_den) {
+            Ok(plans) => {
+                self.apply_plans(sid, &plans);
+                self.set_denominator(now, sid, new_den);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Promotes degraded streams back toward full rate, deepest tier
+    /// first, for as long as capacity allows.
+    fn upgrade_degraded(&mut self, now: SimTime) {
+        loop {
+            let mut candidate: Option<(u32, StreamId)> = None;
+            for (i, s) in self.streams.iter().enumerate() {
+                if s.phase != StreamPhase::Degraded || s.den <= 1 || s.pending_swap.is_some() {
+                    continue;
+                }
+                let id = StreamId(i as u64);
+                let better = match candidate {
+                    None => true,
+                    Some((cd, cid)) => s.den > cd || (s.den == cd && id < cid),
+                };
+                if better {
+                    candidate = Some((s.den, id));
+                }
+            }
+            let Some((den, sid)) = candidate else {
+                return;
+            };
+            let pod = self.streams[sid.0 as usize].pod;
+            match self.sched.rescale(pod, den / 2) {
+                Ok(plans) => {
+                    self.apply_plans(sid, &plans);
+                    self.set_denominator(now, sid, den / 2);
+                }
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Records a denominator change on a serving stream, keeping phase and
+    /// degrade-interval bookkeeping consistent.
+    fn set_denominator(&mut self, now: SimTime, sid: StreamId, new_den: u32) {
+        let (root, old_den, serving) = {
+            let s = &mut self.streams[sid.0 as usize];
+            let old = s.den;
+            s.den = new_den;
+            (
+                s.root,
+                old,
+                matches!(s.phase, StreamPhase::Active | StreamPhase::Degraded),
+            )
+        };
+        if !serving {
+            return;
+        }
+        let phase = if new_den > 1 {
+            StreamPhase::Degraded
+        } else {
+            StreamPhase::Active
+        };
+        self.transition(sid, phase, now);
+        if let Some(chaos) = self.chaos.as_mut() {
+            let tracker = chaos.trackers.entry(root).or_default();
+            if old_den == 1 && new_den > 1 {
+                tracker.degrade_begins(now);
+            } else if old_den > 1 && new_den == 1 {
+                tracker.degrade_ends(now);
+            }
+        }
+    }
+
+    /// The node hosting `tpu`.
+    fn tpu_host(&self, tpu: TpuId) -> Option<NodeId> {
+        self.sched
+            .pool()
+            .accounts()
+            .iter()
+            .find(|a| a.id() == tpu)
+            .map(|a| a.node())
+    }
+
+    /// Whether chaos bookkeeping currently marks `node` as down.
+    fn node_down(&self, node: NodeId) -> bool {
+        self.chaos.as_ref().is_some_and(|c| {
+            c.nodes
+                .get(node.0 as usize)
+                .is_some_and(|n| n.down_since.is_some())
+        })
     }
 
     /// Processes all events up to and including `until`.
@@ -929,6 +2094,39 @@ impl World {
         let average_utilization = self.fleet.average_utilization(end);
         let per_device_utilization = self.fleet.per_device_utilization(end);
         let windowed_utilization = self.fleet.into_windowed_average(end);
+        let phases: BTreeMap<StreamId, StreamPhase> = self
+            .streams
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (StreamId(i as u64), s.phase))
+            .collect();
+        let mut chain_latencies: BTreeMap<StreamId, OnlineStats> = BTreeMap::new();
+        for s in &self.streams {
+            chain_latencies
+                .entry(s.root)
+                .and_modify(|stats| stats.merge(&s.latency))
+                .or_insert_with(|| s.latency.clone());
+        }
+        let lineage = self.lineage;
+        let (recovery, availability) = match self.chaos {
+            Some(chaos) => {
+                let chaos = *chaos;
+                let mut availability = BTreeMap::new();
+                for (root, tracker) in chaos.trackers {
+                    // A lineage counts as lost only when its final
+                    // incarnation ended the run lost (parked streams were
+                    // still pending recovery).
+                    let mut tail = root;
+                    while let Some(&next) = lineage.get(&tail) {
+                        tail = next;
+                    }
+                    let lost = phases.get(&tail) == Some(&StreamPhase::Lost);
+                    availability.insert(root, tracker.finish(end, lost));
+                }
+                (chaos.recorder, availability)
+            }
+            None => (RecoveryRecorder::new(), BTreeMap::new()),
+        };
         RunResults {
             reports,
             latencies,
@@ -942,6 +2140,11 @@ impl World {
             frames_dropped: self.frames_dropped,
             events_processed: self.queue.events_processed(),
             end,
+            recovery,
+            availability,
+            phases,
+            lineage,
+            chain_latencies,
         }
     }
 
@@ -972,6 +2175,15 @@ impl World {
             Ev::Frame(id) => self.on_frame(now, id),
             Ev::Arrive(tpu, inflight) => self.on_arrive(now, tpu, inflight),
             Ev::Done(tpu) => self.on_done(now, tpu),
+            Ev::Fault(kind) => self.on_fault(now, kind),
+            Ev::Detect { kind, epoch } => self.on_detect(now, kind, epoch),
+            Ev::SwapIn {
+                stream,
+                seq,
+                breakdown,
+                restarted,
+            } => self.on_swap_in(now, stream, seq, breakdown, restarted),
+            Ev::Reconcile => self.on_reconcile(now),
         }
     }
 
@@ -980,6 +2192,23 @@ impl World {
             return;
         };
         if !stream.active {
+            stream.emission_alive = false;
+            return;
+        }
+        if stream.phase == StreamPhase::Interrupted {
+            // The placement is down (detected or not): the frame drops at
+            // the client without reaching any TPU.
+            stream.emitted += 1;
+            self.frames_dropped += 1;
+            if stream
+                .frame_limit
+                .is_none_or(|limit| stream.emitted < limit)
+            {
+                let interval = stream.interval * u64::from(stream.den);
+                self.queue.schedule_after(interval, Ev::Frame(id));
+            } else {
+                stream.emission_alive = false;
+            }
             return;
         }
         stream.audit.frame_emitted(now);
@@ -998,8 +2227,10 @@ impl World {
                 .frame_limit
                 .is_none_or(|limit| stream.emitted < limit);
             if more {
-                let interval = stream.interval;
+                let interval = stream.interval * u64::from(stream.den);
                 self.queue.schedule_after(interval, Ev::Frame(id));
+            } else {
+                stream.emission_alive = false;
             }
             return;
         }
@@ -1023,8 +2254,10 @@ impl World {
             .frame_limit
             .is_none_or(|limit| stream.emitted < limit);
         if more {
-            let interval = stream.interval;
+            let interval = stream.interval * u64::from(stream.den);
             self.queue.schedule_after(interval, Ev::Frame(id));
+        } else {
+            stream.emission_alive = false;
         }
     }
 
@@ -1623,5 +2856,322 @@ mod tests {
         assert!(text.contains("met"));
         assert!(text.contains("avg TPU utilization"));
         assert!(text.contains("0 frames dropped"));
+    }
+
+    // ------------------------------------------------------------------
+    // Chaos mode
+    // ------------------------------------------------------------------
+
+    use crate::faults::{ChaosConfig, FaultEvent, FaultKind, FaultSchedule};
+    use crate::pool::Allocation;
+
+    /// Endless stream (no frame limit) — chaos runs end at the horizon.
+    fn cam(name: &str) -> StreamSpec {
+        StreamSpec::builder(name, "ssd-mobilenet-v2").build()
+    }
+
+    fn scripted(events: Vec<(u64, FaultKind)>) -> FaultSchedule {
+        FaultSchedule::scripted(
+            events
+                .into_iter()
+                .map(|(secs, kind)| FaultEvent {
+                    at: SimTime::from_secs(secs),
+                    kind,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn chaos_fault_is_detected_only_after_the_lease_expires() {
+        let mut w = world(2, Features::all());
+        let cam0 = w.admit_stream(cam("cam-0")).unwrap();
+        w.enable_chaos(ChaosConfig::heal_only());
+        w.inject_faults(&scripted(vec![(10, FaultKind::TpuFail(TpuId(0)))]));
+        // Fault at 10 s; k3s default lease expires at 14 s. In between the
+        // stream is interrupted but not yet recovered.
+        w.run_until(SimTime::from_secs(12));
+        assert_eq!(w.stream_phase(cam0), Some(StreamPhase::Interrupted));
+        let results = w.run_to_completion(SimTime::from_secs(60));
+        assert_eq!(results.stream_phase(cam0), Some(StreamPhase::Active));
+        assert_eq!(results.recovery().count(), 1);
+        let detection = results
+            .recovery()
+            .mean_ms(microedge_metrics::recovery::RecoveryPhase::Detection);
+        assert!(
+            (3_999.0..=4_001.0).contains(&detection),
+            "detection should be the 4 s lease, got {detection} ms"
+        );
+        let avail = results.availability(cam0).unwrap();
+        assert!(avail.downtime > SimDuration::from_secs(4), "{avail:?}");
+        assert_eq!(avail.outages, 1);
+        assert!(!avail.lost);
+    }
+
+    #[test]
+    fn chaos_blip_shorter_than_the_lease_goes_undetected() {
+        let mut w = world(2, Features::all());
+        let cam0 = w.admit_stream(cam("cam-0")).unwrap();
+        w.enable_chaos(ChaosConfig::heal_only());
+        w.inject_faults(&scripted(vec![
+            (10, FaultKind::TpuFail(TpuId(0))),
+            (12, FaultKind::TpuRepair(TpuId(0))),
+        ]));
+        let results = w.run_to_completion(SimTime::from_secs(60));
+        // The control plane never noticed: no recovery was recorded, the
+        // placement is intact, and downtime is exactly the blip.
+        assert_eq!(results.recovery().count(), 0);
+        assert_eq!(results.stream_phase(cam0), Some(StreamPhase::Active));
+        let avail = results.availability(cam0).unwrap();
+        assert_eq!(avail.downtime, SimDuration::from_secs(2));
+        assert_eq!(avail.outages, 1);
+    }
+
+    #[test]
+    fn chaos_no_heal_loses_displaced_streams_for_good() {
+        let mut w = world(1, Features::all());
+        let cam0 = w.admit_stream(cam("cam-0")).unwrap();
+        w.enable_chaos(ChaosConfig::no_heal());
+        w.inject_faults(&scripted(vec![(10, FaultKind::TpuFail(TpuId(0)))]));
+        // The queue drains once the stream is lost; finalise at the full
+        // horizon so downtime covers the rest of the run.
+        w.run_until(SimTime::from_secs(60));
+        let results = w.finish(SimTime::from_secs(60));
+        assert_eq!(results.stream_phase(cam0), Some(StreamPhase::Lost));
+        assert_eq!(results.lost_streams(), vec![cam0]);
+        let avail = results.availability(cam0).unwrap();
+        assert!(avail.lost);
+        // Down from the fault to the end of the run.
+        assert_eq!(avail.downtime, SimDuration::from_secs(50));
+    }
+
+    #[test]
+    fn chaos_heal_parks_until_capacity_returns() {
+        let mut w = world(1, Features::all());
+        let cam0 = w.admit_stream(cam("cam-0")).unwrap();
+        w.enable_chaos(ChaosConfig::heal_only());
+        w.inject_faults(&scripted(vec![
+            (10, FaultKind::TpuFail(TpuId(0))),
+            (30, FaultKind::TpuRepair(TpuId(0))),
+        ]));
+        w.run_until(SimTime::from_secs(20));
+        // The only TPU is gone: the stream waits in the restart queue.
+        assert_eq!(w.stream_phase(cam0), Some(StreamPhase::Parked));
+        assert_eq!(w.pending_restarts(), vec![cam0]);
+        let results = w.run_to_completion(SimTime::from_secs(60));
+        assert_eq!(results.stream_phase(cam0), Some(StreamPhase::Active));
+        assert!(results.parked_streams().is_empty());
+        let avail = results.availability(cam0).unwrap();
+        assert_eq!(avail.restarts, 1);
+        assert!(!avail.lost);
+        assert!(avail.downtime >= SimDuration::from_secs(20));
+    }
+
+    #[test]
+    fn chaos_degradation_makes_room_on_the_surviving_fleet() {
+        // Four 0.35-unit streams over two TPUs (1.40 units). Losing one
+        // TPU leaves 1.0 units: impossible at full rate, possible with
+        // fairness-tier degradation.
+        let mut w = world(2, Features::all());
+        let cams: Vec<StreamId> = (0..4)
+            .map(|i| w.admit_stream(cam(&format!("cam-{i}"))).unwrap())
+            .collect();
+        w.enable_chaos(ChaosConfig::heal_degrade());
+        w.inject_faults(&scripted(vec![(10, FaultKind::TpuFail(TpuId(0)))]));
+        let results = w.run_to_completion(SimTime::from_secs(120));
+        assert!(results.lost_streams().is_empty(), "degradation saves all");
+        assert!(results.parked_streams().is_empty());
+        let degraded = cams
+            .iter()
+            .filter(|&&c| results.stream_phase(c) == Some(StreamPhase::Degraded))
+            .count();
+        assert!(degraded >= 2, "someone must run at reduced rate");
+        for &c in &cams {
+            let phase = results.stream_phase(c).unwrap();
+            assert!(
+                matches!(phase, StreamPhase::Active | StreamPhase::Degraded),
+                "{c} ended {phase}"
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_degraded_streams_upgrade_after_repair() {
+        let mut w = world(2, Features::all());
+        let cams: Vec<StreamId> = (0..4)
+            .map(|i| w.admit_stream(cam(&format!("cam-{i}"))).unwrap())
+            .collect();
+        w.enable_chaos(ChaosConfig::heal_degrade());
+        w.inject_faults(&scripted(vec![
+            (10, FaultKind::TpuFail(TpuId(0))),
+            (60, FaultKind::TpuRepair(TpuId(0))),
+        ]));
+        let results = w.run_to_completion(SimTime::from_secs(180));
+        for &c in &cams {
+            assert_eq!(
+                results.stream_phase(c),
+                Some(StreamPhase::Active),
+                "full rate restores after repair"
+            );
+        }
+        for avail in results.availabilities().values() {
+            assert!(!avail.lost);
+        }
+    }
+
+    #[test]
+    fn chaos_tpu_failing_mid_swap_does_not_resurrect_the_stream() {
+        // cam-0 recovers from TPU 0 onto another TPU; that destination then
+        // fails *during* the parameter swap-in. The stale swap-in must not
+        // flip the stream live on a dead placement.
+        let mut w = world(3, Features::all());
+        let cam0 = w.admit_stream(cam("cam-0")).unwrap();
+        w.enable_chaos(ChaosConfig::heal_only());
+        w.inject_faults(&scripted(vec![(10, FaultKind::TpuFail(TpuId(0)))]));
+        // Detection at 14 s; swap-in needs RPCs + parameter streaming.
+        w.run_until(SimTime::from_secs(14) + SimDuration::from_millis(50));
+        let dest = w
+            .scheduler()
+            .assignment(w.pod_of(cam0).unwrap())
+            .expect("replanned")
+            .first()
+            .map(Allocation::tpu)
+            .unwrap();
+        assert_ne!(dest, TpuId(0));
+        // Kill the destination before the swap-in event fires.
+        w.inject_faults(&FaultSchedule::scripted(vec![FaultEvent {
+            at: w.now() + SimDuration::from_millis(1),
+            kind: FaultKind::TpuFail(dest),
+        }]));
+        let results = w.run_to_completion(SimTime::from_secs(120));
+        // It must end up serving from the third TPU, after two recoveries.
+        assert_eq!(results.stream_phase(cam0), Some(StreamPhase::Active));
+        assert_eq!(results.recovery().count(), 1, "only one recovery completed");
+        let avail = results.availability(cam0).unwrap();
+        assert_eq!(avail.outages, 1, "one continuous outage, not two");
+    }
+
+    #[test]
+    fn chaos_node_fault_parks_hosted_streams() {
+        let mut w = world(2, Features::all());
+        let cam0 = w.admit_stream(cam("cam-0")).unwrap();
+        let node = w.orchestrator().node_of(w.pod_of(cam0).unwrap()).unwrap();
+        w.enable_chaos(ChaosConfig::heal_only());
+        w.inject_faults(&scripted(vec![
+            (10, FaultKind::NodeFail(node)),
+            (40, FaultKind::NodeRepair(node)),
+        ]));
+        let results = w.run_to_completion(SimTime::from_secs(90));
+        // The hosted pod was evicted after the lease; the reconciler
+        // re-admitted the stream on surviving capacity.
+        assert_eq!(results.stream_phase(cam0), Some(StreamPhase::Active));
+        let avail = results.availability(cam0).unwrap();
+        assert_eq!(avail.restarts, 1);
+        assert!(avail.downtime >= SimDuration::from_secs(4), "{avail:?}");
+    }
+
+    #[test]
+    fn chaos_link_blip_interrupts_without_control_plane_action() {
+        let mut w = world(2, Features::all());
+        let cam0 = w.admit_stream(cam("cam-0")).unwrap();
+        let node = w.orchestrator().node_of(w.pod_of(cam0).unwrap()).unwrap();
+        w.enable_chaos(ChaosConfig::heal_only());
+        w.inject_faults(&scripted(vec![
+            (10, FaultKind::LinkFail(node)),
+            (12, FaultKind::LinkRepair(node)),
+        ]));
+        let results = w.run_to_completion(SimTime::from_secs(60));
+        assert_eq!(results.stream_phase(cam0), Some(StreamPhase::Active));
+        assert_eq!(results.recovery().count(), 0, "partition healed in time");
+        assert_eq!(
+            results.availability(cam0).unwrap().downtime,
+            SimDuration::from_secs(2)
+        );
+    }
+
+    #[test]
+    fn restart_stream_links_lineage_and_merges_chain_latency() {
+        let mut w = world(1, Features::all());
+        let old = w.admit_stream(cam("cam-0")).unwrap();
+        w.run_until(SimTime::from_secs(10));
+        w.crash_stream(old).unwrap();
+        w.poll_reclamation();
+        let new = w.restart_stream(old).unwrap();
+        assert_ne!(old, new);
+        assert_eq!(w.stream_root(new), Some(old));
+        // The superseded id cannot be restarted again.
+        assert!(matches!(
+            w.restart_stream(old),
+            Err(DeployError::InvalidStreamState(_, _))
+        ));
+        let results = w.run_to_completion(SimTime::from_secs(30));
+        assert_eq!(results.successor(old), Some(new));
+        assert_eq!(results.stream_phase(old), Some(StreamPhase::Superseded));
+        let merged = results.chain_latency(old).unwrap().count();
+        let split = results.latency(old).unwrap().count() + results.latency(new).unwrap().count();
+        assert_eq!(merged, split, "chain stats cover both incarnations");
+        assert!(results.latency(old).unwrap().count() > 0);
+        assert!(results.latency(new).unwrap().count() > 0);
+    }
+
+    #[test]
+    fn fail_tpu_is_idempotent_and_tolerates_unknown_ids() {
+        let mut w = world(1, Features::all());
+        w.admit_stream(cam("cam-0")).unwrap();
+        assert!(!w.fail_tpu(TpuId(0)).is_empty());
+        assert!(w.fail_tpu(TpuId(0)).is_empty(), "second failure is a no-op");
+        assert!(w.fail_tpu(TpuId(999)).is_empty(), "unknown id is a no-op");
+        assert!(
+            w.fail_node(NodeId(9_999)).is_empty(),
+            "unknown node is a no-op"
+        );
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic() {
+        let run = || {
+            let cluster = ClusterBuilder::new().trpis(3).vrpis(6).build();
+            let mut w = World::new(cluster.clone(), Features::all());
+            let mut ids = Vec::new();
+            for i in 0..5 {
+                ids.push(w.admit_stream(cam(&format!("cam-{i}"))).unwrap());
+            }
+            w.enable_chaos(ChaosConfig::heal_degrade());
+            let model = crate::faults::FaultModel {
+                tpu: Some(crate::faults::ClassRates::new(
+                    SimDuration::from_secs(60),
+                    SimDuration::from_secs(20),
+                )),
+                node: Some(crate::faults::ClassRates::new(
+                    SimDuration::from_secs(300),
+                    SimDuration::from_secs(30),
+                )),
+                link: Some(crate::faults::ClassRates::new(
+                    SimDuration::from_secs(120),
+                    SimDuration::from_secs(5),
+                )),
+            };
+            let schedule = crate::faults::FaultSchedule::generate(
+                &model,
+                &cluster,
+                SimTime::from_secs(300),
+                42,
+            );
+            w.inject_faults(&schedule);
+            let results = w.run_to_completion(SimTime::from_secs(300));
+            let fingerprint: Vec<String> = ids
+                .iter()
+                .map(|&id| {
+                    let avail = results.availability(id);
+                    format!(
+                        "{id}:{:?}:{:?}",
+                        results.stream_phase(id),
+                        avail.map(|a| (a.downtime, a.degraded, a.outages, a.restarts, a.lost)),
+                    )
+                })
+                .collect();
+            (results.events_processed(), fingerprint)
+        };
+        assert_eq!(run(), run(), "identical seeds replay identically");
     }
 }

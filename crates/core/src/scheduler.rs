@@ -146,6 +146,11 @@ pub enum DeployError {
     UnknownModel(ModelId),
     /// The extension fields were inconsistent.
     MalformedRequest(String),
+    /// The referenced stream does not exist (or was already removed).
+    UnknownStream(u64),
+    /// The referenced stream exists but is not in a state that permits the
+    /// operation (e.g. restarting a stream that is still active).
+    InvalidStreamState(u64, &'static str),
 }
 
 impl fmt::Display for DeployError {
@@ -155,6 +160,10 @@ impl fmt::Display for DeployError {
             DeployError::InsufficientTpu => f.write_str("insufficient TPU resources"),
             DeployError::UnknownModel(m) => write!(f, "unknown model {m}"),
             DeployError::MalformedRequest(msg) => write!(f, "malformed request: {msg}"),
+            DeployError::UnknownStream(id) => write!(f, "unknown stream {id}"),
+            DeployError::InvalidStreamState(id, state) => {
+                write!(f, "stream {id} is {state}")
+            }
         }
     }
 }
@@ -290,6 +299,30 @@ impl Deployment {
 #[derive(Debug, Clone)]
 struct PodAssignment {
     entries: Vec<StagePlacement>,
+    /// Full-rate per-stage demand, before any degradation scaling.
+    full: Vec<(ModelId, TpuUnits)>,
+    /// Current degradation denominator (1 = full rate).
+    den: u32,
+}
+
+impl PodAssignment {
+    /// Requests reproducing the pod's demand at denominator `den`.
+    fn requests_at(&self, den: u32) -> Vec<TpuRequest> {
+        self.full
+            .iter()
+            .map(|(model, units)| TpuRequest::new(model.clone(), scale_units(*units, den)))
+            .collect()
+    }
+}
+
+/// Divides a stage demand by a degradation denominator, keeping at least
+/// one micro-unit so a degraded stage never becomes free.
+fn scale_units(units: TpuUnits, den: u32) -> TpuUnits {
+    if den <= 1 {
+        units
+    } else {
+        TpuUnits::from_micro((units.as_micro() / u64::from(den)).max(1))
+    }
 }
 
 /// MicroEdge's extension of the K3s control plane.
@@ -406,8 +439,25 @@ impl ExtendedScheduler {
         orch: &mut Orchestrator,
         spec: PodSpec,
     ) -> Result<Deployment, DeployError> {
-        let requests = TpuRequest::from_spec(&spec)?;
-        if requests.is_empty() {
+        self.deploy_scaled(orch, spec, 1)
+    }
+
+    /// Deploys like [`ExtendedScheduler::deploy`], but admits every stage at
+    /// `1/den` of its declared TPU demand — the graceful-degradation entry
+    /// point. The full-rate demand is remembered so the pod can later be
+    /// [rescaled](ExtendedScheduler::rescale) back up (or further down).
+    ///
+    /// # Errors
+    ///
+    /// See [`DeployError`]; on any error no state is changed.
+    pub fn deploy_scaled(
+        &mut self,
+        orch: &mut Orchestrator,
+        spec: PodSpec,
+        den: u32,
+    ) -> Result<Deployment, DeployError> {
+        let full_requests = TpuRequest::from_spec(&spec)?;
+        if full_requests.is_empty() {
             // No TPU needs — the native K3s path.
             let pod = orch.create_pod(spec)?;
             return Ok(Deployment {
@@ -416,6 +466,14 @@ impl ExtendedScheduler {
                 control_rpcs: 0,
             });
         }
+        let full: Vec<(ModelId, TpuUnits)> = full_requests
+            .iter()
+            .map(|r| (r.model().clone(), r.units()))
+            .collect();
+        let requests: Vec<TpuRequest> = full_requests
+            .iter()
+            .map(|r| TpuRequest::new(r.model().clone(), scale_units(r.units(), den)))
+            .collect();
         let plans = self.plan_stages(&requests)?;
 
         // Bind through K3s before committing TPU state, so an orchestration
@@ -433,8 +491,14 @@ impl ExtendedScheduler {
                 newly_loaded,
             });
         }
-        self.assignments
-            .insert(pod, PodAssignment { entries: plans });
+        self.assignments.insert(
+            pod,
+            PodAssignment {
+                entries: plans,
+                full,
+                den,
+            },
+        );
         Ok(Deployment {
             pod,
             stages,
@@ -531,31 +595,123 @@ impl ExtendedScheduler {
             for (model, allocs) in &assignment.entries {
                 self.pool.release(model, allocs);
             }
-            let requests: Vec<TpuRequest> = assignment
-                .entries
-                .iter()
-                .map(|(model, allocs)| {
-                    TpuRequest::new(model.clone(), allocs.iter().map(Allocation::units).sum())
-                })
-                .collect();
+            let requests = assignment.requests_at(assignment.den);
             match self.plan_stages(&requests) {
                 Ok(plans) => {
+                    // Model loads on distinct TPUs proceed in parallel; the
+                    // swap-in latency is bounded by the busiest device.
+                    let mut per_tpu: BTreeMap<TpuId, u64> = BTreeMap::new();
                     for (model, allocs) in &plans {
                         let profile = self.catalog.expect(model).clone();
-                        self.pool.commit(&profile, allocs);
+                        for loaded in self.pool.commit(&profile, allocs) {
+                            *per_tpu.entry(loaded).or_insert(0) += profile.param_bytes();
+                        }
                     }
+                    let swap_bytes = per_tpu.values().copied().max().unwrap_or(0);
                     self.assignments.insert(
                         pod,
                         PodAssignment {
                             entries: plans.clone(),
+                            full: assignment.full,
+                            den: assignment.den,
                         },
                     );
-                    recovered.push((pod, plans));
+                    recovered.push(RecoveredPod {
+                        pod,
+                        plans,
+                        swap_bytes,
+                    });
                 }
                 Err(_) => lost.push(pod),
             }
         }
         FailureRecovery { recovered, lost }
+    }
+
+    /// Fails a TPU *without* attempting recovery — the no-heal baseline.
+    /// Every pod that held an allocation on the TPU has its entire
+    /// assignment released and is returned (in pod order) for the caller to
+    /// tear down.
+    pub fn fail_tpu_releasing(&mut self, tpu: TpuId) -> Vec<PodId> {
+        self.pool.fail(tpu);
+        let affected: Vec<PodId> = self
+            .assignments
+            .iter()
+            .filter(|(_, a)| {
+                a.entries
+                    .iter()
+                    .any(|(_, allocs)| allocs.iter().any(|al| al.tpu() == tpu))
+            })
+            .map(|(&pod, _)| pod)
+            .collect();
+        for &pod in &affected {
+            self.release_assignment(pod);
+        }
+        affected
+    }
+
+    /// Returns a previously failed TPU to service (idempotent).
+    pub fn restore_tpu(&mut self, tpu: TpuId) {
+        self.pool.restore(tpu);
+    }
+
+    /// The degradation denominator `pod` is currently admitted at (1 =
+    /// full rate), if it holds an assignment.
+    #[must_use]
+    pub fn assignment_denominator(&self, pod: PodId) -> Option<u32> {
+        self.assignments.get(&pod).map(|a| a.den)
+    }
+
+    /// Re-admits `pod` at `1/new_den` of its full-rate demand: the current
+    /// allocations are released, every stage is re-planned at the new
+    /// scale, and the plans are committed. Returns the new per-stage
+    /// placements.
+    ///
+    /// # Errors
+    ///
+    /// [`DeployError::Orch`] with [`OrchError::UnknownPod`] when the pod
+    /// holds no assignment; [`DeployError::InsufficientTpu`] when the new
+    /// scale does not fit — in that case the original assignment is
+    /// restored untouched.
+    pub fn rescale(
+        &mut self,
+        pod: PodId,
+        new_den: u32,
+    ) -> Result<Vec<StagePlacement>, DeployError> {
+        let assignment = self
+            .assignments
+            .remove(&pod)
+            .ok_or(DeployError::Orch(OrchError::UnknownPod(pod)))?;
+        for (model, allocs) in &assignment.entries {
+            self.pool.release(model, allocs);
+        }
+        let requests = assignment.requests_at(new_den);
+        match self.plan_stages(&requests) {
+            Ok(plans) => {
+                for (model, allocs) in &plans {
+                    let profile = self.catalog.expect(model).clone();
+                    self.pool.commit(&profile, allocs);
+                }
+                self.assignments.insert(
+                    pod,
+                    PodAssignment {
+                        entries: plans.clone(),
+                        full: assignment.full,
+                        den: new_den,
+                    },
+                );
+                Ok(plans)
+            }
+            Err(e) => {
+                // Roll back: recommit the original allocations.
+                for (model, allocs) in &assignment.entries {
+                    let profile = self.catalog.expect(model).clone();
+                    self.pool.commit(&profile, allocs);
+                }
+                self.assignments.insert(pod, assignment);
+                Err(e)
+            }
+        }
     }
 
     /// Drains a TPU for maintenance: it stops accepting new allocations and
@@ -583,7 +739,7 @@ impl ExtendedScheduler {
             })
             .map(|(&pod, _)| pod)
             .collect();
-        let mut migrated: Vec<(PodId, Vec<StagePlacement>, Vec<StagePlacement>)> = Vec::new();
+        let mut migrated: Vec<(PodId, PodAssignment, Vec<StagePlacement>)> = Vec::new();
         for pod in affected {
             let original = self
                 .assignments
@@ -592,13 +748,7 @@ impl ExtendedScheduler {
             for (model, allocs) in &original.entries {
                 self.pool.release(model, allocs);
             }
-            let requests: Vec<TpuRequest> = original
-                .entries
-                .iter()
-                .map(|(model, allocs)| {
-                    TpuRequest::new(model.clone(), allocs.iter().map(Allocation::units).sum())
-                })
-                .collect();
+            let requests = original.requests_at(original.den);
             match self.plan_stages(&requests) {
                 Ok(plans) => {
                     for (model, allocs) in &plans {
@@ -609,9 +759,11 @@ impl ExtendedScheduler {
                         pod,
                         PodAssignment {
                             entries: plans.clone(),
+                            full: original.full.clone(),
+                            den: original.den,
                         },
                     );
-                    migrated.push((pod, original.entries, plans));
+                    migrated.push((pod, original, plans));
                 }
                 Err(_) => {
                     // Abort: undo this pod and every earlier migration.
@@ -620,20 +772,15 @@ impl ExtendedScheduler {
                         self.pool.commit(&profile, allocs);
                     }
                     self.assignments.insert(pod, original);
-                    for (mig_pod, old_entries, new_entries) in migrated.drain(..).rev() {
+                    for (mig_pod, old_assignment, new_entries) in migrated.drain(..).rev() {
                         for (model, allocs) in &new_entries {
                             self.pool.release(model, allocs);
                         }
-                        for (model, allocs) in &old_entries {
+                        for (model, allocs) in &old_assignment.entries {
                             let profile = self.catalog.expect(model).clone();
                             self.pool.commit(&profile, allocs);
                         }
-                        self.assignments.insert(
-                            mig_pod,
-                            PodAssignment {
-                                entries: old_entries,
-                            },
-                        );
+                        self.assignments.insert(mig_pod, old_assignment);
                     }
                     self.pool.restore(tpu);
                     return Err(DeployError::InsufficientTpu);
@@ -655,12 +802,26 @@ impl ExtendedScheduler {
     }
 }
 
+/// One pod re-placed by [`ExtendedScheduler::handle_tpu_failure`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredPod {
+    /// The surviving pod.
+    pub pod: PodId,
+    /// Its new per-stage allocations.
+    pub plans: Vec<StagePlacement>,
+    /// Model bytes that must be (re)loaded on the busiest destination TPU
+    /// before the pod serves again — the swap-in component of recovery
+    /// latency. Zero when every destination already had the models
+    /// resident.
+    pub swap_bytes: u64,
+}
+
 /// The outcome of [`ExtendedScheduler::handle_tpu_failure`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FailureRecovery {
     /// Pods re-placed on surviving TPUs, with their new per-stage
     /// allocations.
-    pub recovered: Vec<(PodId, Vec<StagePlacement>)>,
+    pub recovered: Vec<RecoveredPod>,
     /// Pods whose demand no longer fits anywhere.
     pub lost: Vec<PodId>,
 }
@@ -872,9 +1033,13 @@ mod tests {
         let outcome = sched.handle_tpu_failure(original_tpu);
         assert_eq!(outcome.recovered.len(), 1);
         assert!(outcome.lost.is_empty());
-        let (pod, plans) = &outcome.recovered[0];
-        assert_eq!(*pod, d.pod());
-        let new_allocs = &plans[0].1;
+        let recovered = &outcome.recovered[0];
+        assert_eq!(recovered.pod, d.pod());
+        assert!(
+            recovered.swap_bytes > 0,
+            "the model must be loaded on the fresh TPU"
+        );
+        let new_allocs = &recovered.plans[0].1;
         assert_ne!(new_allocs[0].tpu(), original_tpu);
         assert_eq!(
             sched.pool().account(new_allocs[0].tpu()).load(),
@@ -890,6 +1055,80 @@ mod tests {
         assert!(outcome.recovered.is_empty());
         assert_eq!(outcome.lost, vec![d.pod()]);
         assert_eq!(sched.pool().account(TpuId(0)).load(), TpuUnits::ZERO);
+    }
+
+    #[test]
+    fn deploy_scaled_halves_demand_and_rescale_restores_it() {
+        let (mut orch, mut sched) = setup(1, 2, Features::all());
+        let d = sched
+            .deploy_scaled(&mut orch, coral_pie_spec("a"), 2)
+            .unwrap();
+        assert_eq!(sched.assignment_denominator(d.pod()), Some(2));
+        assert_eq!(
+            sched.pool().account(TpuId(0)).load(),
+            TpuUnits::from_micro(175_000),
+            "admitted at half of 0.35 units"
+        );
+        let plans = sched.rescale(d.pod(), 1).unwrap();
+        assert_eq!(sched.assignment_denominator(d.pod()), Some(1));
+        let total: TpuUnits = plans[0].1.iter().map(Allocation::units).sum();
+        assert_eq!(total, TpuUnits::from_f64(0.35));
+    }
+
+    #[test]
+    fn rescale_rolls_back_when_the_new_scale_does_not_fit() {
+        let (mut orch, mut sched) = setup(1, 2, Features::all());
+        let a = sched
+            .deploy_scaled(&mut orch, coral_pie_spec("a"), 2)
+            .unwrap();
+        // Fill the remainder so upscaling `a` cannot fit.
+        sched.deploy(&mut orch, coral_pie_spec("b")).unwrap();
+        sched.deploy(&mut orch, coral_pie_spec("c")).unwrap();
+        let load_before = sched.pool().account(TpuId(0)).load();
+        let err = sched.rescale(a.pod(), 1).unwrap_err();
+        assert_eq!(err, DeployError::InsufficientTpu);
+        assert_eq!(sched.pool().account(TpuId(0)).load(), load_before);
+        assert_eq!(sched.assignment_denominator(a.pod()), Some(2));
+    }
+
+    #[test]
+    fn rescale_unknown_pod_is_a_typed_error() {
+        let (_, mut sched) = setup(1, 2, Features::all());
+        let err = sched.rescale(PodId(999), 1).unwrap_err();
+        assert!(matches!(err, DeployError::Orch(OrchError::UnknownPod(_))));
+    }
+
+    #[test]
+    fn fail_tpu_releasing_frees_units_without_replanning() {
+        let (mut orch, mut sched) = setup(2, 2, Features::all());
+        let a = sched.deploy(&mut orch, coral_pie_spec("a")).unwrap();
+        let tpu = a.allocations()[0].tpu();
+        let displaced = sched.fail_tpu_releasing(tpu);
+        assert_eq!(displaced, vec![a.pod()]);
+        assert!(sched.assignment(a.pod()).is_none(), "not re-placed");
+        assert_eq!(sched.pool().account(tpu).load(), TpuUnits::ZERO);
+        // Restore is idempotent and returns the TPU to service.
+        sched.restore_tpu(tpu);
+        sched.restore_tpu(tpu);
+        assert!(sched.pool().account(tpu).is_available());
+    }
+
+    #[test]
+    fn recovery_preserves_degradation_denominator() {
+        let (mut orch, mut sched) = setup(2, 2, Features::all());
+        let d = sched
+            .deploy_scaled(&mut orch, coral_pie_spec("a"), 2)
+            .unwrap();
+        let tpu = d.allocations()[0].tpu();
+        let outcome = sched.handle_tpu_failure(tpu);
+        assert_eq!(outcome.recovered.len(), 1);
+        assert_eq!(sched.assignment_denominator(d.pod()), Some(2));
+        let total: TpuUnits = outcome.recovered[0].plans[0]
+            .1
+            .iter()
+            .map(Allocation::units)
+            .sum();
+        assert_eq!(total, TpuUnits::from_micro(175_000));
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //!   (Fig. 5b/5d, Fig. 6a);
 //! - [`latency`] — four-phase per-request breakdowns (Fig. 7b);
 //! - [`throughput`] — frame accounting and FPS SLO audits (§6.2);
+//! - [`recovery`] — failure-recovery latency breakdowns and per-stream
+//!   availability under the chaos subsystem;
 //! - [`report`] — aligned text tables for the benchmark harness.
 //!
 //! # Examples
@@ -26,11 +28,16 @@
 //! ```
 
 pub mod latency;
+pub mod recovery;
 pub mod report;
 pub mod throughput;
 pub mod utilization;
 
 pub use latency::{BreakdownRecorder, LatencyBreakdown, Phase};
+pub use recovery::{
+    availability_nines, AvailabilityTracker, RecoveryBreakdown, RecoveryPhase, RecoveryRecorder,
+    StreamAvailability,
+};
 pub use report::Table;
 pub use throughput::{SloReport, ThroughputAudit};
 pub use utilization::{BusyTracker, FleetUtilization};

@@ -1,0 +1,411 @@
+//! Failure-recovery latency and per-stream availability accounting.
+//!
+//! With the heartbeat/lease failure detector a stream's recovery from a
+//! fault is no longer instantaneous; it decomposes into three phases:
+//!
+//! 1. **detection** — the fault occurs silently, traffic is dropped, and
+//!    the control plane only notices once the component's lease expires;
+//! 2. **rescheduling** — the reconciler re-plans the displaced stages onto
+//!    surviving TPUs (including any backoff waits while capacity is tight);
+//! 3. **swap-in** — parameters for models not already resident on the new
+//!    TPUs stream over USB before serving resumes.
+//!
+//! A [`RecoveryBreakdown`] holds one recovery's cost per phase and a
+//! [`RecoveryRecorder`] aggregates many, mirroring the per-request
+//! [`crate::latency::BreakdownRecorder`]. [`StreamAvailability`] totals a
+//! stream lineage's downtime, degraded time, and restart counts over the
+//! run, from which availability "nines" are derived.
+//!
+//! # Examples
+//!
+//! ```
+//! use microedge_metrics::recovery::{RecoveryBreakdown, RecoveryPhase, RecoveryRecorder};
+//! use microedge_sim::time::SimDuration;
+//!
+//! let mut rec = RecoveryRecorder::new();
+//! rec.record(&RecoveryBreakdown::new(
+//!     SimDuration::from_secs(4),
+//!     SimDuration::from_millis(150),
+//!     SimDuration::from_millis(500),
+//! ));
+//! assert_eq!(rec.mean_ms(RecoveryPhase::Detection), 4000.0);
+//! assert_eq!(rec.mean_total_ms(), 4650.0);
+//! ```
+
+use std::fmt;
+
+use microedge_sim::stats::{Histogram, OnlineStats};
+use microedge_sim::time::{SimDuration, SimTime};
+
+/// The three phases of one stream recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecoveryPhase {
+    /// Fault instant until the lease-based detector fires.
+    Detection,
+    /// Detection until the replacement placement is committed (includes
+    /// reconciler backoff while the stream is parked).
+    Rescheduling,
+    /// Parameter streaming onto newly assigned TPUs.
+    SwapIn,
+}
+
+impl RecoveryPhase {
+    /// All phases in recovery order.
+    pub const ALL: [RecoveryPhase; 3] = [
+        RecoveryPhase::Detection,
+        RecoveryPhase::Rescheduling,
+        RecoveryPhase::SwapIn,
+    ];
+}
+
+impl fmt::Display for RecoveryPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RecoveryPhase::Detection => "detection",
+            RecoveryPhase::Rescheduling => "rescheduling",
+            RecoveryPhase::SwapIn => "swap-in",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One completed recovery's cost in each phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryBreakdown {
+    detection: SimDuration,
+    rescheduling: SimDuration,
+    swap_in: SimDuration,
+}
+
+impl RecoveryBreakdown {
+    /// Creates a breakdown from the three phase costs.
+    #[must_use]
+    pub fn new(detection: SimDuration, rescheduling: SimDuration, swap_in: SimDuration) -> Self {
+        RecoveryBreakdown {
+            detection,
+            rescheduling,
+            swap_in,
+        }
+    }
+
+    /// Cost of one phase.
+    #[must_use]
+    pub fn phase(&self, phase: RecoveryPhase) -> SimDuration {
+        match phase {
+            RecoveryPhase::Detection => self.detection,
+            RecoveryPhase::Rescheduling => self.rescheduling,
+            RecoveryPhase::SwapIn => self.swap_in,
+        }
+    }
+
+    /// Fault-to-serving total.
+    #[must_use]
+    pub fn total(&self) -> SimDuration {
+        self.detection + self.rescheduling + self.swap_in
+    }
+}
+
+/// Aggregates recovery breakdowns across faults.
+///
+/// Per-phase costs are summed exactly in integer nanoseconds; totals keep
+/// every sample so the MTTR distribution (percentiles) can be reported.
+#[derive(Debug, Default, Clone)]
+pub struct RecoveryRecorder {
+    phase_sums: [u64; 3],
+    count: u64,
+    totals: Histogram,
+}
+
+impl RecoveryRecorder {
+    /// Creates an empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        RecoveryRecorder::default()
+    }
+
+    /// Records one completed recovery.
+    pub fn record(&mut self, breakdown: &RecoveryBreakdown) {
+        for (slot, phase) in self.phase_sums.iter_mut().zip(RecoveryPhase::ALL) {
+            *slot += breakdown.phase(phase).as_nanos();
+        }
+        self.count += 1;
+        self.totals.record_duration(breakdown.total());
+    }
+
+    /// Number of recoveries recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean cost of one phase, in milliseconds.
+    #[must_use]
+    pub fn mean_ms(&self, phase: RecoveryPhase) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let idx = RecoveryPhase::ALL
+            .iter()
+            .position(|p| *p == phase)
+            .expect("phase");
+        (self.phase_sums[idx] as f64 / self.count as f64) / 1e6
+    }
+
+    /// Mean fault-to-serving time (MTTR) in milliseconds.
+    #[must_use]
+    pub fn mean_total_ms(&self) -> f64 {
+        self.totals.mean()
+    }
+
+    /// MTTR percentile in milliseconds, or `None` when no recovery completed.
+    pub fn total_percentile_ms(&mut self, p: f64) -> Option<f64> {
+        self.totals.percentile(p)
+    }
+
+    /// Mean breakdown across all recoveries, per phase in recovery order.
+    #[must_use]
+    pub fn mean_breakdown_ms(&self) -> [(RecoveryPhase, f64); 3] {
+        [
+            (
+                RecoveryPhase::Detection,
+                self.mean_ms(RecoveryPhase::Detection),
+            ),
+            (
+                RecoveryPhase::Rescheduling,
+                self.mean_ms(RecoveryPhase::Rescheduling),
+            ),
+            (RecoveryPhase::SwapIn, self.mean_ms(RecoveryPhase::SwapIn)),
+        ]
+    }
+}
+
+/// Availability totals for one stream lineage (the original admission plus
+/// every healed or restarted incarnation).
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct StreamAvailability {
+    /// Total time the lineage was not serving frames (fault to swap-in
+    /// completion, or to end-of-run for outages still open).
+    pub downtime: SimDuration,
+    /// Total time the lineage served at a reduced frame rate.
+    pub degraded: SimDuration,
+    /// Number of distinct outages (closed or open at end of run).
+    pub outages: u32,
+    /// Number of re-admissions (healed or manually restarted incarnations).
+    pub restarts: u32,
+    /// Whether the lineage ended the run dropped with no pending recovery.
+    pub lost: bool,
+    /// Per-outage repair times, for MTTR distribution summaries.
+    pub repair_times: OnlineStats,
+}
+
+impl StreamAvailability {
+    /// Fraction of `window` the lineage was serving (full rate or degraded).
+    #[must_use]
+    pub fn availability(&self, window: SimDuration) -> f64 {
+        if window.is_zero() {
+            return 1.0;
+        }
+        let window_ns = window.as_nanos() as f64;
+        let down = (self.downtime.as_nanos() as f64).min(window_ns);
+        (window_ns - down) / window_ns
+    }
+
+    /// Availability expressed as "nines" (`2.0` ≈ 99%, `3.0` ≈ 99.9%),
+    /// capped at 9 for lineages with zero recorded downtime.
+    #[must_use]
+    pub fn nines(&self, window: SimDuration) -> f64 {
+        availability_nines(self.availability(window))
+    }
+}
+
+/// Converts an availability fraction into "nines", capped at 9.0.
+#[must_use]
+pub fn availability_nines(availability: f64) -> f64 {
+    let unavail = (1.0 - availability).max(0.0);
+    if unavail <= 1e-9 {
+        return 9.0;
+    }
+    (-unavail.log10()).clamp(0.0, 9.0)
+}
+
+/// Running availability bookkeeping for one lineage, folded into a
+/// [`StreamAvailability`] at end of run.
+///
+/// The world drives this from fault/repair events: [`Self::outage_begins`]
+/// when the stream stops serving, [`Self::outage_ends`] when a replacement
+/// placement finishes swap-in, and the degrade pair around reduced-rate
+/// windows. Nested or overlapping signals are tolerated (a second fault
+/// during an open outage extends it rather than double-counting).
+#[derive(Debug, Default, Clone)]
+pub struct AvailabilityTracker {
+    outage_start: Option<SimTime>,
+    degrade_start: Option<SimTime>,
+    totals: StreamAvailability,
+}
+
+impl AvailabilityTracker {
+    /// Creates a tracker with no history.
+    #[must_use]
+    pub fn new() -> Self {
+        AvailabilityTracker::default()
+    }
+
+    /// Marks the lineage as not serving from `now`. No-op if an outage is
+    /// already open.
+    pub fn outage_begins(&mut self, now: SimTime) {
+        if self.outage_start.is_none() {
+            self.outage_start = Some(now);
+            self.totals.outages += 1;
+        }
+        self.degrade_ends(now);
+    }
+
+    /// Closes the open outage at `now`, recording its duration as one
+    /// repair. No-op if no outage is open.
+    pub fn outage_ends(&mut self, now: SimTime) {
+        if let Some(start) = self.outage_start.take() {
+            let span = now.saturating_since(start);
+            self.totals.downtime += span;
+            self.totals.repair_times.record(span.as_secs_f64());
+        }
+    }
+
+    /// Marks the lineage as serving at reduced rate from `now`.
+    pub fn degrade_begins(&mut self, now: SimTime) {
+        if self.degrade_start.is_none() {
+            self.degrade_start = Some(now);
+        }
+    }
+
+    /// Closes the open degraded window at `now`, if any.
+    pub fn degrade_ends(&mut self, now: SimTime) {
+        if let Some(start) = self.degrade_start.take() {
+            self.totals.degraded += now.saturating_since(start);
+        }
+    }
+
+    /// Counts one re-admission of the lineage.
+    pub fn count_restart(&mut self) {
+        self.totals.restarts += 1;
+    }
+
+    /// Whether an outage is open right now.
+    #[must_use]
+    pub fn in_outage(&self) -> bool {
+        self.outage_start.is_some()
+    }
+
+    /// Closes any open windows at `end` and returns the lineage totals.
+    /// An outage still open at `end` counts toward downtime but not toward
+    /// the repair-time distribution (it never repaired).
+    #[must_use]
+    pub fn finish(mut self, end: SimTime, lost: bool) -> StreamAvailability {
+        if let Some(start) = self.outage_start.take() {
+            self.totals.downtime += end.saturating_since(start);
+        }
+        if let Some(start) = self.degrade_start.take() {
+            self.totals.degraded += end.saturating_since(start);
+        }
+        self.totals.lost = lost;
+        self.totals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    fn at(v: u64) -> SimTime {
+        SimTime::ZERO + ms(v)
+    }
+
+    #[test]
+    fn breakdown_total_sums_phases() {
+        let b = RecoveryBreakdown::new(ms(4000), ms(150), ms(500));
+        assert_eq!(b.total(), ms(4650));
+        assert_eq!(b.phase(RecoveryPhase::SwapIn), ms(500));
+    }
+
+    #[test]
+    fn recorder_means() {
+        let mut r = RecoveryRecorder::new();
+        r.record(&RecoveryBreakdown::new(ms(4000), ms(100), ms(500)));
+        r.record(&RecoveryBreakdown::new(ms(2000), ms(300), ms(0)));
+        assert_eq!(r.count(), 2);
+        assert_eq!(r.mean_ms(RecoveryPhase::Detection), 3000.0);
+        assert_eq!(r.mean_ms(RecoveryPhase::Rescheduling), 200.0);
+        assert_eq!(r.mean_ms(RecoveryPhase::SwapIn), 250.0);
+        assert_eq!(r.mean_total_ms(), 3450.0);
+    }
+
+    #[test]
+    fn empty_recorder_is_safe() {
+        let mut r = RecoveryRecorder::new();
+        assert_eq!(r.mean_total_ms(), 0.0);
+        assert_eq!(r.total_percentile_ms(50.0), None);
+        assert_eq!(r.mean_ms(RecoveryPhase::Detection), 0.0);
+    }
+
+    #[test]
+    fn tracker_counts_one_outage() {
+        let mut t = AvailabilityTracker::new();
+        t.outage_begins(at(1_000));
+        // A second fault mid-outage must not double-count.
+        t.outage_begins(at(2_000));
+        t.outage_ends(at(5_000));
+        let a = t.finish(at(10_000), false);
+        assert_eq!(a.downtime, ms(4_000));
+        assert_eq!(a.outages, 1);
+        assert_eq!(a.repair_times.count(), 1);
+        assert!(!a.lost);
+        assert_eq!(a.availability(ms(10_000)), 0.6);
+    }
+
+    #[test]
+    fn open_outage_runs_to_end() {
+        let mut t = AvailabilityTracker::new();
+        t.outage_begins(at(8_000));
+        let a = t.finish(at(10_000), true);
+        assert_eq!(a.downtime, ms(2_000));
+        assert!(a.lost);
+        // Never repaired: no MTTR sample.
+        assert_eq!(a.repair_times.count(), 0);
+    }
+
+    #[test]
+    fn degraded_windows_accumulate() {
+        let mut t = AvailabilityTracker::new();
+        t.degrade_begins(at(0));
+        t.degrade_ends(at(3_000));
+        t.degrade_begins(at(5_000));
+        let a = t.finish(at(6_000), false);
+        assert_eq!(a.degraded, ms(4_000));
+        assert_eq!(a.downtime, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn outage_closes_degrade_window() {
+        let mut t = AvailabilityTracker::new();
+        t.degrade_begins(at(0));
+        t.outage_begins(at(2_000));
+        t.outage_ends(at(3_000));
+        let a = t.finish(at(4_000), false);
+        assert_eq!(a.degraded, ms(2_000));
+        assert_eq!(a.downtime, ms(1_000));
+    }
+
+    #[test]
+    fn nines_scale() {
+        assert_eq!(availability_nines(1.0), 9.0);
+        assert!((availability_nines(0.99) - 2.0).abs() < 1e-9);
+        assert!((availability_nines(0.999) - 3.0).abs() < 1e-9);
+        assert_eq!(availability_nines(0.0), 0.0);
+        let a = StreamAvailability::default();
+        assert_eq!(a.availability(SimDuration::ZERO), 1.0);
+        assert_eq!(a.nines(ms(1)), 9.0);
+    }
+}
