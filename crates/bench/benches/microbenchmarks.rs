@@ -152,6 +152,47 @@ fn bench_rng(c: &mut Criterion) {
     c.bench_function("micro/rng_exponential", |b| b.iter(|| rng.exponential(0.5)));
 }
 
+fn bench_telemetry_sketch_vs_exact(c: &mut Criterion) {
+    // The per-completion telemetry path at a million samples: the
+    // constant-memory log-linear sketch against the sample-retaining exact
+    // histogram it replaced, for both recording and percentile queries.
+    use microedge_sim::stats::{Histogram, LogLinearSketch};
+    const SAMPLES: usize = 1_000_000;
+    let mut rng = DetRng::seed_from(7);
+    let latencies: Vec<f64> = (0..SAMPLES)
+        .map(|_| 5.0 + rng.exponential(1.0 / 25.0))
+        .collect();
+    c.bench_function("micro/telemetry_sketch_record_1m", |b| {
+        b.iter(|| {
+            let mut s = LogLinearSketch::new();
+            for &v in &latencies {
+                s.record(v);
+            }
+            s.count()
+        })
+    });
+    c.bench_function("micro/telemetry_exact_record_1m", |b| {
+        b.iter(|| {
+            let mut h = Histogram::new();
+            for &v in &latencies {
+                h.record(v);
+            }
+            h.count()
+        })
+    });
+    let sketch: LogLinearSketch = latencies.iter().copied().collect();
+    let exact: Histogram = latencies.iter().copied().collect();
+    c.bench_function("micro/telemetry_sketch_p99_1m", |b| {
+        b.iter(|| sketch.percentile(99.0))
+    });
+    c.bench_function("micro/telemetry_exact_p99_1m", |b| {
+        // The clone is part of the honest cost: the exact histogram's
+        // percentile sorts its retained samples, so a fresh (unsorted)
+        // copy is what the recorder hands it.
+        b.iter(|| exact.clone().percentile(99.0))
+    });
+}
+
 criterion_group!(
     benches,
     bench_event_queue,
@@ -161,6 +202,7 @@ criterion_group!(
     bench_lbs,
     bench_admission,
     bench_admission_indexed_vs_linear,
-    bench_rng
+    bench_rng,
+    bench_telemetry_sketch_vs_exact
 );
 criterion_main!(benches);

@@ -2,22 +2,25 @@
 //!
 //! ```text
 //! repro [--fig1] [--fig5] [--table1] [--fig6] [--fig7a] [--fig7b] [--ablations]
-//!       [--perf] [--chaos] [--quick] [--csv <dir>]
+//!       [--perf] [--chaos] [--scale] [--quick] [--csv <dir>]
 //! ```
 //!
-//! With no selection flags, every paper artifact runs (`--perf` and
-//! `--chaos` only run when asked for). `--quick` shrinks frame counts and
-//! trace length for a fast smoke pass; `--csv <dir>` additionally dumps
-//! each selected artifact's series as CSV for external plotting. `--perf`
-//! times the simulation kernel on the fixed reference workload and the
-//! admission control plane on the 16–16 384-TPU sweep, writing
-//! `BENCH_kernel.json` and `BENCH_admission.json` (to the `--csv`
-//! directory if given, else the working directory). `--chaos` runs the
-//! fault-injection study (three recovery disciplines × three failure
-//! rates on one deterministic fault schedule) and writes
-//! `BENCH_chaos.json` the same way; its numbers are simulated time, so
-//! the file is byte-identical across runs and `MICROEDGE_WORKERS`
-//! settings.
+//! With no selection flags, every paper artifact runs (`--perf`,
+//! `--chaos`, and `--scale` only run when asked for). `--quick` shrinks
+//! frame counts and trace length for a fast smoke pass; `--csv <dir>`
+//! additionally dumps each selected artifact's series as CSV for external
+//! plotting. `--perf` times the simulation kernel on the fixed reference
+//! workload and the admission control plane on the 16–16 384-TPU sweep,
+//! writing `BENCH_kernel.json` and `BENCH_admission.json` (to the `--csv`
+//! directory if given, else the working directory); it also runs the
+//! scale-out study. `--chaos` runs the fault-injection study (three
+//! recovery disciplines × three failure rates on one deterministic fault
+//! schedule) and writes `BENCH_chaos.json` the same way; its numbers are
+//! simulated time, so the file is byte-identical across runs and
+//! `MICROEDGE_WORKERS` settings. `--scale` sweeps the 1k→100k-stream
+//! scale-out study (tiny fleets under `--quick`) and writes
+//! `BENCH_scale.json`, whose fields are all deterministic — wall-clock
+//! and RSS appear only in the printed table.
 //!
 //! The artifacts are independent, so they run concurrently through the
 //! deterministic executor ([`microedge_bench::par`]); each job renders its
@@ -50,6 +53,7 @@ struct Options {
     ablations: bool,
     perf: bool,
     chaos: bool,
+    scale: bool,
     quick: bool,
     csv: Option<PathBuf>,
 }
@@ -60,6 +64,7 @@ fn parse_args() -> Options {
     let mut csv = None;
     let mut perf = false;
     let mut chaos = false;
+    let mut scale = false;
     let mut selections: Vec<String> = Vec::new();
     let known = [
         "--fig1",
@@ -76,6 +81,7 @@ fn parse_args() -> Options {
             "--quick" => quick = true,
             "--perf" => perf = true,
             "--chaos" => chaos = true,
+            "--scale" => scale = true,
             "--csv" => match iter.next() {
                 Some(dir) => csv = Some(PathBuf::from(dir)),
                 None => {
@@ -86,7 +92,7 @@ fn parse_args() -> Options {
             flag if known.contains(&flag) => selections.push(arg),
             other => {
                 eprintln!(
-                    "unknown flag {other}; known: {} --perf --chaos --quick --csv <dir>",
+                    "unknown flag {other}; known: {} --perf --chaos --scale --quick --csv <dir>",
                     known.join(" ")
                 );
                 std::process::exit(2);
@@ -94,8 +100,9 @@ fn parse_args() -> Options {
         }
     }
     let has = |flag: &str| selections.iter().any(|a| a == flag);
-    // `--perf` / `--chaos` alone mean "just that study", not "everything".
-    let none_selected = selections.is_empty() && !perf && !chaos;
+    // `--perf` / `--chaos` / `--scale` alone mean "just that study", not
+    // "everything".
+    let none_selected = selections.is_empty() && !perf && !chaos && !scale;
     Options {
         fig1: none_selected || has("--fig1"),
         fig5: none_selected || has("--fig5"),
@@ -106,6 +113,7 @@ fn parse_args() -> Options {
         ablations: none_selected || has("--ablations"),
         perf,
         chaos,
+        scale,
         quick,
         csv,
     }
@@ -450,5 +458,11 @@ fn main() {
         let admission = admission_overhead::run_admission_perf(rounds);
         println!("{}", scalability::render_admission_scalability(&admission));
         write_bench("BENCH_admission.json", admission.to_json());
+    }
+
+    if opts.scale || opts.perf {
+        let study = microedge_bench::scale::run_scale(opts.quick);
+        println!("{}", study.render_summary());
+        write_bench("BENCH_scale.json", study.to_json());
     }
 }

@@ -19,6 +19,7 @@
 //! | [`diff_detector`] | NoScope frame-filter ablation (§1 motivation) |
 //! | [`tail_latency`] | per-frame latency vs load curve (queueing behaviour) |
 //! | [`chaos`] | chaos / failure-recovery study (§7 robustness extension) |
+//! | [`scale`] | 100k-stream scale-out study (§6.3's "much larger configuration") |
 //!
 //! The `repro` binary prints every artifact; the Criterion benches under
 //! `benches/` time the underlying computations.
@@ -36,6 +37,7 @@ pub mod perf;
 pub mod pipeline_ablation;
 pub mod runner;
 pub mod scalability;
+pub mod scale;
 pub mod tail_latency;
 pub mod trace_study;
 

@@ -80,9 +80,9 @@ pub fn run_tail_latency(tpus: u32, frames: u64) -> Vec<TailLatencyPoint> {
                 .build();
             world.admit_stream(spec).expect("within capacity");
         }
-        let mut results = world.run_to_completion(SimTime::from_secs(600));
+        let results = world.run_to_completion(SimTime::from_secs(600));
         let p99 = results
-            .breakdowns_mut()
+            .breakdowns()
             .total_percentile_ms(99.0)
             .expect("frames ran");
         TailLatencyPoint {
@@ -123,7 +123,11 @@ pub fn render_tail_latency(tpus: u32, frames: u64) -> String {
             if p.all_slo_met() { "met" } else { "VIOLATED" }.to_owned(),
         ]);
     }
-    format!("### Tail latency vs load (Coral-Pie on {tpus} TPUs; 15 FPS budget = 66.7 ms)\n{table}")
+    format!(
+        "### Tail latency vs load (Coral-Pie on {tpus} TPUs; 15 FPS budget = 66.7 ms; \
+         percentiles from a log-linear sketch, rel. error ≤ {:.2}%)\n{table}",
+        microedge_sim::stats::SKETCH_RELATIVE_ERROR * 100.0
+    )
 }
 
 #[cfg(test)]

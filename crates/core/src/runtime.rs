@@ -62,6 +62,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 
 use microedge_cluster::network::NetworkModel;
 use microedge_cluster::node::NodeId;
@@ -288,7 +289,11 @@ struct ServiceRuntime {
 
 #[derive(Debug)]
 struct StageRuntime {
-    profile: ModelProfile,
+    /// Interned: every stream running the same model shares one profile
+    /// (see `World::intern_profile`) instead of holding its own clone —
+    /// at 100k streams the clones (and their heap model-id strings) were
+    /// the largest per-stream allocation.
+    profile: Arc<ModelProfile>,
     lbs: LbService,
     /// Network transfer time for this stage's input, fixed at admission
     /// (the input size and link model never change over a stream's life).
@@ -532,8 +537,9 @@ impl RunResults {
         &self.breakdowns
     }
 
-    /// Mutable access to the latency statistics (percentile queries sort
-    /// lazily and need it).
+    /// Mutable access to the latency statistics (e.g. for merging results
+    /// from sharded runs via [`BreakdownRecorder::merge`]; percentile
+    /// queries only need [`RunResults::breakdowns`]).
     pub fn breakdowns_mut(&mut self) -> &mut BreakdownRecorder {
         &mut self.breakdowns
     }
@@ -586,10 +592,21 @@ impl RunResults {
         &self.recovery
     }
 
-    /// Mutable access to the recovery recorder (percentile queries sort
-    /// lazily and need it).
+    /// Mutable access to the recovery recorder (e.g. for merging results
+    /// from sharded runs via [`RecoveryRecorder::merge`]; percentile
+    /// queries only need [`RunResults::recovery`]).
     pub fn recovery_mut(&mut self) -> &mut RecoveryRecorder {
         &mut self.recovery
+    }
+
+    /// Heap bytes held by the run's latency and recovery distributions —
+    /// the telemetry the sketch keeps constant-size. Independent of frame
+    /// count once the workload's latency range is covered (the scale sweep
+    /// asserts this), unlike the old sample-retaining histograms whose
+    /// footprint grew O(frames).
+    #[must_use]
+    pub fn telemetry_memory_bytes(&self) -> usize {
+        self.breakdowns.memory_bytes() + self.recovery.memory_bytes()
     }
 
     /// Availability totals for the lineage rooted at `root`. Populated only
@@ -699,6 +716,9 @@ pub struct World {
     /// admission and reporting boundaries.
     streams: Vec<StreamRuntime>,
     active_count: usize,
+    /// Interned model profiles shared by every stream stage running the
+    /// model (see `intern_profile`).
+    profiles: BTreeMap<ModelId, Arc<ModelProfile>>,
     pods_to_streams: BTreeMap<PodId, StreamId>,
     fleet: FleetUtilization,
     breakdowns: BreakdownRecorder,
@@ -768,6 +788,7 @@ impl World {
             services,
             streams: Vec::new(),
             active_count: 0,
+            profiles: BTreeMap::new(),
             pods_to_streams: BTreeMap::new(),
             fleet: FleetUtilization::new(tpu_count, METRIC_WINDOW),
             breakdowns: BreakdownRecorder::new(),
@@ -865,22 +886,35 @@ impl World {
         self.admit_with_root(spec, None)
     }
 
+    /// Returns the shared, interned profile for `model`, cloning out of the
+    /// catalog only on first use — every stream running the same model
+    /// holds the same `Arc`.
+    fn intern_profile(&mut self, model: &ModelId) -> Result<Arc<ModelProfile>, DeployError> {
+        if let Some(profile) = self.profiles.get(model) {
+            return Ok(Arc::clone(profile));
+        }
+        let profile = Arc::new(
+            self.sched
+                .catalog()
+                .get(model)
+                .ok_or_else(|| DeployError::UnknownModel(model.clone()))?
+                .clone(),
+        );
+        self.profiles.insert(model.clone(), Arc::clone(&profile));
+        Ok(profile)
+    }
+
     /// Builds the K3s pod spec for a stream (extension knobs from profiled
     /// units) along with the per-stage model profiles.
     fn build_pod_spec(
-        &self,
+        &mut self,
         spec: &StreamSpec,
-    ) -> Result<(PodSpec, Vec<ModelProfile>), DeployError> {
+    ) -> Result<(PodSpec, Vec<Arc<ModelProfile>>), DeployError> {
         let mut profiles = Vec::with_capacity(spec.stages.len());
         let mut model_ext = Vec::with_capacity(spec.stages.len());
         let mut units_ext = Vec::with_capacity(spec.stages.len());
         for stage in &spec.stages {
-            let profile = self
-                .sched
-                .catalog()
-                .get(&stage.model)
-                .ok_or_else(|| DeployError::UnknownModel(stage.model.clone()))?
-                .clone();
+            let profile = self.intern_profile(&stage.model)?;
             let units = stage
                 .units
                 .unwrap_or_else(|| self.dp.profiled_units(&profile, spec.fps));
@@ -928,7 +962,7 @@ impl World {
         let runtime = StreamRuntime {
             pod: deployment.pod(),
             stages,
-            audit: ThroughputAudit::new(&spec.name, spec.fps),
+            audit: ThroughputAudit::new(spec.fps),
             latency: OnlineStats::new(),
             interval: SimDuration::from_secs_f64(1.0 / spec.fps),
             frame_limit: spec.frame_limit,
@@ -2083,7 +2117,7 @@ impl World {
             .streams
             .iter()
             .enumerate()
-            .map(|(i, s)| (StreamId(i as u64), s.audit.report(end)))
+            .map(|(i, s)| (StreamId(i as u64), s.audit.report(&s.spec.name, end)))
             .collect();
         let latencies = self
             .streams

@@ -402,7 +402,31 @@ impl ExtendedScheduler {
     /// Plans every stage against a scratch copy of the pool, committing
     /// stage-by-stage so later stages see earlier grants. Returns the
     /// per-stage plans without touching real state.
+    ///
+    /// Single-stage requests — every plain camera pod — plan directly
+    /// against the live pool: planning never mutates it, so no scratch is
+    /// needed, and cloning a multi-thousand-TPU pool per admission is what
+    /// dominated large fleet sweeps.
     fn plan_stages(&mut self, requests: &[TpuRequest]) -> Result<Vec<StagePlacement>, DeployError> {
+        if let [request] = requests {
+            let profile = self
+                .catalog
+                .get(request.model())
+                .ok_or_else(|| DeployError::UnknownModel(request.model().clone()))?;
+            if !self.policy.plan_into(
+                &self.pool,
+                profile,
+                request.units(),
+                self.features,
+                &mut self.plan_buffer,
+            ) {
+                return Err(DeployError::InsufficientTpu);
+            }
+            return Ok(vec![(
+                request.model().clone(),
+                self.plan_buffer.allocations().to_vec(),
+            )]);
+        }
         let mut scratch = self.pool.clone();
         let mut plans = Vec::with_capacity(requests.len());
         for request in requests {

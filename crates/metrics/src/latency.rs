@@ -27,7 +27,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use microedge_sim::stats::Histogram;
+use microedge_sim::stats::LogLinearSketch;
 use microedge_sim::time::SimDuration;
 
 /// The four steps of one `Invoke` (paper §6.4.2).
@@ -110,17 +110,22 @@ impl LatencyBreakdown {
     }
 }
 
-/// Aggregates breakdowns across requests.
+/// Aggregates breakdowns across requests in constant memory.
 ///
 /// Per-phase costs are summed exactly in integer nanoseconds — this sits on
 /// the simulator's per-completion hot path, and only the phase *means* are
 /// ever reported, so a full streaming-moments accumulator per phase would be
-/// wasted work. End-to-end totals keep every sample for percentile queries.
+/// wasted work. End-to-end totals feed a [`LogLinearSketch`]: one bucket
+/// increment per completion, zero allocation, memory independent of frame
+/// count, and percentiles within the sketch's advertised
+/// [`microedge_sim::stats::SKETCH_RELATIVE_ERROR`] bound (≤ 0.79 %).
+/// Recorders from sharded workers combine losslessly via
+/// [`BreakdownRecorder::merge`].
 #[derive(Debug, Default, Clone)]
 pub struct BreakdownRecorder {
     phase_sums: [u64; 4],
     count: u64,
-    totals: Histogram,
+    totals: LogLinearSketch,
 }
 
 impl BreakdownRecorder {
@@ -155,15 +160,37 @@ impl BreakdownRecorder {
         (self.phase_sums[idx] as f64 / self.count as f64) / 1e6
     }
 
-    /// Mean end-to-end cost in milliseconds.
+    /// Mean end-to-end cost in milliseconds (exact — from the sketch's
+    /// retained integer-nanosecond sum).
     #[must_use]
     pub fn mean_total_ms(&self) -> f64 {
         self.totals.mean()
     }
 
-    /// End-to-end percentile in milliseconds, or `None` when empty.
-    pub fn total_percentile_ms(&mut self, p: f64) -> Option<f64> {
+    /// End-to-end percentile in milliseconds, or `None` when empty —
+    /// within the sketch's ≤ 0.79 % relative-error bound
+    /// ([`microedge_sim::stats::SKETCH_RELATIVE_ERROR`]).
+    #[must_use]
+    pub fn total_percentile_ms(&self, p: f64) -> Option<f64> {
         self.totals.percentile(p)
+    }
+
+    /// Merges another recorder into this one — exactly equivalent to
+    /// having recorded the concatenated request streams, in any order.
+    pub fn merge(&mut self, other: &BreakdownRecorder) {
+        for (slot, v) in self.phase_sums.iter_mut().zip(other.phase_sums) {
+            *slot += v;
+        }
+        self.count += other.count;
+        self.totals.merge(&other.totals);
+    }
+
+    /// Heap footprint of the end-to-end distribution in bytes — fixed
+    /// once the workload's latency range is covered, whatever the frame
+    /// count.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.totals.memory_bytes()
     }
 
     /// Mean breakdown across all requests, per phase in pipeline order.
@@ -212,16 +239,56 @@ mod tests {
         for i in 1..=100u64 {
             r.record(&LatencyBreakdown::new(ms(i), ms(0), ms(0), ms(0)));
         }
-        assert_eq!(r.total_percentile_ms(50.0), Some(50.0));
-        assert_eq!(r.total_percentile_ms(99.0), Some(99.0));
+        let bound = microedge_sim::stats::SKETCH_RELATIVE_ERROR;
+        let p50 = r.total_percentile_ms(50.0).unwrap();
+        assert!((p50 - 50.0).abs() <= 50.0 * bound, "p50 {p50}");
+        let p99 = r.total_percentile_ms(99.0).unwrap();
+        assert!((p99 - 99.0).abs() <= 99.0 * bound, "p99 {p99}");
+        // Extremes are exact: the sketch retains exact min/max.
+        assert_eq!(r.total_percentile_ms(0.0), Some(1.0));
+        assert_eq!(r.total_percentile_ms(100.0), Some(100.0));
     }
 
     #[test]
     fn empty_recorder_is_safe() {
-        let mut r = BreakdownRecorder::new();
+        let r = BreakdownRecorder::new();
         assert_eq!(r.count(), 0);
         assert_eq!(r.mean_total_ms(), 0.0);
         assert_eq!(r.total_percentile_ms(50.0), None);
+    }
+
+    #[test]
+    fn merge_equals_concatenated_recording() {
+        let mut whole = BreakdownRecorder::new();
+        let mut a = BreakdownRecorder::new();
+        let mut b = BreakdownRecorder::new();
+        for i in 1..=40u64 {
+            let bd = LatencyBreakdown::new(ms(i), ms(2 * i), ms(3 * i), ms(1));
+            whole.record(&bd);
+            if i % 2 == 0 {
+                a.record(&bd)
+            } else {
+                b.record(&bd)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.mean_total_ms(), whole.mean_total_ms());
+        assert_eq!(a.mean_ms(Phase::Inference), whole.mean_ms(Phase::Inference));
+        assert_eq!(a.total_percentile_ms(90.0), whole.total_percentile_ms(90.0));
+    }
+
+    #[test]
+    fn memory_is_independent_of_request_count() {
+        let mut r = BreakdownRecorder::new();
+        for i in 0..1_000u64 {
+            r.record(&LatencyBreakdown::new(ms(i % 60), ms(8), ms(15), ms(3)));
+        }
+        let footprint = r.memory_bytes();
+        for i in 0..100_000u64 {
+            r.record(&LatencyBreakdown::new(ms(i % 60), ms(8), ms(15), ms(3)));
+        }
+        assert_eq!(r.memory_bytes(), footprint);
     }
 
     #[test]

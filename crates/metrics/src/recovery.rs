@@ -34,7 +34,7 @@
 
 use std::fmt;
 
-use microedge_sim::stats::{Histogram, OnlineStats};
+use microedge_sim::stats::{LogLinearSketch, OnlineStats};
 use microedge_sim::time::{SimDuration, SimTime};
 
 /// The three phases of one stream recovery.
@@ -105,15 +105,19 @@ impl RecoveryBreakdown {
     }
 }
 
-/// Aggregates recovery breakdowns across faults.
+/// Aggregates recovery breakdowns across faults in constant memory.
 ///
-/// Per-phase costs are summed exactly in integer nanoseconds; totals keep
-/// every sample so the MTTR distribution (percentiles) can be reported.
+/// Per-phase costs are summed exactly in integer nanoseconds; totals feed a
+/// [`LogLinearSketch`], so the MTTR distribution (percentiles) is reported
+/// within the sketch's [`microedge_sim::stats::SKETCH_RELATIVE_ERROR`]
+/// bound (≤ 0.79 %) while memory stays independent of fault count.
+/// Recorders from sharded workers combine losslessly via
+/// [`RecoveryRecorder::merge`].
 #[derive(Debug, Default, Clone)]
 pub struct RecoveryRecorder {
     phase_sums: [u64; 3],
     count: u64,
-    totals: Histogram,
+    totals: LogLinearSketch,
 }
 
 impl RecoveryRecorder {
@@ -157,9 +161,29 @@ impl RecoveryRecorder {
         self.totals.mean()
     }
 
-    /// MTTR percentile in milliseconds, or `None` when no recovery completed.
-    pub fn total_percentile_ms(&mut self, p: f64) -> Option<f64> {
+    /// MTTR percentile in milliseconds, or `None` when no recovery
+    /// completed — within the sketch's ≤ 0.79 % relative-error bound
+    /// ([`microedge_sim::stats::SKETCH_RELATIVE_ERROR`]).
+    #[must_use]
+    pub fn total_percentile_ms(&self, p: f64) -> Option<f64> {
         self.totals.percentile(p)
+    }
+
+    /// Merges another recorder into this one — exactly equivalent to
+    /// having recorded the concatenated recovery streams, in any order.
+    pub fn merge(&mut self, other: &RecoveryRecorder) {
+        for (slot, v) in self.phase_sums.iter_mut().zip(other.phase_sums) {
+            *slot += v;
+        }
+        self.count += other.count;
+        self.totals.merge(&other.totals);
+    }
+
+    /// Heap footprint of the MTTR distribution in bytes — fixed once the
+    /// workload's recovery-time range is covered, whatever the fault count.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.totals.memory_bytes()
     }
 
     /// Mean breakdown across all recoveries, per phase in recovery order.
@@ -344,10 +368,30 @@ mod tests {
 
     #[test]
     fn empty_recorder_is_safe() {
-        let mut r = RecoveryRecorder::new();
+        let r = RecoveryRecorder::new();
         assert_eq!(r.mean_total_ms(), 0.0);
         assert_eq!(r.total_percentile_ms(50.0), None);
         assert_eq!(r.mean_ms(RecoveryPhase::Detection), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_concatenated_recording() {
+        let mut whole = RecoveryRecorder::new();
+        let mut a = RecoveryRecorder::new();
+        let mut b = RecoveryRecorder::new();
+        for i in 1..=20u64 {
+            let bd = RecoveryBreakdown::new(ms(1000 * i), ms(10 * i), ms(i));
+            whole.record(&bd);
+            if i % 3 == 0 {
+                a.record(&bd)
+            } else {
+                b.record(&bd)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.mean_total_ms(), whole.mean_total_ms());
+        assert_eq!(a.total_percentile_ms(95.0), whole.total_percentile_ms(95.0));
     }
 
     #[test]

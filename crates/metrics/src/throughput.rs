@@ -12,13 +12,13 @@
 //! use microedge_metrics::throughput::ThroughputAudit;
 //! use microedge_sim::time::SimTime;
 //!
-//! let mut audit = ThroughputAudit::new("camera-0", 15.0);
+//! let mut audit = ThroughputAudit::new(15.0);
 //! for k in 0..30u64 {
 //!     let t = SimTime::from_millis(k * 67);
 //!     audit.frame_emitted(t);
 //!     audit.frame_completed(t);
 //! }
-//! let report = audit.report(SimTime::from_secs(2));
+//! let report = audit.report("camera-0", SimTime::from_secs(2));
 //! assert!(report.met_fps());
 //! ```
 
@@ -35,9 +35,13 @@ use microedge_sim::time::SimTime;
 pub const FPS_TOLERANCE: f64 = 0.02;
 
 /// Counts frames for one camera stream.
+///
+/// The audit is nameless — the owning runtime already stores the stream's
+/// name, and duplicating it here would cost one heap `String` per stream
+/// at 100k-stream scale. The name is supplied at [`ThroughputAudit::report`]
+/// time instead.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ThroughputAudit {
-    stream: String,
     target_fps: f64,
     emitted: u64,
     completed: u64,
@@ -46,31 +50,24 @@ pub struct ThroughputAudit {
 }
 
 impl ThroughputAudit {
-    /// Creates an audit for `stream` with the given target frame rate.
+    /// Creates an audit with the given target frame rate.
     ///
     /// # Panics
     ///
     /// Panics if `target_fps` is not strictly positive.
     #[must_use]
-    pub fn new(stream: &str, target_fps: f64) -> Self {
+    pub fn new(target_fps: f64) -> Self {
         assert!(
             target_fps.is_finite() && target_fps > 0.0,
             "target FPS must be positive, got {target_fps}"
         );
         ThroughputAudit {
-            stream: stream.to_owned(),
             target_fps,
             emitted: 0,
             completed: 0,
             first_emit: None,
             last_complete: None,
         }
-    }
-
-    /// Stream name.
-    #[must_use]
-    pub fn stream(&self) -> &str {
-        &self.stream
     }
 
     /// Target frame rate.
@@ -95,11 +92,7 @@ impl ThroughputAudit {
     ///
     /// Panics if more frames complete than were emitted.
     pub fn frame_completed(&mut self, now: SimTime) {
-        assert!(
-            self.completed < self.emitted,
-            "stream {}: completion without emission",
-            self.stream
-        );
+        assert!(self.completed < self.emitted, "completion without emission");
         self.completed += 1;
         self.last_complete = Some(self.last_complete.map_or(now, |last| last.max(now)));
     }
@@ -122,7 +115,7 @@ impl ThroughputAudit {
         self.emitted - self.completed
     }
 
-    /// Produces the final report for a run ending at `end`.
+    /// Produces the final report for `stream`, for a run ending at `end`.
     ///
     /// For a fully drained stream (every emitted frame completed) the
     /// observation window closes at the last completion rather than at
@@ -130,7 +123,7 @@ impl ThroughputAudit {
     /// its active period only. A stream with backlog is always judged over
     /// the full window — falling behind must not flatter the rate.
     #[must_use]
-    pub fn report(&self, end: SimTime) -> SloReport {
+    pub fn report(&self, stream: &str, end: SimTime) -> SloReport {
         let effective_end = match self.last_complete {
             Some(last) if self.completed == self.emitted => last.min(end),
             _ => end,
@@ -144,7 +137,7 @@ impl ThroughputAudit {
             0.0
         };
         SloReport {
-            stream: self.stream.clone(),
+            stream: stream.to_owned(),
             target_fps: self.target_fps,
             achieved_fps: achieved,
             emitted: self.emitted,
@@ -207,13 +200,13 @@ mod tests {
 
     #[test]
     fn keeping_up_meets_slo() {
-        let mut a = ThroughputAudit::new("s", 10.0);
+        let mut a = ThroughputAudit::new(10.0);
         for k in 0..100u64 {
             let t = SimTime::from_millis(k * 100);
             a.frame_emitted(t);
             a.frame_completed(t + microedge_sim::time::SimDuration::from_millis(30));
         }
-        let r = a.report(SimTime::from_secs(10));
+        let r = a.report("s", SimTime::from_secs(10));
         assert!(r.met_fps(), "achieved {}", r.achieved_fps());
         assert_eq!(r.emitted(), 100);
         assert_eq!(r.completed(), 100);
@@ -221,7 +214,7 @@ mod tests {
 
     #[test]
     fn falling_behind_violates_slo() {
-        let mut a = ThroughputAudit::new("s", 10.0);
+        let mut a = ThroughputAudit::new(10.0);
         for k in 0..100u64 {
             a.frame_emitted(SimTime::from_millis(k * 100));
         }
@@ -229,49 +222,48 @@ mod tests {
         for k in 0..50u64 {
             a.frame_completed(SimTime::from_millis(k * 200));
         }
-        let r = a.report(SimTime::from_secs(10));
+        let r = a.report("s", SimTime::from_secs(10));
         assert!(!r.met_fps());
         assert_eq!(a.backlog(), 50);
     }
 
     #[test]
     fn empty_stream_reports_zero() {
-        let a = ThroughputAudit::new("s", 15.0);
-        let r = a.report(SimTime::from_secs(1));
+        let a = ThroughputAudit::new(15.0);
+        let r = a.report("s", SimTime::from_secs(1));
         assert_eq!(r.achieved_fps(), 0.0);
         assert!(!r.met_fps());
     }
 
     #[test]
     fn window_starts_at_first_emission() {
-        let mut a = ThroughputAudit::new("s", 10.0);
+        let mut a = ThroughputAudit::new(10.0);
         // Stream starts 5 s into the run; rate must be judged from there.
         for k in 0..50u64 {
             let t = SimTime::from_millis(5000 + k * 100);
             a.frame_emitted(t);
             a.frame_completed(t);
         }
-        let r = a.report(SimTime::from_secs(10));
+        let r = a.report("s", SimTime::from_secs(10));
         assert!(r.met_fps(), "achieved {}", r.achieved_fps());
     }
 
     #[test]
     #[should_panic(expected = "completion without emission")]
     fn overcompletion_panics() {
-        let mut a = ThroughputAudit::new("s", 1.0);
+        let mut a = ThroughputAudit::new(1.0);
         a.frame_completed(SimTime::ZERO);
     }
 
     #[test]
     #[should_panic(expected = "positive")]
     fn zero_target_rejected() {
-        let _ = ThroughputAudit::new("s", 0.0);
+        let _ = ThroughputAudit::new(0.0);
     }
 
     #[test]
     fn accessors() {
-        let a = ThroughputAudit::new("cam", 15.0);
-        assert_eq!(a.stream(), "cam");
+        let a = ThroughputAudit::new(15.0);
         assert_eq!(a.target_fps(), 15.0);
         assert_eq!(a.emitted(), 0);
         assert_eq!(a.completed(), 0);

@@ -7,7 +7,7 @@
 //! receives the candidate list, makes the TPU placement decision, and then
 //! binds through [`Orchestrator::create_pod_on`].
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use microedge_cluster::node::NodeId;
@@ -74,6 +74,11 @@ pub struct Orchestrator {
     state: ClusterState,
     scheduler: DefaultScheduler,
     pods: BTreeMap<PodId, PodRecord>,
+    /// Names of running pods, kept in lockstep with `pods` so the
+    /// uniqueness check on creation is an index probe instead of a scan of
+    /// every record ever created — the scan was quadratic over a
+    /// 100k-stream admission sweep.
+    live_names: BTreeSet<String>,
     next_id: u64,
     events: Vec<OrchEvent>,
 }
@@ -88,6 +93,7 @@ impl Orchestrator {
             state,
             scheduler: DefaultScheduler::new(),
             pods: BTreeMap::new(),
+            live_names: BTreeSet::new(),
             next_id: 0,
             events: Vec::new(),
         }
@@ -124,7 +130,9 @@ impl Orchestrator {
             .candidate_nodes(&self.cluster, &self.state, spec)
     }
 
-    /// Creates a pod on the best-ranked candidate node.
+    /// Creates a pod on the best-ranked candidate node (via the
+    /// [`DefaultScheduler::best_node`] fast path — the full candidate list
+    /// is never materialised for constraint-free specs).
     ///
     /// # Errors
     ///
@@ -132,7 +140,7 @@ impl Orchestrator {
     /// [`OrchError::NoFeasibleNode`] when no node passes filtering.
     pub fn create_pod(&mut self, spec: PodSpec) -> Result<PodId, OrchError> {
         self.check_name(&spec)?;
-        let Some(&node) = self.candidate_nodes(&spec).first() else {
+        let Some(node) = self.scheduler.best_node(&self.cluster, &self.state, &spec) else {
             self.events.push(OrchEvent::SchedulingFailed {
                 name: spec.name().to_owned(),
                 reason: "no feasible node".to_owned(),
@@ -140,6 +148,20 @@ impl Orchestrator {
             return Err(OrchError::NoFeasibleNode);
         };
         Ok(self.bind(spec, node))
+    }
+
+    /// Whether `node` would appear in [`Self::candidate_nodes`] for `spec` —
+    /// the same filters, checked against one node without ranking the fleet.
+    fn node_feasible(&self, spec: &PodSpec, node: NodeId) -> bool {
+        self.state.is_schedulable(node)
+            && self
+                .cluster
+                .node(node)
+                .is_some_and(|n| n.matches_selector(spec.node_selector()))
+            && self.state.availability(node).is_some_and(|a| a.fits(spec))
+            && spec
+                .anti_affinity_group()
+                .is_none_or(|g| !self.state.group_present_on(node, g))
     }
 
     /// Creates a pod on a specific node chosen by an external (extended)
@@ -152,7 +174,7 @@ impl Orchestrator {
     /// for this spec.
     pub fn create_pod_on(&mut self, spec: PodSpec, node: NodeId) -> Result<PodId, OrchError> {
         self.check_name(&spec)?;
-        if !self.candidate_nodes(&spec).contains(&node) {
+        if !self.node_feasible(&spec, node) {
             self.events.push(OrchEvent::SchedulingFailed {
                 name: spec.name().to_owned(),
                 reason: format!("{node} is not feasible"),
@@ -177,6 +199,7 @@ impl Orchestrator {
             .ok_or(OrchError::UnknownPod(pod))?;
         record.phase = PodPhase::Terminated;
         let node = record.node;
+        self.live_names.remove(record.spec.name());
         self.state.unbind(pod).expect("running pod must be bound");
         self.events.push(OrchEvent::PodTerminated {
             pod,
@@ -203,6 +226,7 @@ impl Orchestrator {
         for &pod in &displaced {
             let record = self.pods.get_mut(&pod).expect("bound pod has a record");
             record.phase = PodPhase::Terminated;
+            self.live_names.remove(record.spec.name());
             self.state.unbind(pod).expect("displaced pod was bound");
             self.events.push(OrchEvent::PodTerminated {
                 pod,
@@ -261,11 +285,7 @@ impl Orchestrator {
     }
 
     fn check_name(&self, spec: &PodSpec) -> Result<(), OrchError> {
-        let clash = self
-            .pods
-            .values()
-            .any(|r| r.phase == PodPhase::Running && r.spec.name() == spec.name());
-        if clash {
+        if self.live_names.contains(spec.name()) {
             Err(OrchError::NameInUse(spec.name().to_owned()))
         } else {
             Ok(())
@@ -275,6 +295,7 @@ impl Orchestrator {
     fn bind(&mut self, spec: PodSpec, node: NodeId) -> PodId {
         let id = PodId(self.next_id);
         self.next_id += 1;
+        self.live_names.insert(spec.name().to_owned());
         self.state.bind(id, spec.clone(), node);
         self.events.push(OrchEvent::PodScheduled {
             pod: id,

@@ -1,12 +1,19 @@
 //! Cluster allocation state: which pods are bound where, and what CPU and
 //! memory remain on each node.
 
+use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet};
 
 use microedge_cluster::node::NodeId;
 use microedge_cluster::topology::Cluster;
 
 use crate::pod::{PodId, PodSpec};
+
+/// Entry of the ranked availability index: `(remaining CPU, remaining
+/// memory, Reverse(node id))`, so that *descending* set order is exactly
+/// the default scheduler's least-allocated ranking (most CPU first, then
+/// most memory, then lowest node id).
+type RankedEntry = (u32, u64, Reverse<NodeId>);
 
 /// Remaining allocatable resources on one node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +69,11 @@ struct Binding {
 #[derive(Debug, Clone)]
 pub struct ClusterState {
     availability: BTreeMap<NodeId, NodeAvailability>,
+    /// Every known node keyed by remaining resources (see [`RankedEntry`]),
+    /// kept in lockstep with `availability` by `bind`/`unbind` so the
+    /// common selector-free placement is an index lookup instead of a full
+    /// filter-and-sort over the fleet.
+    ranked: BTreeSet<RankedEntry>,
     bindings: BTreeMap<PodId, Binding>,
     unschedulable: BTreeSet<NodeId>,
 }
@@ -70,7 +82,7 @@ impl ClusterState {
     /// Creates a state with every node fully available.
     #[must_use]
     pub fn new(cluster: &Cluster) -> Self {
-        let availability = cluster
+        let availability: BTreeMap<NodeId, NodeAvailability> = cluster
             .nodes()
             .iter()
             .map(|n| {
@@ -83,8 +95,13 @@ impl ClusterState {
                 )
             })
             .collect();
+        let ranked = availability
+            .iter()
+            .map(|(&id, a)| (a.cpu_millis, a.mem_bytes, Reverse(id)))
+            .collect();
         ClusterState {
             availability,
+            ranked,
             bindings: BTreeMap::new(),
             unschedulable: BTreeSet::new(),
         }
@@ -129,8 +146,12 @@ impl ClusterState {
                 && avail.mem_bytes >= spec.resources().mem_bytes(),
             "binding {pod} to {node} would oversubscribe the node"
         );
+        self.ranked
+            .remove(&(avail.cpu_millis, avail.mem_bytes, Reverse(node)));
         avail.cpu_millis -= spec.resources().cpu_millis();
         avail.mem_bytes -= spec.resources().mem_bytes();
+        self.ranked
+            .insert((avail.cpu_millis, avail.mem_bytes, Reverse(node)));
         let prev = self.bindings.insert(pod, Binding { spec, node });
         assert!(prev.is_none(), "{pod} is already bound");
     }
@@ -143,9 +164,33 @@ impl ClusterState {
             .availability
             .get_mut(&binding.node)
             .expect("bound node must exist");
+        self.ranked
+            .remove(&(avail.cpu_millis, avail.mem_bytes, Reverse(binding.node)));
         avail.cpu_millis += binding.spec.resources().cpu_millis();
         avail.mem_bytes += binding.spec.resources().mem_bytes();
+        self.ranked
+            .insert((avail.cpu_millis, avail.mem_bytes, Reverse(binding.node)));
         Some(binding.node)
+    }
+
+    /// The best node for a **selector-free, anti-affinity-free** spec: the
+    /// schedulable node the pod fits with the most remaining CPU (then
+    /// memory, then lowest node id) — exactly the head of
+    /// [`crate::scheduler::DefaultScheduler::candidate_nodes`]'s ranking,
+    /// found by walking the ranked index instead of sorting the fleet.
+    ///
+    /// Callers must ensure the spec has no node selector and no
+    /// anti-affinity group; those constraints are not consulted here.
+    #[must_use]
+    pub fn best_fit(&self, spec: &PodSpec) -> Option<NodeId> {
+        let cpu = spec.resources().cpu_millis();
+        let mem = spec.resources().mem_bytes();
+        self.ranked
+            .iter()
+            .rev()
+            .filter(|&&(c, m, Reverse(id))| c >= cpu && m >= mem && self.is_schedulable(id))
+            .map(|&(_, _, Reverse(id))| id)
+            .next()
     }
 
     /// The node `pod` is bound to, if any.

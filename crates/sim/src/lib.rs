@@ -9,7 +9,9 @@
 //!   stable `(time, insertion-seq)` ordering;
 //! - [`rng`] — seeded random generation with the distribution samplers the
 //!   workload models need ([`DetRng`]);
-//! - [`stats`] — online moments and exact-percentile histograms;
+//! - [`stats`] — online moments, exact-percentile histograms (the
+//!   differential oracle), and the constant-memory mergeable
+//!   [`stats::LogLinearSketch`] production telemetry runs on;
 //! - [`series`] — windowed aggregation, including exact time-weighted
 //!   averages of piecewise-constant signals (per-minute utilization).
 //!

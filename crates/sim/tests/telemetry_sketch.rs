@@ -1,0 +1,108 @@
+//! Differential property suite: [`LogLinearSketch`] against the exact,
+//! sample-retaining [`Histogram`] oracle.
+//!
+//! The sketch's contract has three parts, each checked on random inputs:
+//!
+//! 1. **Bounded error** — any percentile is within
+//!    [`SKETCH_RELATIVE_ERROR`] of the exact nearest-rank value (plus the
+//!    half-nanosecond quantisation of `record`'s ms→ns rounding).
+//! 2. **Exact extremes** — p0 and p100 are the true min and max, not
+//!    bucket bounds.
+//! 3. **Mergeability** — merging shard sketches is indistinguishable from
+//!    recording the concatenated stream, for any sharding and any order.
+
+use microedge_sim::stats::{Histogram, LogLinearSketch, SKETCH_RELATIVE_ERROR};
+use proptest::prelude::*;
+
+/// Slack for the ms→ns rounding in `record`: half a nanosecond, in ms,
+/// with a little headroom for the f64 arithmetic around it.
+const ROUNDING_SLACK_MS: f64 = 1e-6;
+
+fn sketch_of(samples: &[f64]) -> LogLinearSketch {
+    samples.iter().copied().collect()
+}
+
+proptest! {
+    #[test]
+    fn percentiles_track_exact_within_bound(
+        samples in prop::collection::vec(0.001f64..10_000.0, 1..300),
+        p in 0.0f64..=100.0,
+    ) {
+        let mut exact: Histogram = samples.iter().copied().collect();
+        let sketch = sketch_of(&samples);
+        let e = exact.percentile(p).unwrap();
+        let s = sketch.percentile(p).unwrap();
+        // The sketch reports the bucket's upper bound, so it may only
+        // overshoot — and by at most one bucket width.
+        prop_assert!(
+            s + ROUNDING_SLACK_MS >= e,
+            "sketch undershot: sketch {s} < exact {e} at p{p}"
+        );
+        prop_assert!(
+            s <= e * (1.0 + SKETCH_RELATIVE_ERROR) + ROUNDING_SLACK_MS,
+            "sketch overshot the error bound: sketch {s}, exact {e} at p{p}"
+        );
+    }
+
+    #[test]
+    fn extremes_are_exact(samples in prop::collection::vec(0.001f64..10_000.0, 1..300)) {
+        let mut exact: Histogram = samples.iter().copied().collect();
+        let sketch = sketch_of(&samples);
+        let lo = sketch.percentile(0.0).unwrap();
+        let hi = sketch.percentile(100.0).unwrap();
+        prop_assert!((lo - exact.percentile(0.0).unwrap()).abs() <= ROUNDING_SLACK_MS);
+        prop_assert!((hi - exact.percentile(100.0).unwrap()).abs() <= ROUNDING_SLACK_MS);
+        prop_assert_eq!(sketch.min(), Some(lo));
+        prop_assert_eq!(sketch.max(), Some(hi));
+    }
+
+    #[test]
+    fn count_and_mean_match_exact(samples in prop::collection::vec(0.001f64..10_000.0, 1..300)) {
+        let exact: Histogram = samples.iter().copied().collect();
+        let sketch = sketch_of(&samples);
+        prop_assert_eq!(sketch.count(), exact.count() as u64);
+        // The mean is exact up to per-sample ns rounding (not sketched).
+        prop_assert!((sketch.mean() - exact.mean()).abs() <= ROUNDING_SLACK_MS);
+    }
+
+    #[test]
+    fn merge_equals_concatenated_recording(
+        a in prop::collection::vec(0.001f64..10_000.0, 0..200),
+        b in prop::collection::vec(0.001f64..10_000.0, 0..200),
+    ) {
+        let mut merged = sketch_of(&a);
+        merged.merge(&sketch_of(&b));
+        let concatenated: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged, sketch_of(&concatenated));
+    }
+
+    #[test]
+    fn sharded_merge_matches_whole_in_any_order(
+        samples in prop::collection::vec(0.001f64..10_000.0, 1..300),
+        shards in 1usize..8,
+        reverse in prop::bool::ANY,
+    ) {
+        let mut parts = vec![LogLinearSketch::new(); shards];
+        for (i, &v) in samples.iter().enumerate() {
+            parts[i % shards].record(v);
+        }
+        if reverse {
+            parts.reverse();
+        }
+        let mut merged = LogLinearSketch::new();
+        for part in &parts {
+            merged.merge(part);
+        }
+        prop_assert_eq!(merged, sketch_of(&samples));
+    }
+
+    #[test]
+    fn memory_is_bounded_regardless_of_input(
+        samples in prop::collection::vec(0.001f64..10_000.0, 1..300),
+    ) {
+        let sketch = sketch_of(&samples);
+        // 10 s in ns needs buckets up to index ~4300; far below the cap,
+        // and never anywhere near the sample-retaining oracle's O(n).
+        prop_assert!(sketch.memory_bytes() <= microedge_sim::stats::SKETCH_MAX_BUCKETS * 8);
+    }
+}

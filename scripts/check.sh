@@ -16,4 +16,11 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test --quiet --workspace
 
+echo "==> scale study smoke + determinism (repro --scale --quick)"
+scale_out="$(mktemp -d)"
+trap 'rm -rf "$scale_out"' EXIT
+cargo run --release -p microedge-bench --bin repro -- --scale --quick --csv "$scale_out/a"
+MICROEDGE_WORKERS=1 cargo run --release -p microedge-bench --bin repro -- --scale --quick --csv "$scale_out/b"
+cmp "$scale_out/a/BENCH_scale.json" "$scale_out/b/BENCH_scale.json"
+
 echo "All checks passed."
