@@ -1,0 +1,92 @@
+//! The ratchet baseline: committed per-crate counts of bare `unwrap()` /
+//! empty-message `expect()` in non-test code (`lint-baseline.toml`).
+//!
+//! The gate fails only when a crate's count **grows** past its baseline, so
+//! robustness debt can shrink freely but never accrete. After a burn-down,
+//! regenerate with `cargo run -p microedge-lint -- --update-baseline`.
+//!
+//! The file is a single-table TOML subset (`"key" = integer` lines under
+//! `[unwrap-ratchet]`) parsed here by hand — the lint is zero-dependency.
+
+use std::collections::BTreeMap;
+
+use crate::config::UNWRAP_RATCHET;
+use crate::rules::Diagnostic;
+
+/// Name of the committed baseline file at the workspace root.
+pub const BASELINE_FILE: &str = "lint-baseline.toml";
+
+/// Parse the baseline file contents into per-crate counts.
+///
+/// Returns `Err` with a description on any line that is not a comment,
+/// blank, the `[unwrap-ratchet]` header, or a `"crate" = count` entry.
+pub fn parse(text: &str) -> Result<BTreeMap<String, usize>, String> {
+    let mut counts = BTreeMap::new();
+    let mut in_section = false;
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('[') {
+            in_section = line == "[unwrap-ratchet]";
+            continue;
+        }
+        if !in_section {
+            return Err(format!("line {}: entry outside [unwrap-ratchet]", ln + 1));
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("line {}: expected `\"crate\" = count`", ln + 1));
+        };
+        let key = key.trim().trim_matches('"').to_string();
+        let value: usize = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("line {}: count is not an integer", ln + 1))?;
+        counts.insert(key, value);
+    }
+    Ok(counts)
+}
+
+/// Render per-crate counts back into the canonical committed form.
+pub fn format(counts: &BTreeMap<String, usize>) -> String {
+    let mut out = String::from(
+        "# Per-crate count of bare `unwrap()` / empty-message `expect()` in non-test\n\
+         # code. microedge-lint fails a crate whose count GROWS past this baseline;\n\
+         # shrinking is always allowed (and welcome). After a burn-down, regenerate:\n\
+         #\n\
+         #     cargo run -p microedge-lint -- --update-baseline\n\
+         \n\
+         [unwrap-ratchet]\n",
+    );
+    for (k, v) in counts {
+        out.push_str(&format!("\"{k}\" = {v}\n"));
+    }
+    out
+}
+
+/// Compare measured counts against the baseline; one diagnostic per crate
+/// whose debt grew. Crates absent from the baseline ratchet against zero.
+pub fn check(
+    measured: &BTreeMap<String, usize>,
+    baseline: &BTreeMap<String, usize>,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (krate, &count) in measured {
+        let allowed = baseline.get(krate).copied().unwrap_or(0);
+        if count > allowed {
+            diags.push(Diagnostic {
+                rule: UNWRAP_RATCHET,
+                path: BASELINE_FILE.to_string(),
+                line: 1,
+                col: 1,
+                message: format!(
+                    "crate {krate} has {count} bare unwrap()/empty expect() in non-test code, \
+                     baseline {allowed}; convert them to expect(\"<invariant>\") or a typed \
+                     error (or, after a genuine burn-down, regenerate with --update-baseline)"
+                ),
+            });
+        }
+    }
+    diags
+}

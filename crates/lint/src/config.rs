@@ -1,0 +1,86 @@
+//! Per-crate / per-file scoping for the lint rules.
+//!
+//! The scoping is deliberately *code*, not a config file: changing where a
+//! determinism rule applies is a reviewable source change to the lint crate,
+//! with the same weight as changing the rule itself.
+
+/// Rule identifiers, exactly as they appear in diagnostics and in
+/// `lint:allow(<rule-id>)` escape hatches.
+pub const NO_WALL_CLOCK: &str = "no-wall-clock";
+/// See [`NO_WALL_CLOCK`].
+pub const NO_AMBIENT_RNG: &str = "no-ambient-rng";
+/// See [`NO_WALL_CLOCK`].
+pub const NO_UNORDERED_COLLECTIONS: &str = "no-unordered-collections";
+/// See [`NO_WALL_CLOCK`].
+pub const NO_PARTIAL_FLOAT_CMP: &str = "no-partial-float-cmp";
+/// See [`NO_WALL_CLOCK`].
+pub const NO_UNSAFE: &str = "no-unsafe";
+/// See [`NO_WALL_CLOCK`].
+pub const UNWRAP_RATCHET: &str = "unwrap-ratchet";
+/// Diagnostic id for malformed `lint:allow` directives themselves.
+pub const BAD_ALLOW: &str = "bad-allow";
+
+/// Every rule id that may legally appear in a `lint:allow(...)` directive.
+pub const ALLOWABLE_RULES: &[&str] = &[
+    NO_WALL_CLOCK,
+    NO_AMBIENT_RNG,
+    NO_UNORDERED_COLLECTIONS,
+    NO_PARTIAL_FLOAT_CMP,
+    NO_UNSAFE,
+];
+
+/// The bench crate's measurement modules: the only places allowed to read
+/// the host wall clock, because they time the *simulator itself* (replay
+/// wall time, admission throughput). Everything else must take time from
+/// the `EventQueue`.
+pub const WALL_CLOCK_EXEMPT_FILES: &[&str] = &[
+    "crates/bench/src/perf.rs",
+    "crates/bench/src/admission_overhead.rs",
+    "crates/bench/src/scale.rs",
+];
+
+/// Crates whose data structures feed byte-identical JSON artifacts: any
+/// `HashMap`/`HashSet` iteration order here could silently reorder output.
+pub const ORDERED_COLLECTIONS_CRATES: &[&str] = &[
+    "crates/sim",
+    "crates/core",
+    "crates/orch",
+    "crates/metrics",
+    "crates/tpu",
+    "crates/cluster",
+];
+
+/// Directory names never scanned, at any depth. `vendor` holds offline
+/// stand-ins for external crates (not ours to lint), `target` is build
+/// output.
+pub const SKIP_DIRS: &[&str] = &[".git", "target", "vendor"];
+
+/// The lint's own fixture corpus: deliberately-violating snippets that must
+/// not count as workspace findings.
+pub const FIXTURE_DIR: &str = "crates/lint/tests/fixtures";
+
+/// True if `rule` applies to the workspace-relative path `rel`.
+pub fn rule_enabled(rule: &str, rel: &str) -> bool {
+    match rule {
+        NO_WALL_CLOCK => !WALL_CLOCK_EXEMPT_FILES.contains(&rel),
+        NO_UNORDERED_COLLECTIONS => ORDERED_COLLECTIONS_CRATES
+            .iter()
+            .any(|c| rel.strip_prefix(c).is_some_and(|r| r.starts_with('/'))),
+        // The ratchet measures production robustness debt: integration-test
+        // trees are excluded here, `#[cfg(test)]` modules by the scanner.
+        UNWRAP_RATCHET => !rel.starts_with("tests/") && !rel.contains("/tests/"),
+        _ => true,
+    }
+}
+
+/// The cargo package a workspace-relative path belongs to, as named in
+/// `lint-baseline.toml` (`crates/core` -> `microedge-core`; the root
+/// package's `src/`, `examples/`, `tests/` -> `microedge`).
+pub fn crate_of(rel: &str) -> String {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        if let Some(dir) = rest.split('/').next() {
+            return format!("microedge-{dir}");
+        }
+    }
+    "microedge".to_string()
+}

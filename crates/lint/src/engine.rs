@@ -1,0 +1,145 @@
+//! Workspace walking and the top-level lint entry points.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::baseline;
+use crate::config::{self, crate_of};
+use crate::rules::{scan_file, Diagnostic};
+
+/// Result of linting a whole workspace.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All rule and `bad-allow` diagnostics, sorted by `(path, line, col)`.
+    pub diags: Vec<Diagnostic>,
+    /// Measured unwrap-ratchet counts per cargo package (crates with zero
+    /// debt included, so the baseline lists every package explicitly).
+    pub ratchet: BTreeMap<String, usize>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// Collect every workspace `.rs` file under `root`, depth-first in sorted
+/// order (deterministic output), skipping `vendor/`, `target/`, `.git/`,
+/// and the lint's own deliberately-violating fixture corpus.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    walk(root, root, &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn walk(root: &Path, dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<io::Result<_>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let rel = rel_path(root, &path);
+        if path.is_dir() {
+            if config::SKIP_DIRS.contains(&name.as_ref()) || rel == config::FIXTURE_DIR {
+                continue;
+            }
+            walk(root, &path, files)?;
+        } else if name.ends_with(".rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Lint every workspace `.rs` file under `root`. Does *not* apply the
+/// ratchet baseline — see [`lint_workspace_with_baseline`].
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let mut report = Report::default();
+    // Seed every package so a debt-free crate still appears (as 0) in the
+    // regenerated baseline, keeping the committed file exhaustive.
+    for krate in packages(root)? {
+        report.ratchet.insert(krate, 0);
+    }
+    for path in workspace_files(root)? {
+        let rel = rel_path(root, &path);
+        let src = fs::read_to_string(&path)?;
+        let findings = scan_file(&rel, &src);
+        report.diags.extend(findings.diags);
+        *report.ratchet.entry(crate_of(&rel)).or_insert(0) += findings.unwrap_count;
+        report.files_scanned += 1;
+    }
+    report
+        .diags
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    Ok(report)
+}
+
+/// Lint the workspace and fold in ratchet-baseline violations. A missing
+/// or unparseable baseline file is itself a failure (the gate must never
+/// silently pass because the ratchet got lost).
+pub fn lint_workspace_with_baseline(root: &Path) -> io::Result<Report> {
+    let mut report = lint_workspace(root)?;
+    let baseline_path = root.join(baseline::BASELINE_FILE);
+    match fs::read_to_string(&baseline_path) {
+        Ok(text) => match baseline::parse(&text) {
+            Ok(base) => report.diags.extend(baseline::check(&report.ratchet, &base)),
+            Err(e) => report.diags.push(baseline_error(format!(
+                "{} is malformed ({e}); fix it or regenerate with --update-baseline",
+                baseline::BASELINE_FILE
+            ))),
+        },
+        Err(_) => report.diags.push(baseline_error(format!(
+            "{} not found at the workspace root; regenerate with --update-baseline",
+            baseline::BASELINE_FILE
+        ))),
+    }
+    Ok(report)
+}
+
+fn baseline_error(message: String) -> Diagnostic {
+    Diagnostic {
+        rule: config::UNWRAP_RATCHET,
+        path: baseline::BASELINE_FILE.to_string(),
+        line: 1,
+        col: 1,
+        message,
+    }
+}
+
+/// The cargo packages the ratchet tracks: the root package plus every
+/// `crates/*` member, by baseline key name.
+fn packages(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = vec!["microedge".to_string()];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut names: Vec<_> = fs::read_dir(&crates_dir)?
+            .collect::<io::Result<Vec<_>>>()?
+            .into_iter()
+            .filter(|e| e.path().is_dir())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        out.extend(names.into_iter().map(|n| format!("microedge-{n}")));
+    }
+    Ok(out)
+}
+
+/// Locate the workspace root: the nearest ancestor of `start` containing
+/// both `Cargo.toml` and a `crates/` directory.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        if d.join("Cargo.toml").is_file() && d.join("crates").is_dir() {
+            return Some(d.to_path_buf());
+        }
+        dir = d.parent();
+    }
+    None
+}

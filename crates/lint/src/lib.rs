@@ -1,0 +1,39 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! # microedge-lint — determinism/robustness static analysis for this workspace
+//!
+//! Every evaluation artifact in this repo (`BENCH_*.json`, the Fig. 5/6/7
+//! replays) is gated on *byte-identical determinism*. That property has been
+//! broken before by innocent-looking code — a `partial_cmp(..).expect(..)`
+//! NaN panic in the Histogram, and it is one `Instant::now()` or `HashMap`
+//! iteration away from breaking again. This crate turns the conventions that
+//! protect it into machine-checked rules that run in `scripts/check.sh` and
+//! CI (see `LINTS.md` at the workspace root for the full contract).
+//!
+//! The engine is **zero-dependency** by design: a small comment/string/
+//! char-literal-aware Rust tokenizer ([`tokenizer`]) feeds token-sequence
+//! rule passes ([`rules`]) over every workspace `.rs` file ([`engine`]),
+//! with a committed, ratcheted debt baseline ([`baseline`]).
+//!
+//! Diagnostics are machine-readable, one per line:
+//!
+//! ```text
+//! rule-id: file:line:col message
+//! ```
+//!
+//! Any site can be exempted with an inline escape hatch on the same line or
+//! the line above — the reason is mandatory:
+//!
+//! ```text
+//! // lint:allow(no-wall-clock): times the solver itself, not simulated work
+//! ```
+
+pub mod baseline;
+pub mod config;
+pub mod engine;
+pub mod rules;
+pub mod tokenizer;
+
+pub use engine::{find_root, lint_workspace, lint_workspace_with_baseline, Report};
+pub use rules::{scan_file, Diagnostic, FileFindings};

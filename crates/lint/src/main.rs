@@ -1,0 +1,98 @@
+#![forbid(unsafe_code)]
+
+//! `microedge-lint` binary: lint the workspace, or regenerate the ratchet
+//! baseline with `--update-baseline`. Exit 0 when clean, 1 on findings,
+//! 2 on usage/IO errors.
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use microedge_lint::{baseline, engine};
+
+fn main() -> ExitCode {
+    let mut update_baseline = false;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--update-baseline" => update_baseline = true,
+            "--root" => match args.next() {
+                Some(p) => root_arg = Some(PathBuf::from(p)),
+                None => return usage("--root requires a path"),
+            },
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root =
+        match root_arg.or_else(|| env::current_dir().ok().and_then(|d| engine::find_root(&d))) {
+            Some(r) => r,
+            None => return usage("could not locate the workspace root (run from inside the repo)"),
+        };
+
+    if update_baseline {
+        let report = match engine::lint_workspace(&root) {
+            Ok(r) => r,
+            Err(e) => return fail(&format!("scan failed: {e}")),
+        };
+        let path = root.join(baseline::BASELINE_FILE);
+        if let Err(e) = fs::write(&path, baseline::format(&report.ratchet)) {
+            return fail(&format!("cannot write {}: {e}", path.display()));
+        }
+        let total: usize = report.ratchet.values().sum();
+        println!(
+            "microedge-lint: wrote {} ({} packages, {} total bare unwrap/empty expect)",
+            path.display(),
+            report.ratchet.len(),
+            total
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let report = match engine::lint_workspace_with_baseline(&root) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("scan failed: {e}")),
+    };
+    for d in &report.diags {
+        println!("{d}");
+    }
+    if report.diags.is_empty() {
+        let total: usize = report.ratchet.values().sum();
+        println!(
+            "microedge-lint: {} files clean; unwrap-ratchet at {} within baseline",
+            report.files_scanned, total
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("microedge-lint: {} finding(s)", report.diags.len());
+        ExitCode::FAILURE
+    }
+}
+
+const USAGE: &str = "\
+microedge-lint — determinism/robustness static analysis (see LINTS.md)
+
+USAGE:
+    cargo run -p microedge-lint [-- OPTIONS]
+
+OPTIONS:
+    --update-baseline   Recount unwrap-ratchet debt and rewrite lint-baseline.toml
+    --root <path>       Workspace root (default: walk up from the current dir)
+    -h, --help          Show this help
+";
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("microedge-lint: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("microedge-lint: {msg}");
+    ExitCode::from(2)
+}

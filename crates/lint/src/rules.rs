@@ -1,0 +1,423 @@
+//! The rule passes: token-sequence matchers over one file's token stream,
+//! plus the `lint:allow` escape-hatch machinery and the `#[cfg(test)]`
+//! mask the unwrap-ratchet uses to see only production code.
+
+use std::fmt;
+
+use crate::config::{
+    self, rule_enabled, BAD_ALLOW, NO_AMBIENT_RNG, NO_PARTIAL_FLOAT_CMP, NO_UNORDERED_COLLECTIONS,
+    NO_UNSAFE, NO_WALL_CLOCK, UNWRAP_RATCHET,
+};
+use crate::tokenizer::{tokenize, TokKind, Token};
+
+/// One machine-readable finding. Renders as `rule-id: file:line:col message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule identifier (also the `lint:allow` key).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    /// Human explanation of the violated invariant.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}:{}:{} {}",
+            self.rule, self.path, self.line, self.col, self.message
+        )
+    }
+}
+
+/// Everything a single-file scan produces.
+#[derive(Debug, Default)]
+pub struct FileFindings {
+    /// Rule violations (post-suppression) plus any `bad-allow` diagnostics.
+    pub diags: Vec<Diagnostic>,
+    /// Bare `unwrap()` / empty-message `expect()` count in non-test code,
+    /// fed into the per-crate ratchet. Zero when the ratchet is disabled
+    /// for this path.
+    pub unwrap_count: usize,
+}
+
+/// A parsed, well-formed `lint:allow(rule): reason` directive.
+struct Allow {
+    rule: String,
+    line: u32,
+}
+
+/// Scan one file. `rel` must be the workspace-relative path (it drives
+/// per-crate rule scoping); `src` is the file contents.
+pub fn scan_file(rel: &str, src: &str) -> FileFindings {
+    let toks = tokenize(src);
+    let sig: Vec<&Token> = toks.iter().filter(|t| t.kind != TokKind::Comment).collect();
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let allows = parse_allows(rel, &toks, &mut diags);
+
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    if rule_enabled(NO_WALL_CLOCK, rel) {
+        rule_wall_clock(rel, &sig, &mut raw);
+    }
+    if rule_enabled(NO_AMBIENT_RNG, rel) {
+        rule_ambient_rng(rel, &sig, &mut raw);
+    }
+    if rule_enabled(NO_UNORDERED_COLLECTIONS, rel) {
+        rule_unordered_collections(rel, &sig, &mut raw);
+    }
+    if rule_enabled(NO_PARTIAL_FLOAT_CMP, rel) {
+        rule_partial_float_cmp(rel, &sig, &mut raw);
+    }
+    if rule_enabled(NO_UNSAFE, rel) {
+        rule_no_unsafe(rel, &sig, &mut raw);
+    }
+
+    // A valid allow on the finding's own line or the line above suppresses it.
+    for d in raw {
+        let covered = allows
+            .iter()
+            .any(|a| a.rule == d.rule && (a.line == d.line || a.line + 1 == d.line));
+        if !covered {
+            diags.push(d);
+        }
+    }
+
+    let unwrap_count = if rule_enabled(UNWRAP_RATCHET, rel) {
+        count_unwraps(&sig)
+    } else {
+        0
+    };
+
+    diags.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    FileFindings {
+        diags,
+        unwrap_count,
+    }
+}
+
+/// Extract directives of the form `// lint:allow(<rule>): <reason>` from
+/// comment tokens. The marker must open the comment (prose merely
+/// *mentioning* the syntax is not a directive). Malformed directives
+/// (missing reason, unknown rule) suppress nothing and are themselves
+/// reported as `bad-allow`.
+fn parse_allows(rel: &str, toks: &[Token], diags: &mut Vec<Diagnostic>) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for t in toks.iter().filter(|t| t.kind == TokKind::Comment) {
+        let content = t.text.trim_start_matches(['/', '*', '!']).trim_start();
+        let Some(rest) = content.strip_prefix("lint:allow") else {
+            continue;
+        };
+        let bad = |msg: String| Diagnostic {
+            rule: BAD_ALLOW,
+            path: rel.to_string(),
+            line: t.line,
+            col: t.col,
+            message: msg,
+        };
+        let Some(rest) = rest.strip_prefix('(') else {
+            diags.push(bad(
+                "malformed lint:allow; expected `lint:allow(<rule-id>): <reason>`".into(),
+            ));
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            diags.push(bad("malformed lint:allow; missing `)` after rule-id".into()));
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        if !config::ALLOWABLE_RULES.contains(&rule.as_str()) {
+            diags.push(bad(format!("lint:allow names unknown rule-id `{rule}`")));
+            continue;
+        }
+        let after = &rest[close + 1..];
+        let reason = after
+            .strip_prefix(':')
+            .map(|r| r.trim_end_matches("*/").trim())
+            .unwrap_or("");
+        if reason.is_empty() {
+            diags.push(bad(format!(
+                "lint:allow({rule}) is missing its mandatory reason; write `lint:allow({rule}): <why this site is safe>`"
+            )));
+            continue;
+        }
+        allows.push(Allow { rule, line: t.line });
+    }
+    allows
+}
+
+fn diag(rule: &'static str, rel: &str, t: &Token, message: String) -> Diagnostic {
+    Diagnostic {
+        rule,
+        path: rel.to_string(),
+        line: t.line,
+        col: t.col,
+        message,
+    }
+}
+
+/// `X :: now` for X in {Instant, SystemTime}.
+fn rule_wall_clock(rel: &str, sig: &[&Token], out: &mut Vec<Diagnostic>) {
+    for i in 0..sig.len() {
+        let name = &sig[i].text;
+        if sig[i].kind == TokKind::Ident
+            && (name == "Instant" || name == "SystemTime")
+            && matches(sig, i + 1, &[":", ":", "now"])
+        {
+            out.push(diag(
+                NO_WALL_CLOCK,
+                rel,
+                sig[i],
+                format!(
+                    "`{name}::now()` reads the host wall clock; simulation time must come from \
+                     the EventQueue (only bench measurement modules may time the simulator itself)"
+                ),
+            ));
+        }
+    }
+}
+
+/// `thread_rng`, `from_entropy`, `OsRng`, and `rand :: random`.
+fn rule_ambient_rng(rel: &str, sig: &[&Token], out: &mut Vec<Diagnostic>) {
+    for i in 0..sig.len() {
+        let t = sig[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let hit = match t.text.as_str() {
+            "thread_rng" | "from_entropy" | "OsRng" => Some(t.text.clone()),
+            "rand" if matches(sig, i + 1, &[":", ":", "random"]) => Some("rand::random".into()),
+            _ => None,
+        };
+        if let Some(what) = hit {
+            out.push(diag(
+                NO_AMBIENT_RNG,
+                rel,
+                t,
+                format!(
+                    "`{what}` draws ambient OS entropy; every replay must be seed-reproducible \
+                     — use a seeded DetRng threaded from the experiment config"
+                ),
+            ));
+        }
+    }
+}
+
+/// `HashMap` / `HashSet` in artifact-producing crates.
+fn rule_unordered_collections(rel: &str, sig: &[&Token], out: &mut Vec<Diagnostic>) {
+    for t in sig {
+        if t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
+            out.push(diag(
+                NO_UNORDERED_COLLECTIONS,
+                rel,
+                t,
+                format!(
+                    "`{}` iteration order is nondeterministic and would silently break \
+                     byte-identical JSON artifacts; use BTreeMap/BTreeSet or an indexed Vec",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// `partial_cmp(..).unwrap()/expect(..)` chains, and any `partial_cmp`
+/// inside a `sort_by`/`max_by`/`min_by` comparator — the exact Histogram
+/// NaN-panic class fixed in PR 4. `fn partial_cmp` definitions are exempt.
+fn rule_partial_float_cmp(rel: &str, sig: &[&Token], out: &mut Vec<Diagnostic>) {
+    let mut flagged: Vec<(u32, u32)> = Vec::new();
+    for i in 0..sig.len() {
+        if !sig[i].is_ident("partial_cmp") {
+            continue;
+        }
+        if i > 0 && sig[i - 1].is_ident("fn") {
+            continue; // a PartialOrd impl, not a call site
+        }
+        if !sig.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        if let Some(close) = matching_paren(sig, i + 1) {
+            let chained_panic = sig.get(close + 1).is_some_and(|t| t.is_punct('.'))
+                && sig
+                    .get(close + 2)
+                    .is_some_and(|t| t.is_ident("unwrap") || t.is_ident("expect"));
+            if chained_panic {
+                flagged.push((sig[i].line, sig[i].col));
+                out.push(diag(
+                    NO_PARTIAL_FLOAT_CMP,
+                    rel,
+                    sig[i],
+                    "`partial_cmp(..)` chained into unwrap/expect panics on NaN (the PR 4 \
+                     Histogram bug); use `total_cmp` for floats"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+    // Comparator closures: sort_by(|a, b| a.partial_cmp(b) ...) in any form,
+    // including NaN-"tolerant" `unwrap_or(Equal)`, which breaks total order.
+    const COMPARATORS: &[&str] = &["sort_by", "sort_unstable_by", "max_by", "min_by"];
+    for i in 0..sig.len() {
+        if !(sig[i].kind == TokKind::Ident && COMPARATORS.contains(&sig[i].text.as_str())) {
+            continue;
+        }
+        if !sig.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        if let Some(close) = matching_paren(sig, i + 1) {
+            for t in &sig[i + 2..close] {
+                if t.is_ident("partial_cmp") && !flagged.contains(&(t.line, t.col)) {
+                    out.push(diag(
+                        NO_PARTIAL_FLOAT_CMP,
+                        rel,
+                        t,
+                        format!(
+                            "`partial_cmp` inside a `{}` comparator is not a total order \
+                             under NaN; use `total_cmp`",
+                            sig[i].text
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Any `unsafe` token. The workspace is `#![forbid(unsafe_code)]` end to
+/// end; this is defense-in-depth against the attribute being dropped.
+fn rule_no_unsafe(rel: &str, sig: &[&Token], out: &mut Vec<Diagnostic>) {
+    for t in sig {
+        if t.is_ident("unsafe") {
+            out.push(diag(
+                NO_UNSAFE,
+                rel,
+                t,
+                "`unsafe` is forbidden workspace-wide (crate roots carry \
+                 #![forbid(unsafe_code)]; this lint catches the attribute being removed)"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// Count `.unwrap()` and `.expect("")`/`.expect()` outside `#[cfg(test)]`
+/// items. `.expect("message")` with a non-empty message is the sanctioned
+/// form and does not count.
+fn count_unwraps(sig: &[&Token]) -> usize {
+    let mask = cfg_test_mask(sig);
+    let mut n = 0usize;
+    for i in 0..sig.len() {
+        if mask[i] || !sig[i].is_punct('.') {
+            continue;
+        }
+        let Some(name) = sig.get(i + 1) else { continue };
+        if name.is_ident("unwrap") && matches(sig, i + 2, &["(", ")"]) {
+            n += 1;
+        } else if name.is_ident("expect") && sig.get(i + 2).is_some_and(|t| t.is_punct('(')) {
+            let no_arg = sig.get(i + 3).is_some_and(|t| t.is_punct(')'));
+            let empty_msg = sig.get(i + 3).is_some_and(|t| t.is_empty_str())
+                && sig.get(i + 4).is_some_and(|t| t.is_punct(')'));
+            if no_arg || empty_msg {
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Mark every token inside a `#[cfg(test)]`-gated item (attribute through
+/// the end of its `{...}` body or trailing `;`).
+fn cfg_test_mask(sig: &[&Token]) -> Vec<bool> {
+    let mut mask = vec![false; sig.len()];
+    let mut i = 0usize;
+    while i < sig.len() {
+        if !(sig[i].is_punct('#') && matches(sig, i + 1, &["[", "cfg", "(", "test", ")", "]"])) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut j = i + 7;
+        // Skip any further attributes between cfg(test) and the item.
+        while j < sig.len()
+            && sig[j].is_punct('#')
+            && sig.get(j + 1).is_some_and(|t| t.is_punct('['))
+        {
+            j = skip_balanced(sig, j + 1, '[', ']');
+        }
+        // Scan the item header for its body `{` (or a bodiless `;`).
+        let mut depth = 0i32;
+        let mut end = sig.len().saturating_sub(1);
+        while j < sig.len() {
+            if sig[j].is_punct('(') {
+                depth += 1;
+            } else if sig[j].is_punct(')') {
+                depth -= 1;
+            } else if depth == 0 && sig[j].is_punct(';') {
+                end = j;
+                break;
+            } else if depth == 0 && sig[j].is_punct('{') {
+                end = skip_balanced(sig, j, '{', '}') - 1;
+                break;
+            }
+            j += 1;
+        }
+        for m in &mut mask[start..=end.min(sig.len() - 1)] {
+            *m = true;
+        }
+        i = end + 1;
+    }
+    mask
+}
+
+/// True if the idents/puncts at `sig[from..]` match `pat` (each pattern
+/// element is a 1-byte punct or an identifier).
+fn matches(sig: &[&Token], from: usize, pat: &[&str]) -> bool {
+    pat.iter().enumerate().all(|(k, p)| {
+        sig.get(from + k).is_some_and(|t| {
+            if p.len() == 1 && !p.as_bytes()[0].is_ascii_alphanumeric() {
+                t.is_punct(p.as_bytes()[0] as char)
+            } else {
+                t.is_ident(p)
+            }
+        })
+    })
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn matching_paren(sig: &[&Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in sig.iter().enumerate().skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Index just past the closer matching the opener at `open`.
+fn skip_balanced(sig: &[&Token], open: usize, o: char, c: char) -> usize {
+    let mut depth = 0i32;
+    let mut k = open;
+    while k < sig.len() {
+        if sig[k].is_punct(o) {
+            depth += 1;
+        } else if sig[k].is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return k + 1;
+            }
+        }
+        k += 1;
+    }
+    sig.len()
+}

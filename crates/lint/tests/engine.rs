@@ -1,0 +1,268 @@
+//! Integration tests for the lint engine: one violating and one conforming
+//! fixture per rule, the allow escape hatch (acceptance + missing-reason
+//! rejection), tokenizer edge cases, the ratchet, and a self-check that the
+//! real workspace is clean.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+use microedge_lint::{baseline, config, engine, rules};
+
+/// Scan a fixture file as if it lived at `rel` inside the workspace.
+fn scan(rel: &str, fixture: &str) -> rules::FileFindings {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(fixture);
+    let src = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+    rules::scan_file(rel, &src)
+}
+
+fn rules_of(f: &rules::FileFindings) -> Vec<&'static str> {
+    f.diags.iter().map(|d| d.rule).collect()
+}
+
+#[test]
+fn wall_clock_violations_are_flagged_with_positions() {
+    let f = scan("crates/core/src/clock.rs", "wall_clock_violation.rs");
+    assert_eq!(rules_of(&f), vec!["no-wall-clock", "no-wall-clock"]);
+    // `Instant` on line 4 col 13, `SystemTime` on line 5 col 13.
+    assert_eq!((f.diags[0].line, f.diags[0].col), (4, 13));
+    assert_eq!((f.diags[1].line, f.diags[1].col), (5, 13));
+    // Machine-readable rendering: `rule-id: file:line:col message`.
+    let rendered = f.diags[0].to_string();
+    assert!(
+        rendered.starts_with("no-wall-clock: crates/core/src/clock.rs:4:13 "),
+        "unexpected rendering: {rendered}"
+    );
+}
+
+#[test]
+fn wall_clock_exempt_in_bench_measurement_modules() {
+    let f = scan("crates/bench/src/perf.rs", "wall_clock_violation.rs");
+    assert!(
+        f.diags.is_empty(),
+        "measurement modules may read the wall clock: {:?}",
+        f.diags
+    );
+}
+
+#[test]
+fn wall_clock_conforming_snippet_is_clean() {
+    let f = scan("crates/core/src/clock.rs", "wall_clock_ok.rs");
+    assert!(f.diags.is_empty(), "{:?}", f.diags);
+}
+
+#[test]
+fn ambient_rng_violations_are_flagged_workspace_wide() {
+    // The rule applies even in the bench crate: replays must be seedable.
+    let f = scan("crates/bench/src/runner.rs", "ambient_rng_violation.rs");
+    assert_eq!(rules_of(&f), vec!["no-ambient-rng"; 4], "{:?}", f.diags);
+}
+
+#[test]
+fn ambient_rng_conforming_snippet_is_clean() {
+    let f = scan("crates/workloads/src/camera.rs", "ambient_rng_ok.rs");
+    assert!(f.diags.is_empty(), "{:?}", f.diags);
+}
+
+#[test]
+fn unordered_collections_flagged_in_artifact_crates_only() {
+    let f = scan("crates/core/src/pool.rs", "unordered_violation.rs");
+    assert_eq!(
+        rules_of(&f),
+        vec!["no-unordered-collections"; 6],
+        "{:?}",
+        f.diags
+    );
+    // Outside the scoped crates the same source is accepted.
+    let f = scan("crates/bench/src/packing.rs", "unordered_violation.rs");
+    assert!(f.diags.is_empty(), "{:?}", f.diags);
+}
+
+#[test]
+fn ordered_collections_are_clean() {
+    let f = scan("crates/core/src/pool.rs", "unordered_ok.rs");
+    assert!(f.diags.is_empty(), "{:?}", f.diags);
+}
+
+#[test]
+fn partial_cmp_panic_chains_and_comparators_are_flagged() {
+    let f = scan("crates/metrics/src/latency.rs", "partial_cmp_violation.rs");
+    assert_eq!(
+        rules_of(&f),
+        vec!["no-partial-float-cmp"; 3],
+        "{:?}",
+        f.diags
+    );
+    let lines: Vec<u32> = f.diags.iter().map(|d| d.line).collect();
+    assert_eq!(lines, vec![2, 5, 10]);
+}
+
+#[test]
+fn canonical_partial_ord_impl_is_not_a_call_site() {
+    let f = scan("crates/sim/src/event.rs", "partial_cmp_ok.rs");
+    assert!(f.diags.is_empty(), "{:?}", f.diags);
+}
+
+#[test]
+fn unsafe_tokens_are_flagged() {
+    let f = scan("crates/tpu/src/device.rs", "unsafe_violation.rs");
+    assert_eq!(rules_of(&f), vec!["no-unsafe"]);
+    assert_eq!(f.diags[0].line, 2);
+}
+
+#[test]
+fn ratchet_counts_bare_unwrap_and_empty_expect_outside_tests() {
+    let f = scan("crates/core/src/runtime.rs", "unwrap_ratchet.rs");
+    // `x.unwrap()` + `y.expect("")` count; `expect("<invariant>")` and the
+    // unwraps inside the `#[cfg(test)]` module do not.
+    assert_eq!(f.unwrap_count, 2);
+    assert!(f.diags.is_empty(), "{:?}", f.diags);
+}
+
+#[test]
+fn ratchet_ignores_integration_test_trees() {
+    let f = scan("crates/core/tests/world.rs", "unwrap_ratchet.rs");
+    assert_eq!(f.unwrap_count, 0);
+}
+
+#[test]
+fn valid_allow_suppresses_same_line_and_preceding_line() {
+    let f = scan("crates/core/src/clock.rs", "allow_ok.rs");
+    assert!(
+        f.diags.is_empty(),
+        "allow comments must suppress: {:?}",
+        f.diags
+    );
+}
+
+#[test]
+fn allow_without_reason_is_rejected_and_suppresses_nothing() {
+    let f = scan("crates/core/src/clock.rs", "allow_missing_reason.rs");
+    assert_eq!(
+        rules_of(&f),
+        vec!["bad-allow", "no-wall-clock"],
+        "{:?}",
+        f.diags
+    );
+    assert!(
+        f.diags[0].message.contains("mandatory reason"),
+        "{}",
+        f.diags[0].message
+    );
+}
+
+#[test]
+fn allow_with_unknown_rule_is_rejected() {
+    let f = scan("crates/core/src/pool.rs", "allow_unknown_rule.rs");
+    assert_eq!(
+        rules_of(&f),
+        vec![
+            "bad-allow",
+            "no-unordered-collections",
+            "no-unordered-collections"
+        ],
+        "{:?}",
+        f.diags
+    );
+    assert!(
+        f.diags[0].message.contains("unknown rule-id"),
+        "{}",
+        f.diags[0].message
+    );
+}
+
+#[test]
+fn banned_names_in_strings_and_comments_do_not_trip_rules() {
+    // Scanned as a sim file so every rule (incl. unordered collections) is on.
+    let f = scan("crates/sim/src/stats.rs", "tokenizer_edge.rs");
+    assert!(
+        f.diags.is_empty(),
+        "tokenizer edge cases leaked: {:?}",
+        f.diags
+    );
+    assert_eq!(f.unwrap_count, 0);
+}
+
+#[test]
+fn baseline_roundtrip_and_ratchet_direction() {
+    let mut measured = BTreeMap::new();
+    measured.insert("microedge-core".to_string(), 3usize);
+    measured.insert("microedge-orch".to_string(), 0usize);
+
+    // Round-trip through the committed file format.
+    let parsed = baseline::parse(&baseline::format(&measured)).expect("own format parses");
+    assert_eq!(parsed, measured);
+
+    // Equal or shrinking debt passes.
+    assert!(baseline::check(&measured, &parsed).is_empty());
+    let mut roomy = parsed.clone();
+    roomy.insert("microedge-core".to_string(), 5);
+    assert!(baseline::check(&measured, &roomy).is_empty());
+
+    // Growth fails, with the machine-readable diagnostic shape.
+    let mut tight = parsed.clone();
+    tight.insert("microedge-core".to_string(), 2);
+    let diags = baseline::check(&measured, &tight);
+    assert_eq!(diags.len(), 1);
+    assert!(diags[0]
+        .to_string()
+        .starts_with("unwrap-ratchet: lint-baseline.toml:1:1 "));
+
+    // A crate missing from the baseline ratchets against zero.
+    let diags = baseline::check(&measured, &BTreeMap::new());
+    assert_eq!(diags.len(), 1);
+    assert!(diags[0].message.contains("microedge-core"));
+
+    // Malformed files are rejected, not ignored.
+    assert!(baseline::parse("[unwrap-ratchet]\nnot a pair").is_err());
+    assert!(baseline::parse("\"microedge-core\" = 1").is_err());
+}
+
+#[test]
+fn self_check_the_real_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels under the workspace root")
+        .to_path_buf();
+    assert_eq!(
+        engine::find_root(&root.join("crates/lint/src")),
+        Some(root.clone())
+    );
+
+    let report = engine::lint_workspace_with_baseline(&root).expect("workspace scan");
+    assert!(
+        report.files_scanned > 50,
+        "scan looks truncated: {} files",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report.diags.iter().map(|d| d.to_string()).collect();
+    assert!(
+        rendered.is_empty(),
+        "workspace must lint clean:\n{}",
+        rendered.join("\n")
+    );
+    // Every tracked package appears in the ratchet, even at zero debt.
+    for krate in [
+        "microedge",
+        "microedge-core",
+        "microedge-sim",
+        "microedge-lint",
+    ] {
+        assert!(
+            report.ratchet.contains_key(krate),
+            "missing ratchet entry for {krate}"
+        );
+    }
+    // The fixture corpus (deliberate violations) must be excluded from the walk.
+    let files = engine::workspace_files(&root).expect("walk");
+    assert!(
+        !files
+            .iter()
+            .any(|f| f.to_string_lossy().contains(config::FIXTURE_DIR)),
+        "fixtures leaked into the workspace scan"
+    );
+}

@@ -1,0 +1,6 @@
+use std::time::Instant;
+
+pub fn t() -> Instant {
+    // lint:allow(no-wall-clock)
+    Instant::now()
+}

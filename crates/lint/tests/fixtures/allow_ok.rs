@@ -1,0 +1,9 @@
+use std::time::Instant;
+
+pub fn profile() -> Instant {
+    // lint:allow(no-wall-clock): measures the lint engine itself, not simulated work
+    let start = Instant::now();
+    let end = Instant::now(); // lint:allow(no-wall-clock): same measurement block
+    let _ = end;
+    start
+}

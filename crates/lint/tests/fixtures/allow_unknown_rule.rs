@@ -1,0 +1,5 @@
+pub fn h() {
+    // lint:allow(no-such-rule): the rule id is misspelled, so nothing is suppressed
+    let x: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    let _ = x;
+}

@@ -1,0 +1,6 @@
+use microedge_sim::rng::DetRng;
+
+pub fn seeded() -> u64 {
+    let mut rng = DetRng::seeded(42);
+    rng.next_u64()
+}

@@ -1,0 +1,7 @@
+pub fn entropy() -> u64 {
+    let mut _rng = rand::thread_rng();
+    let x: u64 = rand::random();
+    let _os = OsRng;
+    let _r = SmallRng::from_entropy();
+    x
+}

@@ -1,0 +1,28 @@
+use std::cmp::Ordering;
+
+pub struct Key(pub u64);
+
+impl PartialEq for Key {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl Eq for Key {}
+
+impl PartialOrd for Key {
+    // the canonical delegating impl must not be flagged as a call site
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+pub fn sorted(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}

@@ -1,0 +1,11 @@
+pub fn worst(xs: &mut Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs.iter()
+        .copied()
+        .max_by(|a, b| a.partial_cmp(b).expect("not NaN"))
+        .unwrap_or(0.0)
+}
+
+pub fn tolerant(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}

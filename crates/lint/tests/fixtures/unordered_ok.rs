@@ -1,0 +1,5 @@
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn build() -> (BTreeMap<u32, u32>, BTreeSet<u32>) {
+    (BTreeMap::new(), BTreeSet::new())
+}

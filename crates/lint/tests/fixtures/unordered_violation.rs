@@ -1,0 +1,5 @@
+use std::collections::{HashMap, HashSet};
+
+pub fn build() -> (HashMap<u32, u32>, HashSet<u32>) {
+    (HashMap::new(), HashSet::new())
+}

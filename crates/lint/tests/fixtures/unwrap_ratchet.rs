@@ -1,0 +1,16 @@
+pub fn production(x: Option<u32>, y: Result<u32, ()>) -> u32 {
+    let a = x.unwrap();
+    let b = y.expect("");
+    let c = x.expect("x is Some: checked by the caller");
+    a + b + c
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_does_not_count() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        assert_eq!(v.unwrap(), v.expect(""));
+    }
+}

@@ -1,0 +1,6 @@
+use microedge_sim::event::EventQueue;
+
+pub fn sim_time(q: &EventQueue<u32>) -> u64 {
+    // virtual time from the queue, never the host clock
+    q.now().as_nanos()
+}

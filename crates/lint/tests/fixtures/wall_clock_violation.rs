@@ -1,0 +1,7 @@
+use std::time::{Instant, SystemTime};
+
+pub fn timestamps() -> (Instant, SystemTime) {
+    let a = Instant::now();
+    let b = SystemTime::now();
+    (a, b)
+}

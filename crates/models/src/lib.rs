@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # microedge-models — ML model profiles for the MicroEdge reproduction

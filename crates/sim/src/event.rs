@@ -335,7 +335,31 @@ impl<E> EventQueue<E> {
 
 #[cfg(test)]
 mod tests {
+    use proptest::prelude::*;
+
     use super::*;
+
+    proptest! {
+        /// The manual `PartialOrd` on `Scheduled` must agree with its `Ord`
+        /// impl — `partial_cmp` is always `Some(cmp)` — or heap ordering
+        /// could diverge depending on which trait a caller goes through
+        /// (the PR 4 float-comparison audit, applied to the event queue).
+        #[test]
+        fn scheduled_partial_cmp_agrees_with_cmp(
+            t1 in 0u64..5_000,
+            s1 in 0u64..64,
+            t2 in 0u64..5_000,
+            s2 in 0u64..64,
+        ) {
+            let a = Scheduled { time: SimTime::from_nanos(t1), seq: s1, event: () };
+            let b = Scheduled { time: SimTime::from_nanos(t2), seq: s2, event: () };
+            prop_assert_eq!(a.partial_cmp(&b), Some(a.cmp(&b)));
+            prop_assert_eq!(b.partial_cmp(&a), Some(b.cmp(&a)));
+            prop_assert_eq!(a.partial_cmp(&a), Some(Ordering::Equal));
+            // Antisymmetry ties the two orders together end to end.
+            prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        }
+    }
 
     #[test]
     fn pops_in_time_order() {

@@ -23,7 +23,11 @@ fn main() {
         let spec = StreamSpec::builder(&format!("cam-{i}"), "ssd-mobilenet-v2")
             .start_offset(SimDuration::from_millis(i * 11))
             .build();
-        cams.push(world.admit_stream(spec).unwrap());
+        cams.push(
+            world
+                .admit_stream(spec)
+                .expect("six 0.70-unit cams fit the 6-TPU cluster"),
+        );
     }
     println!(
         "6 cameras × 0.35 units on 3 TPUs (load {:.2}/3.00). Running...",
@@ -68,7 +72,9 @@ fn main() {
     );
     println!("\nPer-stream outcome over the full 20 s:");
     for cam in &cams {
-        let r = results.report(*cam).unwrap();
+        let r = results
+            .report(*cam)
+            .expect("every admitted cam has a report");
         println!(
             "  {}: {:>4} frames completed, {:.2} FPS",
             r.stream(),

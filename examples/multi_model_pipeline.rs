@@ -29,16 +29,24 @@ fn main() {
     );
     let cam = world.admit_stream(spec).expect("0.675 + 0.215 units fit");
 
-    let pod = world.pod_of(cam).unwrap();
+    let pod = world
+        .pod_of(cam)
+        .expect("an admitted stream is backed by a pod");
     println!("\nPer-stage TPU grants:");
-    for (model, allocations) in world.scheduler().stage_assignment(pod).unwrap() {
+    let stage_assignment = world
+        .scheduler()
+        .stage_assignment(pod)
+        .expect("a deployed pipeline pod has per-stage grants");
+    for (model, allocations) in stage_assignment {
         for alloc in allocations {
             println!("  {model:>12} → {} ({})", alloc.tpu(), alloc.units());
         }
     }
 
     let results = world.run_to_completion(SimTime::from_secs(120));
-    let report = results.report(cam).unwrap();
+    let report = results
+        .report(cam)
+        .expect("the admitted stream has a report");
     println!(
         "\n{} frames, {:.2} FPS achieved, SLO {}",
         report.completed(),

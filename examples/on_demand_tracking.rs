@@ -26,7 +26,7 @@ fn main() {
     // The upstream camera processes continuously.
     world
         .admit_stream(StreamSpec::builder("upstream", "ssd-mobilenet-v2").build())
-        .unwrap();
+        .expect("an idle 4-TPU cluster admits one 0.70-unit stream");
 
     // Downstream activity windows: one per vehicle, merged when they
     // overlap — [enter − margin, leave + margin], shifted by the corridor
@@ -69,7 +69,9 @@ fn main() {
             start.as_secs_f64(),
         );
         world.run_until(end);
-        world.remove_stream(active).unwrap();
+        world
+            .remove_stream(active)
+            .expect("the window's stream was admitted above and not yet removed");
         println!(
             "  t={:>6.1}s  field of view clear → units released",
             end.as_secs_f64()
@@ -77,7 +79,8 @@ fn main() {
         busy_time += end.saturating_since(start);
     }
 
-    let horizon = merged.last().unwrap().1 + SimDuration::from_secs(5);
+    let last_window = merged.last().expect("the vehicle trace is non-empty");
+    let horizon = last_window.1 + SimDuration::from_secs(5);
     world.run_until(horizon);
     let results = world.finish(horizon);
 

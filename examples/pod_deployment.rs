@@ -40,8 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "① parsed pod spec `{}` requesting model {:?} @ {:?} TPU units",
         spec.name(),
-        spec.extension("microedge.io/model").unwrap(),
-        spec.extension("microedge.io/tpu-units").unwrap(),
+        spec.extension("microedge.io/model")
+            .expect("the spec above sets the model extension"),
+        spec.extension("microedge.io/tpu-units")
+            .expect("the spec above sets the tpu-units extension"),
     );
 
     // K3s default scheduling produces the candidate-node list.
@@ -61,7 +63,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "③ pod bound: {} on {}",
         deployment.pod(),
-        orch.node_of(deployment.pod()).unwrap()
+        orch.node_of(deployment.pod())
+            .expect("a deployed pod is bound to a node")
     );
     let lbs = deployment.lbs();
     println!("④ LBS configured with weights {:?}", lbs.weights());

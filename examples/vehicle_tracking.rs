@@ -68,7 +68,9 @@ fn main() {
     let results = world.run_to_completion(SimTime::from_secs(300));
     println!("\nDetection pipeline audit:");
     for (i, cam) in cams.iter().enumerate() {
-        let r = results.report(*cam).unwrap();
+        let r = results
+            .report(*cam)
+            .expect("every admitted corridor cam has a report");
         println!(
             "  corridor-cam-{i}: {:.2} FPS ({} frames), SLO {}",
             r.achieved_fps(),

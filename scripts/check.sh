@@ -7,6 +7,9 @@ cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel)"
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
+echo "==> microedge-lint (determinism/robustness rules, see LINTS.md)"
+cargo run --quiet -p microedge-lint
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

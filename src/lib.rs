@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # MicroEdge — a multi-tenant edge cluster for scalable camera processing
