@@ -50,6 +50,70 @@ fn bench_event_queue_1m(c: &mut Criterion) {
     });
 }
 
+fn bench_epoch_barrier_exchange(c: &mut Criterion) {
+    // The sharded replay's epoch machinery at a million events: 8 shard
+    // queues each holding 125k events, drained epoch by epoch with a
+    // barrier `advance_to` and a sorted cross-shard exchange (every 8th
+    // event emits a message ring-routed to the next shard), against the
+    // unsharded baseline of one queue popping the same million events.
+    // The gap between the two is the price of determinism-preserving
+    // sharding — barrier bookkeeping, exchange sort, re-scheduling.
+    const EVENTS: u64 = 1_000_000;
+    const SHARDS: u64 = 8;
+    const SPAN_NS: u64 = 10_000_000_000; // events spread over 10 simulated seconds
+    const FORWARDED: u64 = 1 << 63; // high bit marks a delivered message
+
+    c.bench_function("micro/epoch_unsharded_queue_1m", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..EVENTS {
+                q.schedule_at(SimTime::from_nanos((i * 7919) % SPAN_NS), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            sum
+        })
+    });
+
+    c.bench_function("micro/epoch_sharded_8x125k_exchange_1m", |b| {
+        let epoch = SimDuration::from_millis(500);
+        b.iter(|| {
+            let mut queues: Vec<EventQueue<u64>> = (0..SHARDS).map(|_| EventQueue::new()).collect();
+            for i in 0..EVENTS {
+                queues[(i % SHARDS) as usize]
+                    .schedule_at(SimTime::from_nanos((i * 7919) % SPAN_NS), i);
+            }
+            let mut sum = 0u64;
+            let mut now = SimTime::from_nanos(0);
+            let mut msgs: Vec<(u64, SimTime, u64)> = Vec::new();
+            loop {
+                let barrier = now.checked_add(epoch).expect("epoch barrier overflows");
+                for (src, q) in queues.iter_mut().enumerate() {
+                    while let Some((t, v)) = q.pop_due(barrier) {
+                        sum = sum.wrapping_add(v & !FORWARDED);
+                        if v & FORWARDED == 0 && v.is_multiple_of(8) {
+                            msgs.push((src as u64, t, v));
+                        }
+                    }
+                    q.advance_to(barrier);
+                }
+                msgs.sort_unstable_by_key(|&(src, t, v)| (t, src, v));
+                for (src, t, v) in msgs.drain(..) {
+                    let dest = ((src + 1) % SHARDS) as usize;
+                    queues[dest].schedule_at(t.max(barrier), v | FORWARDED);
+                }
+                now = barrier;
+                if queues.iter().all(EventQueue::is_empty) {
+                    break;
+                }
+            }
+            sum
+        })
+    });
+}
+
 fn bench_stream_lookup(c: &mut Criterion) {
     // The dispatch loop resolves a StreamId on every event. The runtime
     // stores streams in a slab (Vec indexed by id); this pins the gap to
@@ -197,6 +261,7 @@ criterion_group!(
     benches,
     bench_event_queue,
     bench_event_queue_1m,
+    bench_epoch_barrier_exchange,
     bench_stream_lookup,
     bench_units,
     bench_lbs,

@@ -1,0 +1,22 @@
+//! One-off probe: the unsharded 1M-stream point (not part of `repro`).
+//!
+//! This measures the single-`World` baseline the sharded study is compared
+//! against in EXPERIMENTS.md ("Sharded replay"): the same 1M cameras and
+//! 15M events drained through one event queue. It is deliberately excluded
+//! from `repro --scale` — at ~90s wall it would dominate the sweep while
+//! adding no deterministic output — so run it by hand when re-measuring:
+//!
+//! ```sh
+//! cargo run --release -p microedge-bench --example serial_1m_probe
+//! ```
+fn main() {
+    let p = microedge_bench::scale::run_scale_point(1_000_000, 5);
+    println!(
+        "streams={} events={} admit_s={:.3} replay_s={:.3} Mev/s={:.2}",
+        p.streams,
+        p.events,
+        p.admit_wall_s,
+        p.run_wall_s,
+        p.events_per_sec() / 1e6
+    );
+}

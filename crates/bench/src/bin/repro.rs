@@ -18,9 +18,11 @@
 //! schedule) and writes `BENCH_chaos.json` the same way; its numbers are
 //! simulated time, so the file is byte-identical across runs and
 //! `MICROEDGE_WORKERS` settings. `--scale` sweeps the 1k→100k-stream
-//! scale-out study (tiny fleets under `--quick`) and writes
-//! `BENCH_scale.json`, whose fields are all deterministic — wall-clock
-//! and RSS appear only in the printed table.
+//! serial scale-out study plus the sharded 100k/1M-stream replay (tiny
+//! fleets under `--quick`) and writes `BENCH_scale.json`; host
+//! measurements (wall-clock, events/s, RSS, worker count) live on
+//! dedicated `host_`-prefixed lines that CI strips before byte-comparing,
+//! every other field is deterministic.
 //!
 //! The artifacts are independent, so they run concurrently through the
 //! deterministic executor ([`microedge_bench::par`]); each job renders its
@@ -463,6 +465,11 @@ fn main() {
     if opts.scale || opts.perf {
         let study = microedge_bench::scale::run_scale(opts.quick);
         println!("{}", study.render_summary());
-        write_bench("BENCH_scale.json", study.to_json());
+        let sharded = microedge_bench::scale_sharded::run_scale_sharded(opts.quick);
+        println!("{}", sharded.render_summary());
+        write_bench(
+            "BENCH_scale.json",
+            microedge_bench::scale_sharded::render_bench_json(&study, &sharded),
+        );
     }
 }

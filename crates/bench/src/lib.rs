@@ -21,6 +21,7 @@
 //! | [`tail_latency`] | per-frame latency vs load curve (queueing behaviour) |
 //! | [`chaos`] | chaos / failure-recovery study (§7 robustness extension) |
 //! | [`scale`] | 100k-stream scale-out study (§6.3's "much larger configuration") |
+//! | [`scale_sharded`] | sharded 1M-stream replay (deterministic epoch-barrier parallelism) |
 //!
 //! The `repro` binary prints every artifact; the Criterion benches under
 //! `benches/` time the underlying computations.
@@ -39,6 +40,7 @@ pub mod pipeline_ablation;
 pub mod runner;
 pub mod scalability;
 pub mod scale;
+pub mod scale_sharded;
 pub mod tail_latency;
 pub mod trace_study;
 

@@ -14,7 +14,10 @@
 //!   go into `BENCH_scale.json`, which is byte-identical across runs and
 //!   `MICROEDGE_WORKERS` settings; CI diffs it.
 //! - **Host measurements** (wall-clock, events/sec, peak RSS from
-//!   `/proc/self/status`) — these appear only in the rendered table.
+//!   `/proc/self/status`) — these appear in the rendered table and, so the
+//!   perf trajectory is captured over time, in the JSON under `host_`-
+//!   prefixed keys on their own lines. CI strips those lines
+//!   (`grep -v '"host_'`) before byte-comparing artifacts.
 //!
 //! The telemetry footprint is the point: per-frame latency distributions
 //! are held in constant-memory log-linear sketches
@@ -131,15 +134,11 @@ pub fn peak_rss_bytes() -> Option<u64> {
     Some(kib * 1024)
 }
 
-/// Runs one sweep point: sizes a cluster for `streams` cameras, admits
-/// them all, and replays every frame.
-///
-/// # Panics
-///
-/// Panics if any admission fails — the cluster is sized so that all of
-/// them fit, so a failure is a sizing or scheduler bug, not load shedding.
+/// Sizes a cluster for `streams` 1 FPS ssd-mobilenet-v2 cameras: the
+/// `(trpis, vrpis)` pair that fits the whole fleet with no headroom. Shared
+/// with the sharded study, which sizes each shard's cluster the same way.
 #[must_use]
-pub fn run_scale_point(streams: u64, frame_limit: u64) -> ScalePoint {
+pub fn size_cluster(streams: u64) -> (u32, u32) {
     let units = DataPlaneConfig::calibrated().profiled_units(&ssd_mobilenet_v2(), SCALE_FPS);
     let streams_per_tpu = TpuUnits::ONE.as_micro() / units.as_micro();
     let tpus = u32::try_from(streams.div_ceil(streams_per_tpu)).expect("TPU count fits u32");
@@ -153,10 +152,20 @@ pub fn run_scale_point(streams: u64, frame_limit: u64) -> ScalePoint {
     let vrpis = u32::try_from(streams.div_ceil(slots))
         .expect("node count fits u32")
         .saturating_sub(tpus);
-    let cluster = ClusterBuilder::new()
-        .trpis(tpus)
-        .vrpis(vrpis.max(1))
-        .build();
+    (tpus, vrpis.max(1))
+}
+
+/// Runs one sweep point: sizes a cluster for `streams` cameras, admits
+/// them all, and replays every frame.
+///
+/// # Panics
+///
+/// Panics if any admission fails — the cluster is sized so that all of
+/// them fit, so a failure is a sizing or scheduler bug, not load shedding.
+#[must_use]
+pub fn run_scale_point(streams: u64, frame_limit: u64) -> ScalePoint {
+    let (tpus, vrpis) = size_cluster(streams);
+    let cluster = ClusterBuilder::new().trpis(tpus).vrpis(vrpis).build();
     let nodes = u32::try_from(cluster.nodes().len()).expect("node count fits u32");
     let mut world = build_world(cluster, SystemConfig::microedge_full());
 
@@ -214,18 +223,25 @@ pub fn run_scale(quick: bool) -> ScaleStudy {
     }
 }
 
+/// Formats an optional byte count as a JSON number or `null`.
+pub(crate) fn json_opt_u64(value: Option<u64>) -> String {
+    value.map_or_else(|| "null".to_owned(), |v| v.to_string())
+}
+
 impl ScaleStudy {
-    /// Renders the `BENCH_scale.json` document. Only deterministic fields
-    /// appear (no wall-clock, no RSS), so the file is byte-identical
-    /// across runs and worker settings.
+    /// Renders this study's `"points"` array body: per point, one line of
+    /// deterministic fields followed by one line of `host_`-prefixed
+    /// measurements. CI drops the host lines (`grep -v '"host_'`) before
+    /// byte-comparing, so determinism checks and the recorded perf
+    /// trajectory coexist in one file.
     #[must_use]
-    pub fn to_json(&self) -> String {
+    pub fn points_json(&self) -> String {
         let mut points = String::new();
         for (i, p) in self.points.iter().enumerate() {
             let comma = if i + 1 < self.points.len() { "," } else { "" };
             let _ = write!(
                 points,
-                "\n    {{\"streams\": {}, \"tpus\": {}, \"nodes\": {}, \"frames\": {}, \"events\": {}, \"telemetry_bytes\": {}, \"telemetry_bytes_per_stream\": {:.3}}}{comma}",
+                "\n    {{\"streams\": {}, \"tpus\": {}, \"nodes\": {}, \"frames\": {}, \"events\": {}, \"telemetry_bytes\": {}, \"telemetry_bytes_per_stream\": {:.3},\n      \"host_events_per_sec\": {:.1}, \"host_replay_wall_s\": {:.3}, \"host_peak_rss_bytes\": {}}}{comma}",
                 p.streams,
                 p.tpus,
                 p.nodes,
@@ -233,8 +249,22 @@ impl ScaleStudy {
                 p.events,
                 p.telemetry_bytes,
                 p.telemetry_bytes_per_stream(),
+                p.events_per_sec(),
+                p.run_wall_s,
+                json_opt_u64(p.peak_rss_bytes),
             );
         }
+        points
+    }
+
+    /// Renders the serial half of the `BENCH_scale.json` document.
+    /// Deterministic fields are byte-identical across runs and worker
+    /// settings; host measurements live on dedicated `host_` lines the CI
+    /// compare strips (see [`ScaleStudy::points_json`]). The `repro`
+    /// binary appends the sharded study before the closing brace via
+    /// [`crate::scale_sharded::render_bench_json`].
+    #[must_use]
+    pub fn to_json(&self) -> String {
         format!(
             "{{\n  \"benchmark\": \"scale_out_study\",\n  \"workload\": \"N cameras x {frames} frames at {fps} FPS, ssd-mobilenet-v2, {config}\",\n  \"sketch_relative_error\": {err},\n  \"telemetry_invariance\": {{\"streams\": {inv_streams}, \"bytes_at_1x_frames\": {inv_1x}, \"bytes_at_2x_frames\": {inv_2x}}},\n  \"points\": [{points}\n  ]\n}}\n",
             frames = self.frame_limit,
@@ -244,6 +274,7 @@ impl ScaleStudy {
             inv_streams = self.invariance.streams,
             inv_1x = self.invariance.bytes_at_1x_frames,
             inv_2x = self.invariance.bytes_at_2x_frames,
+            points = self.points_json(),
         )
     }
 
@@ -327,21 +358,31 @@ mod tests {
         assert!(long.frames > short.frames);
     }
 
+    /// The CI filter: the artifact with every `host_` measurement line
+    /// removed — exactly what `scripts/check.sh` byte-compares.
+    fn strip_host_lines(json: &str) -> String {
+        json.lines()
+            .filter(|l| !l.contains("\"host_"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
     #[test]
-    fn json_is_deterministic_and_wall_clock_free() {
+    fn json_is_deterministic_once_host_lines_are_stripped() {
         let study = run_scale(true);
         let again = run_scale(true);
         assert_eq!(
-            study.to_json(),
-            again.to_json(),
-            "JSON must be byte-identical"
+            strip_host_lines(&study.to_json()),
+            strip_host_lines(&again.to_json()),
+            "filtered JSON must be byte-identical"
         );
         let json = study.to_json();
-        assert!(
-            !json.contains("wall"),
-            "host measurements stay out of the JSON"
-        );
-        assert!(!json.contains("rss"));
+        // Host measurements are present, but only on their own host_ lines
+        // so the CI grep filter removes every one of them.
+        assert!(json.contains("\"host_events_per_sec\""));
+        let filtered = strip_host_lines(&json);
+        assert!(!filtered.contains("wall"), "host fields leak: {filtered}");
+        assert!(!filtered.contains("rss"));
         assert!(json.contains("\"telemetry_invariance\""));
         assert_eq!(
             study.invariance.bytes_at_1x_frames,

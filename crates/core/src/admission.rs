@@ -114,8 +114,10 @@ impl PlanBuffer {
 }
 
 /// Decides where a TPU request goes. Implementations are the packing
-/// heuristics; [`FirstFit`] is the one MicroEdge ships.
-pub trait AdmissionPolicy: std::fmt::Debug {
+/// heuristics; [`FirstFit`] is the one MicroEdge ships. `Send` because the
+/// sharded replay moves whole `World`s — scheduler and policy included —
+/// across its worker pool between epochs.
+pub trait AdmissionPolicy: std::fmt::Debug + Send {
     /// Plans allocations for a request of `units` of `model` into `out`,
     /// returning `false` when the request must be rejected (in which case
     /// `out` is left empty). The plan is **not** committed — callers apply

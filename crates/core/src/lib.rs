@@ -26,7 +26,10 @@
 //!   robin with WFQ spread);
 //! - [`runtime`] — the discrete-event world: TPU Services (FIFO,
 //!   run-to-completion), TPU Clients (pre-process → transmit → invoke →
-//!   post-process), live stream admission/removal, and metric collection.
+//!   post-process), live stream admission/removal, and metric collection;
+//! - [`shard`] — sharded single-replay parallelism: per-cluster `World`
+//!   shards advanced in deterministic epochs with barrier-exchanged
+//!   cross-shard traffic, bit-identical at any worker count.
 //!
 //! # Examples
 //!
@@ -54,6 +57,7 @@ pub mod lbs;
 pub mod pool;
 pub mod runtime;
 pub mod scheduler;
+pub mod shard;
 pub mod units;
 
 pub use admission::{AdmissionPolicy, BestFit, FirstFit, NextFit, NextKFit, WorstFit};
@@ -65,9 +69,12 @@ pub use faults::{
 };
 pub use lbs::LbService;
 pub use pool::{render_pool, Allocation, TpuAccount, TpuPool};
-pub use runtime::{RunResults, StreamId, StreamSpec, World, METRIC_WINDOW};
+pub use runtime::{
+    FrameExport, RunResults, StreamId, StreamSpec, World, WorldCommand, METRIC_WINDOW,
+};
 pub use scheduler::{
     DeployError, Deployment, ExtendedScheduler, FailureRecovery, RecoveredPod, StageGrant,
     StagePlacement, TpuRequest,
 };
+pub use shard::{GlobalStreamId, ShardedWorld};
 pub use units::TpuUnits;

@@ -80,7 +80,7 @@ use microedge_orch::pod::{PodId, PodSpec, ResourceRequest, EXT_MODEL, EXT_TPU_UN
 use microedge_sim::event::EventQueue;
 use microedge_sim::rng::DetRng;
 use microedge_sim::series::StepSeries;
-use microedge_sim::stats::OnlineStats;
+use microedge_sim::stats::{LogLinearSketch, OnlineStats};
 use microedge_sim::time::{SimDuration, SimTime};
 use microedge_tpu::cocompile::CoCompiler;
 use microedge_tpu::device::{DeviceStats, TpuDevice, TpuId};
@@ -103,6 +103,40 @@ impl fmt::Display for StreamId {
     }
 }
 
+/// Bit position where [`StreamId::with_shard`] packs the shard index: the
+/// low 40 bits stay the shard-local slab index (a trillion streams per
+/// shard), the high bits name the shard.
+pub const SHARD_ID_SHIFT: u32 = 40;
+
+impl StreamId {
+    /// Packs this shard-local id into the sharded replay's global id space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the local id overflows the 40-bit local field.
+    #[must_use]
+    pub fn with_shard(self, shard: u32) -> StreamId {
+        assert!(
+            self.0 < 1 << SHARD_ID_SHIFT,
+            "shard-local stream id {id} overflows the global id space",
+            id = self.0
+        );
+        StreamId((u64::from(shard) << SHARD_ID_SHIFT) | self.0)
+    }
+
+    /// The shard index a global id was packed with (0 for unsharded runs).
+    #[must_use]
+    pub fn shard(self) -> u32 {
+        u32::try_from(self.0 >> SHARD_ID_SHIFT).expect("shard index fits u32")
+    }
+
+    /// The shard-local part of a global id.
+    #[must_use]
+    pub fn local(self) -> StreamId {
+        StreamId(self.0 & ((1 << SHARD_ID_SHIFT) - 1))
+    }
+}
+
 /// One inference stage of a stream's per-frame pipeline.
 #[derive(Debug, Clone, PartialEq)]
 struct StageSpec {
@@ -121,6 +155,7 @@ pub struct StreamSpec {
     collocated: bool,
     frame_filter: Option<(f64, u64)>,
     source: SourceResolution,
+    export: bool,
 }
 
 impl StreamSpec {
@@ -141,6 +176,7 @@ impl StreamSpec {
                 collocated: false,
                 frame_filter: None,
                 source: SourceResolution::FULL_HD,
+                export: false,
             },
         }
     }
@@ -258,6 +294,17 @@ impl StreamSpecBuilder {
             "pass rate must be in (0, 1], got {pass_rate}"
         );
         self.spec.frame_filter = Some((pass_rate, seed));
+        self
+    }
+
+    /// Marks the stream's frame completions for cross-shard export: the
+    /// sharded replay collects a [`FrameExport`] per completed frame from
+    /// [`World::take_outbox`] and forwards it to a peer shard at the next
+    /// epoch barrier (an analytics/aggregation consumer in another
+    /// cluster). Unsharded runs ignore the flag beyond filling the outbox.
+    #[must_use]
+    pub fn export_completions(mut self, export: bool) -> Self {
+        self.spec.export = export;
         self
     }
 
@@ -384,6 +431,37 @@ struct StreamRuntime {
     pending_swap: Option<u64>,
 }
 
+/// A control-plane command deliverable through the event queue at a chosen
+/// instant — the unit of cross-shard control traffic. The sharded replay
+/// holds commands in a global mailbox and releases each to its owning shard
+/// at the epoch barrier covering its timestamp; unsharded callers can use
+/// [`World::schedule_command`] directly to script mid-run admissions,
+/// removals, and faults without stepping the world manually.
+#[derive(Debug, Clone)]
+pub enum WorldCommand {
+    /// Admit a new stream when the command fires (boxed: specs are large
+    /// and commands share the queue with hot-path events).
+    Admit(Box<StreamSpec>),
+    /// Remove a running stream.
+    Remove(StreamId),
+    /// Apply a component fault or repair (the chaos-mode injected path; a
+    /// no-op unless [`World::enable_chaos`] armed the subsystem).
+    Fault(FaultKind),
+}
+
+/// One completed frame announced to another shard: the paper's cross-cluster
+/// aggregation traffic. Carries everything the receiving side records, so
+/// delivery needs no access to the producing shard's state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameExport {
+    /// Completion instant on the producing shard (post-processing done).
+    pub at: SimTime,
+    /// Producing stream, shard-local id.
+    pub stream: StreamId,
+    /// The frame's end-to-end latency.
+    pub latency: SimDuration,
+}
+
 /// Kernel events. Completions are *not* events: a frame's completion time
 /// is fully determined the moment its last TPU invocation finishes (or the
 /// client filters it), so the kernel records completion metrics inline with
@@ -414,6 +492,11 @@ enum Ev {
     /// Reconciliation pass: drain due pending-restart entries, then try
     /// upgrading degraded streams.
     Reconcile,
+    /// A scheduled control-plane command fires (see [`WorldCommand`]).
+    Command(WorldCommand),
+    /// A frame completion exported by a peer shard arrives; the payload is
+    /// its end-to-end latency, recorded into the remote-ingest sketch.
+    Ingest(SimDuration),
 }
 
 /// Per-component fault bookkeeping (one per TPU, one per node — link
@@ -475,6 +558,8 @@ pub struct RunResults {
     phases: BTreeMap<StreamId, StreamPhase>,
     lineage: BTreeMap<StreamId, StreamId>,
     chain_latencies: BTreeMap<StreamId, OnlineStats>,
+    remote_ingest: LogLinearSketch,
+    commands_failed: u64,
 }
 
 impl RunResults {
@@ -606,7 +691,123 @@ impl RunResults {
     /// footprint grew O(frames).
     #[must_use]
     pub fn telemetry_memory_bytes(&self) -> usize {
-        self.breakdowns.memory_bytes() + self.recovery.memory_bytes()
+        self.breakdowns.memory_bytes()
+            + self.recovery.memory_bytes()
+            + self.remote_ingest.memory_bytes()
+    }
+
+    /// Latency sketch of every frame completion announced by peer shards
+    /// (cross-shard aggregation traffic). Empty in unsharded runs.
+    #[must_use]
+    pub fn remote_ingest(&self) -> &LogLinearSketch {
+        &self.remote_ingest
+    }
+
+    /// Scheduled control-plane commands that fired but failed (admission
+    /// rejected, stream unknown). Deterministic, so it participates in the
+    /// byte-compare artifacts.
+    #[must_use]
+    pub fn commands_failed(&self) -> u64 {
+        self.commands_failed
+    }
+
+    /// Merges per-shard results into one fleet-level [`RunResults`], the
+    /// final step of a sharded replay. Stream ids are remapped with
+    /// [`StreamId::with_shard`] so shards cannot collide; distributions
+    /// merge via the PR 4 sketch merges (merge ≡ concatenated recording),
+    /// counters sum, and utilization averages weight each shard by its
+    /// device count. The merge is pure data-plumbing — shard order is fixed
+    /// by the caller's `Vec`, so the result is deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or a shard-local stream id overflows the
+    /// 40-bit local field.
+    #[must_use]
+    pub fn merge_shards(parts: Vec<RunResults>) -> RunResults {
+        assert!(!parts.is_empty(), "cannot merge zero shards");
+        let total_devices: usize = parts.iter().map(|p| p.per_device_utilization.len()).sum();
+        let windows = parts
+            .iter()
+            .map(|p| p.windowed_utilization.len())
+            .max()
+            .unwrap_or(0);
+        let mut merged = RunResults {
+            reports: BTreeMap::new(),
+            latencies: BTreeMap::new(),
+            average_utilization: 0.0,
+            per_device_utilization: Vec::with_capacity(total_devices),
+            windowed_utilization: vec![0.0; windows],
+            breakdowns: BreakdownRecorder::new(),
+            device_stats: Vec::new(),
+            max_queue_depths: Vec::new(),
+            used_tpus: 0,
+            frames_dropped: 0,
+            events_processed: 0,
+            end: SimTime::ZERO,
+            recovery: RecoveryRecorder::new(),
+            availability: BTreeMap::new(),
+            phases: BTreeMap::new(),
+            lineage: BTreeMap::new(),
+            chain_latencies: BTreeMap::new(),
+            remote_ingest: LogLinearSketch::new(),
+            commands_failed: 0,
+        };
+        for (shard, part) in parts.into_iter().enumerate() {
+            let shard = u32::try_from(shard).expect("shard count fits u32");
+            let remap = |id: StreamId| id.with_shard(shard);
+            // A shard's windows are that shard's fleet average; weight by
+            // its device share (a shard that ended early idles at 0).
+            let weight = if total_devices == 0 {
+                0.0
+            } else {
+                part.per_device_utilization.len() as f64 / total_devices as f64
+            };
+            merged.average_utilization += part.average_utilization * weight;
+            for (w, v) in merged
+                .windowed_utilization
+                .iter_mut()
+                .zip(&part.windowed_utilization)
+            {
+                *w += v * weight;
+            }
+            merged
+                .reports
+                .extend(part.reports.into_iter().map(|(id, r)| (remap(id), r)));
+            merged
+                .latencies
+                .extend(part.latencies.into_iter().map(|(id, s)| (remap(id), s)));
+            merged
+                .availability
+                .extend(part.availability.into_iter().map(|(id, a)| (remap(id), a)));
+            merged
+                .phases
+                .extend(part.phases.into_iter().map(|(id, p)| (remap(id), p)));
+            merged.lineage.extend(
+                part.lineage
+                    .into_iter()
+                    .map(|(old, new)| (remap(old), remap(new))),
+            );
+            merged.chain_latencies.extend(
+                part.chain_latencies
+                    .into_iter()
+                    .map(|(id, s)| (remap(id), s)),
+            );
+            merged
+                .per_device_utilization
+                .extend(part.per_device_utilization);
+            merged.device_stats.extend(part.device_stats);
+            merged.max_queue_depths.extend(part.max_queue_depths);
+            merged.breakdowns.merge(&part.breakdowns);
+            merged.recovery.merge(&part.recovery);
+            merged.remote_ingest.merge(&part.remote_ingest);
+            merged.used_tpus += part.used_tpus;
+            merged.frames_dropped += part.frames_dropped;
+            merged.events_processed += part.events_processed;
+            merged.commands_failed += part.commands_failed;
+            merged.end = merged.end.max(part.end);
+        }
+        merged
     }
 
     /// Availability totals for the lineage rooted at `root`. Populated only
@@ -729,6 +930,22 @@ pub struct World {
     lineage: BTreeMap<StreamId, StreamId>,
     /// Armed by [`World::enable_chaos`]; `None` costs nothing on hot paths.
     chaos: Option<Box<ChaosState>>,
+    /// Completions of export-flagged streams since the last
+    /// [`World::take_outbox`], in completion-record order (monotone in
+    /// `at`): the shard's outbound cross-shard traffic.
+    outbox: Vec<FrameExport>,
+    /// Latency sketch of peer-shard completions delivered via
+    /// [`World::schedule_ingest`].
+    ingest: LogLinearSketch,
+    /// Scheduled commands that fired but failed.
+    commands_failed: u64,
+}
+
+/// The sharded replay moves whole shards across the worker pool between
+/// epochs, so a `World` (and everything it owns) must stay `Send`.
+fn _assert_world_is_send() {
+    fn assert_send<T: Send>() {}
+    assert_send::<World>();
 }
 
 impl fmt::Debug for World {
@@ -797,6 +1014,9 @@ impl World {
             next_stream: 0,
             lineage: BTreeMap::new(),
             chaos: None,
+            outbox: Vec::new(),
+            ingest: LogLinearSketch::new(),
+            commands_failed: 0,
         }
     }
 
@@ -2097,6 +2317,52 @@ impl World {
         }
     }
 
+    /// Schedules a control-plane command to fire at `at` — the delivery
+    /// half of the cross-shard command mailbox, also usable directly to
+    /// script mid-run admissions/removals/faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_command(&mut self, at: SimTime, cmd: WorldCommand) {
+        self.queue.schedule_at(at, Ev::Command(cmd));
+    }
+
+    /// Drains the cross-shard outbox: every completion an export-flagged
+    /// stream recorded since the previous call, in completion-record order.
+    pub fn take_outbox(&mut self) -> Vec<FrameExport> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Delivers a peer shard's [`FrameExport`] at `at`: the receiving side
+    /// records the announced end-to-end `latency` into its remote-ingest
+    /// sketch when the event fires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_ingest(&mut self, at: SimTime, latency: SimDuration) {
+        self.queue.schedule_at(at, Ev::Ingest(latency));
+    }
+
+    /// Number of events still pending in the queue (the sharded replay's
+    /// global-drain test).
+    #[must_use]
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Aligns the clock to an epoch barrier without delivering anything;
+    /// see [`EventQueue::advance_to`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event at or before `barrier` is still pending — call
+    /// [`World::run_until`]`(barrier)` first.
+    pub fn advance_to(&mut self, barrier: SimTime) {
+        self.queue.advance_to(barrier);
+    }
+
     /// Runs until the event queue drains or `deadline` is reached, then
     /// finalises. Convenient for frame-limited runs.
     #[must_use]
@@ -2179,6 +2445,8 @@ impl World {
             phases,
             lineage,
             chain_latencies,
+            remote_ingest: self.ingest,
+            commands_failed: self.commands_failed,
         }
     }
 
@@ -2218,6 +2486,25 @@ impl World {
                 restarted,
             } => self.on_swap_in(now, stream, seq, breakdown, restarted),
             Ev::Reconcile => self.on_reconcile(now),
+            Ev::Command(cmd) => self.on_command(now, cmd),
+            Ev::Ingest(latency) => self.ingest.record_duration(latency),
+        }
+    }
+
+    /// Applies a scheduled control-plane command. Failures (admission
+    /// rejected, unknown stream) are counted, not propagated: by the time a
+    /// command fires, its originator is long gone.
+    fn on_command(&mut self, now: SimTime, cmd: WorldCommand) {
+        let outcome = match cmd {
+            WorldCommand::Admit(spec) => self.admit_stream(*spec).map(|_| ()),
+            WorldCommand::Remove(id) => self.remove_stream(id),
+            WorldCommand::Fault(kind) => {
+                self.on_fault(now, kind);
+                Ok(())
+            }
+        };
+        if outcome.is_err() {
+            self.commands_failed += 1;
         }
     }
 
@@ -2367,6 +2654,13 @@ impl World {
             // completion now with its future timestamp.
             stream.audit.frame_completed(now + self.dp.postprocess);
             stream.latency.record_duration(breakdown.total());
+            if stream.spec.export {
+                self.outbox.push(FrameExport {
+                    at: now + self.dp.postprocess,
+                    stream: inflight.stream,
+                    latency: breakdown.total(),
+                });
+            }
             self.breakdowns.record(&breakdown);
         }
         self.start_next(now, tpu);

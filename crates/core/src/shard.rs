@@ -1,0 +1,491 @@
+//! Sharded single-replay parallelism: one deterministic simulation spanning
+//! many per-cluster [`World`] shards.
+//!
+//! A [`ShardedWorld`] owns one `World` per cluster shard — each with its own
+//! event queue, stream slab, TPU pool, and telemetry sketches — and advances
+//! all of them in lock-step **epochs**. Within an epoch, shards share no
+//! state and run concurrently on the deterministic worker pool
+//! ([`microedge_sim::par`]); all cross-shard traffic is exchanged only at
+//! the epoch barrier, serially, in a canonical order. That makes the replay
+//! bit-identical at any `MICROEDGE_WORKERS` value:
+//!
+//! 1. **Partition.** Each shard drains its queue through
+//!    `EventQueue::pop_due(barrier)` (inclusive), so every event is handled
+//!    in exactly one epoch regardless of who else is running.
+//! 2. **Align.** After the parallel step, every shard's clock is advanced
+//!    to the barrier (`World::advance_to`), so barrier-time deliveries are
+//!    legal on all shards.
+//! 3. **Exchange.** Outbound frame exports are collected shard-by-shard and
+//!    sorted by `(time, source shard, stream id)` — a total order over
+//!    messages that does not depend on thread interleaving — then delivered
+//!    to the destination shards' queues. Control-plane commands
+//!    ([`WorldCommand`]) are released from a global mailbox to their owning
+//!    shard the same way, keyed by `(time, submission seq)`.
+//!
+//! Determinism therefore needs no synchronisation beyond the barrier: the
+//! worker pool only decides *when* a shard's epoch runs, never *what* it
+//! observes. The per-shard results merge into one fleet-level
+//! [`RunResults`] via [`RunResults::merge_shards`] (sketch merges + integer
+//! sums), and a single-shard `ShardedWorld` is byte-identical to the plain
+//! `World` it wraps — the differential oracle `tests/sharded_determinism.rs`
+//! pins down.
+//!
+//! # Examples
+//!
+//! ```
+//! use microedge_cluster::topology::ClusterBuilder;
+//! use microedge_core::config::Features;
+//! use microedge_core::runtime::StreamSpec;
+//! use microedge_core::shard::ShardedWorld;
+//! use microedge_sim::time::SimTime;
+//!
+//! let clusters = (0..2).map(|_| ClusterBuilder::new().trpis(1).vrpis(2).build());
+//! let mut sharded = ShardedWorld::new(clusters, Features::all());
+//! for shard in 0..2 {
+//!     let spec = StreamSpec::builder(&format!("cam-{shard}"), "ssd-mobilenet-v2")
+//!         .frame_limit(30)
+//!         .export_completions(true)
+//!         .build();
+//!     sharded.admit_stream(shard, spec).unwrap();
+//! }
+//! let results = sharded.run_to_completion(SimTime::from_secs(10));
+//! assert_eq!(results.reports().len(), 2);
+//! // Each shard's exports were ingested by its neighbour.
+//! assert_eq!(results.remote_ingest().count(), 60);
+//! ```
+
+use microedge_cluster::topology::Cluster;
+use microedge_sim::par;
+use microedge_sim::time::{SimDuration, SimTime};
+
+use crate::config::Features;
+use crate::faults::{ChaosConfig, FaultSchedule};
+use crate::runtime::{FrameExport, RunResults, StreamId, StreamSpec, World, WorldCommand};
+use crate::scheduler::DeployError;
+
+/// A stream id qualified by its owning shard — the stable identity
+/// cross-shard messages and merged results are keyed by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct GlobalStreamId {
+    /// Index of the owning shard.
+    pub shard: u32,
+    /// The shard-local id.
+    pub local: StreamId,
+}
+
+impl GlobalStreamId {
+    /// The packed id merged [`RunResults`] are keyed by.
+    #[must_use]
+    pub fn packed(self) -> StreamId {
+        self.local.with_shard(self.shard)
+    }
+}
+
+/// A control-plane command waiting in the global mailbox.
+#[derive(Debug, Clone)]
+struct PendingCommand {
+    at: SimTime,
+    /// Submission order: the tie-breaker for commands at the same instant.
+    seq: u64,
+    shard: u32,
+    cmd: WorldCommand,
+}
+
+/// The default epoch length: half a second of simulated time. Long enough
+/// that barrier overhead vanishes against millions of events per epoch,
+/// short enough that cross-shard latency (messages ride at earliest the
+/// next barrier) stays below a frame interval at 1 FPS.
+pub const DEFAULT_EPOCH: SimDuration = SimDuration::from_millis(500);
+
+/// A deterministic multi-cluster simulation: per-cluster [`World`] shards
+/// advanced in lock-step epochs with barrier-exchanged cross-shard traffic.
+/// See the [module docs](self) for the determinism argument.
+#[derive(Debug)]
+pub struct ShardedWorld {
+    shards: Vec<World>,
+    epoch: SimDuration,
+    /// The last completed barrier (all shard clocks are aligned to it
+    /// between epochs).
+    now: SimTime,
+    /// Commands not yet released to their owning shard.
+    mailbox: Vec<PendingCommand>,
+    next_seq: u64,
+    exports_routed: u64,
+}
+
+impl ShardedWorld {
+    /// Builds one shard per cluster with the built-in catalog and shipped
+    /// policy (the same defaults as [`World::new`]) and the
+    /// [`DEFAULT_EPOCH`] barrier interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters` is empty or any cluster has no TPUs.
+    #[must_use]
+    pub fn new(clusters: impl IntoIterator<Item = Cluster>, features: Features) -> Self {
+        let shards: Vec<World> = clusters
+            .into_iter()
+            .map(|c| World::new(c, features))
+            .collect();
+        assert!(
+            !shards.is_empty(),
+            "a sharded world needs at least one shard"
+        );
+        ShardedWorld {
+            shards,
+            epoch: DEFAULT_EPOCH,
+            now: SimTime::ZERO,
+            mailbox: Vec::new(),
+            next_seq: 0,
+            exports_routed: 0,
+        }
+    }
+
+    /// Overrides the epoch length (barrier interval).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch` is zero.
+    #[must_use]
+    pub fn with_epoch(mut self, epoch: SimDuration) -> Self {
+        assert!(epoch > SimDuration::ZERO, "epoch must be positive");
+        self.epoch = epoch;
+        self
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The last completed epoch barrier.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Cross-shard frame exports delivered so far.
+    #[must_use]
+    pub fn exports_routed(&self) -> u64 {
+        self.exports_routed
+    }
+
+    /// Direct access to a shard (read-only; pre-run setup beyond admission
+    /// goes through [`ShardedWorld::shard_mut`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    #[must_use]
+    pub fn shard(&self, shard: u32) -> &World {
+        &self.shards[shard as usize]
+    }
+
+    /// Mutable access to a shard for pre-run configuration (data-plane
+    /// overrides, direct fault scheduling). Mid-run mutation must go
+    /// through the command mailbox instead, or determinism is forfeit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard_mut(&mut self, shard: u32) -> &mut World {
+        &mut self.shards[shard as usize]
+    }
+
+    /// Admits a stream on `shard` at the shard's current clock (normally
+    /// before the first epoch; mid-run admissions ride the mailbox via
+    /// [`WorldCommand::Admit`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`World::admit_stream`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn admit_stream(
+        &mut self,
+        shard: u32,
+        spec: StreamSpec,
+    ) -> Result<GlobalStreamId, DeployError> {
+        let local = self.shards[shard as usize].admit_stream(spec)?;
+        Ok(GlobalStreamId { shard, local })
+    }
+
+    /// Arms chaos mode on every shard (fault detection, self-healing).
+    pub fn enable_chaos(&mut self, config: ChaosConfig) {
+        for shard in &mut self.shards {
+            shard.enable_chaos(config);
+        }
+    }
+
+    /// Submits a control-plane command for `shard`, to fire at `at`. The
+    /// command waits in the global mailbox and is released to the shard at
+    /// the epoch barrier covering its timestamp; commands at the same
+    /// instant fire in submission order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the last completed barrier.
+    pub fn schedule_command(&mut self, at: SimTime, shard: u32, cmd: WorldCommand) {
+        assert!(
+            at >= self.now,
+            "cannot schedule a command at {at} behind the barrier {now}",
+            now = self.now
+        );
+        assert!(
+            (shard as usize) < self.shards.len(),
+            "shard {shard} out of range"
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.mailbox.push(PendingCommand {
+            at,
+            seq,
+            shard,
+            cmd,
+        });
+    }
+
+    /// Schedules a fault trace for `shard` through the command mailbox
+    /// (arming chaos mode on that shard with the default config first, as
+    /// [`World::inject_faults`] does).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn inject_faults(&mut self, shard: u32, schedule: &FaultSchedule) {
+        if !self.shards[shard as usize].chaos_enabled() {
+            self.shards[shard as usize].enable_chaos(ChaosConfig::default());
+        }
+        for ev in schedule.events() {
+            if ev.at < self.now {
+                continue;
+            }
+            self.schedule_command(ev.at, shard, WorldCommand::Fault(ev.kind));
+        }
+    }
+
+    /// Runs epochs until every queue and the mailbox drain (or `deadline`
+    /// is reached), then merges the per-shard results. Worker count comes
+    /// from `MICROEDGE_WORKERS` / available parallelism, and — the whole
+    /// point — does not affect the results, byte for byte.
+    #[must_use]
+    pub fn run_to_completion(self, deadline: SimTime) -> RunResults {
+        let workers = par::worker_count(self.shards.len());
+        self.run_with_workers(deadline, workers)
+    }
+
+    /// [`ShardedWorld::run_to_completion`] with an explicit worker count
+    /// (the determinism tests pin 1/2/8 explicitly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline` precedes the last completed barrier.
+    #[must_use]
+    pub fn run_with_workers(mut self, deadline: SimTime, workers: usize) -> RunResults {
+        assert!(deadline >= self.now, "deadline behind the barrier");
+        // Release order within a barrier is (time, submission seq).
+        self.mailbox.sort_by_key(|p| (p.at, p.seq));
+        let mailbox = std::mem::take(&mut self.mailbox);
+        let mut released = 0;
+        while self.now < deadline {
+            let barrier = self
+                .now
+                .checked_add(self.epoch)
+                .unwrap_or(deadline)
+                .min(deadline);
+            // 1. Release due commands to their owning shards. Serial and
+            //    sorted, so per-shard queue insertion order (and thus event
+            //    seq numbers) is identical at any worker count.
+            while released < mailbox.len() && mailbox[released].at <= barrier {
+                let p = &mailbox[released];
+                self.shards[p.shard as usize].schedule_command(p.at, p.cmd.clone());
+                released += 1;
+            }
+            // 2. Run every shard to the barrier in parallel. Shards share
+            //    nothing, so workers only decide scheduling, not behaviour.
+            self.shards = par::par_map_with_workers(
+                std::mem::take(&mut self.shards),
+                workers,
+                move |_, mut shard| {
+                    shard.run_until(barrier);
+                    shard
+                },
+            );
+            // 3. Barrier: align clocks, then exchange messages in a
+            //    canonical (time, source shard, stream) order.
+            let mut msgs: Vec<(u32, FrameExport)> = Vec::new();
+            for (i, shard) in self.shards.iter_mut().enumerate() {
+                shard.advance_to(barrier);
+                let src = u32::try_from(i).expect("shard count fits u32");
+                msgs.extend(shard.take_outbox().into_iter().map(|e| (src, e)));
+            }
+            msgs.sort_by_key(|(src, e)| (e.at, *src, e.stream));
+            let k = u32::try_from(self.shards.len()).expect("shard count fits u32");
+            for (src, e) in msgs {
+                // Ring routing: each shard announces completions to its
+                // successor (the aggregation peer). Exports complete inside
+                // the epoch but their record instant can overhang the
+                // barrier (client post-processing); deliver at that instant,
+                // never before the barrier the receiver sits at.
+                let dest = (src + 1) % k;
+                self.shards[dest as usize].schedule_ingest(e.at.max(barrier), e.latency);
+                self.exports_routed += 1;
+            }
+            self.now = barrier;
+            if released >= mailbox.len() && self.shards.iter().all(|s| s.pending_events() == 0) {
+                break;
+            }
+        }
+        let end = self.now.max(SimTime::from_nanos(1));
+        let parts: Vec<RunResults> = self
+            .shards
+            .into_iter()
+            .map(|shard| shard.finish(end))
+            .collect();
+        RunResults::merge_shards(parts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use microedge_cluster::topology::ClusterBuilder;
+
+    use super::*;
+
+    fn cluster(trpis: u32) -> Cluster {
+        ClusterBuilder::new().trpis(trpis).vrpis(4).build()
+    }
+
+    fn spec(name: &str, frames: u64) -> StreamSpec {
+        StreamSpec::builder(name, "ssd-mobilenet-v2")
+            .frame_limit(frames)
+            .build()
+    }
+
+    #[test]
+    fn shards_run_independently_and_merge() {
+        let mut sw = ShardedWorld::new((0..3).map(|_| cluster(1)), Features::all());
+        for shard in 0..3 {
+            sw.admit_stream(shard, spec(&format!("cam-{shard}"), 45))
+                .unwrap();
+        }
+        let results = sw.run_to_completion(SimTime::from_secs(30));
+        assert_eq!(results.reports().len(), 3);
+        assert!(results.all_met_fps());
+        // Ids are remapped per shard.
+        for shard in 0..3u32 {
+            let id = StreamId(0).with_shard(shard);
+            assert_eq!(results.report(id).unwrap().completed(), 45);
+        }
+        assert_eq!(results.used_tpus(), 3);
+    }
+
+    #[test]
+    fn exports_ring_route_to_the_next_shard() {
+        let mut sw = ShardedWorld::new((0..2).map(|_| cluster(1)), Features::all());
+        sw.admit_stream(
+            0,
+            StreamSpec::builder("exporter", "ssd-mobilenet-v2")
+                .frame_limit(30)
+                .export_completions(true)
+                .build(),
+        )
+        .unwrap();
+        sw.admit_stream(1, spec("quiet", 30)).unwrap();
+        let exported = {
+            let results = sw.run_to_completion(SimTime::from_secs(10));
+            results.remote_ingest().count()
+        };
+        // Every completion of the export-flagged stream (and only those)
+        // crossed the barrier into shard 1's ingest sketch.
+        assert_eq!(exported, 30);
+    }
+
+    #[test]
+    fn commands_fire_at_their_instant_in_submission_order() {
+        let mut sw = ShardedWorld::new(vec![cluster(1)], Features::all());
+        let cam = sw.admit_stream(0, spec("cam", 1_000)).unwrap();
+        // Removing twice at the same instant: the first wins, the second
+        // fails and is counted.
+        let at = SimTime::from_secs(2);
+        sw.schedule_command(at, 0, WorldCommand::Remove(cam.local));
+        sw.schedule_command(at, 0, WorldCommand::Remove(cam.local));
+        let results = sw.run_to_completion(SimTime::from_secs(60));
+        assert_eq!(results.commands_failed(), 1);
+        // ~2 s at 15 FPS: far fewer than 1 000 frames completed.
+        let completed = results.report(cam.packed()).unwrap().completed();
+        assert!((25..40).contains(&completed), "completed {completed}");
+    }
+
+    #[test]
+    fn mid_run_admission_rides_the_mailbox() {
+        let mut sw = ShardedWorld::new(vec![cluster(1)], Features::all());
+        sw.schedule_command(
+            SimTime::from_secs(1),
+            0,
+            WorldCommand::Admit(Box::new(spec("late", 15))),
+        );
+        let results = sw.run_to_completion(SimTime::from_secs(30));
+        assert_eq!(results.commands_failed(), 0);
+        assert_eq!(results.reports().len(), 1);
+        assert_eq!(results.reports()[0].completed(), 15);
+    }
+
+    #[test]
+    fn single_shard_matches_plain_world() {
+        // The differential oracle in miniature: a 1-shard sharded world is
+        // byte-identical to the plain World it wraps.
+        let build = || {
+            let mut w = World::new(cluster(2), Features::all());
+            for i in 0..4 {
+                w.admit_stream(spec(&format!("cam-{i}"), 60)).unwrap();
+            }
+            w
+        };
+        let deadline = SimTime::from_secs(30);
+        let mut sw = ShardedWorld::new(vec![cluster(2)], Features::all());
+        for i in 0..4 {
+            sw.admit_stream(0, spec(&format!("cam-{i}"), 60)).unwrap();
+        }
+        let sharded = sw.run_to_completion(deadline);
+        let mut plain = build();
+        plain.run_until(deadline);
+        let oracle = plain.finish(sharded.end());
+        assert_eq!(format!("{oracle:?}"), format!("{sharded:?}"));
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let build = || {
+            let mut sw = ShardedWorld::new((0..4).map(|_| cluster(1)), Features::all());
+            for shard in 0..4 {
+                sw.admit_stream(
+                    shard,
+                    StreamSpec::builder(&format!("cam-{shard}"), "ssd-mobilenet-v2")
+                        .frame_limit(40)
+                        .export_completions(shard.is_multiple_of(2))
+                        .build(),
+                )
+                .unwrap();
+            }
+            sw
+        };
+        let deadline = SimTime::from_secs(20);
+        let serial = format!("{:?}", build().run_with_workers(deadline, 1));
+        for workers in [2, 8] {
+            let parallel = format!("{:?}", build().run_with_workers(deadline, workers));
+            assert_eq!(serial, parallel, "diverged at {workers} workers");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "behind the barrier")]
+    fn commands_cannot_be_scheduled_in_the_past() {
+        let mut sw = ShardedWorld::new(vec![cluster(1)], Features::all());
+        sw.now = SimTime::from_secs(5);
+        sw.schedule_command(SimTime::from_secs(1), 0, WorldCommand::Remove(StreamId(0)));
+    }
+}

@@ -40,12 +40,21 @@ fn wall_clock_violations_are_flagged_with_positions() {
 
 #[test]
 fn wall_clock_exempt_in_bench_measurement_modules() {
-    let f = scan("crates/bench/src/perf.rs", "wall_clock_violation.rs");
-    assert!(
-        f.diags.is_empty(),
-        "measurement modules may read the wall clock: {:?}",
-        f.diags
-    );
+    for rel in [
+        "crates/bench/src/perf.rs",
+        "crates/bench/src/scale_sharded.rs",
+    ] {
+        let f = scan(rel, "wall_clock_violation.rs");
+        assert!(
+            f.diags.is_empty(),
+            "measurement modules may read the wall clock ({rel}): {:?}",
+            f.diags
+        );
+    }
+    // The sharded replay itself is NOT a measurement module: the shard
+    // machinery must take time from the EventQueue like everything else.
+    let f = scan("crates/core/src/shard.rs", "wall_clock_violation.rs");
+    assert_eq!(rules_of(&f), vec!["no-wall-clock"; 2], "{:?}", f.diags);
 }
 
 #[test]
@@ -76,6 +85,18 @@ fn unordered_collections_flagged_in_artifact_crates_only() {
         "{:?}",
         f.diags
     );
+    // The new shard modules feed byte-identical artifacts too: the sharded
+    // replay (crates/core) and the worker pool it runs on (crates/sim) are
+    // both inside the ordered-collections scope.
+    for rel in ["crates/core/src/shard.rs", "crates/sim/src/par.rs"] {
+        let f = scan(rel, "unordered_violation.rs");
+        assert_eq!(
+            rules_of(&f),
+            vec!["no-unordered-collections"; 6],
+            "shard modules must stay in scope ({rel}): {:?}",
+            f.diags
+        );
+    }
     // Outside the scoped crates the same source is accepted.
     let f = scan("crates/bench/src/packing.rs", "unordered_violation.rs");
     assert!(f.diags.is_empty(), "{:?}", f.diags);

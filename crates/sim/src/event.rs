@@ -285,6 +285,40 @@ impl<E> EventQueue<E> {
         Some((scheduled.time, scheduled.event))
     }
 
+    /// Advances the clock to `time` without delivering anything — the epoch
+    /// barrier primitive. A sharded replay drains each shard with
+    /// [`EventQueue::pop_due`]`(barrier)` and then aligns every shard's
+    /// clock to the barrier so cross-shard messages can be scheduled "now"
+    /// on any shard regardless of when its own last event fired.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past, or if an event at or before `time`
+    /// is still pending (the caller must drain due events first; skipping
+    /// one would silently reorder the replay).
+    pub fn advance_to(&mut self, time: SimTime) {
+        assert!(
+            time >= self.now,
+            "cannot advance clock to {time} before current time {now}",
+            now = self.now
+        );
+        if let Some(next) = self.peek_time() {
+            assert!(
+                next > time,
+                "cannot advance clock past a pending event at {next}"
+            );
+        }
+        self.now = time;
+        // Every pending event is strictly after `time`, so moving the ring's
+        // base bucket up to `bucket_of(time)` cannot strand one behind the
+        // cursor; migrate any overflow events the new horizon now covers.
+        let cursor = bucket_of(time);
+        if cursor > self.cursor {
+            self.cursor = cursor;
+            self.migrate_overflow();
+        }
+    }
+
     /// The timestamp of the earliest pending event, if any, without popping.
     #[must_use]
     pub fn peek_time(&self) -> Option<SimTime> {
@@ -492,6 +526,60 @@ mod tests {
             Some((SimTime::from_secs(900), "far"))
         );
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_due_drains_epoch_boundary_ties_in_stable_id_order() {
+        // Events landing exactly on an epoch barrier are due in that epoch
+        // (`pop_due` is inclusive) and ties on the boundary instant must
+        // drain in stable insertion-id order — the sharded replay depends on
+        // both to keep epoch partitioning worker-count-invariant.
+        let mut q = EventQueue::new();
+        let barrier = SimTime::from_millis(500);
+        q.schedule_at(barrier + SimDuration::from_nanos(1), 100);
+        for i in 0..5 {
+            q.schedule_at(barrier, i);
+        }
+        q.schedule_at(SimTime::from_millis(499), -1);
+        assert_eq!(q.pop_due(barrier), Some((SimTime::from_millis(499), -1)));
+        for i in 0..5 {
+            let (t, ev) = q.pop_due(barrier).expect("boundary event is due");
+            assert_eq!((t, ev), (barrier, i));
+        }
+        // One nanosecond past the barrier belongs to the next epoch.
+        assert_eq!(q.pop_due(barrier), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(
+            q.pop_due(barrier + SimDuration::from_nanos(1)),
+            Some((barrier + SimDuration::from_nanos(1), 100))
+        );
+    }
+
+    #[test]
+    fn advance_to_aligns_the_clock_between_epochs() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(3), "a");
+        // Far beyond the ring horizon: parks in the overflow tier.
+        q.schedule_at(SimTime::from_millis(600), "b");
+        let barrier = SimTime::from_millis(500);
+        assert_eq!(q.pop_due(barrier).unwrap().1, "a");
+        assert_eq!(q.pop_due(barrier), None);
+        q.advance_to(barrier);
+        assert_eq!(q.now(), barrier);
+        // Advancing is idempotent at the same instant and scheduling "now"
+        // on the aligned clock works even though no event fired at 500 ms.
+        q.advance_to(barrier);
+        q.schedule_at(barrier, "c");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["c", "b"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pending event")]
+    fn advance_to_refuses_to_skip_pending_events() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(10), ());
+        q.advance_to(SimTime::from_millis(10));
     }
 
     #[test]

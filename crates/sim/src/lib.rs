@@ -14,10 +14,12 @@
 //!   differential oracle), and the constant-memory mergeable
 //!   [`stats::LogLinearSketch`] production telemetry runs on;
 //! - [`series`] — windowed aggregation, including exact time-weighted
-//!   averages of piecewise-constant signals (per-minute utilization).
+//!   averages of piecewise-constant signals (per-minute utilization);
+//! - [`par`] — a deterministic input-order-preserving parallel map used by
+//!   the bench sweeps and the sharded replay's epoch stepping.
 //!
-//! Everything is single-threaded and fully reproducible: a given seed always
-//! produces the same simulation, bit for bit.
+//! Every simulation is fully reproducible: a given seed always produces the
+//! same replay, bit for bit, at any worker count.
 //!
 //! # Examples
 //!
@@ -53,6 +55,7 @@
 //! ```
 
 pub mod event;
+pub mod par;
 pub mod rng;
 pub mod series;
 pub mod stats;

@@ -19,11 +19,17 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test --quiet --workspace
 
-echo "==> scale study smoke + determinism (repro --scale --quick)"
+echo "==> scale study smoke + sharded-replay determinism (repro --scale --quick)"
+# The artifact mixes deterministic simulation output with host measurements
+# (events/s, wall time, RSS, worker count). Measurement lines carry "host_"
+# keys on their own lines; strip them and the rest must be byte-identical
+# across worker counts.
 scale_out="$(mktemp -d)"
 trap 'rm -rf "$scale_out"' EXIT
-cargo run --release -p microedge-bench --bin repro -- --scale --quick --csv "$scale_out/a"
-MICROEDGE_WORKERS=1 cargo run --release -p microedge-bench --bin repro -- --scale --quick --csv "$scale_out/b"
-cmp "$scale_out/a/BENCH_scale.json" "$scale_out/b/BENCH_scale.json"
+MICROEDGE_WORKERS=1 cargo run --release -p microedge-bench --bin repro -- --scale --quick --csv "$scale_out/a"
+MICROEDGE_WORKERS=8 cargo run --release -p microedge-bench --bin repro -- --scale --quick --csv "$scale_out/b"
+grep -v '"host_' "$scale_out/a/BENCH_scale.json" > "$scale_out/a.filtered"
+grep -v '"host_' "$scale_out/b/BENCH_scale.json" > "$scale_out/b.filtered"
+cmp "$scale_out/a.filtered" "$scale_out/b.filtered"
 
 echo "All checks passed."
