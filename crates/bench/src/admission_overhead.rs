@@ -188,7 +188,7 @@ pub fn run_overhead(samples: u32, seed: u64) -> Vec<OverheadStats> {
         MicroEdge,
         WithCompile,
     }
-    let folded = crate::par::par_map(
+    let folded = microedge_sim::par::par_map(
         vec![Config::Native, Config::MicroEdge, Config::WithCompile],
         |_, config| {
             let mut stats = OnlineStats::new();

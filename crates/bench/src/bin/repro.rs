@@ -2,11 +2,11 @@
 //!
 //! ```text
 //! repro [--fig1] [--fig5] [--table1] [--fig6] [--fig7a] [--fig7b] [--ablations]
-//!       [--perf] [--chaos] [--scale] [--quick] [--csv <dir>]
+//!       [--perf] [--chaos] [--scale] [--fleet] [--quick] [--csv <dir>]
 //! ```
 //!
 //! With no selection flags, every paper artifact runs (`--perf`,
-//! `--chaos`, and `--scale` only run when asked for). `--quick` shrinks
+//! `--chaos`, `--scale`, and `--fleet` only run when asked for). `--quick` shrinks
 //! frame counts and trace length for a fast smoke pass; `--csv <dir>`
 //! additionally dumps each selected artifact's series as CSV for external
 //! plotting. `--perf` times the simulation kernel on the fixed reference
@@ -22,10 +22,13 @@
 //! fleets under `--quick`) and writes `BENCH_scale.json`; host
 //! measurements (wall-clock, events/s, RSS, worker count) live on
 //! dedicated `host_`-prefixed lines that CI strips before byte-comparing,
-//! every other field is deterministic.
+//! every other field is deterministic. `--fleet` runs the federated
+//! front-door study — indexed vs linear-scan placement throughput at
+//! 64/512/4096 clusters plus the whole-cluster kill tiers — and writes
+//! `BENCH_fleet.json` under the same `host_` convention.
 //!
 //! The artifacts are independent, so they run concurrently through the
-//! deterministic executor ([`microedge_bench::par`]); each job renders its
+//! deterministic executor ([`microedge_sim::par`]); each job renders its
 //! whole stdout contribution into a `String`, which is printed in the
 //! fixed artifact order afterwards — the output is byte-identical to a
 //! serial run. The perf harness is the exception: it is a timing
@@ -56,6 +59,7 @@ struct Options {
     perf: bool,
     chaos: bool,
     scale: bool,
+    fleet: bool,
     quick: bool,
     csv: Option<PathBuf>,
 }
@@ -67,6 +71,7 @@ fn parse_args() -> Options {
     let mut perf = false;
     let mut chaos = false;
     let mut scale = false;
+    let mut fleet = false;
     let mut selections: Vec<String> = Vec::new();
     let known = [
         "--fig1",
@@ -84,6 +89,7 @@ fn parse_args() -> Options {
             "--perf" => perf = true,
             "--chaos" => chaos = true,
             "--scale" => scale = true,
+            "--fleet" => fleet = true,
             "--csv" => match iter.next() {
                 Some(dir) => csv = Some(PathBuf::from(dir)),
                 None => {
@@ -94,7 +100,7 @@ fn parse_args() -> Options {
             flag if known.contains(&flag) => selections.push(arg),
             other => {
                 eprintln!(
-                    "unknown flag {other}; known: {} --perf --chaos --scale --quick --csv <dir>",
+                    "unknown flag {other}; known: {} --perf --chaos --scale --fleet --quick --csv <dir>",
                     known.join(" ")
                 );
                 std::process::exit(2);
@@ -104,7 +110,7 @@ fn parse_args() -> Options {
     let has = |flag: &str| selections.iter().any(|a| a == flag);
     // `--perf` / `--chaos` / `--scale` alone mean "just that study", not
     // "everything".
-    let none_selected = selections.is_empty() && !perf && !chaos && !scale;
+    let none_selected = selections.is_empty() && !perf && !chaos && !scale && !fleet;
     Options {
         fig1: none_selected || has("--fig1"),
         fig5: none_selected || has("--fig5"),
@@ -116,6 +122,7 @@ fn parse_args() -> Options {
         perf,
         chaos,
         scale,
+        fleet,
         quick,
         csv,
     }
@@ -422,7 +429,7 @@ fn main() {
             parallel.push((i, job));
         }
     }
-    for (i, rendered) in microedge_bench::par::par_map(parallel, |_, (i, job)| (i, job())) {
+    for (i, rendered) in microedge_sim::par::par_map(parallel, |_, (i, job)| (i, job())) {
         chunks[i] = Some(rendered);
     }
     for (i, job) in alone {
@@ -471,5 +478,20 @@ fn main() {
             "BENCH_scale.json",
             microedge_bench::scale_sharded::render_bench_json(&study, &sharded),
         );
+    }
+
+    if opts.fleet {
+        use microedge_bench::fleet;
+        // The chaos tiers are pure simulated time; the placement sweep is
+        // a host-clock measurement, so it runs here, after everything
+        // parallel has finished.
+        let tiers = fleet::run_fleet_chaos(opts.quick);
+        let perf = if opts.quick {
+            fleet::run_fleet_perf_with(&[(64, 2_000), (512, 500), (4096, 200)], 1)
+        } else {
+            fleet::run_fleet_perf(3)
+        };
+        println!("{}", fleet::render_fleet(&perf, &tiers));
+        write_bench("BENCH_fleet.json", fleet::to_json(&perf, &tiers));
     }
 }

@@ -179,7 +179,7 @@ pub fn run_chaos(horizon: SimTime) -> Vec<ChaosPoint> {
         .iter()
         .flat_map(|&mode| RATES.iter().map(move |&rate| (mode, rate)))
         .collect();
-    crate::par::par_map(cells, |_, (mode, rate)| {
+    microedge_sim::par::par_map(cells, |_, (mode, rate)| {
         run_chaos_point(mode, rate, horizon)
     })
 }

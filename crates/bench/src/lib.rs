@@ -22,6 +22,7 @@
 //! | [`chaos`] | chaos / failure-recovery study (§7 robustness extension) |
 //! | [`scale`] | 100k-stream scale-out study (§6.3's "much larger configuration") |
 //! | [`scale_sharded`] | sharded 1M-stream replay (deterministic epoch-barrier parallelism) |
+//! | [`fleet`] | federated fleet front door: O(log C) placement + whole-cluster chaos tiers |
 //!
 //! The `repro` binary prints every artifact; the Criterion benches under
 //! `benches/` time the underlying computations.
@@ -32,9 +33,9 @@ pub mod cost;
 pub mod csv;
 pub mod diff_detector;
 pub mod fig1;
+pub mod fleet;
 pub mod latency_breakdown;
 pub mod packing;
-pub mod par;
 pub mod perf;
 pub mod pipeline_ablation;
 pub mod runner;

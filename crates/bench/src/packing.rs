@@ -248,7 +248,7 @@ pub fn render_packing(requests: u32, tpus: u32, seeds: u64) -> String {
         // Seeds are independent sequences; run them in parallel and fold
         // the returned outcomes in seed order, so the averages are the
         // exact integers a serial loop would produce.
-        let per_seed = crate::par::par_map((0..seeds).collect(), |_, seed| {
+        let per_seed = microedge_sim::par::par_map((0..seeds).collect(), |_, seed| {
             if churn {
                 run_churn_ablation(requests, tpus, features, seed)
             } else {
@@ -280,7 +280,7 @@ pub fn render_packing(requests: u32, tpus: u32, seeds: u64) -> String {
     let mut ff_total = 0u32;
     let mut opt_total = 0u32;
     let mut worst_ratio = 1.0f64;
-    let per_seed = crate::par::par_map((0..seeds).collect(), |_, seed| {
+    let per_seed = microedge_sim::par::par_map((0..seeds).collect(), |_, seed| {
         let items: Vec<TpuUnits> = random_requests(10, seed ^ 0xBEEF)
             .into_iter()
             .map(|(_, u)| TpuUnits::from_micro(u.as_micro().min(1_000_000)))

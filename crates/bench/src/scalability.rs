@@ -123,7 +123,7 @@ pub fn run_point(
 
 /// The full Fig. 5 sweep for one application: every configuration × TPU
 /// count `1..=max_tpus`. Points are independent simulations, so they run
-/// through [`crate::par::par_map`] (bounded by the host's parallelism, or
+/// through [`microedge_sim::par::par_map`] (bounded by the host's parallelism, or
 /// the `MICROEDGE_WORKERS` override); results come back in deterministic
 /// `(config, tpus)` order regardless of completion order.
 #[must_use]
@@ -137,7 +137,7 @@ pub fn fig5_sweep(
         .iter()
         .flat_map(|&config| (1..=max_tpus).map(move |tpus| (config, tpus)))
         .collect();
-    crate::par::par_map(jobs, |_, (config, tpus)| {
+    microedge_sim::par::par_map(jobs, |_, (config, tpus)| {
         run_point(app, config, tpus, frames)
     })
 }

@@ -70,7 +70,7 @@ impl TailLatencyPoint {
 pub fn run_tail_latency(tpus: u32, frames: u64) -> Vec<TailLatencyPoint> {
     let app = CameraApp::coral_pie();
     let capacity = (f64::from(tpus) / 0.35).floor() as u32;
-    crate::par::par_map((1..=capacity).collect(), |_, cameras| {
+    microedge_sim::par::par_map((1..=capacity).collect(), |_, cameras| {
         let mut world = build_world(experiment_cluster(tpus), SystemConfig::microedge_full());
         for i in 0..cameras {
             let fraction = (f64::from(i) * 0.618_033_988_749_895) % 1.0;

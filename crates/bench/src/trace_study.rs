@@ -187,7 +187,7 @@ pub fn fig6_configs() -> [SystemConfig; 5] {
 /// tables are identical to a serial run).
 #[must_use]
 pub fn run_fig6(trace: &[TraceEvent], trace_config: &TraceConfig, tpus: u32) -> Vec<TraceOutcome> {
-    crate::par::par_map(fig6_configs().to_vec(), |_, config| {
+    microedge_sim::par::par_map(fig6_configs().to_vec(), |_, config| {
         run_trace(config, trace, trace_config, tpus)
     })
 }

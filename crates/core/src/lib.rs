@@ -31,6 +31,12 @@
 //!   shards advanced in deterministic epochs with barrier-exchanged
 //!   cross-shard traffic, bit-identical at any worker count.
 //!
+//! **Fleet tier**:
+//! - [`fleet`] — the federated front door: per-cluster capacity summaries
+//!   fed from each shard's indexed pool, re-indexed by a fleet-level
+//!   segment tree for O(log C) locality-aware stream→cluster placement,
+//!   with the linear fleet scan preserved as a differential oracle.
+//!
 //! # Examples
 //!
 //! Deploy three Coral-Pie cameras that share one TPU (each needs 0.35 TPU
@@ -53,6 +59,7 @@ pub mod admission;
 pub mod client;
 pub mod config;
 pub mod faults;
+pub mod fleet;
 pub mod lbs;
 pub mod pool;
 pub mod runtime;
@@ -67,8 +74,12 @@ pub use faults::{
     ChaosConfig, ClassRates, DegradePolicy, DetectionModel, FaultEvent, FaultKind, FaultModel,
     FaultSchedule, HealPolicy,
 };
+pub use fleet::{
+    ClusterId, ClusterSummary, FleetTopology, FrontDoor, HealthTier, Placement, PlacementStats,
+    ProbeKind, StreamDemand,
+};
 pub use lbs::LbService;
-pub use pool::{render_pool, Allocation, TpuAccount, TpuPool};
+pub use pool::{render_pool, Allocation, PoolCapacity, TpuAccount, TpuPool};
 pub use runtime::{
     FrameExport, RunResults, StreamId, StreamSpec, World, WorldCommand, METRIC_WINDOW,
 };
@@ -76,5 +87,5 @@ pub use scheduler::{
     DeployError, Deployment, ExtendedScheduler, FailureRecovery, RecoveredPod, StageGrant,
     StagePlacement, TpuRequest,
 };
-pub use shard::{GlobalStreamId, ShardedWorld};
+pub use shard::{FleetReport, GlobalStreamId, ShardedWorld};
 pub use units::TpuUnits;

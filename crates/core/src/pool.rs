@@ -232,6 +232,11 @@ struct CapacityIndex {
     leaves: usize,
     /// Exact free micro-units → available TPU ids, ascending.
     buckets: BTreeMap<u64, BTreeSet<u32>>,
+    /// Sum of free micro-units across available TPUs — kept exact on every
+    /// insert/remove so [`TpuPool::capacity_summary`] is O(1).
+    total_free: u64,
+    /// Number of available (non-failed) TPUs.
+    available: u32,
 }
 
 impl CapacityIndex {
@@ -241,6 +246,8 @@ impl CapacityIndex {
             tree: vec![0; 2 * leaves],
             leaves,
             buckets: BTreeMap::new(),
+            total_free: 0,
+            available: 0,
         };
         for account in accounts {
             if account.available {
@@ -263,6 +270,8 @@ impl CapacityIndex {
     fn insert(&mut self, id: u32, free: u64) {
         self.set_leaf(id, free);
         self.buckets.entry(free).or_default().insert(id);
+        self.total_free += free;
+        self.available += 1;
     }
 
     /// Unregisters a TPU (it failed): it must not satisfy any query.
@@ -274,6 +283,8 @@ impl CapacityIndex {
                 self.buckets.remove(&free);
             }
         }
+        self.total_free -= free;
+        self.available -= 1;
     }
 
     /// Moves an available TPU between free-capacity values.
@@ -302,6 +313,24 @@ impl CapacityIndex {
         self.descend(2 * node, lo, mid, start, min)
             .or_else(|| self.descend(2 * node + 1, mid, hi, start, min))
     }
+}
+
+/// An O(1) snapshot of a pool's aggregate capacity, read straight off the
+/// incrementally maintained [`CapacityIndex`] — the raw material for the
+/// per-cluster summaries the fleet front door ([`crate::fleet`]) keeps one
+/// level up. All unit figures are exact integer micro-units
+/// ([`TpuUnits::as_micro`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PoolCapacity {
+    /// The largest contiguous free block on any single available TPU — the
+    /// biggest single-stage grant this pool can make right now.
+    pub max_free_micro: u64,
+    /// Sum of free micro-units across available TPUs.
+    pub total_free_micro: u64,
+    /// Available (non-failed) TPUs.
+    pub available_tpus: u32,
+    /// All TPUs, failed included.
+    pub total_tpus: u32,
 }
 
 /// The fleet of TPU Services the extended scheduler allocates from.
@@ -397,6 +426,21 @@ impl TpuPool {
             .get_mut(tpu.0 as usize)
             .filter(|a| a.id == tpu)
             .unwrap_or_else(|| panic!("unknown TPU {tpu}"))
+    }
+
+    /// O(1) aggregate capacity snapshot off the incrementally maintained
+    /// index: max contiguous free block (the segment-tree root), total free
+    /// micro-units, and the available-TPU count. This is what a shard
+    /// reports to the fleet front door at every epoch barrier — reading it
+    /// never touches the accounts.
+    #[must_use]
+    pub fn capacity_summary(&self) -> PoolCapacity {
+        PoolCapacity {
+            max_free_micro: self.index.tree[1],
+            total_free_micro: self.index.total_free,
+            available_tpus: self.index.available,
+            total_tpus: u32::try_from(self.accounts.len()).expect("pool size fits u32"),
+        }
     }
 
     /// Sum of free units across available TPUs.
@@ -781,6 +825,60 @@ mod tests {
         p.restore(TpuId(2));
         p.restore(TpuId(2));
         assert_eq!(ascending(&p, 0.0), vec![0, 1, 2]);
+    }
+
+    /// The O(1) summary must equal a from-scratch recomputation over the
+    /// accounts — the invariant the fleet front door leans on.
+    fn recomputed_summary(p: &TpuPool) -> PoolCapacity {
+        let avail = p.accounts().iter().filter(|a| a.is_available());
+        PoolCapacity {
+            max_free_micro: avail
+                .clone()
+                .map(|a| a.free_units().as_micro())
+                .max()
+                .unwrap_or(0),
+            total_free_micro: avail.clone().map(|a| a.free_units().as_micro()).sum(),
+            available_tpus: avail.count() as u32,
+            total_tpus: p.len() as u32,
+        }
+    }
+
+    #[test]
+    fn capacity_summary_tracks_every_mutation() {
+        let mut p = pool(3);
+        let m = ssd_mobilenet_v2();
+        assert_eq!(p.capacity_summary(), recomputed_summary(&p));
+        assert_eq!(p.capacity_summary().max_free_micro, 1_000_000);
+        assert_eq!(p.capacity_summary().total_free_micro, 3_000_000);
+
+        p.commit(&m, &[alloc(0, 0.9), alloc(1, 0.35)]);
+        assert_eq!(p.capacity_summary(), recomputed_summary(&p));
+        assert_eq!(p.capacity_summary().max_free_micro, 1_000_000);
+        assert_eq!(p.capacity_summary().total_free_micro, 1_750_000);
+
+        p.fail(TpuId(2));
+        let s = p.capacity_summary();
+        assert_eq!(s, recomputed_summary(&p));
+        assert_eq!(s.max_free_micro, 650_000, "TPU 1 is the biggest block");
+        assert_eq!(s.available_tpus, 2);
+        assert_eq!(s.total_tpus, 3);
+
+        p.release(m.id(), &[alloc(0, 0.9)]);
+        p.restore(TpuId(2));
+        assert_eq!(p.capacity_summary(), recomputed_summary(&p));
+        assert_eq!(p.capacity_summary().total_free_micro, 2_650_000);
+    }
+
+    #[test]
+    fn capacity_summary_of_fully_failed_pool_is_empty() {
+        let mut p = pool(2);
+        p.fail(TpuId(0));
+        p.fail(TpuId(1));
+        let s = p.capacity_summary();
+        assert_eq!(s.max_free_micro, 0);
+        assert_eq!(s.total_free_micro, 0);
+        assert_eq!(s.available_tpus, 0);
+        assert_eq!(s.total_tpus, 2);
     }
 
     #[test]

@@ -113,13 +113,20 @@ impl StreamId {
     ///
     /// # Panics
     ///
-    /// Panics if the local id overflows the 40-bit local field.
+    /// Panics if the local id overflows the 40-bit local field or the
+    /// shard index overflows the remaining 24 bits — either overflow would
+    /// silently alias another stream's id.
     #[must_use]
     pub fn with_shard(self, shard: u32) -> StreamId {
         assert!(
             self.0 < 1 << SHARD_ID_SHIFT,
             "shard-local stream id {id} overflows the global id space",
             id = self.0
+        );
+        assert!(
+            u64::from(shard) < 1 << (u64::BITS - SHARD_ID_SHIFT),
+            "shard index {shard} overflows the {bits}-bit shard field",
+            bits = u64::BITS - SHARD_ID_SHIFT
         );
         StreamId((u64::from(shard) << SHARD_ID_SHIFT) | self.0)
     }
@@ -447,6 +454,23 @@ pub enum WorldCommand {
     /// Apply a component fault or repair (the chaos-mode injected path; a
     /// no-op unless [`World::enable_chaos`] armed the subsystem).
     Fault(FaultKind),
+    /// Whole-cluster failure: remove every live (or parked) stream,
+    /// capturing each as an [`EvacuatedStream`] for the fleet front door
+    /// to re-place on surviving clusters (see [`crate::fleet`]).
+    Evacuate,
+}
+
+/// A stream displaced by a whole-cluster failure, drained via
+/// [`World::take_evacuations`] and re-admitted elsewhere by the fleet
+/// front door.
+#[derive(Debug, Clone)]
+pub struct EvacuatedStream {
+    /// The stream's id on the dead cluster.
+    pub stream: StreamId,
+    /// When the cluster died (the evacuation command's instant).
+    pub fault_at: SimTime,
+    /// The original spec, ready for re-admission.
+    pub spec: StreamSpec,
 }
 
 /// One completed frame announced to another shard: the paper's cross-cluster
@@ -823,6 +847,20 @@ impl RunResults {
         &self.availability
     }
 
+    /// Folds a fleet-level availability entry into the results — the
+    /// sharded replay's whole-cluster evacuations, keyed by the evacuated
+    /// stream's packed global id. Overrides any per-shard entry for the
+    /// same id (the fleet tier has the complete outage picture).
+    pub fn merge_availability(&mut self, root: StreamId, availability: StreamAvailability) {
+        self.availability.insert(root, availability);
+    }
+
+    /// Records that `old` was superseded by `new` — the fleet tier's
+    /// cross-cluster re-admission lineage, in the packed global id space.
+    pub fn link_lineage(&mut self, old: StreamId, new: StreamId) {
+        self.lineage.insert(old, new);
+    }
+
     /// The phase each stream ended the run in.
     #[must_use]
     pub fn stream_phase(&self, stream: StreamId) -> Option<StreamPhase> {
@@ -939,6 +977,10 @@ pub struct World {
     ingest: LogLinearSketch,
     /// Scheduled commands that fired but failed.
     commands_failed: u64,
+    /// Streams displaced by [`WorldCommand::Evacuate`] since the last
+    /// [`World::take_evacuations`] — the whole-cluster-failure outbox the
+    /// fleet front door drains at epoch barriers.
+    evacuations: Vec<EvacuatedStream>,
 }
 
 /// The sharded replay moves whole shards across the worker pool between
@@ -1017,6 +1059,7 @@ impl World {
             outbox: Vec::new(),
             ingest: LogLinearSketch::new(),
             commands_failed: 0,
+            evacuations: Vec::new(),
         }
     }
 
@@ -2334,6 +2377,69 @@ impl World {
         std::mem::take(&mut self.outbox)
     }
 
+    /// Drains the whole-cluster-failure outbox: every stream displaced by
+    /// [`WorldCommand::Evacuate`] since the previous call, in stream-id
+    /// order. The fleet front door re-places these on surviving clusters.
+    pub fn take_evacuations(&mut self) -> Vec<EvacuatedStream> {
+        std::mem::take(&mut self.evacuations)
+    }
+
+    /// Removes every live or parked stream, capturing each as an
+    /// [`EvacuatedStream`] — the whole-cluster-failure path. Fired by
+    /// [`WorldCommand::Evacuate`]; streams are visited in id order, so the
+    /// evacuation list is deterministic.
+    pub fn evacuate_all(&mut self, now: SimTime) {
+        let ids: Vec<StreamId> = self
+            .streams
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.phase.is_live() || s.phase == StreamPhase::Parked)
+            .map(|(i, _)| StreamId(i as u64))
+            .collect();
+        for id in ids {
+            let spec = self.streams[id.0 as usize].spec.clone();
+            if self.remove_stream(id).is_ok() {
+                self.evacuations.push(EvacuatedStream {
+                    stream: id,
+                    fault_at: now,
+                    spec,
+                });
+            }
+        }
+    }
+
+    /// Estimates a spec's TPU demand the way admission will charge it —
+    /// explicit per-stage units where given, otherwise the profiling
+    /// service's duty-cycle derivation — for the fleet front door's
+    /// placement decision. This world acts as the profiling service; no
+    /// state is touched.
+    ///
+    /// # Errors
+    ///
+    /// [`DeployError::UnknownModel`] if a stage's model is not in the
+    /// catalog (the admission it predicts would fail the same way).
+    pub fn estimate_demand(
+        &self,
+        spec: &StreamSpec,
+    ) -> Result<crate::fleet::StreamDemand, DeployError> {
+        let mut stages = Vec::with_capacity(spec.stages.len());
+        for stage in &spec.stages {
+            let units = match stage.units {
+                Some(units) => units,
+                None => {
+                    let profile = self
+                        .sched
+                        .catalog()
+                        .get(&stage.model)
+                        .ok_or_else(|| DeployError::UnknownModel(stage.model.clone()))?;
+                    self.dp.profiled_units(profile, spec.fps)
+                }
+            };
+            stages.push(units);
+        }
+        Ok(crate::fleet::StreamDemand::from_stages(stages))
+    }
+
     /// Delivers a peer shard's [`FrameExport`] at `at`: the receiving side
     /// records the announced end-to-end `latency` into its remote-ingest
     /// sketch when the event fires.
@@ -2500,6 +2606,10 @@ impl World {
             WorldCommand::Remove(id) => self.remove_stream(id),
             WorldCommand::Fault(kind) => {
                 self.on_fault(now, kind);
+                Ok(())
+            }
+            WorldCommand::Evacuate => {
+                self.evacuate_all(now);
                 Ok(())
             }
         };

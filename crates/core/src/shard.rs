@@ -54,12 +54,16 @@
 //! assert_eq!(results.remote_ingest().count(), 60);
 //! ```
 
+use std::collections::BTreeMap;
+
 use microedge_cluster::topology::Cluster;
+use microedge_metrics::recovery::{AvailabilityTracker, RecoveryBreakdown, RecoveryRecorder};
 use microedge_sim::par;
 use microedge_sim::time::{SimDuration, SimTime};
 
 use crate::config::Features;
 use crate::faults::{ChaosConfig, FaultSchedule};
+use crate::fleet::{ClusterId, ClusterSummary, FrontDoor, PlacementStats};
 use crate::runtime::{FrameExport, RunResults, StreamId, StreamSpec, World, WorldCommand};
 use crate::scheduler::DeployError;
 
@@ -91,6 +95,89 @@ struct PendingCommand {
     cmd: WorldCommand,
 }
 
+/// A fleet-level operation waiting for its instant: resolved through the
+/// front door when released, sharing the `(at, seq)` total order with the
+/// per-shard command mailbox — an admission submitted before a cluster
+/// kill still sees that cluster alive.
+#[derive(Debug, Clone)]
+enum FleetOp {
+    /// Admit a stream wherever the front door places it.
+    Admit {
+        home_region: u32,
+        spec: Box<StreamSpec>,
+    },
+    /// Whole-cluster failure: drain the cluster's summary and evacuate
+    /// every stream it serves.
+    Kill(ClusterId),
+}
+
+#[derive(Debug, Clone)]
+struct PendingFleetOp {
+    at: SimTime,
+    seq: u64,
+    op: FleetOp,
+}
+
+/// A displaced stream awaiting global re-placement at an epoch barrier.
+#[derive(Debug, Clone)]
+struct PendingEvacuee {
+    /// Packed global id of the evacuated incarnation.
+    origin: StreamId,
+    /// Region of the cluster that died — re-placement prefers staying
+    /// close to the stream's original locality.
+    home_region: u32,
+    /// When the cluster died.
+    fault_at: SimTime,
+    /// The barrier at which the front door learned of the death.
+    detected_at: SimTime,
+    spec: StreamSpec,
+}
+
+/// Deterministic fleet-tier outcome counters of one sharded run — the
+/// front door's placement statistics plus the whole-cluster-failure story.
+/// Fully determined by the workload, so it participates in byte-compared
+/// artifacts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetReport {
+    /// Front-door placement counters (home/spill/fallback/rejections).
+    pub placement: PlacementStats,
+    /// Clusters killed via [`ShardedWorld::kill_cluster`].
+    pub clusters_killed: u64,
+    /// Streams displaced by cluster deaths.
+    pub evacuated: u64,
+    /// Evacuees successfully re-admitted on a surviving cluster.
+    pub readmitted: u64,
+    /// Re-admission attempts the destination cluster refused (the summary
+    /// was optimistic); the evacuee retries at a later barrier.
+    pub readmit_failures: u64,
+    /// Evacuees never re-placed by end of run (counted lost).
+    pub unplaced: u64,
+    /// Global admissions the front door could not place anywhere (or whose
+    /// demand could not be estimated).
+    pub admit_rejected: u64,
+}
+
+/// All fleet-tier state: the front door plus the bookkeeping the sharded
+/// replay drives serially at epoch barriers.
+#[derive(Debug)]
+struct FleetState {
+    door: FrontDoor,
+    ops: Vec<PendingFleetOp>,
+    /// Clusters killed so far — their summaries stay drained (a barrier
+    /// refresh would otherwise resurrect them from their idle pools).
+    dead: Vec<bool>,
+    /// Evacuees the fleet could not re-place yet, FIFO.
+    retry: Vec<PendingEvacuee>,
+    /// Open/closed outage spans per evacuated incarnation, by packed id.
+    trackers: BTreeMap<StreamId, AvailabilityTracker>,
+    /// Fleet-level recovery breakdowns (detection = barrier lag,
+    /// rescheduling = barriers spent waiting for capacity).
+    recorder: RecoveryRecorder,
+    /// Evacuee → re-admitted incarnation, packed ids.
+    lineage: Vec<(StreamId, StreamId)>,
+    report: FleetReport,
+}
+
 /// The default epoch length: half a second of simulated time. Long enough
 /// that barrier overhead vanishes against millions of events per epoch,
 /// short enough that cross-shard latency (messages ride at earliest the
@@ -111,6 +198,9 @@ pub struct ShardedWorld {
     mailbox: Vec<PendingCommand>,
     next_seq: u64,
     exports_routed: u64,
+    /// The fleet front door and its bookkeeping, armed by
+    /// [`ShardedWorld::with_front_door`].
+    fleet: Option<Box<FleetState>>,
 }
 
 impl ShardedWorld {
@@ -138,7 +228,43 @@ impl ShardedWorld {
             mailbox: Vec::new(),
             next_seq: 0,
             exports_routed: 0,
+            fleet: None,
         }
+    }
+
+    /// Arms the federated front door ([`crate::fleet`]) over this fleet:
+    /// the clusters are partitioned into `regions` contiguous regions and
+    /// global admissions probe the home region first, then up to `spill`
+    /// neighbouring regions per side, then the whole fleet. Summaries seed
+    /// from the current pools and refresh from each shard's capacity index
+    /// at every epoch barrier.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ regions ≤ shard count`.
+    #[must_use]
+    pub fn with_front_door(mut self, regions: u32, spill: u32) -> Self {
+        let summaries: Vec<ClusterSummary> = self
+            .shards
+            .iter()
+            .map(|shard| {
+                ClusterSummary::from_pool(
+                    shard.scheduler().pool().capacity_summary(),
+                    shard.active_streams() as u64,
+                )
+            })
+            .collect();
+        self.fleet = Some(Box::new(FleetState {
+            door: FrontDoor::new(summaries, regions, spill),
+            ops: Vec::new(),
+            dead: vec![false; self.shards.len()],
+            retry: Vec::new(),
+            trackers: BTreeMap::new(),
+            recorder: RecoveryRecorder::new(),
+            lineage: Vec::new(),
+            report: FleetReport::default(),
+        }));
+        self
     }
 
     /// Overrides the epoch length (barrier interval).
@@ -267,6 +393,79 @@ impl ShardedWorld {
         }
     }
 
+    /// Submits a globally-placed admission: when `at` is released the
+    /// front door picks a cluster — home region first, then up to `spill`
+    /// neighbouring regions, then the whole fleet — and routes the stream
+    /// into that shard's mailbox. Shares the `(at, seq)` total order with
+    /// [`ShardedWorld::schedule_command`], so an admission submitted
+    /// before a [`ShardedWorld::kill_cluster`] at the same instant still
+    /// sees the cluster alive.
+    ///
+    /// # Panics
+    ///
+    /// Panics without a front door, if `at` precedes the last completed
+    /// barrier, or if `home_region` is out of range.
+    pub fn admit_global(&mut self, at: SimTime, home_region: u32, spec: StreamSpec) {
+        assert!(
+            at >= self.now,
+            "cannot admit at {at} behind the barrier {now}",
+            now = self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let fleet = self
+            .fleet
+            .as_mut()
+            .expect("admit_global needs with_front_door");
+        assert!(
+            home_region < fleet.door.topology().regions(),
+            "home region {home_region} out of range"
+        );
+        fleet.ops.push(PendingFleetOp {
+            at,
+            seq,
+            op: FleetOp::Admit {
+                home_region,
+                spec: Box::new(spec),
+            },
+        });
+    }
+
+    /// Schedules a whole-cluster failure at `at`: the front door drains
+    /// the cluster's summary (no further placements land there) and the
+    /// shard evacuates every live stream; evacuees are re-placed on
+    /// surviving clusters at the next epoch barrier, with downtime and
+    /// recovery breakdowns recorded per stream. Killing an already-dead
+    /// cluster is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics without a front door, if `at` precedes the last completed
+    /// barrier, or if `cluster` is out of range.
+    pub fn kill_cluster(&mut self, at: SimTime, cluster: ClusterId) {
+        assert!(
+            at >= self.now,
+            "cannot kill at {at} behind the barrier {now}",
+            now = self.now
+        );
+        assert!(
+            (cluster.0 as usize) < self.shards.len(),
+            "cluster {id} out of range",
+            id = cluster.0
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let fleet = self
+            .fleet
+            .as_mut()
+            .expect("kill_cluster needs with_front_door");
+        fleet.ops.push(PendingFleetOp {
+            at,
+            seq,
+            op: FleetOp::Kill(cluster),
+        });
+    }
+
     /// Runs epochs until every queue and the mailbox drain (or `deadline`
     /// is reached), then merges the per-shard results. Worker count comes
     /// from `MICROEDGE_WORKERS` / available parallelism, and — the whole
@@ -284,25 +483,78 @@ impl ShardedWorld {
     ///
     /// Panics if `deadline` precedes the last completed barrier.
     #[must_use]
-    pub fn run_with_workers(mut self, deadline: SimTime, workers: usize) -> RunResults {
+    pub fn run_with_workers(self, deadline: SimTime, workers: usize) -> RunResults {
+        self.run_fleet_with_workers(deadline, workers).0
+    }
+
+    /// [`ShardedWorld::run_to_completion`] that also returns the
+    /// fleet-tier [`FleetReport`] (all-zero unless a front door was
+    /// armed).
+    #[must_use]
+    pub fn run_fleet_to_completion(self, deadline: SimTime) -> (RunResults, FleetReport) {
+        let workers = par::worker_count(self.shards.len());
+        self.run_fleet_with_workers(deadline, workers)
+    }
+
+    /// [`ShardedWorld::run_fleet_to_completion`] with an explicit worker
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline` precedes the last completed barrier.
+    #[must_use]
+    pub fn run_fleet_with_workers(
+        mut self,
+        deadline: SimTime,
+        workers: usize,
+    ) -> (RunResults, FleetReport) {
         assert!(deadline >= self.now, "deadline behind the barrier");
-        // Release order within a barrier is (time, submission seq).
+        // Release order within a barrier is (time, submission seq) across
+        // BOTH queues: direct per-shard commands and fleet ops interleave
+        // in one global submission order.
         self.mailbox.sort_by_key(|p| (p.at, p.seq));
         let mailbox = std::mem::take(&mut self.mailbox);
+        let mut fleet = self.fleet.take();
+        if let Some(f) = fleet.as_mut() {
+            f.ops.sort_by_key(|p| (p.at, p.seq));
+        }
         let mut released = 0;
+        let mut fleet_released = 0;
         while self.now < deadline {
             let barrier = self
                 .now
                 .checked_add(self.epoch)
                 .unwrap_or(deadline)
                 .min(deadline);
-            // 1. Release due commands to their owning shards. Serial and
+            // 1. Release due commands/ops in the global order. Serial and
             //    sorted, so per-shard queue insertion order (and thus event
             //    seq numbers) is identical at any worker count.
-            while released < mailbox.len() && mailbox[released].at <= barrier {
-                let p = &mailbox[released];
-                self.shards[p.shard as usize].schedule_command(p.at, p.cmd.clone());
-                released += 1;
+            loop {
+                let next_direct = mailbox
+                    .get(released)
+                    .filter(|p| p.at <= barrier)
+                    .map(|p| (p.at, p.seq));
+                let next_fleet = fleet
+                    .as_ref()
+                    .and_then(|f| f.ops.get(fleet_released))
+                    .filter(|p| p.at <= barrier)
+                    .map(|p| (p.at, p.seq));
+                let take_direct = match (next_direct, next_fleet) {
+                    (None, None) => break,
+                    (Some(_), None) => true,
+                    (None, Some(_)) => false,
+                    (Some(d), Some(f)) => d < f,
+                };
+                if take_direct {
+                    let p = &mailbox[released];
+                    self.shards[p.shard as usize].schedule_command(p.at, p.cmd.clone());
+                    released += 1;
+                } else {
+                    let f = fleet.as_mut().expect("fleet op implies fleet state");
+                    let p = f.ops[fleet_released].clone();
+                    fleet_released += 1;
+                    release_fleet_op(f, &mut self.shards, &p);
+                }
             }
             // 2. Run every shard to the barrier in parallel. Shards share
             //    nothing, so workers only decide scheduling, not behaviour.
@@ -334,8 +586,23 @@ impl ShardedWorld {
                 self.shards[dest as usize].schedule_ingest(e.at.max(barrier), e.latency);
                 self.exports_routed += 1;
             }
+            // 4. Fleet barrier duties: collect evacuees, refresh summaries
+            //    from the pools' capacity indexes, re-place the displaced.
+            //    Serial and order-canonical, like the exchange above.
+            if let Some(f) = fleet.as_mut() {
+                exchange_fleet(f, &mut self.shards, barrier);
+            }
             self.now = barrier;
-            if released >= mailbox.len() && self.shards.iter().all(|s| s.pending_events() == 0) {
+            let ops_done = fleet.as_ref().is_none_or(|f| {
+                // Evacuees that found no home retry at later barriers, but
+                // only capacity released by *running* events can unblock
+                // them — with every queue empty they can never place.
+                fleet_released >= f.ops.len()
+            });
+            if released >= mailbox.len()
+                && ops_done
+                && self.shards.iter().all(|s| s.pending_events() == 0)
+            {
                 break;
             }
         }
@@ -345,8 +612,153 @@ impl ShardedWorld {
             .into_iter()
             .map(|shard| shard.finish(end))
             .collect();
-        RunResults::merge_shards(parts)
+        let mut results = RunResults::merge_shards(parts);
+        let report = match fleet {
+            Some(f) => finish_fleet(*f, &mut results, end),
+            None => FleetReport::default(),
+        };
+        (results, report)
     }
+}
+
+/// Resolves one fleet op at its release instant (serial, in the global
+/// `(at, seq)` order — deterministic at any worker count).
+fn release_fleet_op(f: &mut FleetState, shards: &mut [World], p: &PendingFleetOp) {
+    match &p.op {
+        FleetOp::Admit { home_region, spec } => {
+            // Shard 0 hosts the profiling service: every cluster shares
+            // the model catalog, so any shard's estimate is the fleet's.
+            let demand = match shards[0].estimate_demand(spec) {
+                Ok(d) => d,
+                Err(_) => {
+                    f.report.admit_rejected += 1;
+                    return;
+                }
+            };
+            match f.door.admit(*home_region, demand) {
+                Some(placement) => {
+                    shards[placement.cluster.0 as usize]
+                        .schedule_command(p.at, WorldCommand::Admit(spec.clone()));
+                }
+                None => f.report.admit_rejected += 1,
+            }
+        }
+        FleetOp::Kill(cluster) => {
+            let slot = &mut f.dead[cluster.0 as usize];
+            if !*slot {
+                *slot = true;
+                f.door.drain(*cluster);
+                shards[cluster.0 as usize].schedule_command(p.at, WorldCommand::Evacuate);
+                f.report.clusters_killed += 1;
+            }
+        }
+    }
+}
+
+/// The front door's epoch-barrier duties: collect the epoch's evacuees,
+/// refresh every live cluster's summary from its pool's capacity index
+/// (ground truth overrides the interim debits), then re-place evacuees on
+/// surviving clusters — synchronously, so a refused admission is caught
+/// here and retried at a later barrier.
+fn exchange_fleet(f: &mut FleetState, shards: &mut [World], barrier: SimTime) {
+    // 1. Collect evacuations shard-by-shard (each shard's list is already
+    //    in stream-id order).
+    let mut waiting = std::mem::take(&mut f.retry);
+    for (i, shard) in shards.iter_mut().enumerate() {
+        let src = u32::try_from(i).expect("shard count fits u32");
+        let home_region = f.door.topology().region_of(ClusterId(src));
+        for ev in shard.take_evacuations() {
+            f.trackers
+                .entry(ev.stream.with_shard(src))
+                .or_default()
+                .outage_begins(ev.fault_at);
+            f.report.evacuated += 1;
+            waiting.push(PendingEvacuee {
+                origin: ev.stream.with_shard(src),
+                home_region,
+                fault_at: ev.fault_at,
+                detected_at: barrier,
+                spec: ev.spec,
+            });
+        }
+    }
+    // 2. Refresh summaries from the pools (O(1) per unchanged cluster).
+    //    Dead clusters stay drained: their idle pools must not resurrect.
+    for (i, shard) in shards.iter().enumerate() {
+        let id = u32::try_from(i).expect("shard count fits u32");
+        if f.dead[i] {
+            continue;
+        }
+        f.door.observe(
+            ClusterId(id),
+            ClusterSummary::from_pool(
+                shard.scheduler().pool().capacity_summary(),
+                shard.active_streams() as u64,
+            ),
+        );
+    }
+    // 3. Re-place, FIFO. Admission is synchronous — every shard's clock
+    //    sits exactly at the barrier, so admitting here is legal and the
+    //    failure signal is immediate.
+    for ev in waiting {
+        let demand = match shards[0].estimate_demand(&ev.spec) {
+            Ok(d) => d,
+            Err(_) => {
+                // Unknown model: no cluster can ever host it. Lost.
+                f.report.readmit_failures += 1;
+                continue;
+            }
+        };
+        let Some(placement) = f.door.place(ev.home_region, demand) else {
+            f.retry.push(ev);
+            continue;
+        };
+        let dest = placement.cluster;
+        match shards[dest.0 as usize].admit_stream(ev.spec.clone()) {
+            Ok(local) => {
+                f.door.record_placement(placement, demand);
+                let tracker = f
+                    .trackers
+                    .get_mut(&ev.origin)
+                    .expect("evacuee has an open tracker");
+                tracker.outage_ends(barrier);
+                tracker.count_restart();
+                f.recorder.record(&RecoveryBreakdown::new(
+                    ev.detected_at.saturating_since(ev.fault_at),
+                    barrier.saturating_since(ev.detected_at),
+                    SimDuration::ZERO,
+                ));
+                f.lineage.push((ev.origin, local.with_shard(dest.0)));
+                f.report.readmitted += 1;
+            }
+            Err(_) => {
+                // The summary was optimistic (fragmentation the fleet
+                // tier cannot see). Debit it pessimistically so later
+                // evacuees look elsewhere, and retry next barrier.
+                f.door.commit_placement(dest, demand);
+                f.report.readmit_failures += 1;
+                f.retry.push(ev);
+            }
+        }
+    }
+}
+
+/// Folds the fleet state into the merged results once the run ends:
+/// still-open outages become lost streams, availability spans and
+/// recovery breakdowns merge in, lineage links records each re-admission.
+fn finish_fleet(f: FleetState, results: &mut RunResults, end: SimTime) -> FleetReport {
+    let mut report = f.report;
+    report.unplaced = f.retry.len() as u64;
+    report.placement = f.door.stats();
+    for (origin, tracker) in f.trackers {
+        let lost = tracker.in_outage();
+        results.merge_availability(origin, tracker.finish(end, lost));
+    }
+    results.recovery_mut().merge(&f.recorder);
+    for (old, new) in f.lineage {
+        results.link_lineage(old, new);
+    }
+    report
 }
 
 #[cfg(test)]
@@ -487,5 +899,172 @@ mod tests {
         let mut sw = ShardedWorld::new(vec![cluster(1)], Features::all());
         sw.now = SimTime::from_secs(5);
         sw.schedule_command(SimTime::from_secs(1), 0, WorldCommand::Remove(StreamId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn packed_ids_reject_overflowing_shard_indexes() {
+        // Satellite guard: the shard field is 24 bits wide.
+        let _ = StreamId(0).with_shard(1 << 24);
+    }
+
+    // ───────────────────────── fleet tier ─────────────────────────
+
+    #[test]
+    fn front_door_places_home_first_then_spills() {
+        // 4 one-TPU clusters in 2 regions; each cluster hosts two
+        // 0.35-unit streams. Five admissions homed in region 0 fill its
+        // two clusters (4 homes) and spill the fifth into region 1.
+        let mut sw =
+            ShardedWorld::new((0..4).map(|_| cluster(1)), Features::all()).with_front_door(2, 1);
+        for i in 0..5 {
+            sw.admit_global(SimTime::ZERO, 0, spec(&format!("cam-{i}"), 30));
+        }
+        let (results, report) = sw.run_fleet_to_completion(SimTime::from_secs(30));
+        assert_eq!(results.reports().len(), 5);
+        assert!(results.all_met_fps());
+        assert_eq!(report.placement.admitted, 5);
+        assert_eq!(report.placement.home, 4);
+        assert_eq!(report.placement.spills, 1);
+        assert_eq!(report.placement.fallbacks, 0);
+        assert_eq!(report.admit_rejected, 0);
+        // The spilled stream landed in region 1 (clusters 2..4).
+        let spilled: usize = (2..4)
+            .map(|shard| {
+                (0..2)
+                    .filter(|i| results.report(StreamId(*i).with_shard(shard)).is_some())
+                    .count()
+            })
+            .sum();
+        assert_eq!(spilled, 1);
+    }
+
+    #[test]
+    fn front_door_rejects_when_the_fleet_is_full() {
+        let mut sw = ShardedWorld::new(vec![cluster(1)], Features::all()).with_front_door(1, 0);
+        for i in 0..3 {
+            sw.admit_global(SimTime::ZERO, 0, spec(&format!("cam-{i}"), 15));
+        }
+        // An unknown model is rejected at demand estimation.
+        sw.admit_global(
+            SimTime::ZERO,
+            0,
+            StreamSpec::builder("mystery", "not-a-model")
+                .frame_limit(15)
+                .build(),
+        );
+        let (results, report) = sw.run_fleet_to_completion(SimTime::from_secs(30));
+        assert_eq!(results.reports().len(), 2);
+        assert_eq!(report.placement.admitted, 2);
+        assert_eq!(report.placement.rejections, 1);
+        assert_eq!(report.admit_rejected, 2);
+    }
+
+    #[test]
+    fn front_door_sees_load_admitted_before_arming() {
+        let mut sw = ShardedWorld::new((0..2).map(|_| cluster(1)), Features::all());
+        sw.admit_stream(0, spec("pre-0", 30)).unwrap();
+        sw.admit_stream(0, spec("pre-1", 30)).unwrap();
+        let mut sw = sw.with_front_door(1, 0);
+        sw.admit_global(SimTime::ZERO, 0, spec("late", 30));
+        let (results, report) = sw.run_fleet_to_completion(SimTime::from_secs(30));
+        // Cluster 0 was already full at arming time, so the global
+        // admission lands on cluster 1 — without waiting for a barrier
+        // refresh.
+        assert_eq!(report.placement.home, 1);
+        assert!(results.report(StreamId(0).with_shard(1)).is_some());
+    }
+
+    #[test]
+    fn killed_cluster_evacuates_and_readmits_on_a_survivor() {
+        let mut sw =
+            ShardedWorld::new((0..2).map(|_| cluster(1)), Features::all()).with_front_door(1, 0);
+        sw.admit_global(SimTime::ZERO, 0, spec("cam", 1_000));
+        let fault_at = SimTime::from_millis(2_200);
+        sw.kill_cluster(fault_at, ClusterId(0));
+        let deadline = SimTime::from_secs(10);
+        let (results, report) = sw.run_fleet_with_workers(deadline, 1);
+        assert_eq!(report.clusters_killed, 1);
+        assert_eq!(report.evacuated, 1);
+        assert_eq!(report.readmitted, 1);
+        assert_eq!(report.unplaced, 0);
+        // Lineage: the origin incarnation on shard 0 was superseded by a
+        // fresh stream on shard 1.
+        let origin = StreamId(0).with_shard(0);
+        let successor = StreamId(0).with_shard(1);
+        assert_eq!(results.successor(origin), Some(successor));
+        // Both incarnations made progress.
+        assert!(results.report(origin).unwrap().completed() > 0);
+        assert!(results.report(successor).unwrap().completed() > 0);
+        // Downtime spans fault (2.2 s) to the re-admitting barrier
+        // (2.5 s): 300 ms, one restart, not lost.
+        let avail = &results.availabilities()[&origin];
+        assert_eq!(avail.downtime, SimDuration::from_millis(300));
+        assert_eq!(avail.restarts, 1);
+        assert!(!avail.lost);
+        assert_eq!(avail.outages, 1);
+        // The fleet recovery breakdown: detection 300 ms (barrier lag),
+        // zero rescheduling (placed at the detecting barrier).
+        assert_eq!(results.recovery().count(), 1);
+    }
+
+    #[test]
+    fn evacuees_with_nowhere_to_go_are_lost() {
+        let mut sw =
+            ShardedWorld::new((0..2).map(|_| cluster(1)), Features::all()).with_front_door(1, 0);
+        sw.admit_global(SimTime::ZERO, 0, spec("doomed", 1_000));
+        let fault_at = SimTime::from_millis(2_200);
+        sw.kill_cluster(fault_at, ClusterId(0));
+        sw.kill_cluster(fault_at, ClusterId(1));
+        let (results, report) = sw.run_fleet_with_workers(SimTime::from_secs(10), 1);
+        assert_eq!(report.clusters_killed, 2);
+        assert_eq!(report.evacuated, 1);
+        assert_eq!(report.readmitted, 0);
+        assert_eq!(report.unplaced, 1);
+        let avail = &results.availabilities()[&StreamId(0).with_shard(0)];
+        assert!(avail.lost);
+        assert!(avail.downtime > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn killing_a_dead_cluster_is_a_no_op() {
+        let mut sw =
+            ShardedWorld::new((0..2).map(|_| cluster(1)), Features::all()).with_front_door(1, 0);
+        sw.admit_global(SimTime::ZERO, 0, spec("cam", 60));
+        sw.kill_cluster(SimTime::from_secs(1), ClusterId(0));
+        sw.kill_cluster(SimTime::from_secs(2), ClusterId(0));
+        let (_, report) = sw.run_fleet_to_completion(SimTime::from_secs(30));
+        assert_eq!(report.clusters_killed, 1);
+        assert_eq!(report.evacuated, 1);
+    }
+
+    #[test]
+    fn fleet_runs_are_worker_invariant() {
+        let build = || {
+            let mut sw = ShardedWorld::new((0..4).map(|_| cluster(1)), Features::all())
+                .with_front_door(2, 1);
+            for i in 0..6 {
+                sw.admit_global(
+                    SimTime::from_millis(200 * i),
+                    u32::try_from(i % 2).expect("region fits"),
+                    StreamSpec::builder(&format!("cam-{i}"), "ssd-mobilenet-v2")
+                        .frame_limit(80)
+                        .export_completions(i.is_multiple_of(2))
+                        .build(),
+                );
+            }
+            sw.kill_cluster(SimTime::from_millis(3_300), ClusterId(0));
+            sw
+        };
+        let deadline = SimTime::from_secs(20);
+        let serial = {
+            let (results, report) = build().run_fleet_with_workers(deadline, 1);
+            format!("{results:?}|{report:?}")
+        };
+        for workers in [2, 8] {
+            let (results, report) = build().run_fleet_with_workers(deadline, workers);
+            let parallel = format!("{results:?}|{report:?}");
+            assert_eq!(serial, parallel, "diverged at {workers} workers");
+        }
     }
 }

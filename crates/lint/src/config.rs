@@ -38,6 +38,7 @@ pub const WALL_CLOCK_EXEMPT_FILES: &[&str] = &[
     "crates/bench/src/admission_overhead.rs",
     "crates/bench/src/scale.rs",
     "crates/bench/src/scale_sharded.rs",
+    "crates/bench/src/fleet.rs",
 ];
 
 /// Crates whose data structures feed byte-identical JSON artifacts: any

@@ -19,17 +19,33 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test --quiet --workspace
 
+# Benchmark artifacts mix deterministic simulation output with host
+# measurements (events/s, wall time, RSS, worker count, speedups).
+# Measurement lines carry "host_" keys on their own lines; strip them and
+# the rest must be byte-identical across worker counts.
+strip_host_lines() {
+  grep -v '"host_' "$1"
+}
+
+# Compares one artifact produced under two MICROEDGE_WORKERS settings,
+# host_ lines stripped: assert_deterministic_artifact <name> <dir_a> <dir_b>
+assert_deterministic_artifact() {
+  local name="$1" a="$2" b="$3"
+  strip_host_lines "$a/$name" > "$a/$name.filtered"
+  strip_host_lines "$b/$name" > "$b/$name.filtered"
+  cmp "$a/$name.filtered" "$b/$name.filtered"
+}
+
 echo "==> scale study smoke + sharded-replay determinism (repro --scale --quick)"
-# The artifact mixes deterministic simulation output with host measurements
-# (events/s, wall time, RSS, worker count). Measurement lines carry "host_"
-# keys on their own lines; strip them and the rest must be byte-identical
-# across worker counts.
 scale_out="$(mktemp -d)"
 trap 'rm -rf "$scale_out"' EXIT
 MICROEDGE_WORKERS=1 cargo run --release -p microedge-bench --bin repro -- --scale --quick --csv "$scale_out/a"
 MICROEDGE_WORKERS=8 cargo run --release -p microedge-bench --bin repro -- --scale --quick --csv "$scale_out/b"
-grep -v '"host_' "$scale_out/a/BENCH_scale.json" > "$scale_out/a.filtered"
-grep -v '"host_' "$scale_out/b/BENCH_scale.json" > "$scale_out/b.filtered"
-cmp "$scale_out/a.filtered" "$scale_out/b.filtered"
+assert_deterministic_artifact BENCH_scale.json "$scale_out/a" "$scale_out/b"
+
+echo "==> fleet front-door smoke + determinism (repro --fleet --quick)"
+MICROEDGE_WORKERS=1 cargo run --release -p microedge-bench --bin repro -- --fleet --quick --csv "$scale_out/a"
+MICROEDGE_WORKERS=8 cargo run --release -p microedge-bench --bin repro -- --fleet --quick --csv "$scale_out/b"
+assert_deterministic_artifact BENCH_fleet.json "$scale_out/a" "$scale_out/b"
 
 echo "All checks passed."

@@ -1,0 +1,198 @@
+//! Differential tests for the fleet tier: the indexed front door against
+//! the preserved linear fleet scan (`fleet::reference`), and the pool's
+//! incrementally-maintained capacity summary against a from-scratch
+//! recomputation.
+//!
+//! The front door's placement must be *observationally identical* to the
+//! linear oracle — same cluster, same probe kind, same rejection, same
+//! running statistics — under any interleaving of admissions, summary
+//! refreshes, and cluster drains. And the per-cluster summary the front
+//! door consumes must stay exact under any pool churn, because every
+//! placement decision is only as good as the summary feeding it.
+
+use proptest::prelude::*;
+
+use microedge::cluster::topology::ClusterBuilder;
+use microedge::core::admission::{AdmissionPolicy, FirstFit};
+use microedge::core::config::Features;
+use microedge::core::fleet::{reference, ClusterId, ClusterSummary, FrontDoor, StreamDemand};
+use microedge::core::pool::{Allocation, PoolCapacity, TpuPool};
+use microedge::core::units::TpuUnits;
+use microedge::models::catalog::fig1_models;
+use microedge::tpu::device::TpuId;
+use microedge::tpu::spec::TpuSpec;
+
+/// One step of the fleet churn script, encoded as plain tuples so one
+/// strategy drives both doors identically:
+/// `(op, home, cluster, micro, mult, extra)`.
+///
+/// - `op < 6`  → admit homed at `home % regions` with a demand whose
+///   largest stage is `micro` and whose total is `micro * mult`
+/// - `op == 6` → observe a fresh summary on `cluster % C` built from
+///   `(micro, mult, extra)`
+/// - `op == 7` → drain `cluster % C`
+type Step = (u8, u32, u32, u64, u64, u32);
+
+fn script_strategy() -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(
+        (
+            0u8..8,
+            0u32..8,
+            0u32..64,
+            50_000u64..1_200_000,
+            1u64..4,
+            0u32..6,
+        ),
+        1..60,
+    )
+}
+
+fn summary_from(micro: u64, mult: u64, extra: u32) -> ClusterSummary {
+    ClusterSummary {
+        max_free: micro,
+        total_free: micro * mult,
+        available_tpus: extra % 5,
+        total_tpus: 4,
+        live_streams: u64::from(extra) * 3,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under any admit/observe/drain interleaving, on any fleet shape,
+    /// the indexed front door and the linear fleet scan make identical
+    /// placements and keep identical summaries and statistics.
+    #[test]
+    fn front_door_matches_linear_scan_under_churn(
+        clusters in 2u32..48,
+        regions in 1u32..5,
+        spill in 0u32..3,
+        script in script_strategy(),
+    ) {
+        let regions = regions.min(clusters);
+        let summaries: Vec<ClusterSummary> = (0..clusters)
+            .map(|c| summary_from(
+                300_000 + u64::from(c) * 37_000 % 900_000,
+                1 + u64::from(c) % 3,
+                c + 1,
+            ))
+            .collect();
+        let mut indexed = FrontDoor::new(summaries.clone(), regions, spill);
+        let mut linear = reference::LinearFrontDoor::new(summaries, regions, spill);
+
+        for &(op, home, cluster, micro, mult, extra) in &script {
+            match op {
+                0..=5 => {
+                    let demand = StreamDemand {
+                        largest_stage: micro,
+                        total: micro * mult,
+                    };
+                    let home = home % regions;
+                    prop_assert_eq!(
+                        indexed.place(home, demand),
+                        linear.place(home, demand),
+                        "read-only placement diverged"
+                    );
+                    prop_assert_eq!(
+                        indexed.admit(home, demand),
+                        linear.admit(home, demand),
+                        "committing admission diverged"
+                    );
+                }
+                6 => {
+                    let id = ClusterId(cluster % clusters);
+                    let summary = summary_from(micro, mult, extra);
+                    indexed.observe(id, summary);
+                    linear.observe(id, summary);
+                }
+                _ => {
+                    let id = ClusterId(cluster % clusters);
+                    indexed.drain(id);
+                    linear.drain(id);
+                }
+            }
+            prop_assert_eq!(indexed.stats(), linear.stats(), "stats diverged");
+            for c in 0..clusters {
+                prop_assert_eq!(
+                    indexed.summary(ClusterId(c)),
+                    linear.summary(ClusterId(c)),
+                    "summary {} diverged after op {}",
+                    c,
+                    op
+                );
+            }
+        }
+    }
+}
+
+const TPUS: u32 = 6;
+
+fn recompute(pool: &TpuPool) -> PoolCapacity {
+    let mut cap = PoolCapacity {
+        max_free_micro: 0,
+        total_free_micro: 0,
+        available_tpus: 0,
+        total_tpus: u32::try_from(pool.accounts().len()).expect("pool fits u32"),
+    };
+    for account in pool.accounts() {
+        if !account.is_available() {
+            continue;
+        }
+        let free = account.free_units().as_micro();
+        cap.max_free_micro = cap.max_free_micro.max(free);
+        cap.total_free_micro += free;
+        cap.available_tpus += 1;
+    }
+    cap
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The incrementally-maintained capacity summary equals a full
+    /// recomputation from the accounts after every commit, release,
+    /// failure, and restore — the invariant the whole fleet tier's
+    /// placement quality rests on.
+    #[test]
+    fn capacity_summary_is_exact_under_pool_churn(
+        script in prop::collection::vec(
+            (0u8..9, 0..8usize, 50_000u64..1_500_000, 0u32..TPUS),
+            1..60,
+        ),
+    ) {
+        let cluster = ClusterBuilder::new().trpis(TPUS).vrpis(1).build();
+        let mut pool = TpuPool::from_cluster(&cluster, TpuSpec::coral_usb());
+        let models = fig1_models();
+        let mut policy = FirstFit::new();
+        let mut live: Vec<(microedge::models::profile::ModelProfile, Vec<Allocation>)> =
+            Vec::new();
+
+        for &(op, model_idx, micro, tpu) in &script {
+            match op {
+                0..=5 => {
+                    let model = &models[model_idx];
+                    let units = TpuUnits::from_micro(micro);
+                    if let Some(plan) = policy.plan(&pool, model, units, Features::all()) {
+                        pool.commit(model, &plan);
+                        live.push((model.clone(), plan));
+                    }
+                }
+                6 => {
+                    if !live.is_empty() {
+                        let (model, plan) = live.remove(0);
+                        pool.release(model.id(), &plan);
+                    }
+                }
+                7 => pool.fail(TpuId(tpu)),
+                _ => pool.restore(TpuId(tpu)),
+            }
+            prop_assert_eq!(
+                pool.capacity_summary(),
+                recompute(&pool),
+                "summary drifted after op {}",
+                op
+            );
+        }
+    }
+}
