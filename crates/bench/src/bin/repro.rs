@@ -2,11 +2,12 @@
 //!
 //! ```text
 //! repro [--fig1] [--fig5] [--table1] [--fig6] [--fig7a] [--fig7b] [--ablations]
-//!       [--perf] [--chaos] [--scale] [--fleet] [--quick] [--csv <dir>]
+//!       [--perf] [--chaos] [--scale] [--fleet] [--net] [--quick] [--csv <dir>]
 //! ```
 //!
 //! With no selection flags, every paper artifact runs (`--perf`,
-//! `--chaos`, `--scale`, and `--fleet` only run when asked for). `--quick` shrinks
+//! `--chaos`, `--scale`, `--fleet`, and `--net` only run when asked
+//! for). `--quick` shrinks
 //! frame counts and trace length for a fast smoke pass; `--csv <dir>`
 //! additionally dumps each selected artifact's series as CSV for external
 //! plotting. `--perf` times the simulation kernel on the fixed reference
@@ -25,7 +26,11 @@
 //! every other field is deterministic. `--fleet` runs the federated
 //! front-door study — indexed vs linear-scan placement throughput at
 //! 64/512/4096 clusters plus the whole-cluster kill tiers — and writes
-//! `BENCH_fleet.json` under the same `host_` convention.
+//! `BENCH_fleet.json` under the same `host_` convention. `--net` runs
+//! the lossy-transport study — the QoS classes across loss tiers
+//! 0/0.1/1/10 % and a flapping-partition tier that drives the lease
+//! detector into reconciled false positives — and writes
+//! `BENCH_net.json`, again `host_`-strippable to a byte-stable core.
 //!
 //! The artifacts are independent, so they run concurrently through the
 //! deterministic executor ([`microedge_sim::par`]); each job renders its
@@ -60,6 +65,7 @@ struct Options {
     chaos: bool,
     scale: bool,
     fleet: bool,
+    net: bool,
     quick: bool,
     csv: Option<PathBuf>,
 }
@@ -72,6 +78,7 @@ fn parse_args() -> Options {
     let mut chaos = false;
     let mut scale = false;
     let mut fleet = false;
+    let mut net = false;
     let mut selections: Vec<String> = Vec::new();
     let known = [
         "--fig1",
@@ -90,6 +97,7 @@ fn parse_args() -> Options {
             "--chaos" => chaos = true,
             "--scale" => scale = true,
             "--fleet" => fleet = true,
+            "--net" => net = true,
             "--csv" => match iter.next() {
                 Some(dir) => csv = Some(PathBuf::from(dir)),
                 None => {
@@ -100,7 +108,7 @@ fn parse_args() -> Options {
             flag if known.contains(&flag) => selections.push(arg),
             other => {
                 eprintln!(
-                    "unknown flag {other}; known: {} --perf --chaos --scale --fleet --quick --csv <dir>",
+                    "unknown flag {other}; known: {} --perf --chaos --scale --fleet --net --quick --csv <dir>",
                     known.join(" ")
                 );
                 std::process::exit(2);
@@ -110,7 +118,7 @@ fn parse_args() -> Options {
     let has = |flag: &str| selections.iter().any(|a| a == flag);
     // `--perf` / `--chaos` / `--scale` alone mean "just that study", not
     // "everything".
-    let none_selected = selections.is_empty() && !perf && !chaos && !scale && !fleet;
+    let none_selected = selections.is_empty() && !perf && !chaos && !scale && !fleet && !net;
     Options {
         fig1: none_selected || has("--fig1"),
         fig5: none_selected || has("--fig5"),
@@ -123,6 +131,7 @@ fn parse_args() -> Options {
         chaos,
         scale,
         fleet,
+        net,
         quick,
         csv,
     }
@@ -493,5 +502,12 @@ fn main() {
         };
         println!("{}", fleet::render_fleet(&perf, &tiers));
         write_bench("BENCH_fleet.json", fleet::to_json(&perf, &tiers));
+    }
+
+    if opts.net {
+        use microedge_bench::netchaos;
+        let tiers = netchaos::run_net_chaos(opts.quick);
+        println!("{}", netchaos::render_net_chaos(&tiers));
+        write_bench("BENCH_net.json", netchaos::to_json(&tiers));
     }
 }

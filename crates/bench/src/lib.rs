@@ -23,6 +23,7 @@
 //! | [`scale`] | 100k-stream scale-out study (§6.3's "much larger configuration") |
 //! | [`scale_sharded`] | sharded 1M-stream replay (deterministic epoch-barrier parallelism) |
 //! | [`fleet`] | federated fleet front door: O(log C) placement + whole-cluster chaos tiers |
+//! | [`netchaos`] | lossy-transport study: QoS classes across loss tiers + flapping partitions |
 //!
 //! The `repro` binary prints every artifact; the Criterion benches under
 //! `benches/` time the underlying computations.
@@ -35,6 +36,7 @@ pub mod diff_detector;
 pub mod fig1;
 pub mod fleet;
 pub mod latency_breakdown;
+pub mod netchaos;
 pub mod packing;
 pub mod perf;
 pub mod pipeline_ablation;

@@ -47,7 +47,7 @@
 
 use microedge_cluster::node::NodeId;
 use microedge_cluster::topology::Cluster;
-use microedge_sim::rng::DetRng;
+use microedge_sim::rng::{splitmix64, DetRng};
 use microedge_sim::time::{SimDuration, SimTime};
 use microedge_tpu::device::TpuId;
 
@@ -310,17 +310,36 @@ pub struct HealPolicy {
     pub backoff_cap: SimDuration,
 }
 
+/// Domain separator for the backoff jitter hash (distinct from every
+/// other splitmix keying in the workspace).
+const BACKOFF_JITTER_SALT: u64 = 0x4841_4C46_5F4A_4954;
+
 impl HealPolicy {
     /// Retry delay after `attempt` consecutive failures (1-based):
-    /// `base × 2^(attempt−1)`, capped.
+    /// `base × 2^(attempt−1)`, capped, then spread within ±25% by a seeded
+    /// hash of `salt` (the retrying stream's id). Without the spread every
+    /// stream displaced by a mass failure computes the identical delay and
+    /// retries in lock-step — a thundering herd at each backoff step. The
+    /// jitter is a pure function of `(policy, attempt, salt)`, so replays
+    /// stay byte-identical across runs and worker counts.
     #[must_use]
-    pub fn backoff(&self, attempt: u32) -> SimDuration {
+    pub fn backoff(&self, attempt: u32, salt: u64) -> SimDuration {
         let shift = attempt.saturating_sub(1).min(32);
-        let nanos = self
+        let nominal = self
             .backoff_base
             .as_nanos()
-            .saturating_mul(1u64 << u64::from(shift));
-        SimDuration::from_nanos(nanos).min(self.backoff_cap)
+            .saturating_mul(1u64 << u64::from(shift))
+            .min(self.backoff_cap.as_nanos());
+        let span = nominal / 4;
+        if span == 0 {
+            return SimDuration::from_nanos(nominal);
+        }
+        let h = splitmix64(
+            salt.wrapping_add(u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                ^ BACKOFF_JITTER_SALT,
+        );
+        let offset = h % (2 * span + 1);
+        SimDuration::from_nanos(nominal - span + offset)
     }
 }
 
@@ -515,12 +534,45 @@ mod tests {
             backoff_base: secs(1),
             backoff_cap: secs(8),
         };
-        assert_eq!(h.backoff(1), secs(1));
-        assert_eq!(h.backoff(2), secs(2));
-        assert_eq!(h.backoff(3), secs(4));
-        assert_eq!(h.backoff(4), secs(8));
-        assert_eq!(h.backoff(10), secs(8), "capped");
-        assert_eq!(h.backoff(64), secs(8), "shift overflow guarded");
+        // Nominal schedule 1/2/4/8/8… s, spread ±25% per stream. The jitter
+        // bands of consecutive attempts never overlap (1.25·2^k < 0.75·2^(k+1)),
+        // so doubling survives the spread.
+        for salt in [0u64, 1, 7, 1 << 40, 0xDEAD_BEEF] {
+            let mut prev = 0u64;
+            for (attempt, nominal_s) in [(1u32, 1u64), (2, 2), (3, 4), (4, 8)] {
+                let d = h.backoff(attempt, salt).as_nanos();
+                let nominal = nominal_s * 1_000_000_000;
+                let span = nominal / 4;
+                assert!(
+                    (nominal - span..=nominal + span).contains(&d),
+                    "attempt {attempt} salt {salt}: {d} outside ±25% of {nominal}"
+                );
+                assert!(d > prev, "attempt {attempt} salt {salt} did not grow");
+                prev = d;
+            }
+            // Deep attempts jitter around the cap (never above 1.25×);
+            // attempt 64 exercises the shift-overflow guard.
+            for attempt in [10u32, 64] {
+                let d = h.backoff(attempt, salt).as_nanos();
+                let cap = 8 * 1_000_000_000;
+                assert!(
+                    (cap - cap / 4..=cap + cap / 4).contains(&d),
+                    "attempt {attempt} salt {salt}: {d} outside the cap band"
+                );
+            }
+        }
+        // Pure function of (attempt, salt): byte-identical across calls…
+        assert_eq!(h.backoff(3, 42), h.backoff(3, 42));
+        // …while distinct streams actually spread out.
+        let spread: std::collections::BTreeSet<u64> =
+            (0..16).map(|s| h.backoff(1, s).as_nanos()).collect();
+        assert!(spread.len() > 8, "jitter did not spread: {spread:?}");
+        // A zero-base policy has no span to spread over.
+        let flat = HealPolicy {
+            backoff_base: SimDuration::ZERO,
+            backoff_cap: secs(8),
+        };
+        assert_eq!(flat.backoff(5, 7), SimDuration::ZERO);
     }
 
     #[test]

@@ -29,7 +29,12 @@
 //!   post-process), live stream admission/removal, and metric collection;
 //! - [`shard`] — sharded single-replay parallelism: per-cluster `World`
 //!   shards advanced in deterministic epochs with barrier-exchanged
-//!   cross-shard traffic, bit-identical at any worker count.
+//!   cross-shard traffic, bit-identical at any worker count;
+//! - [`net`] — the deterministic lossy-transport layer cross-shard
+//!   traffic rides: per-link healthy/degraded/partitioned state machines,
+//!   seeded per-message loss/jitter/reorder draws, and three QoS classes
+//!   (acked control with retransmit budgets, unacked heartbeats feeding
+//!   the lease detector, best-effort telemetry).
 //!
 //! **Fleet tier**:
 //! - [`fleet`] — the federated front door: per-cluster capacity summaries
@@ -61,6 +66,7 @@ pub mod config;
 pub mod faults;
 pub mod fleet;
 pub mod lbs;
+pub mod net;
 pub mod pool;
 pub mod runtime;
 pub mod scheduler;
@@ -79,6 +85,10 @@ pub use fleet::{
     ProbeKind, StreamDemand,
 };
 pub use lbs::LbService;
+pub use net::{
+    DegradedLink, LinkChaosModel, LinkSchedule, LinkState, NetConfig, NetError, NetReport,
+    QosClass, RetransmitPolicy, Transport,
+};
 pub use pool::{render_pool, Allocation, PoolCapacity, TpuAccount, TpuPool};
 pub use runtime::{
     FrameExport, RunResults, StreamId, StreamSpec, World, WorldCommand, METRIC_WINDOW,

@@ -2124,7 +2124,7 @@ impl World {
                     .heal
                     .as_ref()
                     .expect("checked above")
-                    .backoff(p.attempts);
+                    .backoff(p.attempts, p.stream.0);
                 p.next_try = now + backoff;
             }
         }

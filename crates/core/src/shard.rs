@@ -59,11 +59,13 @@ use std::collections::BTreeMap;
 use microedge_cluster::topology::Cluster;
 use microedge_metrics::recovery::{AvailabilityTracker, RecoveryBreakdown, RecoveryRecorder};
 use microedge_sim::par;
+use microedge_sim::rng::splitmix64;
 use microedge_sim::time::{SimDuration, SimTime};
 
 use crate::config::Features;
-use crate::faults::{ChaosConfig, FaultSchedule};
+use crate::faults::{ChaosConfig, DetectionModel, FaultSchedule, HealPolicy};
 use crate::fleet::{ClusterId, ClusterSummary, FrontDoor, PlacementStats};
+use crate::net::{NetConfig, NetReport, Transport};
 use crate::runtime::{FrameExport, RunResults, StreamId, StreamSpec, World, WorldCommand};
 use crate::scheduler::DeployError;
 
@@ -130,7 +132,44 @@ struct PendingEvacuee {
     fault_at: SimTime,
     /// The barrier at which the front door learned of the death.
     detected_at: SimTime,
+    /// Failed re-placement attempts so far (drives the backoff and the
+    /// give-up below).
+    attempts: u32,
+    /// Earliest barrier of the next attempt.
+    next_try: SimTime,
     spec: StreamSpec,
+}
+
+/// Re-placement attempts per evacuee before the fleet gives up. With the
+/// default [`HealPolicy`] ladder (1/2/4/8… s, ±25%) the budget spans
+/// roughly half a minute of simulated retrying.
+pub const EVAC_MAX_ATTEMPTS: u32 = 6;
+
+/// Typed terminal outcome of an evacuee the fleet stopped retrying. The
+/// stream's outage span stays open, so its `metrics::recovery`
+/// availability tracker records it lost, and [`FleetReport::unplaced`]
+/// accounts for it alongside the still-waiting evacuees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvacGiveUp {
+    /// The retry budget ([`EVAC_MAX_ATTEMPTS`]) ran out with no cluster
+    /// able to take the stream.
+    AttemptsExhausted {
+        /// Attempts made.
+        attempts: u32,
+    },
+    /// The stream's model has no profile: no cluster can ever host it.
+    UnknownModel,
+}
+
+impl std::fmt::Display for EvacGiveUp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvacGiveUp::AttemptsExhausted { attempts } => {
+                write!(f, "gave up after {attempts} re-placement attempts")
+            }
+            EvacGiveUp::UnknownModel => write!(f, "no cluster can host an unknown model"),
+        }
+    }
 }
 
 /// Deterministic fleet-tier outcome counters of one sharded run — the
@@ -150,8 +189,12 @@ pub struct FleetReport {
     /// Re-admission attempts the destination cluster refused (the summary
     /// was optimistic); the evacuee retries at a later barrier.
     pub readmit_failures: u64,
-    /// Evacuees never re-placed by end of run (counted lost).
+    /// Evacuees never re-placed by end of run (counted lost): the
+    /// still-waiting plus the abandoned (`gave_up`).
     pub unplaced: u64,
+    /// Evacuees abandoned with a typed [`EvacGiveUp`] after exhausting
+    /// their retry budget (a subset of `unplaced`).
+    pub gave_up: u64,
     /// Global admissions the front door could not place anywhere (or whose
     /// demand could not be estimated).
     pub admit_rejected: u64,
@@ -166,8 +209,13 @@ struct FleetState {
     /// Clusters killed so far — their summaries stay drained (a barrier
     /// refresh would otherwise resurrect them from their idle pools).
     dead: Vec<bool>,
-    /// Evacuees the fleet could not re-place yet, FIFO.
+    /// Evacuees the fleet could not re-place yet, FIFO; each carries its
+    /// attempt count and jittered-backoff wake-up.
     retry: Vec<PendingEvacuee>,
+    /// Backoff ladder between re-placement attempts.
+    heal: HealPolicy,
+    /// Typed terminal outcomes of abandoned evacuees, in give-up order.
+    give_ups: Vec<(StreamId, EvacGiveUp)>,
     /// Open/closed outage spans per evacuated incarnation, by packed id.
     trackers: BTreeMap<StreamId, AvailabilityTracker>,
     /// Fleet-level recovery breakdowns (detection = barrier lag,
@@ -177,6 +225,56 @@ struct FleetState {
     lineage: Vec<(StreamId, StreamId)>,
     report: FleetReport,
 }
+
+/// A control message riding the lossy network: submitted at `at`, it
+/// attempts delivery to shard `dest`, retransmitting on loss until the
+/// policy's attempt budget runs out.
+#[derive(Debug, Clone)]
+struct PendingNetCommand {
+    /// Submission order — the draw key and the deterministic tie-breaker.
+    seq: u64,
+    dest: u32,
+    /// Wire attempts already made.
+    attempts: u32,
+    /// Instant of the next attempt.
+    next_attempt: SimTime,
+    cmd: WorldCommand,
+}
+
+/// The network plane of a sharded replay: the message-level [`Transport`]
+/// plus the queueing and detector state the barrier loop drives serially —
+/// pending control retransmissions, per-link heartbeat bookkeeping, and
+/// the bounded-staleness view the front door places against.
+#[derive(Debug)]
+struct NetPlane {
+    transport: Transport,
+    detection: DetectionModel,
+    staleness_bound: SimDuration,
+    /// Control messages awaiting delivery or give-up.
+    pending: Vec<PendingNetCommand>,
+    /// Last heartbeat instant heard from each cluster.
+    last_heard: Vec<SimTime>,
+    /// Index of each cluster's next heartbeat tick.
+    hb_next: Vec<u64>,
+    /// Clusters whose lease has expired at the fleet-level detector.
+    suspect: Vec<bool>,
+    /// `true` when the open suspicion is a gray failure (the cluster was
+    /// alive — only its link was down); these reconcile when heartbeats
+    /// resume.
+    gray: Vec<bool>,
+    suspect_since: Vec<SimTime>,
+    /// Live streams on each cluster when its suspicion opened.
+    affected: Vec<u64>,
+    /// Last barrier whose summary refresh got through, per cluster.
+    last_refresh: Vec<SimTime>,
+    /// Clusters currently drained for exceeding the staleness bound.
+    stale: Vec<bool>,
+    report: NetReport,
+}
+
+/// Domain separator of summary-refresh telemetry keys (frame exports key
+/// by send instant and stream id; refreshes by barrier alone).
+const REFRESH_KEY_SALT: u64 = 0x5245_4652_4553_4800;
 
 /// The default epoch length: half a second of simulated time. Long enough
 /// that barrier overhead vanishes against millions of events per epoch,
@@ -201,6 +299,8 @@ pub struct ShardedWorld {
     /// The fleet front door and its bookkeeping, armed by
     /// [`ShardedWorld::with_front_door`].
     fleet: Option<Box<FleetState>>,
+    /// The lossy-network plane, armed by [`ShardedWorld::with_network`].
+    net: Option<Box<NetPlane>>,
 }
 
 impl ShardedWorld {
@@ -229,6 +329,7 @@ impl ShardedWorld {
             next_seq: 0,
             exports_routed: 0,
             fleet: None,
+            net: None,
         }
     }
 
@@ -259,10 +360,44 @@ impl ShardedWorld {
             ops: Vec::new(),
             dead: vec![false; self.shards.len()],
             retry: Vec::new(),
+            heal: HealPolicy::default(),
+            give_ups: Vec::new(),
             trackers: BTreeMap::new(),
             recorder: RecoveryRecorder::new(),
             lineage: Vec::new(),
             report: FleetReport::default(),
+        }));
+        self
+    }
+
+    /// Arms the lossy-network plane ([`crate::net`]): every cross-shard
+    /// message — frame exports, control commands, fleet admissions — rides
+    /// cluster `i`'s uplink (link `i`) under the scheduled
+    /// [`crate::net::LinkState`]s, and each cluster heartbeats the fleet
+    /// over the same link so lossy/partitioned links starve the lease
+    /// detector into false-positive suspicions. Works with or without a
+    /// front door; with one, suspicions drain placements and summary
+    /// refreshes become best-effort with bounded staleness.
+    #[must_use]
+    pub fn with_network(mut self, cfg: NetConfig) -> Self {
+        let links = self.shards.len();
+        self.net = Some(Box::new(NetPlane {
+            transport: Transport::new(links, cfg.schedule, cfg.seed, cfg.retransmit),
+            detection: cfg.detection,
+            staleness_bound: cfg.staleness_bound,
+            pending: Vec::new(),
+            last_heard: vec![SimTime::ZERO; links],
+            hb_next: vec![1; links],
+            suspect: vec![false; links],
+            gray: vec![false; links],
+            suspect_since: vec![SimTime::ZERO; links],
+            affected: vec![0; links],
+            last_refresh: vec![SimTime::ZERO; links],
+            stale: vec![false; links],
+            report: NetReport {
+                suspicion_ns: vec![0; links],
+                ..NetReport::default()
+            },
         }));
         self
     }
@@ -504,10 +639,27 @@ impl ShardedWorld {
     /// Panics if `deadline` precedes the last completed barrier.
     #[must_use]
     pub fn run_fleet_with_workers(
-        mut self,
+        self,
         deadline: SimTime,
         workers: usize,
     ) -> (RunResults, FleetReport) {
+        let (results, report, _) = self.run_net_with_workers(deadline, workers);
+        (results, report)
+    }
+
+    /// [`ShardedWorld::run_fleet_with_workers`] that also returns the
+    /// network-tier [`NetReport`] (all-zero unless a network plane was
+    /// armed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline` precedes the last completed barrier.
+    #[must_use]
+    pub fn run_net_with_workers(
+        mut self,
+        deadline: SimTime,
+        workers: usize,
+    ) -> (RunResults, FleetReport, NetReport) {
         assert!(deadline >= self.now, "deadline behind the barrier");
         // Release order within a barrier is (time, submission seq) across
         // BOTH queues: direct per-shard commands and fleet ops interleave
@@ -515,6 +667,7 @@ impl ShardedWorld {
         self.mailbox.sort_by_key(|p| (p.at, p.seq));
         let mailbox = std::mem::take(&mut self.mailbox);
         let mut fleet = self.fleet.take();
+        let mut net = self.net.take();
         if let Some(f) = fleet.as_mut() {
             f.ops.sort_by_key(|p| (p.at, p.seq));
         }
@@ -526,6 +679,12 @@ impl ShardedWorld {
                 .checked_add(self.epoch)
                 .unwrap_or(deadline)
                 .min(deadline);
+            // 0. Advance the link state machines to the epoch's start:
+            //    every draw this epoch — control attempts before the run,
+            //    exports and heartbeats after — sees the same states.
+            if let Some(n) = net.as_mut() {
+                n.transport.advance_to(self.now);
+            }
             // 1. Release due commands/ops in the global order. Serial and
             //    sorted, so per-shard queue insertion order (and thus event
             //    seq numbers) is identical at any worker count.
@@ -547,14 +706,23 @@ impl ShardedWorld {
                 };
                 if take_direct {
                     let p = &mailbox[released];
-                    self.shards[p.shard as usize].schedule_command(p.at, p.cmd.clone());
                     released += 1;
+                    match net.as_mut() {
+                        Some(n) => n.submit_control(p.at, p.seq, p.shard, p.cmd.clone()),
+                        None => self.shards[p.shard as usize].schedule_command(p.at, p.cmd.clone()),
+                    }
                 } else {
                     let f = fleet.as_mut().expect("fleet op implies fleet state");
                     let p = f.ops[fleet_released].clone();
                     fleet_released += 1;
-                    release_fleet_op(f, &mut self.shards, &p);
+                    release_fleet_op(f, &mut self.shards, net.as_deref_mut(), &p);
                 }
+            }
+            // 1b. Pump the control channel: wire attempts due this epoch
+            //     deliver into their shard (possibly delayed past the
+            //     barrier), retransmit with capped backoff, or give up.
+            if let Some(n) = net.as_mut() {
+                n.pump_control(barrier, &mut self.shards);
             }
             // 2. Run every shard to the barrier in parallel. Shards share
             //    nothing, so workers only decide scheduling, not behaviour.
@@ -581,16 +749,38 @@ impl ShardedWorld {
                 // successor (the aggregation peer). Exports complete inside
                 // the epoch but their record instant can overhang the
                 // barrier (client post-processing); deliver at that instant,
-                // never before the barrier the receiver sits at.
+                // never before the barrier the receiver sits at. Under the
+                // network plane the export rides the source's uplink:
+                // best-effort — a drop is counted, never retransmitted — and
+                // a degraded link's extra delay pushes delivery to a later
+                // instant (released at a later barrier, still in the
+                // canonical order this serial loop imposes).
                 let dest = (src + 1) % k;
-                self.shards[dest as usize].schedule_ingest(e.at.max(barrier), e.latency);
-                self.exports_routed += 1;
+                let delivery = match net.as_mut() {
+                    Some(n) => {
+                        let key = e.at.as_nanos().wrapping_add(splitmix64(e.stream.0));
+                        n.transport
+                            .send_telemetry(src, key)
+                            .map(|t| (e.at + t.extra).max(barrier))
+                    }
+                    None => Some(e.at.max(barrier)),
+                };
+                if let Some(at) = delivery {
+                    self.shards[dest as usize].schedule_ingest(at, e.latency);
+                    self.exports_routed += 1;
+                }
+            }
+            // 3b. Heartbeats: each live cluster beacons the fleet over its
+            //     uplink; losses starve the lease detector into (possibly
+            //     false-positive) suspicions, resumptions reconcile them.
+            if let Some(n) = net.as_mut() {
+                n.heartbeats(barrier, &self.shards, fleet.as_deref_mut());
             }
             // 4. Fleet barrier duties: collect evacuees, refresh summaries
             //    from the pools' capacity indexes, re-place the displaced.
             //    Serial and order-canonical, like the exchange above.
             if let Some(f) = fleet.as_mut() {
-                exchange_fleet(f, &mut self.shards, barrier);
+                exchange_fleet(f, &mut self.shards, net.as_deref_mut(), barrier);
             }
             self.now = barrier;
             let ops_done = fleet.as_ref().is_none_or(|f| {
@@ -599,8 +789,10 @@ impl ShardedWorld {
                 // them — with every queue empty they can never place.
                 fleet_released >= f.ops.len()
             });
+            let net_idle = net.as_ref().is_none_or(|n| n.pending.is_empty());
             if released >= mailbox.len()
                 && ops_done
+                && net_idle
                 && self.shards.iter().all(|s| s.pending_events() == 0)
             {
                 break;
@@ -617,13 +809,165 @@ impl ShardedWorld {
             Some(f) => finish_fleet(*f, &mut results, end),
             None => FleetReport::default(),
         };
-        (results, report)
+        let net_report = match net {
+            Some(n) => n.finish(end),
+            None => NetReport::default(),
+        };
+        (results, report, net_report)
+    }
+}
+
+impl NetPlane {
+    /// Admits a released control command to its destination's uplink, or
+    /// sheds it when the link's in-flight window is full (the typed error
+    /// is counted; the command simply never reaches the shard).
+    fn submit_control(&mut self, at: SimTime, seq: u64, dest: u32, cmd: WorldCommand) {
+        if self.transport.submit_control(dest).is_ok() {
+            self.pending.push(PendingNetCommand {
+                seq,
+                dest,
+                attempts: 0,
+                next_attempt: at,
+                cmd,
+            });
+        }
+    }
+
+    /// Resolves every wire attempt due by `barrier`, in deterministic
+    /// `(next_attempt, seq)` order: a surviving attempt delivers the
+    /// command into its shard (at the attempt instant plus the link's
+    /// extra delay — possibly past the barrier, firing next epoch); a lost
+    /// attempt backs off and retries, until the budget forces the typed
+    /// give-up.
+    fn pump_control(&mut self, barrier: SimTime, shards: &mut [World]) {
+        if self.pending.is_empty() {
+            return;
+        }
+        self.pending.sort_by_key(|p| (p.next_attempt, p.seq));
+        let policy = self.transport.policy();
+        let mut still = Vec::new();
+        for mut p in std::mem::take(&mut self.pending) {
+            let mut resolved = false;
+            while p.next_attempt <= barrier {
+                p.attempts += 1;
+                match self.transport.control_attempt(p.dest, p.seq, p.attempts) {
+                    Some(t) => {
+                        self.transport.control_delivered(p.dest, t.reordered);
+                        shards[p.dest as usize]
+                            .schedule_command(p.next_attempt + t.extra, p.cmd.clone());
+                        resolved = true;
+                        break;
+                    }
+                    None if p.attempts >= policy.max_attempts => {
+                        let _typed = self.transport.control_gave_up(p.dest, p.attempts);
+                        resolved = true;
+                        break;
+                    }
+                    None => {
+                        p.next_attempt += policy.backoff(p.attempts);
+                    }
+                }
+            }
+            if !resolved {
+                still.push(p);
+            }
+        }
+        self.pending = still;
+    }
+
+    /// Emits every heartbeat tick due by `barrier` (dead clusters stay
+    /// silent), then updates the lease detector: a cluster silent past the
+    /// lease becomes suspect — a *gray* suspicion if the cluster is in
+    /// fact alive, draining its summary so placements avoid it and opening
+    /// a suspicion span on its streams; heard-again gray suspects
+    /// reconcile, closing the span.
+    fn heartbeats(
+        &mut self,
+        barrier: SimTime,
+        shards: &[World],
+        mut fleet: Option<&mut FleetState>,
+    ) {
+        let hb = self.detection.heartbeat;
+        if hb.is_zero() {
+            return;
+        }
+        for (link, shard) in shards.iter().enumerate() {
+            let l = u32::try_from(link).expect("shard count fits u32");
+            let dead = fleet.as_ref().is_some_and(|f| f.dead[link]);
+            loop {
+                let tick_idx = self.hb_next[link];
+                let tick = SimTime::from_nanos(hb.as_nanos().saturating_mul(tick_idx));
+                if tick > barrier {
+                    break;
+                }
+                self.hb_next[link] += 1;
+                if dead {
+                    continue;
+                }
+                if self.transport.send_heartbeat(l, tick_idx) {
+                    self.last_heard[link] = tick;
+                }
+            }
+            let silent = barrier.saturating_since(self.last_heard[link]);
+            if !self.suspect[link] && silent > self.detection.lease {
+                self.suspect[link] = true;
+                self.suspect_since[link] = barrier;
+                self.report.detection.detections += 1;
+                if dead {
+                    // A true positive: the cluster really died. Its outage
+                    // accounting already rides the evacuation trackers.
+                    self.gray[link] = false;
+                    self.affected[link] = 0;
+                } else {
+                    self.gray[link] = true;
+                    self.report.detection.false_positives += 1;
+                    let streams = shard.active_streams() as u64;
+                    self.affected[link] = streams;
+                    self.report.detection.suspected_streams += streams;
+                    if let Some(f) = fleet.as_mut() {
+                        f.door.drain(ClusterId(l));
+                    }
+                }
+            } else if self.suspect[link]
+                && self.gray[link]
+                && !dead
+                && silent <= self.detection.lease
+            {
+                self.suspect[link] = false;
+                self.gray[link] = false;
+                self.report.detection.reconciliations += 1;
+                self.report.detection.reconciled_streams += self.affected[link];
+                self.affected[link] = 0;
+                self.report.suspicion_ns[link] += barrier
+                    .saturating_since(self.suspect_since[link])
+                    .as_nanos();
+                // The summary itself is restored by the next delivered
+                // refresh (`exchange_fleet`), which can run this barrier.
+            }
+        }
+    }
+
+    /// Closes still-open gray suspicion spans and freezes the ledgers.
+    fn finish(mut self: Box<Self>, end: SimTime) -> NetReport {
+        for link in 0..self.suspect.len() {
+            if self.suspect[link] && self.gray[link] {
+                self.report.suspicion_ns[link] +=
+                    end.saturating_since(self.suspect_since[link]).as_nanos();
+            }
+        }
+        self.report.stats = *self.transport.stats();
+        self.report
     }
 }
 
 /// Resolves one fleet op at its release instant (serial, in the global
 /// `(at, seq)` order — deterministic at any worker count).
-fn release_fleet_op(f: &mut FleetState, shards: &mut [World], p: &PendingFleetOp) {
+fn release_fleet_op(
+    f: &mut FleetState,
+    shards: &mut [World],
+    net: Option<&mut NetPlane>,
+    p: &PendingFleetOp,
+) {
     match &p.op {
         FleetOp::Admit { home_region, spec } => {
             // Shard 0 hosts the profiling service: every cluster shares
@@ -637,13 +981,23 @@ fn release_fleet_op(f: &mut FleetState, shards: &mut [World], p: &PendingFleetOp
             };
             match f.door.admit(*home_region, demand) {
                 Some(placement) => {
-                    shards[placement.cluster.0 as usize]
-                        .schedule_command(p.at, WorldCommand::Admit(spec.clone()));
+                    // The deploy command rides the destination's uplink:
+                    // under the network plane it can be delayed, shed at a
+                    // saturated window, or given up after the retransmit
+                    // budget — the placement debit stands either way (a
+                    // capacity leak the next summary refresh corrects).
+                    let dest = placement.cluster.0;
+                    let cmd = WorldCommand::Admit(spec.clone());
+                    match net {
+                        Some(n) => n.submit_control(p.at, p.seq, dest, cmd),
+                        None => shards[dest as usize].schedule_command(p.at, cmd),
+                    }
                 }
                 None => f.report.admit_rejected += 1,
             }
         }
         FleetOp::Kill(cluster) => {
+            // A cluster death is not a message — nothing rides the network.
             let slot = &mut f.dead[cluster.0 as usize];
             if !*slot {
                 *slot = true;
@@ -659,10 +1013,20 @@ fn release_fleet_op(f: &mut FleetState, shards: &mut [World], p: &PendingFleetOp
 /// refresh every live cluster's summary from its pool's capacity index
 /// (ground truth overrides the interim debits), then re-place evacuees on
 /// surviving clusters — synchronously, so a refused admission is caught
-/// here and retried at a later barrier.
-fn exchange_fleet(f: &mut FleetState, shards: &mut [World], barrier: SimTime) {
+/// here and retried at a later barrier under the [`HealPolicy`] backoff.
+///
+/// With the network plane armed, summary refreshes ride the telemetry
+/// channel: a dropped refresh leaves the door acting on a stale summary,
+/// and a cluster silent past the staleness bound is drained until a
+/// refresh gets through again (bounded-staleness reconciliation).
+fn exchange_fleet(
+    f: &mut FleetState,
+    shards: &mut [World],
+    mut net: Option<&mut NetPlane>,
+    barrier: SimTime,
+) {
     // 1. Collect evacuations shard-by-shard (each shard's list is already
-    //    in stream-id order).
+    //    in stream-id order). Fresh evacuees are eligible immediately.
     let mut waiting = std::mem::take(&mut f.retry);
     for (i, shard) in shards.iter_mut().enumerate() {
         let src = u32::try_from(i).expect("shard count fits u32");
@@ -678,16 +1042,43 @@ fn exchange_fleet(f: &mut FleetState, shards: &mut [World], barrier: SimTime) {
                 home_region,
                 fault_at: ev.fault_at,
                 detected_at: barrier,
+                attempts: 0,
+                next_try: barrier,
                 spec: ev.spec,
             });
         }
     }
     // 2. Refresh summaries from the pools (O(1) per unchanged cluster).
     //    Dead clusters stay drained: their idle pools must not resurrect.
+    //    Suspected clusters stay drained too — the detector already pulled
+    //    them from rotation; reconciliation restores them, not a refresh.
     for (i, shard) in shards.iter().enumerate() {
         let id = u32::try_from(i).expect("shard count fits u32");
         if f.dead[i] {
             continue;
+        }
+        if let Some(n) = net.as_deref_mut() {
+            if n.suspect[i] {
+                continue;
+            }
+            let key = barrier.as_nanos().wrapping_add(REFRESH_KEY_SALT);
+            if n.transport.send_telemetry(id, key).is_none() {
+                // Refresh lost. The door keeps acting on the stale summary
+                // until the staleness bound trips; past it, drain the
+                // cluster rather than place against fiction.
+                let age = barrier.saturating_since(n.last_refresh[i]);
+                if !n.stale[i] && age > n.staleness_bound {
+                    n.stale[i] = true;
+                    n.report.stale_drains += 1;
+                    f.door.drain(ClusterId(id));
+                }
+                continue;
+            }
+            n.last_refresh[i] = barrier;
+            if n.stale[i] {
+                n.stale[i] = false;
+                n.report.stale_restores += 1;
+            }
         }
         f.door.observe(
             ClusterId(id),
@@ -697,25 +1088,41 @@ fn exchange_fleet(f: &mut FleetState, shards: &mut [World], barrier: SimTime) {
             ),
         );
     }
-    // 3. Re-place, FIFO. Admission is synchronous — every shard's clock
-    //    sits exactly at the barrier, so admitting here is legal and the
-    //    failure signal is immediate.
-    for ev in waiting {
+    // 3. Re-place, FIFO among the due. Admission is synchronous — every
+    //    shard's clock sits exactly at the barrier, so admitting here is
+    //    legal and the failure signal is immediate. Each failure burns an
+    //    attempt and re-arms the jittered backoff; the budget is finite.
+    for mut ev in waiting {
+        if ev.next_try > barrier {
+            f.retry.push(ev);
+            continue;
+        }
         let demand = match shards[0].estimate_demand(&ev.spec) {
             Ok(d) => d,
             Err(_) => {
-                // Unknown model: no cluster can ever host it. Lost.
+                // Unknown model: no cluster can ever host it. Lost, typed.
                 f.report.readmit_failures += 1;
+                f.report.gave_up += 1;
+                f.give_ups.push((ev.origin, EvacGiveUp::UnknownModel));
                 continue;
             }
         };
-        let Some(placement) = f.door.place(ev.home_region, demand) else {
-            f.retry.push(ev);
-            continue;
-        };
-        let dest = placement.cluster;
-        match shards[dest.0 as usize].admit_stream(ev.spec.clone()) {
-            Ok(local) => {
+        let placed = f.door.place(ev.home_region, demand).and_then(|placement| {
+            let dest = placement.cluster;
+            match shards[dest.0 as usize].admit_stream(ev.spec.clone()) {
+                Ok(local) => Some((placement, demand, local.with_shard(dest.0))),
+                Err(_) => {
+                    // The summary was optimistic (fragmentation the fleet
+                    // tier cannot see). Debit it pessimistically so later
+                    // evacuees look elsewhere.
+                    f.door.commit_placement(dest, demand);
+                    f.report.readmit_failures += 1;
+                    None
+                }
+            }
+        });
+        match placed {
+            Some((placement, demand, new_id)) => {
                 f.door.record_placement(placement, demand);
                 let tracker = f
                     .trackers
@@ -728,16 +1135,23 @@ fn exchange_fleet(f: &mut FleetState, shards: &mut [World], barrier: SimTime) {
                     barrier.saturating_since(ev.detected_at),
                     SimDuration::ZERO,
                 ));
-                f.lineage.push((ev.origin, local.with_shard(dest.0)));
+                f.lineage.push((ev.origin, new_id));
                 f.report.readmitted += 1;
             }
-            Err(_) => {
-                // The summary was optimistic (fragmentation the fleet
-                // tier cannot see). Debit it pessimistically so later
-                // evacuees look elsewhere, and retry next barrier.
-                f.door.commit_placement(dest, demand);
-                f.report.readmit_failures += 1;
-                f.retry.push(ev);
+            None => {
+                ev.attempts += 1;
+                if ev.attempts >= EVAC_MAX_ATTEMPTS {
+                    f.report.gave_up += 1;
+                    f.give_ups.push((
+                        ev.origin,
+                        EvacGiveUp::AttemptsExhausted {
+                            attempts: ev.attempts,
+                        },
+                    ));
+                } else {
+                    ev.next_try = barrier + f.heal.backoff(ev.attempts, ev.origin.0);
+                    f.retry.push(ev);
+                }
             }
         }
     }
@@ -748,7 +1162,8 @@ fn exchange_fleet(f: &mut FleetState, shards: &mut [World], barrier: SimTime) {
 /// recovery breakdowns merge in, lineage links records each re-admission.
 fn finish_fleet(f: FleetState, results: &mut RunResults, end: SimTime) -> FleetReport {
     let mut report = f.report;
-    report.unplaced = f.retry.len() as u64;
+    report.unplaced = f.retry.len() as u64 + report.gave_up;
+    debug_assert_eq!(f.give_ups.len() as u64, report.gave_up);
     report.placement = f.door.stats();
     for (origin, tracker) in f.trackers {
         let lost = tracker.in_outage();
@@ -766,6 +1181,7 @@ mod tests {
     use microedge_cluster::topology::ClusterBuilder;
 
     use super::*;
+    use crate::net::{DegradedLink, LinkSchedule, LinkState};
 
     fn cluster(trpis: u32) -> Cluster {
         ClusterBuilder::new().trpis(trpis).vrpis(4).build()
@@ -1064,6 +1480,233 @@ mod tests {
         for workers in [2, 8] {
             let (results, report) = build().run_fleet_with_workers(deadline, workers);
             let parallel = format!("{results:?}|{report:?}");
+            assert_eq!(serial, parallel, "diverged at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn healthy_network_matches_the_no_net_run() {
+        // Tier 0 of the net plane is the differential oracle: all-healthy
+        // links must reproduce the pre-net run byte for byte.
+        let build = |net: bool| {
+            let mut sw = ShardedWorld::new((0..2).map(|_| cluster(1)), Features::all())
+                .with_front_door(1, 0);
+            if net {
+                sw = sw.with_network(NetConfig::new(LinkSchedule::scripted(Vec::new())));
+            }
+            for i in 0..2u32 {
+                sw.admit_stream(
+                    i,
+                    StreamSpec::builder(&format!("cam-{i}"), "ssd-mobilenet-v2")
+                        .frame_limit(60)
+                        .export_completions(true)
+                        .build(),
+                )
+                .unwrap();
+            }
+            sw.admit_global(SimTime::from_secs(1), 0, spec("late", 30));
+            sw
+        };
+        let deadline = SimTime::from_secs(20);
+        let (plain_r, plain_f, plain_n) = build(false).run_net_with_workers(deadline, 1);
+        let (net_r, net_f, net_n) = build(true).run_net_with_workers(deadline, 1);
+        assert_eq!(
+            format!("{plain_r:?}|{plain_f:?}"),
+            format!("{net_r:?}|{net_f:?}")
+        );
+        assert_eq!(plain_n, NetReport::default());
+        // The armed plane carried real traffic — losslessly.
+        assert!(net_n.stats.control.sent >= 1);
+        assert_eq!(net_n.stats.control.delivered, net_n.stats.control.sent);
+        assert!(net_n.stats.telemetry.sent > 0);
+        assert_eq!(net_n.stats.telemetry.dropped, 0);
+        assert!(net_n.stats.heartbeat.sent > 0);
+        assert_eq!(net_n.stats.conservation_violations(), 0);
+        assert_eq!(net_n.detection.detections, 0);
+    }
+
+    #[test]
+    fn partitioned_uplink_drops_exports_and_suspects_the_cluster() {
+        let schedule = LinkSchedule::scripted(vec![(SimTime::ZERO, 0, LinkState::Partitioned)]);
+        let mut sw = ShardedWorld::new((0..2).map(|_| cluster(1)), Features::all())
+            .with_network(NetConfig::new(schedule));
+        sw.admit_stream(
+            0,
+            StreamSpec::builder("cam", "ssd-mobilenet-v2")
+                .frame_limit(1_000)
+                .export_completions(true)
+                .build(),
+        )
+        .unwrap();
+        let (_, _, net) = sw.run_net_with_workers(SimTime::from_secs(20), 1);
+        // Best effort: every export was attempted, none arrived, all were
+        // counted — and never retransmitted.
+        assert!(net.stats.telemetry.sent > 0);
+        assert_eq!(net.stats.telemetry.delivered, 0);
+        assert_eq!(net.stats.telemetry.dropped, net.stats.telemetry.sent);
+        assert_eq!(net.stats.telemetry.retransmits, 0);
+        assert_eq!(net.stats.conservation_violations(), 0);
+        // The silent uplink starved the lease detector into suspecting a
+        // perfectly alive cluster.
+        assert!(net.detection.false_positives >= 1);
+        assert!(net.suspicion_ns[0] > 0);
+    }
+
+    #[test]
+    fn control_retransmits_across_a_flap_and_delivers() {
+        let schedule = LinkSchedule::scripted(vec![
+            (SimTime::ZERO, 0, LinkState::Partitioned),
+            (SimTime::from_millis(2_500), 0, LinkState::Healthy),
+        ]);
+        let mut sw = ShardedWorld::new(vec![cluster(1)], Features::all())
+            .with_network(NetConfig::new(schedule));
+        sw.schedule_command(
+            SimTime::from_secs(1),
+            0,
+            WorldCommand::Admit(Box::new(spec("late", 15))),
+        );
+        let (results, _, net) = sw.run_net_with_workers(SimTime::from_secs(30), 1);
+        assert_eq!(net.stats.control.sent, 1);
+        assert_eq!(net.stats.control.delivered, 1);
+        assert!(net.stats.control.retransmits >= 1);
+        assert_eq!(net.stats.control.gave_up, 0);
+        assert_eq!(net.stats.conservation_violations(), 0);
+        // The admission arrived late but intact.
+        assert_eq!(results.reports().len(), 1);
+        assert_eq!(results.reports()[0].completed(), 15);
+    }
+
+    #[test]
+    fn control_gives_up_under_a_permanent_partition() {
+        let schedule = LinkSchedule::scripted(vec![(SimTime::ZERO, 0, LinkState::Partitioned)]);
+        let mut sw = ShardedWorld::new(vec![cluster(1)], Features::all())
+            .with_network(NetConfig::new(schedule));
+        sw.schedule_command(
+            SimTime::from_secs(1),
+            0,
+            WorldCommand::Admit(Box::new(spec("doomed", 15))),
+        );
+        let (results, _, net) = sw.run_net_with_workers(SimTime::from_secs(60), 1);
+        assert_eq!(net.stats.control.sent, 1);
+        assert_eq!(net.stats.control.delivered, 0);
+        assert_eq!(net.stats.control.gave_up, 1);
+        // Exactly-once-or-typed-give-up, never silent loss.
+        assert_eq!(net.stats.conservation_violations(), 0);
+        assert!(results.reports().is_empty());
+    }
+
+    #[test]
+    fn gray_failure_suspects_then_reconciles() {
+        // The cluster never dies — only its uplink does. The detector
+        // false-positives, the door drains the cluster, and the resumed
+        // heartbeats reconcile every affected stream.
+        let schedule = LinkSchedule::scripted(vec![
+            (SimTime::from_secs(2), 0, LinkState::Partitioned),
+            (SimTime::from_secs(8), 0, LinkState::Healthy),
+        ]);
+        let mut sw = ShardedWorld::new((0..2).map(|_| cluster(1)), Features::all())
+            .with_front_door(1, 0)
+            .with_network(NetConfig::new(schedule));
+        sw.admit_stream(0, spec("cam", 10_000)).unwrap();
+        let (results, report, net) = sw.run_net_with_workers(SimTime::from_secs(20), 1);
+        assert!(net.detection.detections >= 1);
+        assert!(net.detection.false_positives >= 1);
+        assert!(net.detection.reconciliations >= 1);
+        assert_eq!(
+            net.detection.reconciled_streams,
+            net.detection.suspected_streams
+        );
+        assert!(net.suspicion_ns[0] > 0);
+        assert_eq!(net.suspicion_ns[1], 0);
+        // Gray: nothing was actually evacuated or lost; the stream kept
+        // completing frames throughout the suspicion.
+        assert_eq!(report.evacuated, 0);
+        let origin = StreamId(0).with_shard(0);
+        assert!(results.report(origin).unwrap().completed() > 0);
+    }
+
+    #[test]
+    fn stale_summaries_drain_and_restore() {
+        // A lease too long to suspect, a partition long enough to trip the
+        // staleness bound: the door drains the unheard-from cluster, then
+        // restores it on the first delivered refresh.
+        let schedule = LinkSchedule::scripted(vec![
+            (SimTime::from_secs(2), 0, LinkState::Partitioned),
+            (SimTime::from_secs(10), 0, LinkState::Healthy),
+        ]);
+        let mut cfg = NetConfig::new(schedule);
+        cfg.detection = DetectionModel {
+            heartbeat: SimDuration::from_secs(1),
+            lease: SimDuration::from_secs(30),
+        };
+        let mut sw = ShardedWorld::new((0..2).map(|_| cluster(1)), Features::all())
+            .with_front_door(1, 0)
+            .with_network(cfg);
+        sw.admit_stream(0, spec("cam", 10_000)).unwrap();
+        let (_, _, net) = sw.run_net_with_workers(SimTime::from_secs(20), 1);
+        assert_eq!(net.detection.detections, 0);
+        assert!(net.stale_drains >= 1);
+        assert!(net.stale_restores >= 1);
+    }
+
+    #[test]
+    fn evacuees_exhaust_their_retry_budget_and_give_up() {
+        let mut sw =
+            ShardedWorld::new((0..2).map(|_| cluster(1)), Features::all()).with_front_door(1, 0);
+        // Fill the survivor so the evacuee never fits, with long-lived
+        // streams so barriers keep coming and the retry ladder plays out.
+        for i in 0..2u32 {
+            sw.admit_stream(1, spec(&format!("busy-{i}"), 10_000))
+                .unwrap();
+        }
+        sw.admit_stream(0, spec("victim", 10_000)).unwrap();
+        sw.kill_cluster(SimTime::from_millis(2_200), ClusterId(0));
+        let (results, report) = sw.run_fleet_with_workers(SimTime::from_secs(60), 1);
+        assert_eq!(report.evacuated, 1);
+        assert_eq!(report.readmitted, 0);
+        assert_eq!(report.gave_up, 1);
+        assert_eq!(report.unplaced, 1);
+        let avail = &results.availabilities()[&StreamId(0).with_shard(0)];
+        assert!(avail.lost);
+    }
+
+    #[test]
+    fn net_runs_are_worker_invariant() {
+        let build = || {
+            let schedule = LinkSchedule::scripted(vec![
+                (
+                    SimTime::from_millis(1_500),
+                    0,
+                    LinkState::Degraded(DegradedLink::lossy(100_000)),
+                ),
+                (SimTime::from_secs(6), 0, LinkState::Healthy),
+                (SimTime::from_millis(2_500), 2, LinkState::Partitioned),
+                (SimTime::from_secs(9), 2, LinkState::Healthy),
+            ]);
+            let mut sw = ShardedWorld::new((0..4).map(|_| cluster(1)), Features::all())
+                .with_front_door(2, 1)
+                .with_network(NetConfig::new(schedule));
+            for i in 0..6u64 {
+                sw.admit_global(
+                    SimTime::from_millis(200 * i),
+                    u32::try_from(i % 2).expect("region fits"),
+                    StreamSpec::builder(&format!("cam-{i}"), "ssd-mobilenet-v2")
+                        .frame_limit(80)
+                        .export_completions(i.is_multiple_of(2))
+                        .build(),
+                );
+            }
+            sw.kill_cluster(SimTime::from_millis(3_300), ClusterId(0));
+            sw
+        };
+        let deadline = SimTime::from_secs(20);
+        let serial = {
+            let (r, f, n) = build().run_net_with_workers(deadline, 1);
+            format!("{r:?}|{f:?}|{n:?}")
+        };
+        for workers in [2, 8] {
+            let (r, f, n) = build().run_net_with_workers(deadline, workers);
+            let parallel = format!("{r:?}|{f:?}|{n:?}");
             assert_eq!(serial, parallel, "diverged at {workers} workers");
         }
     }

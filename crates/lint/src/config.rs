@@ -39,6 +39,7 @@ pub const WALL_CLOCK_EXEMPT_FILES: &[&str] = &[
     "crates/bench/src/scale.rs",
     "crates/bench/src/scale_sharded.rs",
     "crates/bench/src/fleet.rs",
+    "crates/bench/src/netchaos.rs",
 ];
 
 /// Crates whose data structures feed byte-identical JSON artifacts: any

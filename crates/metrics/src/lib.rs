@@ -12,6 +12,9 @@
 //! - [`throughput`] — frame accounting and FPS SLO audits (§6.2);
 //! - [`recovery`] — failure-recovery latency breakdowns and per-stream
 //!   availability under the chaos subsystem;
+//! - [`net`] — per-QoS-class message-delivery ledgers (conservation law
+//!   `delivered + dropped + gave_up == sent`) and heartbeat
+//!   false-positive counters for the lossy-transport layer;
 //! - [`report`] — aligned text tables for the benchmark harness.
 //!
 //! # Examples
@@ -29,12 +32,14 @@
 //! ```
 
 pub mod latency;
+pub mod net;
 pub mod recovery;
 pub mod report;
 pub mod throughput;
 pub mod utilization;
 
 pub use latency::{BreakdownRecorder, LatencyBreakdown, Phase};
+pub use net::{ChannelStats, DetectionStats, NetStats};
 pub use recovery::{
     availability_nines, AvailabilityTracker, RecoveryBreakdown, RecoveryPhase, RecoveryRecorder,
     StreamAvailability,

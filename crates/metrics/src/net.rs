@@ -1,0 +1,270 @@
+//! Message-delivery accounting for the lossy-transport layer.
+//!
+//! Every cross-boundary message in a sharded replay belongs to one of three
+//! QoS classes (control / heartbeat / telemetry), and each class keeps a
+//! [`ChannelStats`] ledger obeying one conservation law:
+//!
+//! ```text
+//! delivered + dropped + gave_up == sent
+//! ```
+//!
+//! `sent` counts *logical* messages, not wire attempts — a control message
+//! retransmitted four times is one `sent` plus four `retransmits`. A class
+//! that never retransmits (heartbeat, telemetry) keeps `gave_up == 0`; a
+//! class that always retransmits until its budget runs out (control) keeps
+//! `dropped == 0`. The invariant is checked by [`ChannelStats::conserved`]
+//! and asserted by the conservation proptests.
+//!
+//! [`DetectionStats`] counts what lossy heartbeats do to the failure
+//! detector: suspicions raised, how many were false positives (the
+//! component was alive — a gray failure of the link, not the node), and how
+//! many were reconciled when heartbeats resumed.
+//!
+//! # Examples
+//!
+//! ```
+//! use microedge_metrics::net::ChannelStats;
+//!
+//! let mut ch = ChannelStats::default();
+//! ch.sent = 10;
+//! ch.delivered = 8;
+//! ch.dropped = 2;
+//! assert!(ch.conserved());
+//! assert!((ch.delivery_fraction() - 0.8).abs() < 1e-12);
+//! ```
+
+/// Per-QoS-class message ledger. All counters are exact integers so merged
+/// artifacts stay byte-identical across worker counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Logical messages submitted to the channel.
+    pub sent: u64,
+    /// Messages that reached the receiver (counted once, even if a
+    /// retransmission was what got through).
+    pub delivered: u64,
+    /// Messages lost with no retransmission contract (best-effort classes).
+    pub dropped: u64,
+    /// Messages abandoned after the retransmit budget ran out, or shed
+    /// before the first attempt (acked classes; each surfaces a typed
+    /// error).
+    pub gave_up: u64,
+    /// Wire attempts beyond the first, summed over all messages.
+    pub retransmits: u64,
+    /// Messages shed at submission because the link's in-flight budget was
+    /// exhausted (a subset of `gave_up`).
+    pub shed: u64,
+    /// Delivered messages that overtook a later-sent message on the same
+    /// link (a reorder draw deferred them).
+    pub reordered: u64,
+}
+
+impl ChannelStats {
+    /// The conservation law every channel must obey at end of run.
+    #[must_use]
+    pub fn conserved(&self) -> bool {
+        self.delivered + self.dropped + self.gave_up == self.sent && self.shed <= self.gave_up
+    }
+
+    /// Fraction of logical messages delivered (1.0 for an idle channel).
+    #[must_use]
+    pub fn delivery_fraction(&self) -> f64 {
+        if self.sent == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.sent as f64
+        }
+    }
+
+    /// Retransmissions per logical message (control-plane overhead).
+    #[must_use]
+    pub fn retransmit_overhead(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.retransmits as f64 / self.sent as f64
+        }
+    }
+
+    /// Folds another ledger into this one (sharded-run merges).
+    pub fn merge(&mut self, other: &ChannelStats) {
+        self.sent += other.sent;
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+        self.gave_up += other.gave_up;
+        self.retransmits += other.retransmits;
+        self.shed += other.shed;
+        self.reordered += other.reordered;
+    }
+}
+
+/// The three channel ledgers of one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Acked, retransmitted admit/remove/fleet operations.
+    pub control: ChannelStats,
+    /// Unacked liveness beacons feeding the lease detector.
+    pub heartbeat: ChannelStats,
+    /// Best-effort frame exports and summary refreshes.
+    pub telemetry: ChannelStats,
+}
+
+impl NetStats {
+    /// `true` when every class obeys the conservation law.
+    #[must_use]
+    pub fn conserved(&self) -> bool {
+        self.control.conserved() && self.heartbeat.conserved() && self.telemetry.conserved()
+    }
+
+    /// Number of classes violating conservation (0 on a healthy run; the
+    /// benchmark artifact reports this so CI can pin it at zero).
+    #[must_use]
+    pub fn conservation_violations(&self) -> u64 {
+        [&self.control, &self.heartbeat, &self.telemetry]
+            .into_iter()
+            .filter(|c| !c.conserved())
+            .count() as u64
+    }
+
+    /// Folds another run's ledgers into this one.
+    pub fn merge(&mut self, other: &NetStats) {
+        self.control.merge(&other.control);
+        self.heartbeat.merge(&other.heartbeat);
+        self.telemetry.merge(&other.telemetry);
+    }
+}
+
+/// What lossy heartbeats did to the failure detector.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DetectionStats {
+    /// Lease expiries that raised a suspicion.
+    pub detections: u64,
+    /// Suspicions raised against a component that was actually alive — the
+    /// link was lossy or partitioned, not the node (gray failures).
+    pub false_positives: u64,
+    /// Suspicions cleared when heartbeats resumed.
+    pub reconciliations: u64,
+    /// Live streams on suspected clusters at suspicion time.
+    pub suspected_streams: u64,
+    /// Streams restored to service when their cluster's suspicion cleared.
+    pub reconciled_streams: u64,
+}
+
+impl DetectionStats {
+    /// False positives per heartbeat sent (0.0 for an idle detector).
+    #[must_use]
+    pub fn false_positive_rate(&self, heartbeats_sent: u64) -> f64 {
+        if heartbeats_sent == 0 {
+            0.0
+        } else {
+            self.false_positives as f64 / heartbeats_sent as f64
+        }
+    }
+
+    /// Folds another detector's counters into this one.
+    pub fn merge(&mut self, other: &DetectionStats) {
+        self.detections += other.detections;
+        self.false_positives += other.false_positives;
+        self.reconciliations += other.reconciliations;
+        self.suspected_streams += other.suspected_streams;
+        self.reconciled_streams += other.reconciled_streams;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conservation_catches_silent_loss_and_duplicates() {
+        let mut ch = ChannelStats {
+            sent: 5,
+            delivered: 3,
+            dropped: 1,
+            gave_up: 1,
+            ..ChannelStats::default()
+        };
+        assert!(ch.conserved());
+        // Silent loss: a message vanished without being counted.
+        ch.dropped = 0;
+        assert!(!ch.conserved());
+        // Duplicate delivery: more arrivals than submissions.
+        ch.dropped = 1;
+        ch.delivered = 4;
+        assert!(!ch.conserved());
+    }
+
+    #[test]
+    fn shed_must_stay_within_gave_up() {
+        let ch = ChannelStats {
+            sent: 2,
+            gave_up: 1,
+            delivered: 1,
+            shed: 2,
+            ..ChannelStats::default()
+        };
+        assert!(!ch.conserved());
+    }
+
+    #[test]
+    fn fractions_and_overhead() {
+        let ch = ChannelStats {
+            sent: 4,
+            delivered: 3,
+            dropped: 1,
+            retransmits: 6,
+            ..ChannelStats::default()
+        };
+        assert!((ch.delivery_fraction() - 0.75).abs() < 1e-12);
+        assert!((ch.retransmit_overhead() - 1.5).abs() < 1e-12);
+        assert_eq!(ChannelStats::default().delivery_fraction(), 1.0);
+        assert_eq!(ChannelStats::default().retransmit_overhead(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_every_counter() {
+        let a = ChannelStats {
+            sent: 3,
+            delivered: 2,
+            dropped: 1,
+            gave_up: 0,
+            retransmits: 4,
+            shed: 0,
+            reordered: 1,
+        };
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(b.sent, 6);
+        assert_eq!(b.retransmits, 8);
+        assert_eq!(b.reordered, 2);
+        assert!(b.conserved());
+
+        let mut stats = NetStats::default();
+        stats.control.sent = 1;
+        stats.control.delivered = 1;
+        let mut merged = NetStats::default();
+        merged.merge(&stats);
+        merged.merge(&stats);
+        assert_eq!(merged.control.sent, 2);
+        assert!(merged.conserved());
+        assert_eq!(merged.conservation_violations(), 0);
+        merged.telemetry.sent = 1;
+        assert_eq!(merged.conservation_violations(), 1);
+    }
+
+    #[test]
+    fn detection_rate_and_merge() {
+        let mut d = DetectionStats {
+            detections: 3,
+            false_positives: 2,
+            reconciliations: 2,
+            suspected_streams: 10,
+            reconciled_streams: 10,
+        };
+        assert!((d.false_positive_rate(100) - 0.02).abs() < 1e-12);
+        assert_eq!(d.false_positive_rate(0), 0.0);
+        let other = d;
+        d.merge(&other);
+        assert_eq!(d.detections, 6);
+        assert_eq!(d.reconciled_streams, 20);
+    }
+}

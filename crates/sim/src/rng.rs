@@ -34,8 +34,11 @@ pub struct DetRng {
 
 /// One SplitMix64 scramble round — decorrelates the early output of
 /// generators created from small consecutive seeds (0, 1, 2, …), which are
-/// exactly the seeds experiments like to use.
-fn splitmix64(mut z: u64) -> u64 {
+/// exactly the seeds experiments like to use. Public because stateless
+/// per-message draws (network loss, retry jitter) hash identities through
+/// it rather than carrying generator state.
+#[must_use]
+pub fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

@@ -48,4 +48,9 @@ MICROEDGE_WORKERS=1 cargo run --release -p microedge-bench --bin repro -- --flee
 MICROEDGE_WORKERS=8 cargo run --release -p microedge-bench --bin repro -- --fleet --quick --csv "$scale_out/b"
 assert_deterministic_artifact BENCH_fleet.json "$scale_out/a" "$scale_out/b"
 
+echo "==> network chaos smoke + determinism (repro --net --quick)"
+MICROEDGE_WORKERS=1 cargo run --release -p microedge-bench --bin repro -- --net --quick --csv "$scale_out/a"
+MICROEDGE_WORKERS=8 cargo run --release -p microedge-bench --bin repro -- --net --quick --csv "$scale_out/b"
+assert_deterministic_artifact BENCH_net.json "$scale_out/a" "$scale_out/b"
+
 echo "All checks passed."
