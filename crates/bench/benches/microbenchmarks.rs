@@ -211,6 +211,58 @@ fn bench_admission_indexed_vs_linear(c: &mut Criterion) {
     });
 }
 
+fn bench_defrag_planner(c: &mut Criterion) {
+    // The background defragmenter's hot path on its adversarial workload:
+    // a 4096-TPU fleet after heavy churn, every TPU left holding one
+    // 0.25-unit straggler (0.75 free but nothing whole). `plan_evict`
+    // prices one donor's full eviction — scratch-pool clone plus best-fit
+    // receiver planning — and `donor_candidates` is the capacity-index
+    // scan that orders the cycle's donors. Both run at epoch barriers, so
+    // their cost bounds how much repacking a 500 ms barrier can afford.
+    use microedge_core::defrag::donor_candidates;
+    use microedge_core::scheduler::ExtendedScheduler;
+    use microedge_models::catalog::Catalog;
+    use microedge_orch::lifecycle::Orchestrator;
+    use microedge_orch::pod::{PodSpec, ResourceRequest, EXT_MODEL, EXT_TPU_UNITS};
+
+    const TPUS: u32 = 4096;
+    let cluster = experiment_cluster(TPUS);
+    let mut sched =
+        ExtendedScheduler::new(&cluster, Catalog::builtin(), Features::co_compiling_only());
+    let mut orch = Orchestrator::new(cluster);
+    let mut pods = Vec::new();
+    for i in 0..TPUS * 4 {
+        let spec = PodSpec::builder(&format!("cam-{i}"), "coral-pie:latest")
+            .resources(ResourceRequest::camera_default())
+            .extension(EXT_MODEL, "mobilenet-v1")
+            .extension(EXT_TPU_UNITS, "0.25")
+            .build();
+        pods.push(
+            sched
+                .deploy(&mut orch, spec)
+                .expect("pool sized to fit")
+                .pod(),
+        );
+    }
+    // Churn: keep one straggler per TPU, tear the rest down.
+    let mut keeper_seen = std::collections::BTreeSet::new();
+    for pod in pods {
+        let tpu = sched.assignment(pod).expect("pod is live")[0].tpu();
+        if !keeper_seen.insert(tpu) {
+            sched.teardown(&mut orch, pod).expect("live pod tears down");
+        }
+    }
+    assert_eq!(sched.pool().used_tpus(), TPUS as usize);
+
+    let donor = TpuId(0);
+    c.bench_function("micro/defrag_plan_evict_4096_fragmented", |b| {
+        b.iter(|| sched.plan_evict(donor).expect("donor load fits elsewhere"))
+    });
+    c.bench_function("micro/defrag_donor_scan_4096_fragmented", |b| {
+        b.iter(|| donor_candidates(sched.pool()).len())
+    });
+}
+
 fn bench_rng(c: &mut Criterion) {
     let mut rng = DetRng::seed_from(1);
     c.bench_function("micro/rng_exponential", |b| b.iter(|| rng.exponential(0.5)));
@@ -267,6 +319,7 @@ criterion_group!(
     bench_lbs,
     bench_admission,
     bench_admission_indexed_vs_linear,
+    bench_defrag_planner,
     bench_rng,
     bench_telemetry_sketch_vs_exact
 );

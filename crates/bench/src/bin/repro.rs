@@ -2,11 +2,11 @@
 //!
 //! ```text
 //! repro [--fig1] [--fig5] [--table1] [--fig6] [--fig7a] [--fig7b] [--ablations]
-//!       [--perf] [--chaos] [--scale] [--fleet] [--net] [--quick] [--csv <dir>]
+//!       [--perf] [--chaos] [--scale] [--fleet] [--net] [--defrag] [--quick] [--csv <dir>]
 //! ```
 //!
 //! With no selection flags, every paper artifact runs (`--perf`,
-//! `--chaos`, `--scale`, `--fleet`, and `--net` only run when asked
+//! `--chaos`, `--scale`, `--fleet`, `--net`, and `--defrag` only run when asked
 //! for). `--quick` shrinks
 //! frame counts and trace length for a fast smoke pass; `--csv <dir>`
 //! additionally dumps each selected artifact's series as CSV for external
@@ -31,6 +31,9 @@
 //! 0/0.1/1/10 % and a flapping-partition tier that drives the lease
 //! detector into reconciled false positives — and writes
 //! `BENCH_net.json`, again `host_`-strippable to a byte-stable core.
+//! `--defrag` replays the 24 h churn trace with and without the online
+//! defragmenter and writes `BENCH_defrag.json` (packing efficiency vs the
+//! Martello-Toth L2 bound, admission rates, migration disruption).
 //!
 //! The artifacts are independent, so they run concurrently through the
 //! deterministic executor ([`microedge_sim::par`]); each job renders its
@@ -66,6 +69,7 @@ struct Options {
     scale: bool,
     fleet: bool,
     net: bool,
+    defrag: bool,
     quick: bool,
     csv: Option<PathBuf>,
 }
@@ -79,6 +83,7 @@ fn parse_args() -> Options {
     let mut scale = false;
     let mut fleet = false;
     let mut net = false;
+    let mut defrag = false;
     let mut selections: Vec<String> = Vec::new();
     let known = [
         "--fig1",
@@ -98,6 +103,7 @@ fn parse_args() -> Options {
             "--scale" => scale = true,
             "--fleet" => fleet = true,
             "--net" => net = true,
+            "--defrag" => defrag = true,
             "--csv" => match iter.next() {
                 Some(dir) => csv = Some(PathBuf::from(dir)),
                 None => {
@@ -108,7 +114,7 @@ fn parse_args() -> Options {
             flag if known.contains(&flag) => selections.push(arg),
             other => {
                 eprintln!(
-                    "unknown flag {other}; known: {} --perf --chaos --scale --fleet --net --quick --csv <dir>",
+                    "unknown flag {other}; known: {} --perf --chaos --scale --fleet --net --defrag --quick --csv <dir>",
                     known.join(" ")
                 );
                 std::process::exit(2);
@@ -118,7 +124,8 @@ fn parse_args() -> Options {
     let has = |flag: &str| selections.iter().any(|a| a == flag);
     // `--perf` / `--chaos` / `--scale` alone mean "just that study", not
     // "everything".
-    let none_selected = selections.is_empty() && !perf && !chaos && !scale && !fleet && !net;
+    let none_selected =
+        selections.is_empty() && !perf && !chaos && !scale && !fleet && !net && !defrag;
     Options {
         fig1: none_selected || has("--fig1"),
         fig5: none_selected || has("--fig5"),
@@ -132,6 +139,7 @@ fn parse_args() -> Options {
         scale,
         fleet,
         net,
+        defrag,
         quick,
         csv,
     }
@@ -509,5 +517,12 @@ fn main() {
         let tiers = netchaos::run_net_chaos(opts.quick);
         println!("{}", netchaos::render_net_chaos(&tiers));
         write_bench("BENCH_net.json", netchaos::to_json(&tiers));
+    }
+
+    if opts.defrag {
+        use microedge_bench::defrag;
+        let study = defrag::run_defrag_study(opts.quick);
+        println!("{}", defrag::render_defrag(&study));
+        write_bench("BENCH_defrag.json", defrag::to_json(&study));
     }
 }

@@ -24,6 +24,7 @@
 //! | [`scale_sharded`] | sharded 1M-stream replay (deterministic epoch-barrier parallelism) |
 //! | [`fleet`] | federated fleet front door: O(log C) placement + whole-cluster chaos tiers |
 //! | [`netchaos`] | lossy-transport study: QoS classes across loss tiers + flapping partitions |
+//! | [`defrag`] | online defragmentation: packing efficiency vs the L2 bound under 24 h churn |
 //!
 //! The `repro` binary prints every artifact; the Criterion benches under
 //! `benches/` time the underlying computations.
@@ -32,6 +33,7 @@ pub mod admission_overhead;
 pub mod chaos;
 pub mod cost;
 pub mod csv;
+pub mod defrag;
 pub mod diff_detector;
 pub mod fig1;
 pub mod fleet;

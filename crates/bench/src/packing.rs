@@ -26,6 +26,7 @@ pub struct PackingOutcome {
     admitted: u32,
     rejected: u32,
     tpus_used: usize,
+    fragmentation: Vec<f64>,
 }
 
 impl PackingOutcome {
@@ -51,6 +52,28 @@ impl PackingOutcome {
     #[must_use]
     pub fn tpus_used(&self) -> usize {
         self.tpus_used
+    }
+
+    /// Per-round fragmentation ratio (largest-free-slot / total-free,
+    /// [`PoolCapacity::fragmentation_ratio`]), sampled after every churn
+    /// op — the metric the defrag study shares with this ablation. Empty
+    /// for arrival-only runs, where nothing ever fragments the pool.
+    ///
+    /// [`PoolCapacity::fragmentation_ratio`]: microedge_core::pool::PoolCapacity::fragmentation_ratio
+    #[must_use]
+    pub fn fragmentation(&self) -> &[f64] {
+        &self.fragmentation
+    }
+
+    /// Average of the per-round fragmentation samples (1.0 — unfragmented
+    /// by convention — when nothing was sampled).
+    #[must_use]
+    pub fn mean_fragmentation(&self) -> f64 {
+        if self.fragmentation.is_empty() {
+            1.0
+        } else {
+            self.fragmentation.iter().sum::<f64>() / self.fragmentation.len() as f64
+        }
     }
 }
 
@@ -106,6 +129,7 @@ fn run_policy(
         admitted,
         rejected,
         tpus_used: pool.used_tpus(),
+        fragmentation: Vec::new(),
     }
 }
 
@@ -154,6 +178,7 @@ fn run_policy_churn(
     let mut arrival_slot: Vec<Option<usize>> = Vec::new();
     let mut admitted = 0;
     let mut rejected = 0;
+    let mut fragmentation = Vec::with_capacity(ops.len());
     for op in ops {
         match op {
             ChurnOp::Arrive(model, units) => {
@@ -185,12 +210,14 @@ fn run_policy_churn(
                 }
             }
         }
+        fragmentation.push(pool.capacity_summary().fragmentation_ratio());
     }
     PackingOutcome {
         policy: policy.name(),
         admitted,
         rejected,
         tpus_used: pool.used_tpus(),
+        fragmentation,
     }
 }
 
@@ -244,6 +271,7 @@ pub fn render_packing(requests: u32, tpus: u32, seeds: u64) -> String {
     for (label, features, churn) in regimes {
         let mut admitted = [0u32; 5];
         let mut used = [0usize; 5];
+        let mut frag = [0.0f64; 5];
         let mut names = ["", "", "", "", ""];
         // Seeds are independent sequences; run them in parallel and fold
         // the returned outcomes in seed order, so the averages are the
@@ -259,16 +287,30 @@ pub fn render_packing(requests: u32, tpus: u32, seeds: u64) -> String {
             for (i, o) in outcomes.iter().enumerate() {
                 admitted[i] += o.admitted();
                 used[i] += o.tpus_used();
+                frag[i] += o.mean_fragmentation();
                 names[i] = o.policy();
             }
         }
-        let mut table = Table::new(&["policy", "avg admitted", "avg TPUs used"]);
+        // The churn regime reports the fragmentation its departures leave
+        // behind — the metric the defrag study (`bench::defrag`) shares
+        // with this ablation. Arrival-only pools never fragment, so that
+        // regime keeps the original columns.
+        let headers: &[&str] = if churn {
+            &["policy", "avg admitted", "avg TPUs used", "avg frag ratio"]
+        } else {
+            &["policy", "avg admitted", "avg TPUs used"]
+        };
+        let mut table = Table::new(headers);
         for i in 0..5 {
-            table.row_owned(vec![
+            let mut row = vec![
                 names[i].to_owned(),
                 fmt_f64(f64::from(admitted[i]) / seeds as f64, 1),
                 fmt_f64(used[i] as f64 / seeds as f64, 1),
-            ]);
+            ];
+            if churn {
+                row.push(fmt_f64(frag[i] / seeds as f64, 3));
+            }
+            table.row_owned(row);
         }
         out.push_str(&format!(
             "### Ablation — packing heuristics, {label} ({requests} ops, {tpus} TPUs, {seeds} seeds)\n{table}\n"
@@ -603,6 +645,24 @@ mod tests {
         for o in &a {
             assert!(o.tpus_used() <= 6);
             assert!(o.admitted() > 0);
+        }
+    }
+
+    #[test]
+    fn churn_reports_per_round_fragmentation() {
+        for o in run_churn_ablation(80, 6, Features::co_compiling_only(), 5) {
+            assert_eq!(o.fragmentation().len(), 80, "one sample per op");
+            assert!(o
+                .fragmentation()
+                .iter()
+                .all(|f| (0.0..=1.0).contains(f) && f.is_finite()));
+            let mean = o.mean_fragmentation();
+            assert!((0.0..=1.0).contains(&mean));
+        }
+        // Arrival-only runs never fragment and sample nothing.
+        for o in run_packing_ablation(40, 6, Features::all(), 5) {
+            assert!(o.fragmentation().is_empty());
+            assert!((o.mean_fragmentation() - 1.0).abs() < f64::EPSILON);
         }
     }
 

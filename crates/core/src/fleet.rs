@@ -173,6 +173,30 @@ impl ClusterSummary {
             && self.total_free >= demand.total.max(1)
     }
 
+    /// Fragmentation ratio of the cluster's free capacity: largest
+    /// contiguous free slot over total free units. 1.0 means all headroom
+    /// sits in one block; values near 0 mean the headroom the summary
+    /// advertises is shattered into slivers that will bounce whole-ish
+    /// placements. A cluster with no free capacity is unfragmented by
+    /// convention.
+    #[must_use]
+    pub fn fragmentation_ratio(&self) -> f64 {
+        microedge_metrics::defrag::fragmentation_ratio(self.max_free, self.total_free)
+    }
+
+    /// `true` when this summary's free capacity is *strictly* more
+    /// contiguous than `other`'s — a higher largest-free-slot /
+    /// total-free ratio, compared exactly in integers by
+    /// cross-multiplication. The front door uses this as a placement
+    /// tiebreak: summaries are optimistic, and the candidate whose
+    /// headroom is concentrated in whole blocks is the one least likely
+    /// to bounce the stream on arrival.
+    #[must_use]
+    pub fn more_contiguous_than(&self, other: &ClusterSummary) -> bool {
+        u128::from(self.max_free) * u128::from(other.total_free)
+            > u128::from(other.max_free) * u128::from(self.total_free)
+    }
+
     /// Conservatively debits an accepted placement so same-barrier
     /// placements spread instead of piling onto one cluster; ground truth
     /// from the pool overwrites the estimate at the next barrier refresh.
@@ -741,11 +765,19 @@ impl FrontDoor {
         self.observe(cluster, drained);
     }
 
-    /// Read-only placement: the first cluster in probe order (home region,
+    /// Read-only placement: the best cluster in probe order (home region,
     /// spill rings, global fallback) whose summary can host `demand`.
-    /// Each probe is one range-restricted segment-tree descent — O(log C)
-    /// — continuing past clusters whose max-free block matches but whose
-    /// total headroom falls short.
+    /// Each probe is a bounded number of range-restricted segment-tree
+    /// descents — O(log C) — continuing past clusters whose max-free block
+    /// matches but whose total headroom falls short.
+    ///
+    /// Within a probe range, the first *two* hosting candidates are
+    /// compared and the one whose free capacity is more contiguous
+    /// ([`ClusterSummary::more_contiguous_than`]) wins, ids ascending on
+    /// ties. Summaries are optimistic — refreshed only at epoch barriers —
+    /// so among equally eligible clusters the defragmented one is the
+    /// safest bet against a misroute, and clusters the defragmenter just
+    /// compacted naturally attract the next placements.
     ///
     /// # Panics
     ///
@@ -756,16 +788,35 @@ impl FrontDoor {
         self.topology
             .for_each_probe(home_region, self.spill, |kind, lo, hi| {
                 let mut cursor = lo;
+                let mut first: Option<u32> = None;
                 while let Some(id) = self.index.first_in_range(cursor, hi, min) {
                     if self.summaries[id as usize].can_host(demand) {
-                        return ControlFlow::Break(Placement {
-                            cluster: ClusterId(id),
-                            kind,
-                        });
+                        match first {
+                            None => first = Some(id),
+                            Some(a) => {
+                                let b = &self.summaries[id as usize];
+                                let chosen = if b.more_contiguous_than(&self.summaries[a as usize])
+                                {
+                                    id
+                                } else {
+                                    a
+                                };
+                                return ControlFlow::Break(Placement {
+                                    cluster: ClusterId(chosen),
+                                    kind,
+                                });
+                            }
+                        }
                     }
                     cursor = id + 1;
                 }
-                ControlFlow::Continue(())
+                match first {
+                    Some(a) => ControlFlow::Break(Placement {
+                        cluster: ClusterId(a),
+                        kind,
+                    }),
+                    None => ControlFlow::Continue(()),
+                }
             })
     }
 
@@ -875,8 +926,9 @@ pub mod reference {
             self.observe(cluster, drained);
         }
 
-        /// The linear scan: identical probe plan and eligibility rule as
-        /// the indexed search, walking every id in each range.
+        /// The linear scan: identical probe plan, eligibility rule, and
+        /// first-two contiguity tiebreak as the indexed search, walking
+        /// every id in each range.
         ///
         /// # Panics
         ///
@@ -886,15 +938,34 @@ pub mod reference {
             use std::ops::ControlFlow;
             self.topology
                 .for_each_probe(home_region, self.spill, |kind, lo, hi| {
+                    let mut first: Option<u32> = None;
                     for id in lo..hi {
                         if self.summaries[id as usize].can_host(demand) {
-                            return ControlFlow::Break(Placement {
-                                cluster: ClusterId(id),
-                                kind,
-                            });
+                            match first {
+                                None => first = Some(id),
+                                Some(a) => {
+                                    let b = &self.summaries[id as usize];
+                                    let chosen =
+                                        if b.more_contiguous_than(&self.summaries[a as usize]) {
+                                            id
+                                        } else {
+                                            a
+                                        };
+                                    return ControlFlow::Break(Placement {
+                                        cluster: ClusterId(chosen),
+                                        kind,
+                                    });
+                                }
+                            }
                         }
                     }
-                    ControlFlow::Continue(())
+                    match first {
+                        Some(a) => ControlFlow::Break(Placement {
+                            cluster: ClusterId(a),
+                            kind,
+                        }),
+                        None => ControlFlow::Continue(()),
+                    }
                 })
         }
 

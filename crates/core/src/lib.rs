@@ -17,6 +17,9 @@
 //!   polling, and TPU failure recovery;
 //! - [`config`] — feature flags (workload partitioning, co-compiling) and
 //!   the calibrated data-plane cost model;
+//! - [`defrag`] — the online defragmenter: swap-cost-budgeted live
+//!   repacking of fragmented TPU pools at epoch barriers, pricing each
+//!   move with the real parameter-swap and co-compile transition costs;
 //! - [`faults`] — deterministic fault injection (MTBF/MTTR schedules,
 //!   scripted traces), the heartbeat/lease failure detector, and the
 //!   self-healing / graceful-degradation policies.
@@ -63,6 +66,7 @@
 pub mod admission;
 pub mod client;
 pub mod config;
+pub mod defrag;
 pub mod faults;
 pub mod fleet;
 pub mod lbs;
@@ -76,6 +80,7 @@ pub mod units;
 pub use admission::{AdmissionPolicy, BestFit, FirstFit, NextFit, NextKFit, WorstFit};
 pub use client::{SourceResolution, TpuClientModel};
 pub use config::{DataPlaneConfig, Features};
+pub use defrag::{DefragConfig, ExecutedMove};
 pub use faults::{
     ChaosConfig, ClassRates, DegradePolicy, DetectionModel, FaultEvent, FaultKind, FaultModel,
     FaultSchedule, HealPolicy,
@@ -94,8 +99,8 @@ pub use runtime::{
     FrameExport, RunResults, StreamId, StreamSpec, World, WorldCommand, METRIC_WINDOW,
 };
 pub use scheduler::{
-    DeployError, Deployment, ExtendedScheduler, FailureRecovery, RecoveredPod, StageGrant,
-    StagePlacement, TpuRequest,
+    DeployError, Deployment, EvictPlan, ExtendedScheduler, FailureRecovery, PodMove, RecoveredPod,
+    StageGrant, StagePlacement, TpuRequest,
 };
 pub use shard::{FleetReport, GlobalStreamId, ShardedWorld};
 pub use units::TpuUnits;

@@ -333,6 +333,17 @@ pub struct PoolCapacity {
     pub total_tpus: u32,
 }
 
+impl PoolCapacity {
+    /// Fragmentation ratio of the pool's free capacity: largest contiguous
+    /// free slot over total free units (1.0 when nothing is free). The
+    /// gauge the defragmenter drives up and the churn benches report
+    /// per round.
+    #[must_use]
+    pub fn fragmentation_ratio(&self) -> f64 {
+        microedge_metrics::defrag::fragmentation_ratio(self.max_free_micro, self.total_free_micro)
+    }
+}
+
 /// The fleet of TPU Services the extended scheduler allocates from.
 ///
 /// # Examples

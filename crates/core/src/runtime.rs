@@ -60,13 +60,14 @@
 //! # }
 //! ```
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 
 use microedge_cluster::network::NetworkModel;
 use microedge_cluster::node::NodeId;
 use microedge_cluster::topology::Cluster;
+use microedge_metrics::defrag::DefragStats;
 use microedge_metrics::latency::{BreakdownRecorder, LatencyBreakdown};
 use microedge_metrics::recovery::{
     AvailabilityTracker, RecoveryBreakdown, RecoveryRecorder, StreamAvailability,
@@ -88,6 +89,7 @@ use microedge_tpu::spec::TpuSpec;
 
 use crate::client::SourceResolution;
 use crate::config::{DataPlaneConfig, Features};
+use crate::defrag::{self, DefragConfig};
 use crate::faults::{ChaosConfig, FaultKind, FaultSchedule};
 use crate::lbs::LbService;
 use crate::scheduler::{DeployError, Deployment, ExtendedScheduler};
@@ -584,6 +586,7 @@ pub struct RunResults {
     chain_latencies: BTreeMap<StreamId, OnlineStats>,
     remote_ingest: LogLinearSketch,
     commands_failed: u64,
+    defrag: DefragStats,
 }
 
 impl RunResults {
@@ -735,6 +738,15 @@ impl RunResults {
         self.commands_failed
     }
 
+    /// Background-defragmentation counters for the run (all zero when the
+    /// defragmenter was never enabled). Integer-exact, so sharded merges
+    /// sum precisely and the counters participate in byte-compared
+    /// artifacts.
+    #[must_use]
+    pub fn defrag(&self) -> &DefragStats {
+        &self.defrag
+    }
+
     /// Merges per-shard results into one fleet-level [`RunResults`], the
     /// final step of a sharded replay. Stream ids are remapped with
     /// [`StreamId::with_shard`] so shards cannot collide; distributions
@@ -776,6 +788,7 @@ impl RunResults {
             chain_latencies: BTreeMap::new(),
             remote_ingest: LogLinearSketch::new(),
             commands_failed: 0,
+            defrag: DefragStats::default(),
         };
         for (shard, part) in parts.into_iter().enumerate() {
             let shard = u32::try_from(shard).expect("shard count fits u32");
@@ -829,6 +842,7 @@ impl RunResults {
             merged.frames_dropped += part.frames_dropped;
             merged.events_processed += part.events_processed;
             merged.commands_failed += part.commands_failed;
+            merged.defrag.merge(&part.defrag);
             merged.end = merged.end.max(part.end);
         }
         merged
@@ -981,6 +995,20 @@ pub struct World {
     /// [`World::take_evacuations`] — the whole-cluster-failure outbox the
     /// fleet front door drains at epoch barriers.
     evacuations: Vec<EvacuatedStream>,
+    /// Armed by [`World::enable_defrag`]; `None` costs nothing on hot
+    /// paths and leaves behavior identical to a defrag-free world.
+    defrag: Option<Box<DefragRuntime>>,
+}
+
+/// Background-defragmenter state, boxed behind an `Option` so worlds that
+/// never enable it pay nothing.
+#[derive(Debug)]
+struct DefragRuntime {
+    config: DefragConfig,
+    stats: DefragStats,
+    /// Epoch barriers seen since enablement; a planning cycle runs every
+    /// `config.interval_epochs` of them.
+    epochs: u64,
 }
 
 /// The sharded replay moves whole shards across the worker pool between
@@ -1060,6 +1088,7 @@ impl World {
             ingest: LogLinearSketch::new(),
             commands_failed: 0,
             evacuations: Vec::new(),
+            defrag: None,
         }
     }
 
@@ -1354,6 +1383,106 @@ impl World {
                 self.sync_device(alloc.tpu());
             }
         }
+    }
+
+    /// Arms the background defragmenter. From then on every
+    /// [`World::defrag_epoch`] tick counts toward `config.interval_epochs`
+    /// and armed ticks run one budgeted repacking cycle. Sharded runs call
+    /// the tick at every epoch barrier; plain worlds may call it by hand
+    /// between [`World::run_until`] slices.
+    pub fn enable_defrag(&mut self, config: DefragConfig) {
+        self.defrag = Some(Box::new(DefragRuntime {
+            config,
+            stats: DefragStats::default(),
+            epochs: 0,
+        }));
+    }
+
+    /// The defragmenter's counters so far, if it is enabled. The final
+    /// values also land in [`RunResults::defrag`].
+    #[must_use]
+    pub fn defrag_stats(&self) -> Option<&DefragStats> {
+        self.defrag.as_ref().map(|d| &d.stats)
+    }
+
+    /// One defragmenter tick. A no-op unless [`World::enable_defrag`] was
+    /// called and this tick completes an `interval_epochs` period; an armed
+    /// tick plans donor evictions against the live pool and executes the
+    /// ones whose recovered contiguous capacity justifies their modeled
+    /// disruption (see [`crate::defrag`]).
+    ///
+    /// Pods of streams that are mid-swap or not serving are frozen — the
+    /// same swap-seq guard the failure-recovery path uses — so a migration
+    /// never races a recovery. Each migrated stream's load-balancer weights
+    /// are re-seeded immediately (the move is planned at a quiescent epoch
+    /// barrier, so no in-flight frame observes the old placement), the
+    /// donor's device cache is re-synced, and in chaos mode the stream is
+    /// held under a pending-swap guard for the move's modeled cost so
+    /// rescale/upgrade paths keep their hands off until the migration
+    /// settles.
+    pub fn defrag_epoch(&mut self) {
+        let Some(runtime) = self.defrag.as_mut() else {
+            return;
+        };
+        runtime.epochs += 1;
+        if runtime.epochs % u64::from(runtime.config.interval_epochs.max(1)) != 0 {
+            return;
+        }
+        let config = runtime.config;
+        let mut frozen = BTreeSet::new();
+        for s in &self.streams {
+            let serving = matches!(s.phase, StreamPhase::Active | StreamPhase::Degraded);
+            if s.pending_swap.is_some() || !serving {
+                frozen.insert(s.pod);
+            }
+        }
+        let mut stats = DefragStats::default();
+        let moves = defrag::run_cycle(&mut self.sched, &frozen, &config, &mut stats);
+        for mv in &moves {
+            for pod_move in &mv.plan.moves {
+                let sid = self.pods_to_streams[&pod_move.pod];
+                self.apply_plans(sid, &pod_move.plans);
+            }
+            self.sync_device(mv.plan.donor);
+            if mv.cost > SimDuration::ZERO {
+                for pod_move in &mv.plan.moves {
+                    let sid = self.pods_to_streams[&pod_move.pod];
+                    self.guard_migration(sid, mv.cost);
+                }
+            }
+        }
+        if let Some(runtime) = self.defrag.as_mut() {
+            runtime.stats.merge(&stats);
+        }
+    }
+
+    /// Holds a just-migrated stream under the swap-seq guard for the
+    /// migration's modeled duration. Mirrors `schedule_swap_in`, but the
+    /// cost is the defragmenter's priced disruption and there is nothing to
+    /// detect or reschedule. The stream keeps serving; when the `SwapIn`
+    /// guard event fires on an `Active`/`Degraded` stream it clears
+    /// `pending_swap` and records nothing. No-op without chaos mode, where
+    /// no concurrent rescale/recovery path exists to guard against.
+    fn guard_migration(&mut self, sid: StreamId, cost: SimDuration) {
+        let now = self.queue.now();
+        let Some(chaos) = self.chaos.as_mut() else {
+            return;
+        };
+        chaos.swap_seq += 1;
+        let seq = chaos.swap_seq;
+        let breakdown = RecoveryBreakdown::new(SimDuration::ZERO, SimDuration::ZERO, cost);
+        if let Some(stream) = self.streams.get_mut(sid.0 as usize) {
+            stream.pending_swap = Some(seq);
+        }
+        self.queue.schedule_at(
+            now + cost,
+            Ev::SwapIn {
+                stream: sid,
+                seq,
+                breakdown,
+                restarted: false,
+            },
+        );
     }
 
     /// Fails a TPU mid-run: queued and executing frames on it are dropped,
@@ -2553,6 +2682,7 @@ impl World {
             chain_latencies,
             remote_ingest: self.ingest,
             commands_failed: self.commands_failed,
+            defrag: self.defrag.map_or_else(DefragStats::default, |d| d.stats),
         }
     }
 

@@ -44,7 +44,7 @@ use microedge_orch::pod::{PodId, PodPhase, PodSpec, EXT_MODEL, EXT_TPU_UNITS};
 use microedge_tpu::device::TpuId;
 use microedge_tpu::spec::TpuSpec;
 
-use crate::admission::{AdmissionPolicy, FirstFit, PlanBuffer};
+use crate::admission::{AdmissionPolicy, BestFit, FirstFit, PlanBuffer};
 use crate::config::{DataPlaneConfig, Features};
 use crate::lbs::LbService;
 use crate::pool::{Allocation, TpuPool};
@@ -599,16 +599,7 @@ impl ExtendedScheduler {
     /// [`ExtendedScheduler::reclaim_terminated`] frees it.
     pub fn handle_tpu_failure(&mut self, tpu: TpuId) -> FailureRecovery {
         self.pool.fail(tpu);
-        let affected: Vec<PodId> = self
-            .assignments
-            .iter()
-            .filter(|(_, a)| {
-                a.entries
-                    .iter()
-                    .any(|(_, allocs)| allocs.iter().any(|al| al.tpu() == tpu))
-            })
-            .map(|(&pod, _)| pod)
-            .collect();
+        let affected = self.pods_using(tpu);
         let mut recovered = Vec::new();
         let mut lost = Vec::new();
         for pod in affected {
@@ -658,16 +649,7 @@ impl ExtendedScheduler {
     /// tear down.
     pub fn fail_tpu_releasing(&mut self, tpu: TpuId) -> Vec<PodId> {
         self.pool.fail(tpu);
-        let affected: Vec<PodId> = self
-            .assignments
-            .iter()
-            .filter(|(_, a)| {
-                a.entries
-                    .iter()
-                    .any(|(_, allocs)| allocs.iter().any(|al| al.tpu() == tpu))
-            })
-            .map(|(&pod, _)| pod)
-            .collect();
+        let affected = self.pods_using(tpu);
         for &pod in &affected {
             self.release_assignment(pod);
         }
@@ -753,16 +735,7 @@ impl ExtendedScheduler {
         tpu: TpuId,
     ) -> Result<Vec<(PodId, Vec<StagePlacement>)>, DeployError> {
         self.pool.fail(tpu);
-        let affected: Vec<PodId> = self
-            .assignments
-            .iter()
-            .filter(|(_, a)| {
-                a.entries
-                    .iter()
-                    .any(|(_, allocs)| allocs.iter().any(|al| al.tpu() == tpu))
-            })
-            .map(|(&pod, _)| pod)
-            .collect();
+        let affected = self.pods_using(tpu);
         let mut migrated: Vec<(PodId, PodAssignment, Vec<StagePlacement>)> = Vec::new();
         for pod in affected {
             let original = self
@@ -824,6 +797,176 @@ impl ExtendedScheduler {
             }
         }
     }
+
+    /// Pods holding at least one allocation on `tpu`, in pod-id order.
+    #[must_use]
+    pub fn pods_using(&self, tpu: TpuId) -> Vec<PodId> {
+        self.assignments
+            .iter()
+            .filter(|(_, a)| {
+                a.entries
+                    .iter()
+                    .any(|(_, allocs)| allocs.iter().any(|al| al.tpu() == tpu))
+            })
+            .map(|(&pod, _)| pod)
+            .collect()
+    }
+
+    /// Plans the complete eviction of `tpu` for the online defragmenter —
+    /// **without touching any state**. Every pod with an allocation on the
+    /// donor is re-planned on a scratch copy of the pool in pod-id order,
+    /// with the donor marked unavailable so nothing lands back on it, using
+    /// **Best-Fit** receivers off the capacity index (donors shed into the
+    /// tightest holes, which is what compacts the pool) regardless of the
+    /// scheduler's admission policy.
+    ///
+    /// The returned [`EvictPlan`] carries everything the defragmenter's
+    /// cost model needs: per-pod new placements and swap bytes, per-receiver
+    /// newly-loaded bytes, and each receiver's post-move resident model set
+    /// (for the co-compile transition cost). Execute it with
+    /// [`ExtendedScheduler::apply_evict`] *before any other pool mutation*,
+    /// or drop it — planning is free.
+    ///
+    /// # Errors
+    ///
+    /// [`DeployError::InsufficientTpu`] when some pod on the donor cannot be
+    /// re-placed on the rest of the fleet; [`DeployError::UnknownModel`] if
+    /// an assignment references a model missing from the catalog.
+    pub fn plan_evict(&self, tpu: TpuId) -> Result<EvictPlan, DeployError> {
+        let recovered_micro = self.pool.account(tpu).load().as_micro();
+        let mut scratch = self.pool.clone();
+        scratch.fail(tpu);
+        let mut policy = BestFit::new();
+        let mut buffer = PlanBuffer::new();
+        let mut moves = Vec::new();
+        let mut newly_loaded: BTreeMap<TpuId, u64> = BTreeMap::new();
+        for pod in self.pods_using(tpu) {
+            let assignment = &self.assignments[&pod];
+            for (model, allocs) in &assignment.entries {
+                scratch.release(model, allocs);
+            }
+            let requests = assignment.requests_at(assignment.den);
+            let mut plans = Vec::with_capacity(requests.len());
+            let mut per_tpu: BTreeMap<TpuId, u64> = BTreeMap::new();
+            for request in &requests {
+                let profile = self
+                    .catalog
+                    .get(request.model())
+                    .ok_or_else(|| DeployError::UnknownModel(request.model().clone()))?
+                    .clone();
+                if !policy.plan_into(
+                    &scratch,
+                    &profile,
+                    request.units(),
+                    self.features,
+                    &mut buffer,
+                ) {
+                    return Err(DeployError::InsufficientTpu);
+                }
+                let allocations = buffer.allocations().to_vec();
+                for loaded in scratch.commit(&profile, &allocations) {
+                    *per_tpu.entry(loaded).or_insert(0) += profile.param_bytes();
+                    *newly_loaded.entry(loaded).or_insert(0) += profile.param_bytes();
+                }
+                plans.push((request.model().clone(), allocations));
+            }
+            // Loads on distinct TPUs proceed in parallel; this pod's swap-in
+            // window is bounded by its busiest destination (the same
+            // convention as `handle_tpu_failure`).
+            let swap_bytes = per_tpu.values().copied().max().unwrap_or(0);
+            moves.push(PodMove {
+                pod,
+                plans,
+                swap_bytes,
+            });
+        }
+        let residents_after = newly_loaded
+            .keys()
+            .map(|&receiver| (receiver, scratch.account(receiver).live_models()))
+            .collect();
+        Ok(EvictPlan {
+            donor: tpu,
+            recovered_micro,
+            moves,
+            newly_loaded,
+            residents_after,
+        })
+    }
+
+    /// Executes an [`EvictPlan`]: every planned pod releases its old
+    /// allocations and commits the new ones, atomically from the pool's
+    /// point of view (the plan was validated against this exact pool
+    /// state). The donor is never failed — it simply ends the call empty,
+    /// one whole contiguous slot returned to the capacity index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool changed since [`ExtendedScheduler::plan_evict`]
+    /// produced the plan (a planned allocation no longer fits), or if a
+    /// planned pod no longer holds an assignment.
+    pub fn apply_evict(&mut self, plan: &EvictPlan) {
+        for mv in &plan.moves {
+            let old = self
+                .assignments
+                .remove(&mv.pod)
+                .expect("evicted pod holds an assignment");
+            for (model, allocs) in &old.entries {
+                self.pool.release(model, allocs);
+            }
+            for (model, allocs) in &mv.plans {
+                let profile = self.catalog.expect(model).clone();
+                self.pool.commit(&profile, allocs);
+            }
+            self.assignments.insert(
+                mv.pod,
+                PodAssignment {
+                    entries: mv.plans.clone(),
+                    full: old.full,
+                    den: old.den,
+                },
+            );
+        }
+        debug_assert!(
+            self.pool.account(plan.donor).load().is_zero(),
+            "donor still carries load after eviction"
+        );
+    }
+}
+
+/// One pod's move inside an [`EvictPlan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PodMove {
+    /// The migrating pod.
+    pub pod: PodId,
+    /// Its new per-stage allocations (none on the donor).
+    pub plans: Vec<StagePlacement>,
+    /// Model bytes that must be (re)loaded on this pod's busiest
+    /// destination TPU — the swap-in component of its migration window.
+    /// Zero when every destination already had the models resident.
+    pub swap_bytes: u64,
+}
+
+/// A validated, not-yet-executed eviction of one donor TPU, produced by
+/// [`ExtendedScheduler::plan_evict`] and executed by
+/// [`ExtendedScheduler::apply_evict`]. Everything the defragmenter's
+/// swap-cost model consumes is precomputed here, so the accept/reject
+/// decision never touches live state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvictPlan {
+    /// The TPU being emptied.
+    pub donor: TpuId,
+    /// The donor's load at planning time — the contiguous micro-units the
+    /// move recovers (the donor ends as one whole free slot).
+    pub recovered_micro: u64,
+    /// Per-pod moves, in pod-id order.
+    pub moves: Vec<PodMove>,
+    /// Parameter bytes newly loaded per receiver TPU, summed across moves —
+    /// the `TpuSpec::swap_time` input of the cost model.
+    pub newly_loaded: BTreeMap<TpuId, u64>,
+    /// Each byte-receiving TPU's live model set *after* the eviction, in
+    /// co-compilation priority order — the `tpu::cocompile` input of the
+    /// transition cost.
+    pub residents_after: BTreeMap<TpuId, Vec<ModelId>>,
 }
 
 /// One pod re-placed by [`ExtendedScheduler::handle_tpu_failure`].

@@ -63,6 +63,7 @@ use microedge_sim::rng::splitmix64;
 use microedge_sim::time::{SimDuration, SimTime};
 
 use crate::config::Features;
+use crate::defrag::DefragConfig;
 use crate::faults::{ChaosConfig, DetectionModel, FaultSchedule, HealPolicy};
 use crate::fleet::{ClusterId, ClusterSummary, FrontDoor, PlacementStats};
 use crate::net::{NetConfig, NetReport, Transport};
@@ -481,6 +482,16 @@ impl ShardedWorld {
         }
     }
 
+    /// Arms the background defragmenter on every shard. Cycles run at
+    /// epoch barriers (every `config.interval_epochs` of them), in the
+    /// serial barrier step and in shard order, on each shard's quiescent
+    /// local state — so repacking is byte-identical at any worker count.
+    pub fn enable_defrag(&mut self, config: DefragConfig) {
+        for shard in &mut self.shards {
+            shard.enable_defrag(config);
+        }
+    }
+
     /// Submits a control-plane command for `shard`, to fire at `at`. The
     /// command waits in the global mailbox and is released to the shard at
     /// the epoch barrier covering its timestamp; commands at the same
@@ -739,6 +750,13 @@ impl ShardedWorld {
             let mut msgs: Vec<(u32, FrameExport)> = Vec::new();
             for (i, shard) in self.shards.iter_mut().enumerate() {
                 shard.advance_to(barrier);
+                // With every local event ≤ barrier drained and the clock
+                // aligned, the shard is quiescent — the safe instant for
+                // the background defragmenter to repack live placements
+                // (guard events it schedules land strictly after the
+                // barrier). Serial and in shard order: worker-count
+                // invariant.
+                shard.defrag_epoch();
                 let src = u32::try_from(i).expect("shard count fits u32");
                 msgs.extend(shard.take_outbox().into_iter().map(|e| (src, e)));
             }
@@ -1112,9 +1130,12 @@ fn exchange_fleet(
             match shards[dest.0 as usize].admit_stream(ev.spec.clone()) {
                 Ok(local) => Some((placement, demand, local.with_shard(dest.0))),
                 Err(_) => {
-                    // The summary was optimistic (fragmentation the fleet
-                    // tier cannot see). Debit it pessimistically so later
-                    // evacuees look elsewhere.
+                    // The summary was optimistic (intra-barrier staleness,
+                    // or fragmentation finer than max_free resolves). Two
+                    // defenses shrink this path: the front door tiebreaks
+                    // toward the more contiguous candidate, and the
+                    // defragmenter compacts pools between barriers. Debit
+                    // pessimistically so later evacuees look elsewhere.
                     f.door.commit_placement(dest, demand);
                     f.report.readmit_failures += 1;
                     None

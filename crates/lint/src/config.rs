@@ -40,6 +40,7 @@ pub const WALL_CLOCK_EXEMPT_FILES: &[&str] = &[
     "crates/bench/src/scale_sharded.rs",
     "crates/bench/src/fleet.rs",
     "crates/bench/src/netchaos.rs",
+    "crates/bench/src/defrag.rs",
 ];
 
 /// Crates whose data structures feed byte-identical JSON artifacts: any

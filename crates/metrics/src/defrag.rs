@@ -1,0 +1,173 @@
+//! Online-defragmentation counters and packing-efficiency gauges.
+//!
+//! The background defragmenter (`core::defrag`) migrates live pods off
+//! lightly-loaded "donor" TPUs so their scattered load compacts into the
+//! rest of the fleet and each donor returns to the capacity index as one
+//! whole contiguous slot. Every cycle it accounts here what it did — moves
+//! executed, pods migrated, contiguous micro-units recovered, modeled
+//! migration disruption — and, just as importantly, what it *declined* to
+//! do and why, so a run's artifact shows the budget actually binding.
+//!
+//! [`packing_efficiency`] is the study's headline gauge: the Martello–Toth
+//! L2 lower bound on the bins the live demand provably needs, over the TPUs
+//! actually carrying load. 1.0 is provably optimal packing; long-running
+//! churned fleets drift down without defragmentation.
+//!
+//! # Examples
+//!
+//! ```
+//! use microedge_metrics::defrag::{fragmentation_ratio, packing_efficiency, DefragStats};
+//!
+//! let mut a = DefragStats::default();
+//! a.moves = 2;
+//! a.units_recovered_micro = 600_000;
+//! let mut b = DefragStats::default();
+//! b.moves = 1;
+//! a.merge(&b);
+//! assert_eq!(a.moves, 3);
+//!
+//! // 14 provably-needed bins spread over 20 loaded TPUs.
+//! assert!((packing_efficiency(14, 20) - 0.7).abs() < 1e-12);
+//! // One 0.4-unit hole out of 1.2 free units total: heavily fragmented.
+//! assert!((fragmentation_ratio(400_000, 1_200_000) - 1.0 / 3.0).abs() < 1e-12);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use microedge_sim::time::SimDuration;
+
+/// Deterministic counters of one world's (or one merged fleet's)
+/// defragmentation activity. All fields are integers, so merged shards sum
+/// exactly and the counters participate in byte-compared artifacts.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DefragStats {
+    /// Planning cycles run (one per armed epoch interval).
+    pub cycles: u64,
+    /// Donor evictions executed (each empties one TPU).
+    pub moves: u64,
+    /// Pod migrations executed across all moves.
+    pub pods_migrated: u64,
+    /// Contiguous micro-units recovered (each executed move turns the
+    /// donor's scattered load into one whole free slot).
+    pub units_recovered_micro: u64,
+    /// Total modeled migration disruption, in nanoseconds of simulated
+    /// time: per move, the busiest receiver's parameter swap plus its
+    /// co-compile transition.
+    pub disruption_ns: u64,
+    /// Candidate donors skipped because their recoverable load was below
+    /// the configured minimum gain.
+    pub skipped_gain: u64,
+    /// Candidate donors skipped because a resident pod was mid-swap or its
+    /// stream was not serving (the swap-seq/epoch guard).
+    pub skipped_guard: u64,
+    /// Candidate donors skipped because the cycle's disruption budget had
+    /// no room for the move.
+    pub skipped_budget: u64,
+    /// Candidate donors skipped because the move's disruption per recovered
+    /// unit exceeded the configured exchange rate.
+    pub skipped_cost: u64,
+    /// Candidate donors skipped because the rest of the fleet could not
+    /// absorb their pods (planning failed).
+    pub skipped_unplaceable: u64,
+}
+
+impl DefragStats {
+    /// Total modeled disruption as a duration.
+    #[must_use]
+    pub fn disruption(&self) -> SimDuration {
+        SimDuration::from_nanos(self.disruption_ns)
+    }
+
+    /// Folds another shard's counters into this one (exact integer sums;
+    /// merge order does not matter).
+    pub fn merge(&mut self, other: &DefragStats) {
+        self.cycles += other.cycles;
+        self.moves += other.moves;
+        self.pods_migrated += other.pods_migrated;
+        self.units_recovered_micro += other.units_recovered_micro;
+        self.disruption_ns += other.disruption_ns;
+        self.skipped_gain += other.skipped_gain;
+        self.skipped_guard += other.skipped_guard;
+        self.skipped_budget += other.skipped_budget;
+        self.skipped_cost += other.skipped_cost;
+        self.skipped_unplaceable += other.skipped_unplaceable;
+    }
+}
+
+/// Packing efficiency: `l2_bins / used_tpus`, the provable lower bound on
+/// bins the live demand needs over the TPUs actually carrying load. 1.0
+/// means the fleet provably cannot pack tighter; values below 1.0 measure
+/// fragmentation waste. An idle fleet (`used_tpus == 0`) is perfectly
+/// packed by convention.
+///
+/// The bound itself comes from the bench crate's `l2_lower_bound` (the
+/// Martello–Toth L2 over the live demand multiset); this gauge only
+/// normalizes it, so the metrics crate stays independent of the solver.
+#[must_use]
+pub fn packing_efficiency(l2_bins: u32, used_tpus: usize) -> f64 {
+    if used_tpus == 0 {
+        1.0
+    } else {
+        f64::from(l2_bins) / used_tpus as f64
+    }
+}
+
+/// Fragmentation ratio: largest contiguous free slot over total free
+/// units, in micro-units. 1.0 means all free capacity sits in one
+/// contiguous block (not fragmented); ratios near 0 mean the free space is
+/// shattered into slivers no whole-placement request can use. A pool with
+/// no free capacity is unfragmented by convention.
+#[must_use]
+pub fn fragmentation_ratio(max_free_micro: u64, total_free_micro: u64) -> f64 {
+    if total_free_micro == 0 {
+        1.0
+    } else {
+        max_free_micro as f64 / total_free_micro as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_every_counter() {
+        let mut a = DefragStats {
+            cycles: 1,
+            moves: 2,
+            pods_migrated: 3,
+            units_recovered_micro: 4,
+            disruption_ns: 5,
+            skipped_gain: 6,
+            skipped_guard: 7,
+            skipped_budget: 8,
+            skipped_cost: 9,
+            skipped_unplaceable: 10,
+        };
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(
+            a,
+            DefragStats {
+                cycles: 2,
+                moves: 4,
+                pods_migrated: 6,
+                units_recovered_micro: 8,
+                disruption_ns: 10,
+                skipped_gain: 12,
+                skipped_guard: 14,
+                skipped_budget: 16,
+                skipped_cost: 18,
+                skipped_unplaceable: 20,
+            }
+        );
+    }
+
+    #[test]
+    fn gauges_handle_empty_fleets() {
+        assert!((packing_efficiency(0, 0) - 1.0).abs() < f64::EPSILON);
+        assert!((packing_efficiency(3, 4) - 0.75).abs() < f64::EPSILON);
+        assert!((fragmentation_ratio(0, 0) - 1.0).abs() < f64::EPSILON);
+        assert!((fragmentation_ratio(250_000, 1_000_000) - 0.25).abs() < f64::EPSILON);
+    }
+}

@@ -12,6 +12,9 @@
 //! - [`throughput`] — frame accounting and FPS SLO audits (§6.2);
 //! - [`recovery`] — failure-recovery latency breakdowns and per-stream
 //!   availability under the chaos subsystem;
+//! - [`defrag`] — online-defragmentation counters (moves, recovered
+//!   contiguous capacity, modeled migration disruption, per-reason skip
+//!   counts) and the packing-efficiency / fragmentation gauges;
 //! - [`net`] — per-QoS-class message-delivery ledgers (conservation law
 //!   `delivered + dropped + gave_up == sent`) and heartbeat
 //!   false-positive counters for the lossy-transport layer;
@@ -31,6 +34,7 @@
 //! assert!((u - 0.35).abs() < 0.01);
 //! ```
 
+pub mod defrag;
 pub mod latency;
 pub mod net;
 pub mod recovery;
@@ -38,6 +42,7 @@ pub mod report;
 pub mod throughput;
 pub mod utilization;
 
+pub use defrag::{fragmentation_ratio, packing_efficiency, DefragStats};
 pub use latency::{BreakdownRecorder, LatencyBreakdown, Phase};
 pub use net::{ChannelStats, DetectionStats, NetStats};
 pub use recovery::{

@@ -53,4 +53,9 @@ MICROEDGE_WORKERS=1 cargo run --release -p microedge-bench --bin repro -- --net 
 MICROEDGE_WORKERS=8 cargo run --release -p microedge-bench --bin repro -- --net --quick --csv "$scale_out/b"
 assert_deterministic_artifact BENCH_net.json "$scale_out/a" "$scale_out/b"
 
+echo "==> online defragmentation smoke + determinism (repro --defrag --quick)"
+MICROEDGE_WORKERS=1 cargo run --release -p microedge-bench --bin repro -- --defrag --quick --csv "$scale_out/a"
+MICROEDGE_WORKERS=8 cargo run --release -p microedge-bench --bin repro -- --defrag --quick --csv "$scale_out/b"
+assert_deterministic_artifact BENCH_defrag.json "$scale_out/a" "$scale_out/b"
+
 echo "All checks passed."
