@@ -473,7 +473,7 @@ pub fn optimal_bins(items: &[TpuUnits]) -> u32 {
         bins: &mut Vec<u64>,
         best: &mut u32,
         lower: u32,
-        memo: &mut std::collections::HashSet<(usize, Vec<u64>)>,
+        memo: &mut std::collections::BTreeSet<(usize, Vec<u64>)>,
     ) {
         if *best == lower {
             return; // cannot beat the global lower bound
@@ -520,7 +520,9 @@ pub fn optimal_bins(items: &[TpuUnits]) -> u32 {
         }
     }
 
-    let mut memo = std::collections::HashSet::new();
+    // BTreeSet keeps the memo hash-free: membership-only today, but a
+    // deterministic structure can never leak iteration order into results.
+    let mut memo = std::collections::BTreeSet::new();
     search(&sizes, total, &mut Vec::new(), &mut best, lower, &mut memo);
     best
 }

@@ -16,6 +16,20 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct NodeId(pub u32);
 
+impl NodeId {
+    /// This id as its dense slab index (nodes are indexed contiguously).
+    #[must_use]
+    pub fn index(self) -> usize {
+        usize::try_from(self.0).expect("u32 node id fits usize")
+    }
+
+    /// The id of the node at dense slab index `i`.
+    #[must_use]
+    pub fn from_index(i: usize) -> NodeId {
+        NodeId(u32::try_from(i).expect("per-cluster node count fits u32"))
+    }
+}
+
 impl fmt::Display for NodeId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "node-{}", self.0)

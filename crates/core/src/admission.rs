@@ -284,7 +284,7 @@ impl AdmissionPolicy for FirstFit {
         features: Features,
         out: &mut PlanBuffer,
     ) -> bool {
-        let len = pool.len() as u32;
+        let len = u32::try_from(pool.len()).expect("tpu pool size fits u32");
         plan_indexed(
             pool,
             model,
@@ -421,8 +421,9 @@ impl AdmissionPolicy for NextKFit {
         // through the index. TPUs before the window are never candidates.
         let window_start = self.cursor.saturating_sub(self.k - 1);
         let window_end = self.cursor.min(accounts.len() - 1);
-        let tail_lo = ((self.cursor + 1).min(accounts.len())) as u32;
-        let len = accounts.len() as u32;
+        let tail_lo =
+            u32::try_from((self.cursor + 1).min(accounts.len())).expect("tpu pool size fits u32");
+        let len = u32::try_from(accounts.len()).expect("tpu pool size fits u32");
         let window = &accounts[window_start..=window_end];
         let planned = plan_indexed(
             pool,
@@ -449,7 +450,7 @@ impl AdmissionPolicy for NextKFit {
             if let Some(last) = out.allocations.last() {
                 // Ids are dense (TPU i is accounts[i]), so the id doubles
                 // as the cursor position.
-                self.cursor = (last.tpu().0 as usize).max(self.cursor);
+                self.cursor = (last.tpu().index()).max(self.cursor);
             }
         }
         planned
@@ -487,8 +488,8 @@ impl AdmissionPolicy for NextFit {
             out.allocations.clear();
             return false;
         }
-        let len = pool.len() as u32;
-        let start = (self.cursor % pool.len()) as u32;
+        let len = u32::try_from(pool.len()).expect("tpu pool size fits u32");
+        let start = u32::try_from(self.cursor % pool.len()).expect("cursor below len fits u32");
         let planned = plan_indexed(
             pool,
             model,
@@ -507,7 +508,7 @@ impl AdmissionPolicy for NextFit {
         );
         if planned {
             if let Some(last) = out.allocations.last() {
-                self.cursor = last.tpu().0 as usize;
+                self.cursor = last.tpu().index();
             }
         }
         planned

@@ -189,7 +189,7 @@ pub fn run_cycle(
     let mut executed: Vec<ExecutedMove> = Vec::new();
     let mut budget = config.cycle_budget;
     for donor in donor_candidates(sched.pool()) {
-        if executed.len() >= config.max_moves_per_cycle as usize {
+        if executed.len() >= usize::try_from(config.max_moves_per_cycle).expect("u32 fits usize") {
             break;
         }
         let account = sched.pool().account(donor);

@@ -158,9 +158,10 @@ impl FaultSchedule {
         let mut events = Vec::new();
         if let Some(rates) = model.tpu {
             for i in 0..cluster.tpu_count() {
-                let rng = root.fork(SALT_TPU.wrapping_add(i as u64));
+                let rng =
+                    root.fork(SALT_TPU.wrapping_add(u64::try_from(i).expect("tpu index fits u64")));
                 Self::component_trace(rng, rates, horizon, &mut events, |up| {
-                    let tpu = TpuId(i as u32);
+                    let tpu = TpuId::from_index(i);
                     if up {
                         FaultKind::TpuRepair(tpu)
                     } else {

@@ -68,6 +68,21 @@ use crate::units::TpuUnits;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct ClusterId(pub u32);
 
+impl ClusterId {
+    /// This id as its dense summary-table index (clusters are registered
+    /// contiguously by the front door).
+    #[must_use]
+    pub fn index(self) -> usize {
+        usize::try_from(self.0).expect("u32 cluster id fits usize")
+    }
+
+    /// The id of the cluster at dense table index `i`.
+    #[must_use]
+    pub fn from_index(i: usize) -> ClusterId {
+        ClusterId(u32::try_from(i).expect("fleet cluster count fits u32"))
+    }
+}
+
 impl std::fmt::Display for ClusterId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "cluster-{}", self.0)
@@ -346,7 +361,8 @@ impl FleetTopology {
     /// Panics if `home` is out of range.
     #[must_use]
     pub fn probe_plan(&self, home: u32, spill: u32) -> Vec<(ProbeKind, u32, u32)> {
-        let mut plan = Vec::with_capacity(2 * spill as usize + 2);
+        let spill_cap = usize::try_from(spill).expect("spill count fits usize");
+        let mut plan = Vec::with_capacity(2 * spill_cap + 2);
         self.for_each_probe(home, spill, |kind, lo, hi| {
             plan.push((kind, lo, hi));
             ControlFlow::<()>::Continue(())
@@ -485,7 +501,7 @@ impl FleetIndex {
             buckets: BTreeMap::new(),
         };
         for (id, summary) in summaries.iter().enumerate() {
-            index.insert(id as u32, summary.placement_key());
+            index.insert(ClusterId::from_index(id).0, summary.placement_key());
         }
         index
     }
@@ -497,8 +513,9 @@ impl FleetIndex {
     }
 
     fn set_leaf(&mut self, id: u32, value: u64) {
-        self.keys[id as usize] = Self::saturate(value);
-        let block = id as usize / BLOCK;
+        let slot = ClusterId(id).index();
+        self.keys[slot] = Self::saturate(value);
+        let block = slot / BLOCK;
         let max = *self.keys[block * BLOCK..]
             .iter()
             .take(BLOCK)
@@ -551,7 +568,7 @@ impl FleetIndex {
             return None;
         }
         let min = Self::saturate(min);
-        let (mut lo, hi) = (lo as usize, hi as usize);
+        let (mut lo, hi) = (ClusterId(lo).index(), ClusterId(hi).index());
         // Partial head block (a resumed cursor mid-block): scan it flat.
         if lo % BLOCK != 0 {
             let head_end = (lo / BLOCK + 1) * BLOCK;
@@ -704,7 +721,7 @@ impl FrontDoor {
     /// Panics if `cluster` is out of range.
     #[must_use]
     pub fn summary(&self, cluster: ClusterId) -> &ClusterSummary {
-        &self.summaries[cluster.0 as usize]
+        &self.summaries[cluster.index()]
     }
 
     /// Placement counters so far.
@@ -747,7 +764,7 @@ impl FrontDoor {
     ///
     /// Panics if `cluster` is out of range.
     pub fn observe(&mut self, cluster: ClusterId, summary: ClusterSummary) {
-        let slot = &mut self.summaries[cluster.0 as usize];
+        let slot = &mut self.summaries[cluster.index()];
         if *slot == summary {
             return;
         }
@@ -761,7 +778,7 @@ impl FrontDoor {
     /// its summary is drained so no stream places there until a fresh
     /// [`FrontDoor::observe`] revives it.
     pub fn drain(&mut self, cluster: ClusterId) {
-        let drained = self.summaries[cluster.0 as usize].drained();
+        let drained = self.summaries[cluster.index()].drained();
         self.observe(cluster, drained);
     }
 
@@ -790,12 +807,13 @@ impl FrontDoor {
                 let mut cursor = lo;
                 let mut first: Option<u32> = None;
                 while let Some(id) = self.index.first_in_range(cursor, hi, min) {
-                    if self.summaries[id as usize].can_host(demand) {
+                    if self.summaries[ClusterId(id).index()].can_host(demand) {
                         match first {
                             None => first = Some(id),
                             Some(a) => {
-                                let b = &self.summaries[id as usize];
-                                let chosen = if b.more_contiguous_than(&self.summaries[a as usize])
+                                let b = &self.summaries[ClusterId(id).index()];
+                                let chosen = if b
+                                    .more_contiguous_than(&self.summaries[ClusterId(a).index()])
                                 {
                                     id
                                 } else {
@@ -847,7 +865,7 @@ impl FrontDoor {
     /// through the search (the sharded replay uses this when it has
     /// already decided the cluster, e.g. re-admitting an evacuee).
     pub fn commit_placement(&mut self, cluster: ClusterId, demand: StreamDemand) {
-        let slot = &mut self.summaries[cluster.0 as usize];
+        let slot = &mut self.summaries[cluster.index()];
         let old_key = slot.placement_key();
         slot.debit(demand);
         self.index.update(cluster.0, old_key, slot.placement_key());
@@ -902,7 +920,7 @@ pub mod reference {
         /// Panics if `cluster` is out of range.
         #[must_use]
         pub fn summary(&self, cluster: ClusterId) -> &ClusterSummary {
-            &self.summaries[cluster.0 as usize]
+            &self.summaries[cluster.index()]
         }
 
         /// Placement counters so far.
@@ -917,12 +935,12 @@ pub mod reference {
         ///
         /// Panics if `cluster` is out of range.
         pub fn observe(&mut self, cluster: ClusterId, summary: ClusterSummary) {
-            self.summaries[cluster.0 as usize] = summary;
+            self.summaries[cluster.index()] = summary;
         }
 
         /// Mirrors [`FrontDoor::drain`](super::FrontDoor::drain).
         pub fn drain(&mut self, cluster: ClusterId) {
-            let drained = self.summaries[cluster.0 as usize].drained();
+            let drained = self.summaries[cluster.index()].drained();
             self.observe(cluster, drained);
         }
 
@@ -940,17 +958,18 @@ pub mod reference {
                 .for_each_probe(home_region, self.spill, |kind, lo, hi| {
                     let mut first: Option<u32> = None;
                     for id in lo..hi {
-                        if self.summaries[id as usize].can_host(demand) {
+                        if self.summaries[ClusterId(id).index()].can_host(demand) {
                             match first {
                                 None => first = Some(id),
                                 Some(a) => {
-                                    let b = &self.summaries[id as usize];
-                                    let chosen =
-                                        if b.more_contiguous_than(&self.summaries[a as usize]) {
-                                            id
-                                        } else {
-                                            a
-                                        };
+                                    let b = &self.summaries[ClusterId(id).index()];
+                                    let chosen = if b
+                                        .more_contiguous_than(&self.summaries[ClusterId(a).index()])
+                                    {
+                                        id
+                                    } else {
+                                        a
+                                    };
                                     return ControlFlow::Break(Placement {
                                         cluster: ClusterId(chosen),
                                         kind,
@@ -973,7 +992,7 @@ pub mod reference {
         pub fn admit(&mut self, home_region: u32, demand: StreamDemand) -> Option<Placement> {
             match self.place(home_region, demand) {
                 Some(placement) => {
-                    self.summaries[placement.cluster.0 as usize].debit(demand);
+                    self.summaries[placement.cluster.index()].debit(demand);
                     self.stats.count(placement.kind);
                     Some(placement)
                 }

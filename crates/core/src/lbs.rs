@@ -85,7 +85,10 @@ impl LbService {
     pub fn weights(&self) -> Vec<(TpuId, TpuUnits)> {
         self.targets
             .iter()
-            .map(|t| (t.tpu, TpuUnits::from_micro(t.weight as u64)))
+            .map(|t| {
+                let micro = u64::try_from(t.weight).expect("lbs weights are non-negative");
+                (t.tpu, TpuUnits::from_micro(micro))
+            })
             .collect()
     }
 

@@ -258,7 +258,7 @@ impl CapacityIndex {
     }
 
     fn set_leaf(&mut self, id: u32, value: u64) {
-        let mut node = self.leaves + id as usize;
+        let mut node = self.leaves + usize::try_from(id).expect("u32 tpu id fits usize");
         self.tree[node] = value;
         while node > 1 {
             node /= 2;
@@ -299,7 +299,13 @@ impl CapacityIndex {
     /// First available TPU with id ≥ `start` and free ≥ `min` (`min` ≥ 1),
     /// in O(log M).
     fn first_with_free(&self, start: u32, min: u64) -> Option<u32> {
-        self.descend(1, 0, self.leaves, start as usize, min)
+        self.descend(
+            1,
+            0,
+            self.leaves,
+            usize::try_from(start).expect("u32 tpu id fits usize"),
+            min,
+        )
     }
 
     fn descend(&self, node: usize, lo: usize, hi: usize, start: usize, min: u64) -> Option<u32> {
@@ -307,7 +313,7 @@ impl CapacityIndex {
             return None;
         }
         if hi - lo == 1 {
-            return Some(lo as u32);
+            return Some(u32::try_from(lo).expect("leaf index fits u32"));
         }
         let mid = (lo + hi) / 2;
         self.descend(2 * node, lo, mid, start, min)
@@ -384,7 +390,7 @@ impl TpuPool {
         let accounts: Vec<TpuAccount> = cluster
             .trpis()
             .enumerate()
-            .map(|(i, node)| TpuAccount::new(TpuId(i as u32), node.id()))
+            .map(|(i, node)| TpuAccount::new(TpuId::from_index(i), node.id()))
             .collect();
         let index = CapacityIndex::build(&accounts);
         TpuPool {
@@ -427,14 +433,14 @@ impl TpuPool {
     #[must_use]
     pub fn account(&self, tpu: TpuId) -> &TpuAccount {
         self.accounts
-            .get(tpu.0 as usize)
+            .get(tpu.index())
             .filter(|a| a.id == tpu)
             .unwrap_or_else(|| panic!("unknown TPU {tpu}"))
     }
 
     fn account_mut(&mut self, tpu: TpuId) -> &mut TpuAccount {
         self.accounts
-            .get_mut(tpu.0 as usize)
+            .get_mut(tpu.index())
             .filter(|a| a.id == tpu)
             .unwrap_or_else(|| panic!("unknown TPU {tpu}"))
     }
@@ -666,7 +672,7 @@ mod tests {
         let p = pool(3);
         assert_eq!(p.len(), 3);
         for (i, account) in p.accounts().iter().enumerate() {
-            assert_eq!(account.id(), TpuId(i as u32));
+            assert_eq!(account.id(), TpuId::from_index(i));
             assert!(account.is_available());
             assert_eq!(account.load(), TpuUnits::ZERO);
         }

@@ -111,6 +111,20 @@ impl fmt::Display for StreamId {
 pub const SHARD_ID_SHIFT: u32 = 40;
 
 impl StreamId {
+    /// This id as its dense slab index (streams are allocated contiguously
+    /// per world). Checked: a stream id past `usize::MAX` would mean the
+    /// slab itself could never have held the stream.
+    #[must_use]
+    pub fn index(self) -> usize {
+        usize::try_from(self.0).expect("stream id fits the slab index space")
+    }
+
+    /// The id of the stream at dense slab index `i`.
+    #[must_use]
+    pub fn from_index(i: usize) -> StreamId {
+        StreamId(u64::try_from(i).expect("slab index fits the u64 id space"))
+    }
+
     /// Packs this shard-local id into the sharded replay's global id space.
     ///
     /// # Panics
@@ -1135,19 +1149,19 @@ impl World {
 
     #[inline]
     fn stream(&self, id: StreamId) -> Option<&StreamRuntime> {
-        self.streams.get(id.0 as usize)
+        self.streams.get(id.index())
     }
 
     #[inline]
     fn stream_mut(&mut self, id: StreamId) -> Option<&mut StreamRuntime> {
-        self.streams.get_mut(id.0 as usize)
+        self.streams.get_mut(id.index())
     }
 
     /// Moves a stream to `phase`, keeping the active counter and the
     /// served series in sync. Returns `true` when the liveness flag
     /// changed.
     fn transition(&mut self, id: StreamId, phase: StreamPhase, now: SimTime) -> bool {
-        let Some(stream) = self.streams.get_mut(id.0 as usize) else {
+        let Some(stream) = self.streams.get_mut(id.index()) else {
             return false;
         };
         let was = stream.active;
@@ -1245,7 +1259,7 @@ impl World {
             }
         }
         let id = StreamId(self.next_stream);
-        debug_assert_eq!(id.0 as usize, self.streams.len(), "slab ids are dense");
+        debug_assert_eq!(id.index(), self.streams.len(), "slab ids are dense");
         self.next_stream += 1;
         let now = self.queue.now();
         let start_offset = spec.start_offset;
@@ -1311,7 +1325,7 @@ impl World {
                 chaos.parked.retain(|p| p.stream != id);
                 chaos
                     .trackers
-                    .entry(self.streams[id.0 as usize].root)
+                    .entry(self.streams[id.index()].root)
                     .or_default()
                     .outage_ends(now);
             }
@@ -1343,7 +1357,7 @@ impl World {
         self.transition(id, StreamPhase::Lost, now);
         self.orch.delete_pod(pod)?;
         if let Some(chaos) = self.chaos.as_mut() {
-            let root = self.streams[id.0 as usize].root;
+            let root = self.streams[id.index()].root;
             chaos.trackers.entry(root).or_default().outage_begins(now);
         }
         Ok(())
@@ -1360,13 +1374,13 @@ impl World {
     /// and the service stops accepting traffic. Control-plane state is
     /// untouched.
     fn kill_tpu_data_plane(&mut self, now: SimTime, tpu: TpuId) {
-        let svc = &mut self.services[tpu.0 as usize];
+        let svc = &mut self.services[tpu.index()];
         svc.alive = false;
         self.frames_dropped += svc.queue.len() as u64;
         svc.queue.clear();
         if svc.current.take().is_some() {
             self.frames_dropped += 1;
-            self.fleet.tracker_mut(tpu.0 as usize).end_busy(now);
+            self.fleet.tracker_mut(tpu.index()).end_busy(now);
         }
     }
 
@@ -1471,7 +1485,7 @@ impl World {
         chaos.swap_seq += 1;
         let seq = chaos.swap_seq;
         let breakdown = RecoveryBreakdown::new(SimDuration::ZERO, SimDuration::ZERO, cost);
-        if let Some(stream) = self.streams.get_mut(sid.0 as usize) {
+        if let Some(stream) = self.streams.get_mut(sid.index()) {
             stream.pending_swap = Some(seq);
         }
         self.queue.schedule_at(
@@ -1498,7 +1512,7 @@ impl World {
     ///
     /// Returns the streams that lost TPU service.
     pub fn fail_tpu(&mut self, tpu: TpuId) -> Vec<StreamId> {
-        let Some(svc) = self.services.get(tpu.0 as usize) else {
+        let Some(svc) = self.services.get(tpu.index()) else {
             return Vec::new();
         };
         if !svc.alive {
@@ -1649,7 +1663,7 @@ impl World {
             .cluster()
             .nodes()
             .iter()
-            .map(|n| n.id().0 as usize + 1)
+            .map(|n| n.id().index() + 1)
             .max()
             .unwrap_or(0);
         self.chaos = Some(Box::new(ChaosState {
@@ -1718,7 +1732,7 @@ impl World {
             }
             if let Some(allocs) = self.sched.assignment(s.pod) {
                 if allocs.iter().any(|a| a.tpu() == tpu) {
-                    out.push(StreamId(i as u64));
+                    out.push(StreamId::from_index(i));
                 }
             }
         }
@@ -1745,7 +1759,7 @@ impl World {
     /// their rate-appropriate serving phase.
     fn resync_interrupted(&mut self, now: SimTime) {
         for i in 0..self.streams.len() {
-            let id = StreamId(i as u64);
+            let id = StreamId::from_index(i);
             let (pod, den) = {
                 let s = &self.streams[i];
                 if s.phase != StreamPhase::Interrupted || s.pending_swap.is_some() {
@@ -1782,7 +1796,7 @@ impl World {
         if let Some(chaos) = self.chaos.as_ref() {
             if chaos
                 .nodes
-                .get(node.0 as usize)
+                .get(node.index())
                 .is_some_and(|n| n.down_since.is_some())
             {
                 return false;
@@ -1791,9 +1805,7 @@ impl World {
         let Some(allocs) = self.sched.assignment(pod) else {
             return false;
         };
-        allocs
-            .iter()
-            .all(|a| self.services[a.tpu().0 as usize].alive)
+        allocs.iter().all(|a| self.services[a.tpu().index()].alive)
     }
 
     fn on_fault(&mut self, now: SimTime, kind: FaultKind) {
@@ -1814,7 +1826,7 @@ impl World {
             let Some(chaos) = self.chaos.as_mut() else {
                 return;
             };
-            let Some(state) = chaos.tpus.get_mut(tpu.0 as usize) else {
+            let Some(state) = chaos.tpus.get_mut(tpu.index()) else {
                 return;
             };
             if state.down_since.is_some() {
@@ -1845,7 +1857,7 @@ impl World {
             let Some(chaos) = self.chaos.as_mut() else {
                 return;
             };
-            let Some(state) = chaos.tpus.get_mut(tpu.0 as usize) else {
+            let Some(state) = chaos.tpus.get_mut(tpu.index()) else {
                 return;
             };
             if state.down_since.is_none() {
@@ -1870,7 +1882,7 @@ impl World {
         }
         // Either way the data plane serves again (an undetected blip left
         // all placements intact).
-        self.services[tpu.0 as usize].alive = true;
+        self.services[tpu.index()].alive = true;
         self.resync_interrupted(now);
         self.nudge_reconciler(now);
     }
@@ -1880,7 +1892,7 @@ impl World {
             let Some(chaos) = self.chaos.as_mut() else {
                 return;
             };
-            let Some(state) = chaos.nodes.get_mut(node.0 as usize) else {
+            let Some(state) = chaos.nodes.get_mut(node.index()) else {
                 return;
             };
             if state.down_since.is_some() {
@@ -1902,7 +1914,7 @@ impl World {
             if self.orch.node_of(pod) == Some(node)
                 && self
                     .streams
-                    .get(sid.0 as usize)
+                    .get(sid.index())
                     .is_some_and(|s| s.phase.is_live())
             {
                 victims.push(sid);
@@ -1922,7 +1934,7 @@ impl World {
             let Some(chaos) = self.chaos.as_mut() else {
                 return;
             };
-            let Some(state) = chaos.nodes.get_mut(node.0 as usize) else {
+            let Some(state) = chaos.nodes.get_mut(node.index()) else {
                 return;
             };
             if state.down_since.is_none() {
@@ -1939,7 +1951,7 @@ impl World {
         if let Some(tpu) = self.tpu_on_node(node) {
             let tpu_class_down = self.chaos.as_ref().is_some_and(|c| {
                 c.tpus
-                    .get(tpu.0 as usize)
+                    .get(tpu.index())
                     .is_some_and(|t| t.down_since.is_some())
             });
             if !tpu_class_down {
@@ -1947,7 +1959,7 @@ impl World {
                     self.sched.restore_tpu(tpu);
                     self.sync_device(tpu);
                 }
-                self.services[tpu.0 as usize].alive = true;
+                self.services[tpu.index()].alive = true;
             }
         }
         self.resync_interrupted(now);
@@ -1963,7 +1975,7 @@ impl World {
             FaultKind::TpuFail(tpu) => {
                 let fault_at = {
                     let chaos = self.chaos.as_mut().expect("checked above");
-                    let Some(state) = chaos.tpus.get_mut(tpu.0 as usize) else {
+                    let Some(state) = chaos.tpus.get_mut(tpu.index()) else {
                         return;
                     };
                     let Some(down_since) = state.down_since else {
@@ -1980,7 +1992,7 @@ impl World {
             FaultKind::NodeFail(node) | FaultKind::LinkFail(node) => {
                 let fault_at = {
                     let chaos = self.chaos.as_mut().expect("checked above");
-                    let Some(state) = chaos.nodes.get_mut(node.0 as usize) else {
+                    let Some(state) = chaos.nodes.get_mut(node.index()) else {
                         return;
                     };
                     let Some(down_since) = state.down_since else {
@@ -2042,7 +2054,7 @@ impl World {
             .filter_map(|p| self.pods_to_streams.get(p).copied())
             .filter(|sid| {
                 self.streams
-                    .get(sid.0 as usize)
+                    .get(sid.index())
                     .is_some_and(|s| s.phase.is_live() || s.phase == StreamPhase::Parked)
             })
             .collect();
@@ -2079,7 +2091,7 @@ impl World {
             return;
         }
         self.transition(sid, StreamPhase::Parked, now);
-        if let Some(s) = self.streams.get_mut(sid.0 as usize) {
+        if let Some(s) = self.streams.get_mut(sid.index()) {
             // Parking supersedes any in-flight swap: its placement is gone.
             s.pending_swap = None;
         }
@@ -2113,14 +2125,15 @@ impl World {
         };
         chaos.swap_seq += 1;
         let seq = chaos.swap_seq;
-        let rpc = chaos.config.resched_rpc * (1 + stages as u64);
+        let rpc =
+            chaos.config.resched_rpc * (1 + u64::try_from(stages).expect("stage count fits u64"));
         let swap = TpuSpec::coral_usb().swap_time(swap_bytes);
         let breakdown = RecoveryBreakdown::new(
             detected_at.saturating_since(fault_at),
             now.saturating_since(detected_at) + rpc,
             swap,
         );
-        if let Some(stream) = self.streams.get_mut(sid.0 as usize) {
+        if let Some(stream) = self.streams.get_mut(sid.index()) {
             stream.pending_swap = Some(seq);
         }
         self.queue.schedule_at(
@@ -2143,7 +2156,7 @@ impl World {
         restarted: bool,
     ) {
         let (den, root, pod) = {
-            let Some(s) = self.streams.get_mut(sid.0 as usize) else {
+            let Some(s) = self.streams.get_mut(sid.index()) else {
                 return;
             };
             if s.pending_swap != Some(seq) {
@@ -2180,7 +2193,7 @@ impl World {
             chaos.recorder.record(&breakdown);
         }
         let arm = {
-            let s = &mut self.streams[sid.0 as usize];
+            let s = &mut self.streams[sid.index()];
             if s.emission_alive {
                 false
             } else {
@@ -2342,9 +2355,9 @@ impl World {
         }
         let swap_bytes = per_tpu.values().copied().max().unwrap_or(0);
         let stages = deployment.stages().len();
-        let old_pod = self.streams[sid.0 as usize].pod;
+        let old_pod = self.streams[sid.index()].pod;
         {
-            let s = &mut self.streams[sid.0 as usize];
+            let s = &mut self.streams[sid.index()];
             s.pod = pod;
             s.den = den;
             for (stage, grant) in s.stages.iter_mut().zip(deployment.stages()) {
@@ -2379,7 +2392,7 @@ impl World {
             if s.den >= max_den || s.pending_swap.is_some() {
                 continue;
             }
-            let key = (s.den, StreamId(i as u64));
+            let key = (s.den, StreamId::from_index(i));
             if candidate.is_none_or(|c| key < c) {
                 candidate = Some(key);
             }
@@ -2387,7 +2400,7 @@ impl World {
         let Some((den, sid)) = candidate else {
             return false;
         };
-        let pod = self.streams[sid.0 as usize].pod;
+        let pod = self.streams[sid.index()].pod;
         let new_den = den * 2;
         match self.sched.rescale(pod, new_den) {
             Ok(plans) => {
@@ -2408,7 +2421,7 @@ impl World {
                 if s.phase != StreamPhase::Degraded || s.den <= 1 || s.pending_swap.is_some() {
                     continue;
                 }
-                let id = StreamId(i as u64);
+                let id = StreamId::from_index(i);
                 let better = match candidate {
                     None => true,
                     Some((cd, cid)) => s.den > cd || (s.den == cd && id < cid),
@@ -2420,7 +2433,7 @@ impl World {
             let Some((den, sid)) = candidate else {
                 return;
             };
-            let pod = self.streams[sid.0 as usize].pod;
+            let pod = self.streams[sid.index()].pod;
             match self.sched.rescale(pod, den / 2) {
                 Ok(plans) => {
                     self.apply_plans(sid, &plans);
@@ -2435,7 +2448,7 @@ impl World {
     /// degrade-interval bookkeeping consistent.
     fn set_denominator(&mut self, now: SimTime, sid: StreamId, new_den: u32) {
         let (root, old_den, serving) = {
-            let s = &mut self.streams[sid.0 as usize];
+            let s = &mut self.streams[sid.index()];
             let old = s.den;
             s.den = new_den;
             (
@@ -2477,7 +2490,7 @@ impl World {
     fn node_down(&self, node: NodeId) -> bool {
         self.chaos.as_ref().is_some_and(|c| {
             c.nodes
-                .get(node.0 as usize)
+                .get(node.index())
                 .is_some_and(|n| n.down_since.is_some())
         })
     }
@@ -2523,10 +2536,10 @@ impl World {
             .iter()
             .enumerate()
             .filter(|(_, s)| s.phase.is_live() || s.phase == StreamPhase::Parked)
-            .map(|(i, _)| StreamId(i as u64))
+            .map(|(i, _)| StreamId::from_index(i))
             .collect();
         for id in ids {
-            let spec = self.streams[id.0 as usize].spec.clone();
+            let spec = self.streams[id.index()].spec.clone();
             if self.remove_stream(id).is_ok() {
                 self.evacuations.push(EvacuatedStream {
                     stream: id,
@@ -2618,13 +2631,13 @@ impl World {
             .streams
             .iter()
             .enumerate()
-            .map(|(i, s)| (StreamId(i as u64), s.audit.report(&s.spec.name, end)))
+            .map(|(i, s)| (StreamId::from_index(i), s.audit.report(&s.spec.name, end)))
             .collect();
         let latencies = self
             .streams
             .iter()
             .enumerate()
-            .map(|(i, s)| (StreamId(i as u64), s.latency.clone()))
+            .map(|(i, s)| (StreamId::from_index(i), s.latency.clone()))
             .collect();
         let average_utilization = self.fleet.average_utilization(end);
         let per_device_utilization = self.fleet.per_device_utilization(end);
@@ -2633,7 +2646,7 @@ impl World {
             .streams
             .iter()
             .enumerate()
-            .map(|(i, s)| (StreamId(i as u64), s.phase))
+            .map(|(i, s)| (StreamId::from_index(i), s.phase))
             .collect();
         let mut chain_latencies: BTreeMap<StreamId, OnlineStats> = BTreeMap::new();
         for s in &self.streams {
@@ -2701,7 +2714,7 @@ impl World {
             .iter()
             .map(|m| self.sched.catalog().expect(m).clone())
             .collect();
-        let device = &mut self.services[tpu.0 as usize].device;
+        let device = &mut self.services[tpu.index()].device;
         let plan = CoCompiler::new(device.spec())
             .plan(&profiles)
             .expect("resident models are distinct");
@@ -2749,7 +2762,7 @@ impl World {
     }
 
     fn on_frame(&mut self, now: SimTime, id: StreamId) {
-        let Some(stream) = self.streams.get_mut(id.0 as usize) else {
+        let Some(stream) = self.streams.get_mut(id.index()) else {
             return;
         };
         if !stream.active {
@@ -2823,7 +2836,7 @@ impl World {
     }
 
     fn on_arrive(&mut self, now: SimTime, tpu: TpuId, mut inflight: InFlight) {
-        let svc = &mut self.services[tpu.0 as usize];
+        let svc = &mut self.services[tpu.index()];
         if !svc.alive {
             self.frames_dropped += 1;
             return;
@@ -2838,20 +2851,20 @@ impl World {
     }
 
     fn start_next(&mut self, now: SimTime, tpu: TpuId) {
-        let svc = &mut self.services[tpu.0 as usize];
+        let svc = &mut self.services[tpu.index()];
         let Some(inflight) = svc.queue.pop_front() else {
             return;
         };
-        let profile = &self.streams[inflight.stream.0 as usize].stages[inflight.stage].profile;
+        let profile = &self.streams[inflight.stream.index()].stages[inflight.stage].profile;
         let busy = svc.device.invoke(profile).busy() + self.dp.invoke_overhead;
         svc.current = Some(inflight);
-        self.fleet.tracker_mut(tpu.0 as usize).begin_busy(now);
+        self.fleet.tracker_mut(tpu.index()).begin_busy(now);
         self.queue.schedule_at(now + busy, Ev::Done(tpu));
     }
 
     fn on_done(&mut self, now: SimTime, tpu: TpuId) {
         let inflight = {
-            let svc = &mut self.services[tpu.0 as usize];
+            let svc = &mut self.services[tpu.index()];
             if !svc.alive {
                 return;
             }
@@ -2859,13 +2872,13 @@ impl World {
                 .take()
                 .expect("Done event without an executing request")
         };
-        self.fleet.tracker_mut(tpu.0 as usize).end_busy(now);
+        self.fleet.tracker_mut(tpu.index()).end_busy(now);
         let mut inflight = inflight;
         inflight.infer_acc += now.saturating_since(inflight.arrived);
         let next_stage = inflight.stage + 1;
         let stream = self
             .streams
-            .get_mut(inflight.stream.0 as usize)
+            .get_mut(inflight.stream.index())
             .expect("in-flight frames belong to known streams");
         if next_stage < stream.stages.len() {
             // Forward to the next pipeline stage. A hop to the same TPU is

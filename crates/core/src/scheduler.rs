@@ -508,7 +508,7 @@ impl ExtendedScheduler {
         for (model, allocations) in &plans {
             let profile = self.catalog.expect(model).clone();
             let newly_loaded = self.pool.commit(&profile, allocations);
-            load_rpcs += newly_loaded.len() as u32;
+            load_rpcs += u32::try_from(newly_loaded.len()).expect("loaded-model count fits u32");
             stages.push(StageGrant {
                 model: model.clone(),
                 allocations: allocations.clone(),

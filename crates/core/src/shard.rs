@@ -304,6 +304,11 @@ pub struct ShardedWorld {
     net: Option<Box<NetPlane>>,
 }
 
+/// The dense shard-table slot for a `u32` shard id.
+fn shard_index(shard: u32) -> usize {
+    usize::try_from(shard).expect("u32 shard id fits usize")
+}
+
 impl ShardedWorld {
     /// Builds one shard per cluster with the built-in catalog and shipped
     /// policy (the same defaults as [`World::new`]) and the
@@ -352,7 +357,7 @@ impl ShardedWorld {
             .map(|shard| {
                 ClusterSummary::from_pool(
                     shard.scheduler().pool().capacity_summary(),
-                    shard.active_streams() as u64,
+                    u64::try_from(shard.active_streams()).expect("stream count fits u64"),
                 )
             })
             .collect();
@@ -441,7 +446,7 @@ impl ShardedWorld {
     /// Panics if `shard` is out of range.
     #[must_use]
     pub fn shard(&self, shard: u32) -> &World {
-        &self.shards[shard as usize]
+        &self.shards[shard_index(shard)]
     }
 
     /// Mutable access to a shard for pre-run configuration (data-plane
@@ -452,7 +457,7 @@ impl ShardedWorld {
     ///
     /// Panics if `shard` is out of range.
     pub fn shard_mut(&mut self, shard: u32) -> &mut World {
-        &mut self.shards[shard as usize]
+        &mut self.shards[shard_index(shard)]
     }
 
     /// Admits a stream on `shard` at the shard's current clock (normally
@@ -471,7 +476,7 @@ impl ShardedWorld {
         shard: u32,
         spec: StreamSpec,
     ) -> Result<GlobalStreamId, DeployError> {
-        let local = self.shards[shard as usize].admit_stream(spec)?;
+        let local = self.shards[shard_index(shard)].admit_stream(spec)?;
         Ok(GlobalStreamId { shard, local })
     }
 
@@ -507,7 +512,7 @@ impl ShardedWorld {
             now = self.now
         );
         assert!(
-            (shard as usize) < self.shards.len(),
+            shard_index(shard) < self.shards.len(),
             "shard {shard} out of range"
         );
         let seq = self.next_seq;
@@ -528,8 +533,8 @@ impl ShardedWorld {
     ///
     /// Panics if `shard` is out of range.
     pub fn inject_faults(&mut self, shard: u32, schedule: &FaultSchedule) {
-        if !self.shards[shard as usize].chaos_enabled() {
-            self.shards[shard as usize].enable_chaos(ChaosConfig::default());
+        if !self.shards[shard_index(shard)].chaos_enabled() {
+            self.shards[shard_index(shard)].enable_chaos(ChaosConfig::default());
         }
         for ev in schedule.events() {
             if ev.at < self.now {
@@ -595,7 +600,7 @@ impl ShardedWorld {
             now = self.now
         );
         assert!(
-            (cluster.0 as usize) < self.shards.len(),
+            (cluster.index()) < self.shards.len(),
             "cluster {id} out of range",
             id = cluster.0
         );
@@ -720,7 +725,9 @@ impl ShardedWorld {
                     released += 1;
                     match net.as_mut() {
                         Some(n) => n.submit_control(p.at, p.seq, p.shard, p.cmd.clone()),
-                        None => self.shards[p.shard as usize].schedule_command(p.at, p.cmd.clone()),
+                        None => {
+                            self.shards[shard_index(p.shard)].schedule_command(p.at, p.cmd.clone())
+                        }
                     }
                 } else {
                     let f = fleet.as_mut().expect("fleet op implies fleet state");
@@ -784,7 +791,7 @@ impl ShardedWorld {
                     None => Some(e.at.max(barrier)),
                 };
                 if let Some(at) = delivery {
-                    self.shards[dest as usize].schedule_ingest(at, e.latency);
+                    self.shards[shard_index(dest)].schedule_ingest(at, e.latency);
                     self.exports_routed += 1;
                 }
             }
@@ -871,7 +878,7 @@ impl NetPlane {
                 match self.transport.control_attempt(p.dest, p.seq, p.attempts) {
                     Some(t) => {
                         self.transport.control_delivered(p.dest, t.reordered);
-                        shards[p.dest as usize]
+                        shards[shard_index(p.dest)]
                             .schedule_command(p.next_attempt + t.extra, p.cmd.clone());
                         resolved = true;
                         break;
@@ -939,7 +946,8 @@ impl NetPlane {
                 } else {
                     self.gray[link] = true;
                     self.report.detection.false_positives += 1;
-                    let streams = shard.active_streams() as u64;
+                    let streams =
+                        u64::try_from(shard.active_streams()).expect("stream count fits u64");
                     self.affected[link] = streams;
                     self.report.detection.suspected_streams += streams;
                     if let Some(f) = fleet.as_mut() {
@@ -1008,7 +1016,7 @@ fn release_fleet_op(
                     let cmd = WorldCommand::Admit(spec.clone());
                     match net {
                         Some(n) => n.submit_control(p.at, p.seq, dest, cmd),
-                        None => shards[dest as usize].schedule_command(p.at, cmd),
+                        None => shards[shard_index(dest)].schedule_command(p.at, cmd),
                     }
                 }
                 None => f.report.admit_rejected += 1,
@@ -1016,11 +1024,11 @@ fn release_fleet_op(
         }
         FleetOp::Kill(cluster) => {
             // A cluster death is not a message — nothing rides the network.
-            let slot = &mut f.dead[cluster.0 as usize];
+            let slot = &mut f.dead[cluster.index()];
             if !*slot {
                 *slot = true;
                 f.door.drain(*cluster);
-                shards[cluster.0 as usize].schedule_command(p.at, WorldCommand::Evacuate);
+                shards[cluster.index()].schedule_command(p.at, WorldCommand::Evacuate);
                 f.report.clusters_killed += 1;
             }
         }
@@ -1102,7 +1110,7 @@ fn exchange_fleet(
             ClusterId(id),
             ClusterSummary::from_pool(
                 shard.scheduler().pool().capacity_summary(),
-                shard.active_streams() as u64,
+                u64::try_from(shard.active_streams()).expect("stream count fits u64"),
             ),
         );
     }
@@ -1127,7 +1135,7 @@ fn exchange_fleet(
         };
         let placed = f.door.place(ev.home_region, demand).and_then(|placement| {
             let dest = placement.cluster;
-            match shards[dest.0 as usize].admit_stream(ev.spec.clone()) {
+            match shards[dest.index()].admit_stream(ev.spec.clone()) {
                 Ok(local) => Some((placement, demand, local.with_shard(dest.0))),
                 Err(_) => {
                     // The summary was optimistic (intra-barrier staleness,

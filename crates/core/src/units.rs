@@ -83,7 +83,11 @@ impl TpuUnits {
         );
         let num = service.as_nanos() as u128 * SCALE as u128;
         let den = interarrival.as_nanos() as u128;
-        TpuUnits(num.div_ceil(den) as u64)
+        let units: u64 = num
+            .div_ceil(den)
+            .try_into()
+            .expect("duty-cycle unit demand fits u64");
+        TpuUnits(units)
     }
 
     /// Raw micro-units.

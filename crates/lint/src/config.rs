@@ -17,6 +17,12 @@ pub const NO_PARTIAL_FLOAT_CMP: &str = "no-partial-float-cmp";
 pub const NO_UNSAFE: &str = "no-unsafe";
 /// See [`NO_WALL_CLOCK`].
 pub const UNWRAP_RATCHET: &str = "unwrap-ratchet";
+/// See [`NO_WALL_CLOCK`].
+pub const TAINT_ARTIFACT_PATH: &str = "taint-artifact-path";
+/// See [`NO_WALL_CLOCK`].
+pub const NO_NARROWING_AS_CAST: &str = "no-narrowing-as-cast";
+/// See [`NO_WALL_CLOCK`].
+pub const PANIC_PATH_RATCHET: &str = "panic-path-ratchet";
 /// Diagnostic id for malformed `lint:allow` directives themselves.
 pub const BAD_ALLOW: &str = "bad-allow";
 
@@ -27,6 +33,8 @@ pub const ALLOWABLE_RULES: &[&str] = &[
     NO_UNORDERED_COLLECTIONS,
     NO_PARTIAL_FLOAT_CMP,
     NO_UNSAFE,
+    TAINT_ARTIFACT_PATH,
+    NO_NARROWING_AS_CAST,
 ];
 
 /// The bench crate's measurement modules: the only places allowed to read
@@ -54,6 +62,53 @@ pub const ORDERED_COLLECTIONS_CRATES: &[&str] = &[
     "crates/cluster",
 ];
 
+/// Crates where every lossy integer `as` cast must be a checked
+/// `try_into().expect("<invariant>")` or a widening: these hold the
+/// conservation ledgers, unit types, and artifact math where a silent
+/// truncation corrupts results instead of crashing.
+pub const NARROWING_CAST_CRATES: &[&str] = &["crates/core", "crates/sim", "crates/metrics"];
+
+/// Sink *function names* for the `taint-artifact-path` analysis: calling
+/// one of these from a nondeterminism-tainted function is a finding. They
+/// are the points where a value escapes into a committed artifact, a
+/// metrics sketch, or a cross-shard/cross-cluster message.
+pub const TAINT_SINK_NAMES: &[&str] = &[
+    // artifact serializers
+    "to_json",
+    "write_csv",
+    // metrics sketches / recorders
+    "record",
+    "record_ns",
+    "record_duration",
+    "merge",
+    // cross-shard / cross-cluster message builders
+    "schedule_command",
+    "admit_global",
+    "submit_control",
+    "pump_control",
+    "place",
+];
+
+/// Sink name *prefixes* (e.g. every `render_*` artifact writer).
+pub const TAINT_SINK_PREFIXES: &[&str] = &["render_"];
+
+/// Hot entry points for the `panic-path-ratchet`: `(file suffix,
+/// qualified name)`. Panicking constructs reachable from these in the
+/// call graph are counted against the per-crate baseline.
+pub const PANIC_ENTRY_POINTS: &[(&str, &str)] = &[
+    // the deterministic replay loop ("World::step" of the paper)
+    ("crates/core/src/runtime.rs", "World::run_until"),
+    ("crates/core/src/runtime.rs", "World::run_to_completion"),
+    ("crates/core/src/runtime.rs", "World::dispatch"),
+    // sharded epoch exchange
+    (
+        "crates/core/src/shard.rs",
+        "ShardedWorld::run_to_completion",
+    ),
+    // federated placement front door
+    ("crates/core/src/fleet.rs", "FrontDoor::place"),
+];
+
 /// Directory names never scanned, at any depth. `vendor` holds offline
 /// stand-ins for external crates (not ours to lint), `target` is build
 /// output.
@@ -73,8 +128,25 @@ pub fn rule_enabled(rule: &str, rel: &str) -> bool {
         // The ratchet measures production robustness debt: integration-test
         // trees are excluded here, `#[cfg(test)]` modules by the scanner.
         UNWRAP_RATCHET => !rel.starts_with("tests/") && !rel.contains("/tests/"),
+        NO_NARROWING_AS_CAST => {
+            !rel.starts_with("tests/")
+                && !rel.contains("/tests/")
+                && NARROWING_CAST_CRATES
+                    .iter()
+                    .any(|c| rel.strip_prefix(c).is_some_and(|r| r.starts_with('/')))
+        }
+        // Taint runs per-crate over production code only; test trees never
+        // feed artifacts.
+        TAINT_ARTIFACT_PATH | PANIC_PATH_RATCHET => {
+            !rel.starts_with("tests/") && !rel.contains("/tests/")
+        }
         _ => true,
     }
+}
+
+/// True when `name` is a taint sink (exact name or configured prefix).
+pub fn is_taint_sink(name: &str) -> bool {
+    TAINT_SINK_NAMES.contains(&name) || TAINT_SINK_PREFIXES.iter().any(|p| name.starts_with(p))
 }
 
 /// The cargo package a workspace-relative path belongs to, as named in

@@ -30,10 +30,13 @@
 //! ```
 
 pub mod baseline;
+pub mod callgraph;
 pub mod config;
 pub mod engine;
+pub mod parser;
 pub mod rules;
+pub mod taint;
 pub mod tokenizer;
 
 pub use engine::{find_root, lint_workspace, lint_workspace_with_baseline, Report};
-pub use rules::{scan_file, Diagnostic, FileFindings};
+pub use rules::{analyze_file, scan_file, Diagnostic, FileAnalysis, FileFindings};

@@ -1,7 +1,8 @@
 #![forbid(unsafe_code)]
 
-//! `microedge-lint` binary: lint the workspace, or regenerate the ratchet
-//! baseline with `--update-baseline`. Exit 0 when clean, 1 on findings,
+//! `microedge-lint` binary: lint the workspace, regenerate the ratchet
+//! baselines with `--update-baseline`, or sweep the integration-test trees
+//! report-only with `--tests-report`. Exit 0 when clean, 1 on findings,
 //! 2 on usage/IO errors.
 
 use std::env;
@@ -9,15 +10,35 @@ use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use microedge_lint::rules::Diagnostic;
 use microedge_lint::{baseline, engine};
+
+/// Output format for findings.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    /// `rule-id: file:line:col message` (the LINTS.md contract).
+    Text,
+    /// GitHub Actions workflow commands (`::error file=...`), rendered by
+    /// the Actions runner as inline PR annotations.
+    Github,
+}
 
 fn main() -> ExitCode {
     let mut update_baseline = false;
+    let mut tests_report = false;
+    let mut format = Format::Text;
     let mut root_arg: Option<PathBuf> = None;
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--update-baseline" => update_baseline = true,
+            "--tests-report" => tests_report = true,
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("github") => format = Format::Github,
+                Some(other) => return usage(&format!("unknown format `{other}` (text|github)")),
+                None => return usage("--format requires a value (text|github)"),
+            },
             "--root" => match args.next() {
                 Some(p) => root_arg = Some(PathBuf::from(p)),
                 None => return usage("--root requires a path"),
@@ -42,15 +63,41 @@ fn main() -> ExitCode {
             Err(e) => return fail(&format!("scan failed: {e}")),
         };
         let path = root.join(baseline::BASELINE_FILE);
-        if let Err(e) = fs::write(&path, baseline::format(&report.ratchet)) {
+        let text = baseline::format(&report.ratchet, &report.panic_ratchet);
+        if let Err(e) = fs::write(&path, text) {
             return fail(&format!("cannot write {}: {e}", path.display()));
         }
-        let total: usize = report.ratchet.values().sum();
+        let unwraps: usize = report.ratchet.values().sum();
+        let panics: usize = report.panic_ratchet.values().sum();
         println!(
-            "microedge-lint: wrote {} ({} packages, {} total bare unwrap/empty expect)",
+            "microedge-lint: wrote {} ({} packages, {} bare unwrap/empty expect, \
+             {} hot-path panic constructs)",
             path.display(),
             report.ratchet.len(),
-            total
+            unwraps,
+            panics
+        );
+        for (name, file, line, count) in report.panic_breakdown.iter().take(10) {
+            println!("  panic-path: {count:3}  {name} ({file}:{line})");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if tests_report {
+        // Report-only sweep of tests/ trees the hard rules skip: always
+        // exits 0 so it can run in CI without gating.
+        let (diags, unwraps) = match engine::lint_test_trees(&root) {
+            Ok(r) => r,
+            Err(e) => return fail(&format!("scan failed: {e}")),
+        };
+        for d in &diags {
+            emit(d, format, true);
+        }
+        println!(
+            "microedge-lint: tests-report (informational): {} narrowing-cast site(s), \
+             {} bare unwrap/empty expect in tests/ trees",
+            diags.len(),
+            unwraps
         );
         return ExitCode::SUCCESS;
     }
@@ -60,18 +107,41 @@ fn main() -> ExitCode {
         Err(e) => return fail(&format!("scan failed: {e}")),
     };
     for d in &report.diags {
-        println!("{d}");
+        emit(d, format, false);
     }
     if report.diags.is_empty() {
-        let total: usize = report.ratchet.values().sum();
+        let unwraps: usize = report.ratchet.values().sum();
+        let panics: usize = report.panic_ratchet.values().sum();
         println!(
-            "microedge-lint: {} files clean; unwrap-ratchet at {} within baseline",
-            report.files_scanned, total
+            "microedge-lint: {} files clean; unwrap-ratchet at {} and panic-path at {} \
+             within baseline",
+            report.files_scanned, unwraps, panics
         );
         ExitCode::SUCCESS
     } else {
         eprintln!("microedge-lint: {} finding(s)", report.diags.len());
         ExitCode::FAILURE
+    }
+}
+
+/// Print one diagnostic in the selected format. GitHub workflow commands
+/// must keep the message on one line; newlines become `%0A` per the
+/// Actions escaping rules.
+fn emit(d: &Diagnostic, format: Format, warning: bool) {
+    match format {
+        Format::Text => println!("{d}"),
+        Format::Github => {
+            let level = if warning { "warning" } else { "error" };
+            let msg = d
+                .message
+                .replace('%', "%25")
+                .replace('\r', "%0D")
+                .replace('\n', "%0A");
+            println!(
+                "::{level} file={},line={},col={},title={}::{msg}",
+                d.path, d.line, d.col, d.rule
+            );
+        }
     }
 }
 
@@ -82,7 +152,12 @@ USAGE:
     cargo run -p microedge-lint [-- OPTIONS]
 
 OPTIONS:
-    --update-baseline   Recount unwrap-ratchet debt and rewrite lint-baseline.toml
+    --update-baseline   Recount ratchet debt (unwrap + panic-path) and rewrite
+                        lint-baseline.toml
+    --tests-report      Report-only sweep of tests/ trees (narrowing casts,
+                        unwrap counts); always exits 0
+    --format <fmt>      Output format: text (default) or github (Actions
+                        inline annotations)
     --root <path>       Workspace root (default: walk up from the current dir)
     -h, --help          Show this help
 ";

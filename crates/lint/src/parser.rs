@@ -1,0 +1,589 @@
+//! A zero-dependency recursive-descent *item* parser over the token stream.
+//!
+//! The v1 lint passes were pure token-sequence matchers; the v2 analyses
+//! (`taint-artifact-path`, `panic-path-ratchet`) need to know **which
+//! function** a token belongs to, whether that function sits inside a
+//! `#[cfg(test)]` item, and what type an `impl` block targets. This module
+//! builds exactly that — an item tree of modules / `impl` blocks / functions
+//! with token-range bodies and source spans — and nothing more. It is *not*
+//! an expression parser: function bodies stay opaque token runs that the
+//! rule passes scan linearly.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Never panic, on any byte sequence.** The parser runs inside the CI
+//!    gate over arbitrary (possibly half-edited) source, and the fuzz test
+//!    (`tests/parser_fuzz.rs`) mutates the fixture corpus at the byte level.
+//!    Every token access goes through `get`, every loop strictly advances.
+//! 2. **Spans stay inside the file.** Diagnostics anchor to token positions,
+//!    so every span is copied from a real token.
+//! 3. **Approximate is fine, silent scope loss is not.** Unrecognized
+//!    constructs are skipped one token at a time; they can hide a function
+//!    from the call graph (approximation) but never abort the file.
+
+use crate::tokenizer::Token;
+
+/// A source region, 1-based inclusive, copied from real token positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Line of the first token of the item (attributes included).
+    pub line: u32,
+    /// Column of the first token.
+    pub col: u32,
+    /// Line of the last token (the closing brace or `;`).
+    pub end_line: u32,
+}
+
+/// One parsed function (free function, method, trait default method).
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// The bare function name (`place`, `run_until`, ...).
+    pub name: String,
+    /// `Type::name` when the function sits inside an `impl Type` /
+    /// `impl Trait for Type` / `trait Type` block.
+    pub qual: Option<String>,
+    /// Span from the first attribute to the body's closing brace.
+    pub span: Span,
+    /// Significant-token index range `(open, close)` of the `{ ... }` body,
+    /// braces included. `None` for bodiless trait-method declarations.
+    pub body: Option<(usize, usize)>,
+    /// True when the function is (transitively) inside a `#[cfg(test)]`
+    /// item or carries `#[test]` itself: excluded from production analyses.
+    pub is_test: bool,
+}
+
+/// The per-file item tree: every function, plus a token-level test mask.
+#[derive(Debug, Default)]
+pub struct ItemTree {
+    /// All functions in lexical order.
+    pub fns: Vec<FnNode>,
+    /// `test_mask[i]` is true when significant token `i` belongs to a
+    /// `#[cfg(test)]`-gated (or `#[test]`-attributed) item. This replaces
+    /// the v1 attribute+brace scan with structural masking: the mask covers
+    /// exactly the item the attribute is attached to, nested items included.
+    pub test_mask: Vec<bool>,
+}
+
+/// Parse the significant (comment-free) token stream of one file.
+pub fn parse(sig: &[&Token]) -> ItemTree {
+    let mut p = Parser {
+        sig,
+        fns: Vec::new(),
+        mask: vec![false; sig.len()],
+    };
+    p.items(0, sig.len(), false, None);
+    ItemTree {
+        fns: p.fns,
+        test_mask: p.mask,
+    }
+}
+
+/// Keywords that can open a block expression; never call targets, and the
+/// extractor must not mistake `while (..)` for a call either.
+pub const EXPR_KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "in", "let",
+    "move", "ref", "mut", "as", "where", "dyn", "impl", "fn", "self", "Self", "super", "crate",
+    "await", "async", "unsafe", "box", "yield", "true", "false",
+];
+
+struct Parser<'a> {
+    sig: &'a [&'a Token],
+    fns: Vec<FnNode>,
+    mask: Vec<bool>,
+}
+
+impl<'a> Parser<'a> {
+    fn tok(&self, i: usize) -> Option<&'a Token> {
+        self.sig.get(i).copied()
+    }
+
+    fn is_ident(&self, i: usize, s: &str) -> bool {
+        self.tok(i).is_some_and(|t| t.is_ident(s))
+    }
+
+    fn is_punct(&self, i: usize, c: char) -> bool {
+        self.tok(i).is_some_and(|t| t.is_punct(c))
+    }
+
+    fn mark(&mut self, from: usize, to: usize) {
+        let to = to.min(self.mask.len());
+        for m in &mut self.mask[from.min(to)..to] {
+            *m = true;
+        }
+    }
+
+    /// Parse items in `[i, end)`; `in_test` marks an enclosing test item,
+    /// `owner` the enclosing `impl`/`trait` type for method qualification.
+    fn items(&mut self, mut i: usize, end: usize, in_test: bool, owner: Option<&str>) {
+        while i < end {
+            let item_start = i;
+
+            // Leading attributes. Inner attributes (`#![...]`) attach to the
+            // enclosing scope and never gate an item.
+            let mut attr_test = false;
+            while self.is_punct(i, '#') && i < end {
+                let inner = self.is_punct(i + 1, '!');
+                let open = if inner { i + 2 } else { i + 1 };
+                if !self.is_punct(open, '[') {
+                    break;
+                }
+                let close = self.skip_balanced(open, '[', ']').min(end);
+                if !inner && self.attr_is_test(open, close) {
+                    attr_test = true;
+                }
+                i = close.max(i + 1);
+            }
+            if i >= end {
+                if in_test || attr_test {
+                    self.mark(item_start, end);
+                }
+                break;
+            }
+            let item_test = in_test || attr_test;
+
+            // Visibility and modifiers that may precede an item keyword.
+            let mut k = i;
+            loop {
+                if self.is_ident(k, "pub") {
+                    k += 1;
+                    if self.is_punct(k, '(') {
+                        k = self.skip_balanced(k, '(', ')');
+                    }
+                } else if self.is_ident(k, "default")
+                    || self.is_ident(k, "unsafe")
+                    || self.is_ident(k, "async")
+                {
+                    k += 1;
+                } else if self.is_ident(k, "const") && self.is_ident(k + 1, "fn") {
+                    k += 1; // `const fn` — fall through to the fn arm
+                } else if self.is_ident(k, "extern") {
+                    k += 1;
+                    if self
+                        .tok(k)
+                        .is_some_and(|t| t.kind == crate::tokenizer::TokKind::Str)
+                    {
+                        k += 1;
+                    }
+                    // `extern crate x;` is handled by the statement fallback.
+                } else {
+                    break;
+                }
+                if k >= end {
+                    break;
+                }
+            }
+
+            let next = if self.is_ident(k, "fn") {
+                self.parse_fn(item_start, k, end, item_test, owner)
+            } else if self.is_ident(k, "mod") && !self.is_punct(k + 1, '!') {
+                self.parse_braced_scope(k, end, item_test, owner, ScopeKind::Module)
+            } else if self.is_ident(k, "impl") {
+                self.parse_braced_scope(k, end, item_test, owner, ScopeKind::Impl)
+            } else if self.is_ident(k, "trait") {
+                self.parse_braced_scope(k, end, item_test, owner, ScopeKind::Trait)
+            } else if self.is_ident(k, "macro_rules") {
+                // `macro_rules! name { ... }` — the body is token soup.
+                let mut j = k + 1;
+                while j < end && !self.is_punct(j, '{') {
+                    j += 1;
+                }
+                self.skip_balanced(j, '{', '}')
+            } else if self.is_ident(k, "struct")
+                || self.is_ident(k, "enum")
+                || self.is_ident(k, "union")
+            {
+                self.skip_item_with_optional_body(k, end)
+            } else {
+                // `use`, `static`, `const` items, `type`, stray tokens:
+                // consume up to `;` at depth 0, skipping balanced groups.
+                self.skip_statement(k, end)
+            };
+            let next = next.clamp(i + 1, end.max(i + 1));
+            if item_test {
+                self.mark(item_start, next);
+            }
+            i = next;
+        }
+    }
+
+    /// `fn` at `kw`: register the node and return the index past it. The
+    /// body stays an opaque token run (nested `fn` declarations inside a
+    /// body are an accepted approximation: their tokens belong to the
+    /// enclosing function).
+    fn parse_fn(
+        &mut self,
+        item_start: usize,
+        kw: usize,
+        end: usize,
+        is_test: bool,
+        owner: Option<&str>,
+    ) -> usize {
+        let Some(name_tok) = self.tok(kw + 1) else {
+            return kw + 2;
+        };
+        let name = name_tok
+            .text
+            .strip_prefix("r#")
+            .unwrap_or(&name_tok.text)
+            .to_string();
+
+        // Find the body `{` (or a bodiless `;`) at group depth 0. Generic
+        // parameters and where clauses may contain `<`/`>`; those never
+        // contain stray `{` in this codebase, so plain paren/bracket
+        // tracking is enough and far more robust than angle matching.
+        let mut j = kw + 2;
+        let mut body = None;
+        while j < end {
+            if self.is_punct(j, '(') {
+                j = self.skip_balanced(j, '(', ')');
+            } else if self.is_punct(j, '[') {
+                j = self.skip_balanced(j, '[', ']');
+            } else if self.is_punct(j, ';') {
+                j += 1;
+                break;
+            } else if self.is_punct(j, '{') {
+                let close_past = self.skip_balanced(j, '{', '}');
+                body = Some((j, close_past.saturating_sub(1).max(j)));
+                j = close_past;
+                break;
+            } else {
+                j += 1;
+            }
+        }
+
+        let (start_line, start_col) = self.tok(item_start).map_or((1, 1), |t| (t.line, t.col));
+        let end_line = self
+            .tok(j.saturating_sub(1).min(self.sig.len().saturating_sub(1)))
+            .map_or(start_line, |t| t.line);
+        let qual = owner.map(|o| format!("{o}::{name}"));
+        self.fns.push(FnNode {
+            name,
+            qual,
+            span: Span {
+                line: start_line,
+                col: start_col,
+                end_line,
+            },
+            body,
+            is_test,
+        });
+        j.max(kw + 2)
+    }
+
+    /// `mod name { .. }` / `impl .. { .. }` / `trait Name { .. }`: work out
+    /// the owner name, recurse into the body, return the index past it.
+    fn parse_braced_scope(
+        &mut self,
+        kw: usize,
+        end: usize,
+        is_test: bool,
+        outer_owner: Option<&str>,
+        kind: ScopeKind,
+    ) -> usize {
+        let Some(open) = self.find_body_open(kw + 1, end) else {
+            // `mod name;` or an unparseable header: consume to `;`/end.
+            return self.skip_statement(kw, end);
+        };
+        if self.is_punct(open, ';') {
+            return open + 1;
+        }
+        let owner: Option<String> = match kind {
+            ScopeKind::Module => outer_owner.map(str::to_string),
+            ScopeKind::Trait => self
+                .tok(kw + 1)
+                .filter(|t| t.kind == crate::tokenizer::TokKind::Ident)
+                .map(|t| t.text.clone()),
+            ScopeKind::Impl => self.impl_self_type(kw + 1, open),
+        };
+        let close_past = self.skip_balanced(open, '{', '}');
+        self.items(
+            open + 1,
+            close_past.saturating_sub(1),
+            is_test,
+            owner.as_deref(),
+        );
+        close_past
+    }
+
+    /// Scan `[from, end)` for the scope body `{` at group depth 0; also
+    /// stops at `;` (bodiless form). Returns the index of the `{` or `;`.
+    fn find_body_open(&self, from: usize, end: usize) -> Option<usize> {
+        let mut j = from;
+        while j < end {
+            if self.is_punct(j, '(') {
+                j = self.skip_balanced(j, '(', ')');
+            } else if self.is_punct(j, '[') {
+                j = self.skip_balanced(j, '[', ']');
+            } else if self.is_punct(j, '{') || self.is_punct(j, ';') {
+                return Some(j);
+            } else {
+                j += 1;
+            }
+        }
+        None
+    }
+
+    /// The self-type name of an `impl` header in `[from, open)`:
+    /// `impl Foo<T>` → `Foo`; `impl fmt::Display for Diagnostic` →
+    /// `Diagnostic`; `impl Trait for Vec<T>` → `Vec`. Heuristic: within the
+    /// segment after the last top-level `for` (or the whole header), the
+    /// identifier immediately preceding the first `<`, else the last
+    /// identifier. A `where` clause terminates the scan.
+    fn impl_self_type(&self, from: usize, open: usize) -> Option<String> {
+        // Skip leading generic parameters `impl<T, ...>`.
+        let mut j = from;
+        if self.is_punct(j, '<') {
+            j = self.skip_angles(j, open);
+        }
+        let mut segment_start = j;
+        let mut k = j;
+        while k < open {
+            if self.is_ident(k, "for") {
+                segment_start = k + 1;
+            } else if self.is_ident(k, "where") {
+                break;
+            }
+            k += 1;
+        }
+        let seg_end = k;
+        let mut last_ident: Option<&Token> = None;
+        let mut m = segment_start;
+        while m < seg_end {
+            let Some(t) = self.tok(m) else { break };
+            if t.is_punct('<') {
+                return last_ident.map(|t| t.text.clone());
+            }
+            if t.kind == crate::tokenizer::TokKind::Ident
+                && !EXPR_KEYWORDS.contains(&t.text.as_str())
+            {
+                last_ident = Some(t);
+            }
+            m += 1;
+        }
+        last_ident.map(|t| t.text.clone())
+    }
+
+    /// Skip a `<...>` generic group starting at `open` (which holds `<`),
+    /// guarding against `->` being misread as a closing angle. Returns the
+    /// index past the matching `>`, clamped to `end`.
+    fn skip_angles(&self, open: usize, end: usize) -> usize {
+        let mut depth = 0i32;
+        let mut j = open;
+        while j < end {
+            if self.is_punct(j, '<') {
+                depth += 1;
+            } else if self.is_punct(j, '>') && !(j > 0 && self.is_punct(j - 1, '-')) {
+                depth -= 1;
+                if depth <= 0 {
+                    return j + 1;
+                }
+            }
+            j += 1;
+        }
+        end
+    }
+
+    /// `struct`/`enum`/`union`: skip the header plus either a `{..}` body,
+    /// a tuple-struct `(..);`, or a unit `;`.
+    fn skip_item_with_optional_body(&self, kw: usize, end: usize) -> usize {
+        let mut j = kw + 1;
+        while j < end {
+            if self.is_punct(j, '(') {
+                j = self.skip_balanced(j, '(', ')');
+            } else if self.is_punct(j, '{') {
+                return self.skip_balanced(j, '{', '}');
+            } else if self.is_punct(j, ';') {
+                return j + 1;
+            } else {
+                j += 1;
+            }
+        }
+        end
+    }
+
+    /// Consume up to and including the next `;` at group depth 0, skipping
+    /// balanced `{}`/`()`/`[]` groups (`use a::{b, c};`, `const X: [u8; 2] =
+    /// [0, 1];`). Never consumes a `}` that would close the enclosing scope.
+    fn skip_statement(&self, from: usize, end: usize) -> usize {
+        let mut j = from;
+        while j < end {
+            if self.is_punct(j, '{') {
+                j = self.skip_balanced(j, '{', '}');
+            } else if self.is_punct(j, '(') {
+                j = self.skip_balanced(j, '(', ')');
+            } else if self.is_punct(j, '[') {
+                j = self.skip_balanced(j, '[', ']');
+            } else if self.is_punct(j, ';') {
+                return j + 1;
+            } else if self.is_punct(j, '}') {
+                return j; // end of enclosing scope; don't swallow it
+            } else {
+                j += 1;
+            }
+        }
+        end
+    }
+
+    /// Index just past the closer matching the opener at `open`. If `open`
+    /// does not actually hold the opener, returns `open + 1` (progress is
+    /// guaranteed for every caller).
+    fn skip_balanced(&self, open: usize, o: char, c: char) -> usize {
+        if !self.is_punct(open, o) {
+            return open + 1;
+        }
+        let mut depth = 0i32;
+        let mut k = open;
+        while k < self.sig.len() {
+            if self.is_punct(k, o) {
+                depth += 1;
+            } else if self.is_punct(k, c) {
+                depth -= 1;
+                if depth == 0 {
+                    return k + 1;
+                }
+            }
+            k += 1;
+        }
+        self.sig.len()
+    }
+
+    /// True when the attribute tokens in `(open, close)` (exclusive of the
+    /// brackets) gate a test item: `#[test]`, `#[cfg(test)]`, or any
+    /// `cfg(...)` whose predicate mentions `test` (`cfg(all(test, ..))`).
+    fn attr_is_test(&self, open: usize, close_past: usize) -> bool {
+        let body_start = open + 1;
+        let body_end = close_past.saturating_sub(1);
+        let Some(head) = self.tok(body_start) else {
+            return false;
+        };
+        if head.is_ident("test") {
+            return true;
+        }
+        if head.is_ident("cfg") {
+            let mut m = body_start + 1;
+            while m < body_end {
+                if self.is_ident(m, "test") {
+                    return true;
+                }
+                m += 1;
+            }
+        }
+        false
+    }
+}
+
+#[derive(Clone, Copy)]
+enum ScopeKind {
+    Module,
+    Impl,
+    Trait,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::{tokenize, TokKind};
+
+    fn tree(src: &str) -> (Vec<crate::tokenizer::Token>, ItemTree) {
+        let toks = tokenize(src);
+        let sig: Vec<&Token> = toks.iter().filter(|t| t.kind != TokKind::Comment).collect();
+        let t = parse(&sig);
+        (toks.clone(), t)
+    }
+
+    #[test]
+    fn finds_free_fns_methods_and_trait_impls() {
+        let src = r#"
+            fn free() { helper(); }
+            impl Foo {
+                pub fn method(&self) -> u8 { 0 }
+            }
+            impl fmt::Display for Diagnostic {
+                fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { Ok(()) }
+            }
+            impl<T: Clone> Wrapper<T> {
+                fn get(&self) -> T { self.0.clone() }
+            }
+            trait Planner {
+                fn plan(&self) -> u8 { 1 }
+                fn required(&self);
+            }
+        "#;
+        let (_, t) = tree(src);
+        let quals: Vec<(String, Option<String>)> = t
+            .fns
+            .iter()
+            .map(|f| (f.name.clone(), f.qual.clone()))
+            .collect();
+        assert_eq!(
+            quals,
+            vec![
+                ("free".into(), None),
+                ("method".into(), Some("Foo::method".into())),
+                ("fmt".into(), Some("Diagnostic::fmt".into())),
+                ("get".into(), Some("Wrapper::get".into())),
+                ("plan".into(), Some("Planner::plan".into())),
+                ("required".into(), Some("Planner::required".into())),
+            ]
+        );
+        assert!(t.fns[5].body.is_none(), "bodiless trait method");
+        assert!(t.fns[..5].iter().all(|f| f.body.is_some()));
+    }
+
+    #[test]
+    fn cfg_test_masking_is_structural() {
+        let src = r#"
+            fn prod() { x.unwrap(); }
+            #[cfg(test)]
+            mod tests {
+                fn helper() { y.unwrap(); }
+                #[test]
+                fn case() { z.unwrap(); }
+            }
+            fn prod_after() { w.unwrap(); }
+            #[cfg(all(test, feature = "x"))]
+            fn gated() {}
+            #[test]
+            fn bare_test_attr() {}
+        "#;
+        let (_, t) = tree(src);
+        let by_name = |n: &str| t.fns.iter().find(|f| f.name == n).expect("fn exists");
+        assert!(!by_name("prod").is_test);
+        assert!(by_name("helper").is_test);
+        assert!(by_name("case").is_test);
+        assert!(!by_name("prod_after").is_test);
+        assert!(by_name("gated").is_test);
+        assert!(by_name("bare_test_attr").is_test);
+    }
+
+    #[test]
+    fn spans_are_ordered_and_inside_the_file() {
+        let src = "fn a() {}\nfn b() {\n  body();\n}\n";
+        let (_, t) = tree(src);
+        assert_eq!(t.fns.len(), 2);
+        assert_eq!((t.fns[0].span.line, t.fns[0].span.end_line), (1, 1));
+        assert_eq!((t.fns[1].span.line, t.fns[1].span.end_line), (2, 4));
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_panic() {
+        for src in [
+            "",
+            "fn",
+            "fn (",
+            "impl",
+            "impl {",
+            "mod m {",
+            "#[cfg(test)",
+            "trait T",
+            "fn f() { { { }",
+            "struct S(",
+            "macro_rules! m",
+            "pub pub pub",
+            "} } }",
+        ] {
+            let (_, t) = tree(src);
+            let _ = t.fns.len();
+        }
+    }
+}

@@ -1,13 +1,16 @@
 //! The rule passes: token-sequence matchers over one file's token stream,
-//! plus the `lint:allow` escape-hatch machinery and the `#[cfg(test)]`
-//! mask the unwrap-ratchet uses to see only production code.
+//! plus the `lint:allow` escape-hatch machinery. Test code is masked
+//! structurally via the item parser ([`crate::parser`]), which also feeds
+//! the per-function facts the crate-level flow analyses consume.
 
 use std::fmt;
 
+use crate::callgraph::{self, FnDef};
 use crate::config::{
-    self, rule_enabled, BAD_ALLOW, NO_AMBIENT_RNG, NO_PARTIAL_FLOAT_CMP, NO_UNORDERED_COLLECTIONS,
-    NO_UNSAFE, NO_WALL_CLOCK, UNWRAP_RATCHET,
+    self, rule_enabled, BAD_ALLOW, NO_AMBIENT_RNG, NO_NARROWING_AS_CAST, NO_PARTIAL_FLOAT_CMP,
+    NO_UNORDERED_COLLECTIONS, NO_UNSAFE, NO_WALL_CLOCK, UNWRAP_RATCHET,
 };
+use crate::parser;
 use crate::tokenizer::{tokenize, TokKind, Token};
 
 /// One machine-readable finding. Renders as `rule-id: file:line:col message`.
@@ -46,17 +49,49 @@ pub struct FileFindings {
     pub unwrap_count: usize,
 }
 
-/// A parsed, well-formed `lint:allow(rule): reason` directive.
-struct Allow {
-    rule: String,
-    line: u32,
+/// A parsed, well-formed `lint:allow(rule): reason` directive. The engine
+/// also consults these to suppress crate-level (taint) findings, which is
+/// why they are part of [`FileAnalysis`].
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    /// The rule being exempted.
+    pub rule: String,
+    /// 1-based line the directive sits on (covers itself and the next line).
+    pub line: u32,
 }
 
-/// Scan one file. `rel` must be the workspace-relative path (it drives
-/// per-crate rule scoping); `src` is the file contents.
+impl AllowDirective {
+    /// True when this directive suppresses a finding of `rule` at `line`.
+    pub fn covers(&self, rule: &str, line: u32) -> bool {
+        self.rule == rule && (self.line == line || self.line + 1 == line)
+    }
+}
+
+/// Everything a single-file analysis produces: the token-sequence findings
+/// plus the per-function facts and allow directives the engine's
+/// crate-level flow phases (taint, panic-path) consume.
+#[derive(Debug, Default)]
+pub struct FileAnalysis {
+    /// Token-sequence findings and the unwrap-ratchet count.
+    pub findings: FileFindings,
+    /// Per-function call/source/panic facts (empty for non-Rust inputs).
+    pub fns: Vec<FnDef>,
+    /// Well-formed `lint:allow` directives in the file.
+    pub allows: Vec<AllowDirective>,
+}
+
+/// Scan one file for the token-sequence rules only. Compatibility wrapper
+/// over [`analyze_file`].
 pub fn scan_file(rel: &str, src: &str) -> FileFindings {
+    analyze_file(rel, src).findings
+}
+
+/// Analyze one file. `rel` must be the workspace-relative path (it drives
+/// per-crate rule scoping); `src` is the file contents.
+pub fn analyze_file(rel: &str, src: &str) -> FileAnalysis {
     let toks = tokenize(src);
     let sig: Vec<&Token> = toks.iter().filter(|t| t.kind != TokKind::Comment).collect();
+    let tree = parser::parse(&sig);
 
     let mut diags: Vec<Diagnostic> = Vec::new();
     let allows = parse_allows(rel, &toks, &mut diags);
@@ -77,27 +112,34 @@ pub fn scan_file(rel: &str, src: &str) -> FileFindings {
     if rule_enabled(NO_UNSAFE, rel) {
         rule_no_unsafe(rel, &sig, &mut raw);
     }
+    if rule_enabled(NO_NARROWING_AS_CAST, rel) {
+        rule_narrowing_cast(rel, &sig, &tree.test_mask, &mut raw);
+    }
 
     // A valid allow on the finding's own line or the line above suppresses it.
     for d in raw {
-        let covered = allows
-            .iter()
-            .any(|a| a.rule == d.rule && (a.line == d.line || a.line + 1 == d.line));
-        if !covered {
+        if !allows.iter().any(|a| a.covers(d.rule, d.line)) {
             diags.push(d);
         }
     }
 
     let unwrap_count = if rule_enabled(UNWRAP_RATCHET, rel) {
-        count_unwraps(&sig)
+        count_unwraps(&sig, &tree.test_mask)
     } else {
         0
     };
 
+    let file_is_test = rel.starts_with("tests/") || rel.contains("/tests/");
+    let fns = callgraph::extract_fns(rel, &sig, &tree, file_is_test);
+
     diags.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
-    FileFindings {
-        diags,
-        unwrap_count,
+    FileAnalysis {
+        findings: FileFindings {
+            diags,
+            unwrap_count,
+        },
+        fns,
+        allows,
     }
 }
 
@@ -106,7 +148,7 @@ pub fn scan_file(rel: &str, src: &str) -> FileFindings {
 /// *mentioning* the syntax is not a directive). Malformed directives
 /// (missing reason, unknown rule) suppress nothing and are themselves
 /// reported as `bad-allow`.
-fn parse_allows(rel: &str, toks: &[Token], diags: &mut Vec<Diagnostic>) -> Vec<Allow> {
+fn parse_allows(rel: &str, toks: &[Token], diags: &mut Vec<Diagnostic>) -> Vec<AllowDirective> {
     let mut allows = Vec::new();
     for t in toks.iter().filter(|t| t.kind == TokKind::Comment) {
         let content = t.text.trim_start_matches(['/', '*', '!']).trim_start();
@@ -146,7 +188,7 @@ fn parse_allows(rel: &str, toks: &[Token], diags: &mut Vec<Diagnostic>) -> Vec<A
             )));
             continue;
         }
-        allows.push(Allow { rule, line: t.line });
+        allows.push(AllowDirective { rule, line: t.line });
     }
     allows
 }
@@ -305,14 +347,194 @@ fn rule_no_unsafe(rel: &str, sig: &[&Token], out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Integer primitive type names a cast can target.
+const INT_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Methods whose return type makes the following cast provably non-lossy
+/// for the listed targets (on the 64-bit tiers this workspace supports).
+/// `len`/`capacity`/`count` return `usize`; the bit-counting family
+/// returns `u32`.
+const USIZE_RESULT_METHODS: &[&str] = &["len", "capacity", "count"];
+const U32_RESULT_METHODS: &[&str] = &[
+    "leading_zeros",
+    "trailing_zeros",
+    "count_ones",
+    "count_zeros",
+];
+
+/// Float→int rounding methods: `x.round() as u64` is the saturating
+/// float-to-int cast, a different class from integer truncation (and the
+/// only sanctioned way to leave float space in this workspace).
+const FLOAT_TO_INT_METHODS: &[&str] = &["round", "ceil", "floor", "trunc"];
+
+/// `no-narrowing-as-cast`: flag integer `as` casts that may silently
+/// truncate. Without type inference the rule is deliberately conservative:
+/// a cast is exempt only when the *source* is provably safe from tokens
+/// alone — a fitting integer literal, `bool`, a `usize`/`u32`-returning
+/// safe-listed method cast to a wide-enough target, a float rounding chain
+/// (saturating cast class), or a `u128`/`i128` target. Everything else
+/// must become `try_into().expect("<invariant>")`, a widening `from`, or
+/// carry a reasoned `lint:allow(no-narrowing-as-cast)`.
+fn rule_narrowing_cast(rel: &str, sig: &[&Token], mask: &[bool], out: &mut Vec<Diagnostic>) {
+    for i in 0..sig.len() {
+        if mask.get(i).copied().unwrap_or(false) || !sig[i].is_ident("as") {
+            continue;
+        }
+        let Some(target) = sig.get(i + 1) else {
+            continue;
+        };
+        if target.kind != TokKind::Ident || !INT_TYPES.contains(&target.text.as_str()) {
+            continue; // `use x as y`, `as f64`, `as &str`, `as dyn ...`
+        }
+        // `expr as u32 as u64` — classify the *first* cast; the second one
+        // re-examines with `u32` knowledge below.
+        if target.text == "u128" || target.text == "i128" {
+            continue; // widening from every integer type we use
+        }
+        if cast_source_is_safe(sig, i, &target.text) {
+            continue;
+        }
+        out.push(diag(
+            NO_NARROWING_AS_CAST,
+            rel,
+            sig[i],
+            format!(
+                "integer `as {}` cast may silently truncate; use \
+                 `try_into().expect(\"<invariant>\")`, a widening `::from`, or \
+                 `lint:allow(no-narrowing-as-cast): <reason>` for intentional bit truncation",
+                target.text
+            ),
+        ));
+    }
+}
+
+/// Token-level safety proof for the expression ending just before the `as`
+/// at `as_idx`. See [`rule_narrowing_cast`] for the exemption classes.
+fn cast_source_is_safe(sig: &[&Token], as_idx: usize, target: &str) -> bool {
+    if as_idx == 0 {
+        return false;
+    }
+    let last = sig[as_idx - 1];
+    // `( ... ) as T` or `x.method(..) as T`.
+    if last.is_punct(')') {
+        let Some(open) = matching_paren_backward(sig, as_idx - 1) else {
+            return false;
+        };
+        // Method/fn name directly before the `(`.
+        if open > 0 && sig[open - 1].kind == TokKind::Ident {
+            let m = sig[open - 1].text.as_str();
+            if FLOAT_TO_INT_METHODS.contains(&m) {
+                return true;
+            }
+            // A float-literal argument (`.max(1.0)`, `.min(0.0)`) proves the
+            // receiver chain is float-typed: the cast saturates, not truncates.
+            if sig[open..as_idx].iter().any(|t| is_float_marker(t)) {
+                return true;
+            }
+            if USIZE_RESULT_METHODS.contains(&m)
+                && open >= 2
+                && sig[open - 2].is_punct('.')
+                && matches!(target, "u64" | "i64" | "usize")
+            {
+                // usize -> u64 is a widening on the 64-bit hosts this
+                // workspace targets (checked by a const assert in core).
+                return true;
+            }
+            if U32_RESULT_METHODS.contains(&m)
+                && open >= 2
+                && sig[open - 2].is_punct('.')
+                && matches!(target, "u32" | "u64" | "i64" | "usize")
+            {
+                return true;
+            }
+            return false;
+        }
+        // Parenthesized group: a float expression cast via `as` saturates
+        // rather than truncates — different class, handled by float rules.
+        return sig[open..as_idx].iter().any(|t| is_float_marker(t));
+    }
+    if last.kind == TokKind::Num {
+        // `.0`/`.1` are tuple-field accesses of unknown type, not literals.
+        if as_idx >= 2 && sig[as_idx - 2].is_punct('.') {
+            return false;
+        }
+        return literal_fits(&last.text, target);
+    }
+    if last.kind == TokKind::Ident && (last.text == "true" || last.text == "false") {
+        return true;
+    }
+    false
+}
+
+/// `true` when the token can only appear in a float-typed expression.
+fn is_float_marker(t: &Token) -> bool {
+    (t.kind == TokKind::Num && callgraph::is_float_literal(&t.text))
+        || (t.kind == TokKind::Ident
+            && (t.text == "f64"
+                || t.text == "f32"
+                || FLOAT_TO_INT_METHODS.contains(&t.text.as_str())))
+}
+
+/// Index of the `(` matching the `)` at `close`.
+fn matching_paren_backward(sig: &[&Token], close: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for k in (0..=close).rev() {
+        if sig[k].is_punct(')') {
+            depth += 1;
+        } else if sig[k].is_punct('(') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// True when integer-literal text `lit` is representable in `target`.
+fn literal_fits(lit: &str, target: &str) -> bool {
+    let lower = lit.to_ascii_lowercase().replace('_', "");
+    if callgraph::is_float_literal(lit) {
+        return true; // float literal cast saturates, not truncates
+    }
+    // Strip a type suffix (`42u64`, `7i32`, `0xffu8`).
+    let body = INT_TYPES
+        .iter()
+        .find_map(|s| lower.strip_suffix(s))
+        .unwrap_or(&lower);
+    let value = if let Some(hex) = body.strip_prefix("0x") {
+        u128::from_str_radix(hex, 16)
+    } else if let Some(oct) = body.strip_prefix("0o") {
+        u128::from_str_radix(oct, 8)
+    } else if let Some(bin) = body.strip_prefix("0b") {
+        u128::from_str_radix(bin, 2)
+    } else {
+        body.parse::<u128>()
+    };
+    let Ok(value) = value else { return false };
+    let max: u128 = match target {
+        "u8" => u8::MAX as u128,
+        "u16" => u16::MAX as u128,
+        "u32" => u32::MAX as u128,
+        "u64" | "usize" => u64::MAX as u128,
+        "i8" => i8::MAX as u128,
+        "i16" => i16::MAX as u128,
+        "i32" => i32::MAX as u128,
+        "i64" | "isize" => i64::MAX as u128,
+        _ => u128::MAX,
+    };
+    value <= max
+}
+
 /// Count `.unwrap()` and `.expect("")`/`.expect()` outside `#[cfg(test)]`
 /// items. `.expect("message")` with a non-empty message is the sanctioned
-/// form and does not count.
-fn count_unwraps(sig: &[&Token]) -> usize {
-    let mask = cfg_test_mask(sig);
+/// form and does not count. `mask` is the parser's structural test mask.
+fn count_unwraps(sig: &[&Token], mask: &[bool]) -> usize {
     let mut n = 0usize;
     for i in 0..sig.len() {
-        if mask[i] || !sig[i].is_punct('.') {
+        if mask.get(i).copied().unwrap_or(false) || !sig[i].is_punct('.') {
             continue;
         }
         let Some(name) = sig.get(i + 1) else { continue };
@@ -330,48 +552,20 @@ fn count_unwraps(sig: &[&Token]) -> usize {
     n
 }
 
-/// Mark every token inside a `#[cfg(test)]`-gated item (attribute through
-/// the end of its `{...}` body or trailing `;`).
-fn cfg_test_mask(sig: &[&Token]) -> Vec<bool> {
-    let mut mask = vec![false; sig.len()];
-    let mut i = 0usize;
-    while i < sig.len() {
-        if !(sig[i].is_punct('#') && matches(sig, i + 1, &["[", "cfg", "(", "test", ")", "]"])) {
-            i += 1;
-            continue;
-        }
-        let start = i;
-        let mut j = i + 7;
-        // Skip any further attributes between cfg(test) and the item.
-        while j < sig.len()
-            && sig[j].is_punct('#')
-            && sig.get(j + 1).is_some_and(|t| t.is_punct('['))
-        {
-            j = skip_balanced(sig, j + 1, '[', ']');
-        }
-        // Scan the item header for its body `{` (or a bodiless `;`).
-        let mut depth = 0i32;
-        let mut end = sig.len().saturating_sub(1);
-        while j < sig.len() {
-            if sig[j].is_punct('(') {
-                depth += 1;
-            } else if sig[j].is_punct(')') {
-                depth -= 1;
-            } else if depth == 0 && sig[j].is_punct(';') {
-                end = j;
-                break;
-            } else if depth == 0 && sig[j].is_punct('{') {
-                end = skip_balanced(sig, j, '{', '}') - 1;
-                break;
-            }
-            j += 1;
-        }
-        for m in &mut mask[start..=end.min(sig.len() - 1)] {
-            *m = true;
-        }
-        i = end + 1;
-    }
-    mask
+/// Report-only entry points for the engine's tests-tree sweep: the same
+/// narrowing scan and unwrap counter, with a caller-supplied mask.
+pub fn narrowing_casts_for_report(
+    rel: &str,
+    sig: &[&Token],
+    mask: &[bool],
+    out: &mut Vec<Diagnostic>,
+) {
+    rule_narrowing_cast(rel, sig, mask, out);
+}
+
+/// See [`narrowing_casts_for_report`].
+pub fn unwraps_for_report(sig: &[&Token], mask: &[bool]) -> usize {
+    count_unwraps(sig, mask)
 }
 
 /// True if the idents/puncts at `sig[from..]` match `pat` (each pattern
@@ -402,22 +596,4 @@ fn matching_paren(sig: &[&Token], open: usize) -> Option<usize> {
         }
     }
     None
-}
-
-/// Index just past the closer matching the opener at `open`.
-fn skip_balanced(sig: &[&Token], open: usize, o: char, c: char) -> usize {
-    let mut depth = 0i32;
-    let mut k = open;
-    while k < sig.len() {
-        if sig[k].is_punct(o) {
-            depth += 1;
-        } else if sig[k].is_punct(c) {
-            depth -= 1;
-            if depth == 0 {
-                return k + 1;
-            }
-        }
-        k += 1;
-    }
-    sig.len()
 }

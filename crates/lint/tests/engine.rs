@@ -209,37 +209,162 @@ fn banned_names_in_strings_and_comments_do_not_trip_rules() {
 
 #[test]
 fn baseline_roundtrip_and_ratchet_direction() {
-    let mut measured = BTreeMap::new();
-    measured.insert("microedge-core".to_string(), 3usize);
-    measured.insert("microedge-orch".to_string(), 0usize);
+    let mut unwrap = BTreeMap::new();
+    unwrap.insert("microedge-core".to_string(), 3usize);
+    unwrap.insert("microedge-orch".to_string(), 0usize);
+    let mut panic_path = BTreeMap::new();
+    panic_path.insert("microedge-core".to_string(), 120usize);
 
-    // Round-trip through the committed file format.
-    let parsed = baseline::parse(&baseline::format(&measured)).expect("own format parses");
-    assert_eq!(parsed, measured);
+    // Round-trip through the committed two-section file format.
+    let parsed =
+        baseline::parse(&baseline::format(&unwrap, &panic_path)).expect("own format parses");
+    assert_eq!(parsed.unwrap, unwrap);
+    assert_eq!(parsed.panic_path, panic_path);
 
-    // Equal or shrinking debt passes.
-    assert!(baseline::check(&measured, &parsed).is_empty());
-    let mut roomy = parsed.clone();
-    roomy.insert("microedge-core".to_string(), 5);
-    assert!(baseline::check(&measured, &roomy).is_empty());
+    // Equal or shrinking debt passes, on both tables.
+    assert!(baseline::check(&unwrap, &panic_path, &parsed).is_empty());
+    let mut roomy = baseline::parse(&baseline::format(&unwrap, &panic_path)).expect("parses");
+    roomy.unwrap.insert("microedge-core".to_string(), 5);
+    roomy.panic_path.insert("microedge-core".to_string(), 200);
+    assert!(baseline::check(&unwrap, &panic_path, &roomy).is_empty());
 
-    // Growth fails, with the machine-readable diagnostic shape.
-    let mut tight = parsed.clone();
-    tight.insert("microedge-core".to_string(), 2);
-    let diags = baseline::check(&measured, &tight);
-    assert_eq!(diags.len(), 1);
+    // Growth fails per table, with the machine-readable diagnostic shape.
+    let mut tight = baseline::parse(&baseline::format(&unwrap, &panic_path)).expect("parses");
+    tight.unwrap.insert("microedge-core".to_string(), 2);
+    tight.panic_path.insert("microedge-core".to_string(), 100);
+    let diags = baseline::check(&unwrap, &panic_path, &tight);
+    assert_eq!(diags.len(), 2);
     assert!(diags[0]
         .to_string()
         .starts_with("unwrap-ratchet: lint-baseline.toml:1:1 "));
+    assert!(diags[1]
+        .to_string()
+        .starts_with("panic-path-ratchet: lint-baseline.toml:1:1 "));
 
     // A crate missing from the baseline ratchets against zero.
-    let diags = baseline::check(&measured, &BTreeMap::new());
-    assert_eq!(diags.len(), 1);
-    assert!(diags[0].message.contains("microedge-core"));
+    let diags = baseline::check(&unwrap, &panic_path, &baseline::Baseline::default());
+    assert_eq!(diags.len(), 2);
+    assert!(diags.iter().all(|d| d.message.contains("microedge-core")));
 
-    // Malformed files are rejected, not ignored.
+    // Malformed files are rejected, not ignored — including a file that
+    // silently lost one of its two sections.
     assert!(baseline::parse("[unwrap-ratchet]\nnot a pair").is_err());
     assert!(baseline::parse("\"microedge-core\" = 1").is_err());
+    assert!(baseline::parse("[unwrap-ratchet]\n\"microedge-core\" = 1").is_err());
+    assert!(baseline::parse("[panic-path]\n\"microedge-core\" = 1").is_err());
+}
+
+/// Analyze a fixture and build its crate-level call graph, as the engine's
+/// phase 2 does for real crates.
+fn graph(rel: &str, fixture: &str) -> (microedge_lint::callgraph::CrateGraph, rules::FileAnalysis) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(fixture);
+    let src = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+    let analysis = rules::analyze_file(rel, &src);
+    let g = microedge_lint::callgraph::CrateGraph::build(analysis.fns.clone());
+    (g, analysis)
+}
+
+#[test]
+fn narrowing_casts_flagged_in_scoped_crates_only() {
+    let f = scan("crates/core/src/pool.rs", "narrowing_violation.rs");
+    assert_eq!(
+        rules_of(&f),
+        vec!["no-narrowing-as-cast"; 3],
+        "{:?}",
+        f.diags
+    );
+    let lines: Vec<u32> = f.diags.iter().map(|d| d.line).collect();
+    // One per lossy cast; the `#[cfg(test)]` module is masked.
+    assert_eq!(lines, vec![5, 6, 7]);
+
+    // Outside core/sim/metrics the same source is accepted.
+    let f = scan("crates/bench/src/packing.rs", "narrowing_violation.rs");
+    assert!(f.diags.is_empty(), "{:?}", f.diags);
+    // Integration-test trees are out of scope even inside those crates.
+    let f = scan("crates/core/tests/world.rs", "narrowing_violation.rs");
+    assert!(f.diags.is_empty(), "{:?}", f.diags);
+}
+
+#[test]
+fn safe_cast_sources_are_not_flagged() {
+    let f = scan("crates/sim/src/stats.rs", "narrowing_ok.rs");
+    assert!(f.diags.is_empty(), "{:?}", f.diags);
+}
+
+#[test]
+fn narrowing_allow_with_reason_suppresses() {
+    let f = scan("crates/core/src/fleet.rs", "narrowing_allow.rs");
+    assert!(f.diags.is_empty(), "{:?}", f.diags);
+}
+
+#[test]
+fn taint_reaches_sink_through_call_chain() {
+    let (g, _) = graph("crates/metrics/src/latency.rs", "taint_violation.rs");
+    let diags = microedge_lint::taint::taint_artifact_path(&g);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, "taint-artifact-path");
+    // The finding sits at the sink call site inside `observe`…
+    assert_eq!(diags[0].line, 13);
+    // …and the message names the sink, the source kind, and the chain.
+    assert!(
+        diags[0].message.contains("`record`"),
+        "{}",
+        diags[0].message
+    );
+    assert!(
+        diags[0].message.contains("`Instant::now()`"),
+        "{}",
+        diags[0].message
+    );
+    assert!(
+        diags[0].message.contains("observe -> sample_ns"),
+        "{}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn simulated_time_does_not_taint_the_same_sink() {
+    let (g, _) = graph("crates/metrics/src/latency.rs", "taint_ok.rs");
+    let diags = microedge_lint::taint::taint_artifact_path(&g);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn taint_allow_directive_covers_the_sink_call_site() {
+    let (g, analysis) = graph("crates/metrics/src/latency.rs", "taint_allow.rs");
+    let diags = microedge_lint::taint::taint_artifact_path(&g);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    // The engine drops findings whose sink line is covered by a well-formed
+    // allow directive; replicate its filter here.
+    assert!(
+        analysis
+            .allows
+            .iter()
+            .any(|a| a.covers(diags[0].rule, diags[0].line)),
+        "allow at the sink call site must cover the finding"
+    );
+}
+
+#[test]
+fn panic_path_counts_only_constructs_reachable_from_entries() {
+    let (g, _) = graph("crates/core/src/fleet.rs", "panic_path.rs");
+    let (debt, breakdown) = microedge_lint::taint::panic_path_debt(&g);
+    // `place` (one indexing) + `probe` (one unwrap); `offline_report`'s
+    // two constructs are unreachable and must not count.
+    assert_eq!(debt, 2, "{breakdown:?}");
+    let fns: Vec<&str> = breakdown.iter().map(|(f, _, _, _)| f.as_str()).collect();
+    assert!(fns.contains(&"FrontDoor::place"), "{breakdown:?}");
+    assert!(fns.contains(&"FrontDoor::probe"), "{breakdown:?}");
+    assert!(!fns.iter().any(|f| f.contains("offline_report")));
+
+    // The same file outside the entry point's path contributes nothing.
+    let (g, _) = graph("crates/orch/src/report.rs", "panic_path.rs");
+    let (debt, _) = microedge_lint::taint::panic_path_debt(&g);
+    assert_eq!(debt, 0);
 }
 
 #[test]
@@ -266,7 +391,7 @@ fn self_check_the_real_workspace_is_clean() {
         "workspace must lint clean:\n{}",
         rendered.join("\n")
     );
-    // Every tracked package appears in the ratchet, even at zero debt.
+    // Every tracked package appears in both ratchets, even at zero debt.
     for krate in [
         "microedge",
         "microedge-core",
@@ -277,7 +402,28 @@ fn self_check_the_real_workspace_is_clean() {
             report.ratchet.contains_key(krate),
             "missing ratchet entry for {krate}"
         );
+        assert!(
+            report.panic_ratchet.contains_key(krate),
+            "missing panic-path entry for {krate}"
+        );
     }
+    // The replay hot path exists, so the panic-path measure must resolve
+    // its entry points and see a non-empty reachable set.
+    assert!(
+        report.panic_ratchet["microedge-core"] > 0,
+        "panic-path entries failed to resolve: {:?}",
+        report.panic_breakdown
+    );
+    // The two hard rules are burned to zero workspace-wide; pin that so a
+    // regression cannot hide behind an allow or a baseline bump.
+    let raw = engine::lint_workspace(&root).expect("workspace scan");
+    assert!(
+        !raw.diags
+            .iter()
+            .any(|d| d.rule == "taint-artifact-path" || d.rule == "no-narrowing-as-cast"),
+        "hard rules must stay at zero findings: {:?}",
+        raw.diags
+    );
     // The fixture corpus (deliberate violations) must be excluded from the walk.
     let files = engine::workspace_files(&root).expect("walk");
     assert!(

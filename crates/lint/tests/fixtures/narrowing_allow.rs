@@ -1,0 +1,6 @@
+// The escape hatch: an intentional bit truncation with a mandatory reason.
+
+fn hash_fold(key: u64) -> u32 {
+    // lint:allow(no-narrowing-as-cast): xor-fold keeps only the low 32 bits by design.
+    (key ^ (key >> 32)) as u32
+}

@@ -1,0 +1,22 @@
+// Conforming integer conversions: checked, widening, or provably safe
+// cast sources — none of these may be flagged.
+
+fn conforming(values: &[u64], small: u32, t: (u64, u64)) -> u64 {
+    // Checked conversion with an invariant message.
+    let exact: usize = usize::try_from(values[0]).expect("value fits usize");
+    // Widening `::from` is the preferred spelling.
+    let wide = u64::from(small);
+    // `len()`/`count()` into a 64-bit-or-wider target cannot truncate.
+    let n = values.len() as u64;
+    let c = values.iter().count() as u64;
+    // Float-to-int via an explicit rounding method is deliberate.
+    let r = (0.5_f64 * 3.0).round() as u64;
+    let m = 2.0_f64.max(1.0) as u64;
+    // Bit-width queries fit any integer type.
+    let z = values[0].leading_zeros() as u64;
+    // In-range integer literals are exact.
+    let lit = 512 as u64;
+    // Casts into 128-bit targets always widen.
+    let t0 = t.0 as u128;
+    u64::try_from(exact).expect("fits") + wide + n + c + r + m + z + lit + u64::try_from(t0).expect("fits")
+}

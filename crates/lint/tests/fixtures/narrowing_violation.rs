@@ -1,0 +1,17 @@
+// Deliberate lossy `as` casts — every one must be flagged in the scoped
+// crates (core/sim/metrics).
+
+fn truncating(total: u64, id: u64, micro: i64) -> usize {
+    let slot = total as usize;
+    let small = id as u32;
+    let wrapped = micro as u64;
+    slot + usize::try_from(small).unwrap_or(0) + usize::try_from(wrapped).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    // Inside the test mask the same casts are fine.
+    fn masked(total: u64) -> usize {
+        total as usize
+    }
+}

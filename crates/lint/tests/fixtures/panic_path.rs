@@ -1,0 +1,20 @@
+// Panic-path fixture: `FrontDoor::place` is a configured hot entry point
+// when this file is scanned as `crates/core/src/fleet.rs`. Its own body
+// and everything it (transitively) calls contribute panicking constructs;
+// `offline_report` is unreachable from the entry and contributes nothing.
+
+impl FrontDoor {
+    pub fn place(&mut self, stream: u64) -> Option<u32> {
+        let slot = self.probe(stream);
+        let summary = self.summaries[slot];
+        Some(summary.id)
+    }
+
+    fn probe(&self, stream: u64) -> usize {
+        self.index.get(&stream).unwrap()
+    }
+}
+
+fn offline_report(values: &[u64]) -> u64 {
+    values.first().unwrap() + values[0]
+}

@@ -1,0 +1,13 @@
+// The sanctioned escape hatch: the sink call site (or the line above it)
+// carries a `lint:allow(taint-artifact-path)` with a mandatory reason.
+
+fn sample_ns() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().subsec_nanos() as u64
+}
+
+fn observe(recorder: &mut LatencyRecorder) {
+    let v = sample_ns();
+    // lint:allow(taint-artifact-path): host-measurement channel, stripped by the determinism gate.
+    recorder.record(v);
+}

@@ -1,0 +1,11 @@
+// Clean counterpart: the recorded value derives from simulated time, so
+// the same `record` sink call carries no taint.
+
+fn sample_ns(now: SimTime) -> u64 {
+    now.as_nanos()
+}
+
+fn observe(recorder: &mut LatencyRecorder, now: SimTime) {
+    let v = sample_ns(now);
+    recorder.record(v);
+}

@@ -1,0 +1,14 @@
+// Nondeterminism flowing into an artifact sink through a call chain:
+// `observe` never touches the clock itself, but it calls `sample_ns`
+// (wall clock) and then feeds the result to `record` — a taint finding
+// at the sink call site, with the witness chain in the message.
+
+fn sample_ns() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+fn observe(recorder: &mut LatencyRecorder) {
+    let v = sample_ns();
+    recorder.record(v);
+}

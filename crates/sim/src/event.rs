@@ -58,6 +58,12 @@ fn bucket_of(time: SimTime) -> u64 {
     time.as_nanos() >> BUCKET_SHIFT
 }
 
+/// The ring-array slot for a global bucket index.
+#[inline]
+fn ring_slot(bucket: u64) -> usize {
+    usize::try_from(bucket % NUM_BUCKETS).expect("ring slot fits usize")
+}
+
 /// An event staged in the queue, ordered by `(time, seq)` ascending.
 #[derive(Debug)]
 struct Scheduled<E> {
@@ -255,7 +261,7 @@ impl<E> EventQueue<E> {
             self.migrate_overflow();
         }
         let b = self.first_occupied();
-        let slot = &mut self.ring[(b % NUM_BUCKETS) as usize];
+        let slot = &mut self.ring[ring_slot(b)];
         debug_assert!(slot.index == b && !slot.events.is_empty());
         let mut best = 0;
         let mut best_key = slot.events[0].key();
@@ -325,7 +331,7 @@ impl<E> EventQueue<E> {
         if self.ring_len == 0 {
             return self.overflow.peek().map(|s| s.time);
         }
-        let slot = &self.ring[(self.first_occupied() % NUM_BUCKETS) as usize];
+        let slot = &self.ring[ring_slot(self.first_occupied())];
         slot.events.iter().map(|s| s.time).min()
     }
 
@@ -335,7 +341,7 @@ impl<E> EventQueue<E> {
     #[inline]
     fn first_occupied(&self) -> u64 {
         debug_assert!(self.occupancy != 0, "ring accounting is off");
-        let rot = (self.cursor % NUM_BUCKETS) as u32;
+        let rot = u32::try_from(self.cursor % NUM_BUCKETS).expect("ring slot fits u32");
         self.cursor + u64::from(self.occupancy.rotate_right(rot).trailing_zeros())
     }
 
@@ -343,7 +349,7 @@ impl<E> EventQueue<E> {
     /// the slot if its previous bucket has drained.
     fn insert_into_ring(&mut self, scheduled: Scheduled<E>) {
         let bucket = bucket_of(scheduled.time);
-        let slot = &mut self.ring[(bucket % NUM_BUCKETS) as usize];
+        let slot = &mut self.ring[ring_slot(bucket)];
         if slot.index != bucket {
             debug_assert!(slot.events.is_empty(), "re-labelling a live bucket");
             slot.index = bucket;

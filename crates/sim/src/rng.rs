@@ -181,7 +181,8 @@ impl DetRng {
     /// Panics if `len` is zero.
     pub fn index(&mut self, len: usize) -> usize {
         assert!(len > 0, "cannot pick from an empty collection");
-        self.uniform_range(0, len as u64) as usize
+        let len = u64::try_from(len).expect("slice length fits u64");
+        usize::try_from(self.uniform_range(0, len)).expect("index below len fits usize")
     }
 }
 

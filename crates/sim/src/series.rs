@@ -57,7 +57,8 @@ impl TimeSeries {
 
     /// Records an observation at `time`.
     pub fn record(&mut self, time: SimTime, value: f64) {
-        let idx = (time.as_nanos() / self.window.as_nanos()) as usize;
+        let idx = usize::try_from(time.as_nanos() / self.window.as_nanos())
+            .expect("window index fits usize");
         if idx >= self.sums.len() {
             self.sums.resize(idx + 1, 0.0);
             self.counts.resize(idx + 1, 0);
@@ -176,7 +177,8 @@ impl StepSeries {
         );
         self.integrate_to(end);
         let w = self.window.as_nanos() as f64;
-        let full = (end.as_nanos() / self.window.as_nanos()) as usize;
+        let full = usize::try_from(end.as_nanos() / self.window.as_nanos())
+            .expect("window index fits usize");
         let rem = end.as_nanos() % self.window.as_nanos();
         self.integrals
             .iter()

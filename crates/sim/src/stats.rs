@@ -254,6 +254,7 @@ const SKETCH_SUB: u64 = 1 << SKETCH_PRECISION_BITS;
 /// `u64::MAX`). A [`LogLinearSketch`] never grows beyond this — ≈ 58 KiB
 /// of `u64` counts — whatever it records.
 pub const SKETCH_MAX_BUCKETS: usize =
+    // lint:allow(no-narrowing-as-cast): const context — `TryFrom` is not const-callable, and both operands are small compile-time constants that fit any usize.
     ((64 - SKETCH_PRECISION_BITS as usize) << SKETCH_PRECISION_BITS) + SKETCH_SUB as usize;
 
 /// The advertised quantile relative-error bound of [`LogLinearSketch`]:
@@ -268,10 +269,13 @@ pub const SKETCH_RELATIVE_ERROR: f64 = 1.0 / SKETCH_SUB as f64;
 #[inline]
 const fn sketch_bucket(v: u64) -> usize {
     if v < SKETCH_SUB {
+        // lint:allow(no-narrowing-as-cast): const fn — v < 2^7 here, fits any usize.
         v as usize
     } else {
         let msb = 63 - v.leading_zeros() as u64;
+        // lint:allow(no-narrowing-as-cast): const fn — widening u32 -> u64 of a 7-bit constant.
         let offset = msb - SKETCH_PRECISION_BITS as u64;
+        // lint:allow(no-narrowing-as-cast): const fn — bucket index is bounded by SKETCH_MAX_BUCKETS.
         (((offset + 1) << SKETCH_PRECISION_BITS) + ((v >> offset) - SKETCH_SUB)) as usize
     }
 }
@@ -281,6 +285,7 @@ const fn sketch_bucket(v: u64) -> usize {
 /// "highest equivalent value" convention.
 #[inline]
 const fn sketch_bucket_high(i: usize) -> u64 {
+    // lint:allow(no-narrowing-as-cast): const fn — widening usize -> u64 on every supported target.
     let i = i as u64;
     if i < SKETCH_SUB {
         i

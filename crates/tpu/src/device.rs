@@ -48,6 +48,20 @@ use crate::spec::TpuSpec;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct TpuId(pub u32);
 
+impl TpuId {
+    /// This id as its dense slab index (TPUs are indexed in tRPi order).
+    #[must_use]
+    pub fn index(self) -> usize {
+        usize::try_from(self.0).expect("u32 tpu id fits usize")
+    }
+
+    /// The id of the TPU at dense slab index `i`.
+    #[must_use]
+    pub fn from_index(i: usize) -> TpuId {
+        TpuId(u32::try_from(i).expect("per-cluster tpu count fits u32"))
+    }
+}
+
 impl std::fmt::Display for TpuId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "tpu-{}", self.0)

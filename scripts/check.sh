@@ -7,8 +7,11 @@ cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel)"
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "==> microedge-lint (determinism/robustness rules, see LINTS.md)"
+echo "==> microedge-lint (determinism/robustness rules + ratchets, see LINTS.md)"
 cargo run --quiet -p microedge-lint
+
+echo "==> microedge-lint tests-report (informational, never gates)"
+cargo run --quiet -p microedge-lint -- --tests-report | tail -n 1
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

@@ -1,0 +1,29 @@
+//! The 100k-camera sharded tier under arithmetic overflow traps.
+//!
+//! `[profile.test]` enables `overflow-checks`, but the ordinary test run
+//! only reaches a few hundred streams; the counters most likely to wrap
+//! (event sequence numbers, epoch export tallies, micro-unit sums over a
+//! 2 400-TPU fleet) need the real tier to get anywhere near their range.
+//! CI runs this `#[ignore]`d test in an optimised build with
+//! `RUSTFLAGS="-C overflow-checks=on"`, so every add/mul on the replay hot
+//! path traps instead of wrapping silently into a plausible artifact.
+//!
+//! The pinned expectations mirror the committed `BENCH_scale.json` sharded
+//! 100k point, so a wrap that *doesn't* trap but changes a tally still
+//! fails loudly.
+
+use microedge_bench::scale::SCALE_FRAME_LIMIT;
+use microedge_bench::scale_sharded::run_sharded_point_with_workers;
+
+#[test]
+#[ignore = "full 100k tier; CI runs it with RUSTFLAGS=\"-C overflow-checks=on\" --release"]
+fn sharded_100k_tier_runs_clean_under_overflow_checks() {
+    let point = run_sharded_point_with_workers(100_000, 50, SCALE_FRAME_LIMIT, 8);
+    assert_eq!(point.streams, 100_000);
+    assert_eq!(point.frames, 500_000, "every camera completes every frame");
+    assert_eq!(point.events, 1_562_500, "pinned by BENCH_scale.json");
+    assert_eq!(
+        point.exports, 62_500,
+        "every 8th stream exports cross-shard"
+    );
+}
